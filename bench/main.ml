@@ -1,0 +1,91 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (see DESIGN.md's per-experiment index).
+
+   Usage:
+     dune exec bench/main.exe                 -- all experiments, full size
+     dune exec bench/main.exe -- --quick      -- reduced sizes (<1 min)
+     dune exec bench/main.exe -- fig6 fig8    -- selected experiments
+     dune exec bench/main.exe -- --bechamel   -- Bechamel micro-timings
+                                                 (one Test.make per table)
+*)
+
+module Experiments = Aptget_experiments
+module Lab = Experiments.Lab
+module Registry = Experiments.Registry
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel mode: one Test.make per experiment, each running that
+   experiment's simulation pipeline on miniature inputs so the
+   statistics are about harness overhead, not multi-minute sims.       *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let mini () = Lab.create ~quick:true () in
+  let make_exp (e : Registry.experiment) =
+    Test.make ~name:e.Registry.id
+      (Staged.stage (fun () -> ignore (e.Registry.run (mini ()))))
+  in
+  Test.make_grouped ~name:"experiments" ~fmt:"%s/%s"
+    (List.map make_exp Registry.all)
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:4 ~quota:(Time.second 20.0) ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "%-28s %16s\n" "experiment" "wall per run";
+  Printf.printf "%s\n" (String.make 46 '-');
+  let rows = ref [] in
+  Hashtbl.iter (fun name r -> rows := (name, r) :: !rows) results;
+  List.iter
+    (fun (name, r) ->
+      let est =
+        match Analyze.OLS.estimates r with
+        | Some [ e ] -> Printf.sprintf "%12.1f ms" (e /. 1e6)
+        | _ -> "n/a"
+      in
+      Printf.printf "%-28s %16s\n" name est)
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args = List.filter (fun a -> a <> "--") args in
+  let quick =
+    List.mem "--quick" args || Sys.getenv_opt "APTGET_BENCH_QUICK" <> None
+  in
+  let bechamel = List.mem "--bechamel" args in
+  let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  if bechamel then run_bechamel ()
+  else begin
+    let lab = Lab.create ~quick () in
+    let experiments =
+      match ids with
+      | [] -> Registry.all
+      | ids ->
+        List.map
+          (fun id ->
+            match Registry.find id with
+            | Some e -> e
+            | None ->
+              Printf.eprintf "unknown experiment %s; known: %s\n" id
+                (String.concat ", "
+                   (List.map (fun e -> e.Registry.id) Registry.all));
+              exit 2)
+          ids
+    in
+    Printf.printf
+      "APT-GET reproduction harness (%s mode; see DESIGN.md for the \
+       experiment index)\n\n%!"
+      (if quick then "quick" else "full");
+    List.iter (Registry.run_and_print lab) experiments
+  end

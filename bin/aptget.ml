@@ -1,0 +1,231 @@
+(* Command-line driver for the APT-GET reproduction.
+
+   aptget list                       workloads and experiments
+   aptget run BFS-LBE                baseline/A&J/APT-GET comparison
+   aptget profile HJ8-NPO            delinquent loads, models, hints
+   aptget show-ir HJ2-NPO            kernel IR before/after injection
+   aptget experiments fig6 fig8      regenerate paper tables/figures
+*)
+
+module Machine = Aptget_machine.Machine
+module Hierarchy = Aptget_cache.Hierarchy
+module Pipeline = Aptget_core.Pipeline
+module Workload = Aptget_workloads.Workload
+module Suite = Aptget_workloads.Suite
+module Profiler = Aptget_profile.Profiler
+module Model = Aptget_profile.Model
+module Aptget_pass = Aptget_passes.Aptget_pass
+module Inject = Aptget_passes.Inject
+module Registry = Aptget_experiments.Registry
+module Lab = Aptget_experiments.Lab
+module Table = Aptget_util.Table
+
+open Cmdliner
+
+let workload_of_name name =
+  match Suite.find name with
+  | Some w -> Ok w
+  | None ->
+    Error
+      (Printf.sprintf "unknown workload %s; try: %s" name
+         (String.concat ", "
+            (List.map (fun w -> w.Workload.name) Suite.default)))
+
+let workload_conv =
+  Arg.conv
+    ( (fun s -> Result.map_error (fun e -> `Msg e) (workload_of_name s)),
+      fun fmt w -> Format.pp_print_string fmt w.Workload.name )
+
+let workload_arg =
+  Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+
+let print_outcome label (m : Pipeline.measurement) =
+  Printf.printf
+    "%-10s cycles=%-12d instrs=%-10d IPC=%.3f MPKI=%.2f mem-stall=%s \
+     prefetches=%d verified=%s\n"
+    label m.Pipeline.outcome.Machine.cycles
+    m.Pipeline.outcome.Machine.instructions
+    (Machine.ipc m.Pipeline.outcome)
+    (Machine.mpki m.Pipeline.outcome)
+    (Table.fmt_pct (Machine.memory_stall_fraction m.Pipeline.outcome))
+    m.Pipeline.outcome.Machine.dyn_prefetches
+    (match m.Pipeline.verified with Ok () -> "ok" | Error e -> "FAILED: " ^ e)
+
+let run_cmd =
+  let run w hints_path =
+    Printf.printf "workload %s (%s on %s)\n\n" w.Workload.name w.Workload.app
+      w.Workload.input;
+    let base = Pipeline.baseline w in
+    print_outcome "baseline" base;
+    let aj = Pipeline.aj w in
+    print_outcome "A&J" aj;
+    let apt, hint_count =
+      match hints_path with
+      | Some path -> (
+        match Aptget_profile.Hints_file.load ~path with
+        | Ok hints -> (Pipeline.with_hints ~hints w, List.length hints)
+        | Error e ->
+          Printf.eprintf "cannot load hints from %s: %s\n" path e;
+          exit 1)
+      | None ->
+        let apt, prof = Pipeline.aptget w in
+        (apt, List.length prof.Profiler.hints)
+    in
+    print_outcome "APT-GET" apt;
+    Printf.printf "\nspeedup: A&J %s, APT-GET %s (%d hints%s)\n"
+      (Table.fmt_speedup (Pipeline.speedup ~baseline:base aj))
+      (Table.fmt_speedup (Pipeline.speedup ~baseline:base apt))
+      hint_count
+      (match hints_path with Some p -> " from " ^ p | None -> " from a fresh profile")
+  in
+  let hints_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "hints" ] ~docv:"FILE"
+          ~doc:"Use previously saved hints instead of profiling")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a workload under baseline, A&J and APT-GET")
+    Term.(const run $ workload_arg $ hints_flag)
+
+let profile_cmd =
+  let profile w output =
+    let prof = Pipeline.profile w in
+    Printf.printf
+      "profiled %s: %d LBR snapshots, %d PEBS samples, baseline IPC %.3f\n\n"
+      w.Workload.name prof.Profiler.lbr_snapshots prof.Profiler.pebs_samples
+      (Machine.ipc prof.Profiler.baseline);
+    let t =
+      Table.create ~title:"delinquent loads"
+        ~header:
+          [ "load PC"; "PEBS"; "iters"; "trip"; "IC"; "MC"; "distance"; "site"; "note" ]
+    in
+    List.iter
+      (fun (p : Profiler.load_profile) ->
+        let model_cell f =
+          match p.Profiler.model with
+          | Some m -> f m
+          | None -> "-"
+        in
+        Table.add_row t
+          [
+            string_of_int p.Profiler.load_pc;
+            string_of_int p.Profiler.pebs_count;
+            string_of_int (Array.length p.Profiler.iteration_times);
+            (match p.Profiler.trip_count with
+            | Some tc -> Printf.sprintf "%.1f" tc
+            | None -> "-");
+            model_cell (fun m -> Printf.sprintf "%.0f" m.Model.ic_latency);
+            model_cell (fun m -> Printf.sprintf "%.0f" m.Model.mc_latency);
+            (match p.Profiler.hint with
+            | Some h -> string_of_int h.Aptget_pass.distance
+            | None -> "-");
+            (match p.Profiler.hint with
+            | Some h -> Inject.site_to_string h.Aptget_pass.site
+            | None -> "-");
+            p.Profiler.note;
+          ])
+      prof.Profiler.profiles;
+    Table.print t;
+    match output with
+    | Some path ->
+      Aptget_profile.Hints_file.save ~path prof.Profiler.hints;
+      Printf.printf "wrote %d hint(s) to %s\n" (List.length prof.Profiler.hints) path
+    | None -> ()
+  in
+  let output_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Save the hints to a file")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Collect and analyse an LBR/PEBS profile for a workload")
+    Term.(const profile $ workload_arg $ output_flag)
+
+let show_ir_cmd =
+  let show w inject =
+    let inst = w.Workload.build () in
+    if inject then begin
+      let prof =
+        Profiler.profile ~args:inst.Workload.args ~mem:inst.Workload.mem
+          inst.Workload.func
+      in
+      let inst2 = w.Workload.build () in
+      let r = Aptget_pass.run inst2.Workload.func ~hints:prof.Profiler.hints in
+      Printf.printf "%s\n" (Printer.func_to_string inst2.Workload.func);
+      List.iter
+        (fun (i : Inject.injected) ->
+          Printf.printf
+            "; injected prefetch for load PC %d: distance %d, %s site, %d \
+             cloned instructions\n"
+            i.Inject.spec.Inject.load_pc i.Inject.spec.Inject.distance
+            (Inject.site_to_string i.Inject.spec.Inject.site)
+            i.Inject.cloned_instrs)
+        r.Aptget_pass.injected
+    end
+    else Printf.printf "%s\n" (Printer.func_to_string inst.Workload.func)
+  in
+  let inject_flag =
+    Arg.(value & flag & info [ "inject" ] ~doc:"Show the IR after APT-GET injection")
+  in
+  Cmd.v (Cmd.info "show-ir" ~doc:"Print a workload's kernel IR")
+    Term.(const show $ workload_arg $ inject_flag)
+
+let list_cmd =
+  let list () =
+    let t =
+      Table.create ~title:"workloads" ~header:[ "name"; "app"; "input"; "description" ]
+    in
+    List.iter
+      (fun w ->
+        Table.add_row t
+          [ w.Workload.name; w.Workload.app; w.Workload.input; w.Workload.description ])
+      Suite.default;
+    Table.print t;
+    let e = Table.create ~title:"experiments" ~header:[ "id"; "title" ] in
+    List.iter
+      (fun (x : Registry.experiment) ->
+        Table.add_row e [ x.Registry.id; x.Registry.title ])
+      Registry.all;
+    Table.print e
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and experiments")
+    Term.(const list $ const ())
+
+let experiments_cmd =
+  let run ids quick =
+    let lab = Lab.create ~quick () in
+    let exps =
+      match ids with
+      | [] -> Registry.all
+      | ids ->
+        List.filter_map
+          (fun id ->
+            match Registry.find id with
+            | Some e -> Some e
+            | None ->
+              Printf.eprintf "unknown experiment: %s\n" id;
+              exit 2)
+          ids
+    in
+    List.iter (Registry.run_and_print lab) exps
+  in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT") in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced workload sizes")
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run $ ids $ quick)
+
+let main =
+  Cmd.group
+    (Cmd.info "aptget" ~version:"1.0.0"
+       ~doc:
+         "Profile-guided timely software prefetching (EuroSys'22 \
+          reproduction)")
+    [ run_cmd; profile_cmd; show_ir_cmd; list_cmd; experiments_cmd ]
+
+let () = exit (Cmd.eval main)

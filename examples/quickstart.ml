@@ -1,0 +1,82 @@
+(* Quickstart: write a kernel against the public API, watch APT-GET
+   make it fast.
+
+   The kernel is the classic irregular gather `sum += T[B[i]]`:
+   hardware prefetchers cannot predict T's addresses, so the baseline
+   stalls on DRAM; one profiling run finds the delinquent load, models
+   its latency distribution, and injects a timely software prefetch.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Memory = Aptget_mem.Memory
+module Machine = Aptget_machine.Machine
+module Profiler = Aptget_profile.Profiler
+module Model = Aptget_profile.Model
+module Aptget_pass = Aptget_passes.Aptget_pass
+module Rng = Aptget_util.Rng
+
+let elements = 100_000
+let table_words = 1 lsl 21 (* 16 MiB: far beyond the 2 MiB simulated LLC *)
+
+(* 1. Lay the data out in simulated memory. *)
+let build_instance () =
+  let mem = Memory.create () in
+  let b = Memory.alloc mem ~name:"B" ~words:elements in
+  let t = Memory.alloc mem ~name:"T" ~words:table_words in
+  let rng = Rng.create 42 in
+  Memory.blit_array mem b (Array.init elements (fun _ -> Rng.int rng table_words));
+  Memory.blit_array mem t (Array.init table_words (fun i -> i * 7));
+  (* 2. Express the kernel in the IR via the builder DSL. *)
+  let bld = Builder.create ~name:"gather" ~nparams:3 in
+  let b_base, t_base, n =
+    match Builder.params bld with [ x; y; z ] -> (x, y, z) | _ -> assert false
+  in
+  let sums =
+    Builder.for_loop_acc bld ~from:(Ir.Imm 0) ~bound:(`Op n) ~init:[ Ir.Imm 0 ]
+      (fun bld i accs ->
+        let idx = Builder.load bld (Builder.add bld b_base i) in
+        let v = Builder.load bld (Builder.add bld t_base idx) in
+        [ Builder.add bld (List.hd accs) v ])
+  in
+  Builder.ret bld (Some (List.hd sums));
+  let func = Builder.finish bld in
+  Verify.check_exn func;
+  (mem, func, [ b.Memory.base; t.Memory.base; elements ])
+
+let () =
+  (* 3. Baseline run on the timing simulator. *)
+  let mem, func, args = build_instance () in
+  let base = Machine.execute ~args ~mem func in
+  Printf.printf "baseline:  %d cycles, IPC %.3f, %.1f MPKI\n"
+    base.Machine.cycles (Machine.ipc base) (Machine.mpki base);
+
+  (* 4. One profiling run: PEBS finds the delinquent load, the LBR
+     yields its loop's latency distribution, Eq. (1) the distance. *)
+  let mem2, func2, args2 = build_instance () in
+  let prof = Profiler.profile ~args:args2 ~mem:mem2 func2 in
+  List.iter
+    (fun (p : Profiler.load_profile) ->
+      match p.Profiler.model with
+      | Some m ->
+        Printf.printf
+          "profile:   load PC %d: peaks at [%s] cycles -> IC=%.0f MC=%.0f -> \
+           distance %d\n"
+          p.Profiler.load_pc
+          (String.concat "; "
+             (List.map (fun x -> Printf.sprintf "%.0f" x) m.Model.peaks))
+          m.Model.ic_latency m.Model.mc_latency m.Model.distance
+      | None -> Printf.printf "profile:   load PC %d: %s\n" p.Profiler.load_pc p.Profiler.note)
+    prof.Profiler.profiles;
+
+  (* 5. Inject and re-run. *)
+  let mem3, func3, args3 = build_instance () in
+  let report = Aptget_pass.run func3 ~hints:prof.Profiler.hints in
+  Printf.printf "injected:  %d prefetch slice(s)\n"
+    (List.length report.Aptget_pass.injected);
+  let opt = Machine.execute ~args:args3 ~mem:mem3 func3 in
+  Printf.printf "APT-GET:   %d cycles, IPC %.3f, %.1f MPKI\n" opt.Machine.cycles
+    (Machine.ipc opt) (Machine.mpki opt);
+  assert (base.Machine.ret = opt.Machine.ret);
+  Printf.printf "speedup:   %.2fx (checksums match: %s)\n"
+    (float_of_int base.Machine.cycles /. float_of_int opt.Machine.cycles)
+    (match base.Machine.ret with Some v -> string_of_int v | None -> "-")

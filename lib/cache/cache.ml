@@ -1,0 +1,106 @@
+type t = {
+  n_sets : int;
+  assoc : int;
+  set_mask : int;
+  tags : int array; (* n_sets * assoc, -1 = invalid; stores full line id *)
+  lru : int array;  (* recency stamp per way; larger = more recent *)
+  mutable clock : int;
+  mutable valid : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ~size_bytes ~assoc ~line_bytes =
+  if assoc <= 0 then invalid_arg "Cache.create: assoc <= 0";
+  if size_bytes mod (assoc * line_bytes) <> 0 then
+    invalid_arg "Cache.create: size not divisible by assoc * line";
+  let n_sets = size_bytes / (assoc * line_bytes) in
+  if not (is_pow2 n_sets) then
+    invalid_arg "Cache.create: number of sets must be a power of two";
+  {
+    n_sets;
+    assoc;
+    set_mask = n_sets - 1;
+    tags = Array.make (n_sets * assoc) (-1);
+    lru = Array.make (n_sets * assoc) 0;
+    clock = 0;
+    valid = 0;
+  }
+
+let sets t = t.n_sets
+let assoc t = t.assoc
+let set_of t line = line land t.set_mask
+
+let find_way t line =
+  let s = set_of t line in
+  let base = s * t.assoc in
+  let rec go w =
+    if w = t.assoc then -1
+    else if t.tags.(base + w) = line then base + w
+    else go (w + 1)
+  in
+  go 0
+
+let probe t line = find_way t line >= 0
+
+let touch t line =
+  let i = find_way t line in
+  if i >= 0 then begin
+    t.clock <- t.clock + 1;
+    t.lru.(i) <- t.clock;
+    true
+  end
+  else false
+
+let insert t line =
+  let i = find_way t line in
+  t.clock <- t.clock + 1;
+  if i >= 0 then begin
+    t.lru.(i) <- t.clock;
+    None
+  end
+  else begin
+    let s = set_of t line in
+    let base = s * t.assoc in
+    (* Pick an invalid way, else the least recently used one. *)
+    let victim = ref base in
+    let victim_stamp = ref max_int in
+    let found_invalid = ref false in
+    for w = 0 to t.assoc - 1 do
+      let idx = base + w in
+      if (not !found_invalid) && t.tags.(idx) = -1 then begin
+        victim := idx;
+        found_invalid := true
+      end
+      else if (not !found_invalid) && t.lru.(idx) < !victim_stamp then begin
+        victim := idx;
+        victim_stamp := t.lru.(idx)
+      end
+    done;
+    let evicted =
+      if t.tags.(!victim) = -1 then begin
+        t.valid <- t.valid + 1;
+        None
+      end
+      else Some t.tags.(!victim)
+    in
+    t.tags.(!victim) <- line;
+    t.lru.(!victim) <- t.clock;
+    evicted
+  end
+
+let invalidate t line =
+  let i = find_way t line in
+  if i >= 0 then begin
+    t.tags.(i) <- -1;
+    t.lru.(i) <- 0;
+    t.valid <- t.valid - 1
+  end
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.lru 0 (Array.length t.lru) 0;
+  t.clock <- 0;
+  t.valid <- 0
+
+let occupancy t = t.valid

@@ -1,0 +1,36 @@
+(** One set-associative cache level with LRU replacement.
+
+    Keys are cache-line indices (word address / 8); the data itself
+    lives in {!Aptget_mem.Memory}, so a cache only tracks presence. *)
+
+type t
+
+val create : size_bytes:int -> assoc:int -> line_bytes:int -> t
+(** [create ~size_bytes ~assoc ~line_bytes] builds an empty cache.
+    [size_bytes] must be divisible by [assoc * line_bytes]; the number
+    of sets must be a power of two. *)
+
+val sets : t -> int
+val assoc : t -> int
+
+val probe : t -> int -> bool
+(** [probe t line] is [true] iff [line] is present. Does not update
+    recency. *)
+
+val touch : t -> int -> bool
+(** [touch t line] probes and, on a hit, refreshes LRU recency.
+    Returns whether it hit. *)
+
+val insert : t -> int -> int option
+(** [insert t line] installs [line], evicting the LRU way if the set is
+    full. Returns the evicted line, if any. Inserting a present line
+    just refreshes recency and returns [None]. *)
+
+val invalidate : t -> int -> unit
+(** Drop a line if present. *)
+
+val clear : t -> unit
+(** Empty the cache. *)
+
+val occupancy : t -> int
+(** Number of valid lines currently held. *)

@@ -1,0 +1,284 @@
+type config = {
+  line_bytes : int;
+  l1_size : int;
+  l1_assoc : int;
+  l1_latency : int;
+  l2_size : int;
+  l2_assoc : int;
+  l2_latency : int;
+  llc_size : int;
+  llc_assoc : int;
+  llc_latency : int;
+  dram_latency : int;
+  dram_min_gap : int;
+  mshr_capacity : int;
+  hw_prefetch : bool;
+}
+
+let default_config =
+  {
+    line_bytes = 64;
+    l1_size = 32 * 1024;
+    l1_assoc = 8;
+    l1_latency = 4;
+    l2_size = 256 * 1024;
+    l2_assoc = 8;
+    l2_latency = 14;
+    llc_size = 2 * 1024 * 1024;
+    llc_assoc = 16;
+    llc_latency = 50;
+    dram_latency = 250;
+    dram_min_gap = 0;
+    mshr_capacity = 16;
+    hw_prefetch = true;
+  }
+
+type level = L1 | L2 | Llc | Dram
+
+let level_to_string = function
+  | L1 -> "L1"
+  | L2 -> "L2"
+  | Llc -> "LLC"
+  | Dram -> "DRAM"
+
+type access = {
+  latency : int;
+  served_from : level;
+  fill_buffer_hit : bool;
+  late_sw_prefetch : bool;
+}
+
+type counters = {
+  demand_loads : int;
+  hits_l1 : int;
+  hits_l2 : int;
+  hits_llc : int;
+  dram_fills_demand : int;
+  load_hit_pre_sw_pf : int;
+  offcore_all_data_rd : int;
+  offcore_demand_data_rd : int;
+  sw_prefetch_issued : int;
+  sw_prefetch_useless : int;
+  sw_prefetch_dropped : int;
+  hw_prefetch_issued : int;
+  stall_cycles_l2 : int;
+  stall_cycles_llc : int;
+  stall_cycles_dram : int;
+}
+
+let zero_counters =
+  {
+    demand_loads = 0;
+    hits_l1 = 0;
+    hits_l2 = 0;
+    hits_llc = 0;
+    dram_fills_demand = 0;
+    load_hit_pre_sw_pf = 0;
+    offcore_all_data_rd = 0;
+    offcore_demand_data_rd = 0;
+    sw_prefetch_issued = 0;
+    sw_prefetch_useless = 0;
+    sw_prefetch_dropped = 0;
+    hw_prefetch_issued = 0;
+    stall_cycles_l2 = 0;
+    stall_cycles_llc = 0;
+    stall_cycles_dram = 0;
+  }
+
+type t = {
+  cfg : config;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  llc : Cache.t;
+  mshr : Mshr.t;
+  hwpf : Hwpf.t;
+  mutable c : counters;
+  mutable next_dram_slot : int;
+      (* earliest cycle the DRAM channel can start another fill *)
+}
+
+let create cfg =
+  {
+    cfg;
+    l1 = Cache.create ~size_bytes:cfg.l1_size ~assoc:cfg.l1_assoc ~line_bytes:cfg.line_bytes;
+    l2 = Cache.create ~size_bytes:cfg.l2_size ~assoc:cfg.l2_assoc ~line_bytes:cfg.line_bytes;
+    llc =
+      Cache.create ~size_bytes:cfg.llc_size ~assoc:cfg.llc_assoc ~line_bytes:cfg.line_bytes;
+    mshr = Mshr.create ~capacity:cfg.mshr_capacity;
+    hwpf = (if cfg.hw_prefetch then Hwpf.create () else Hwpf.disabled ());
+    c = zero_counters;
+    next_dram_slot = 0;
+  }
+
+let config t = t.cfg
+
+(* Install a line everywhere (inclusive hierarchy). An LLC eviction
+   invalidates the inner levels to preserve inclusion. *)
+let install_all t line =
+  (match Cache.insert t.llc line with
+  | Some victim ->
+    Cache.invalidate t.l2 victim;
+    Cache.invalidate t.l1 victim
+  | None -> ());
+  ignore (Cache.insert t.l2 line);
+  ignore (Cache.insert t.l1 line)
+
+let drain_fills t ~cycle =
+  List.iter
+    (fun (e : Mshr.entry) -> install_all t e.line)
+    (Mshr.pop_ready t.mshr ~now:cycle)
+
+let line_of t addr = addr * 8 / t.cfg.line_bytes
+
+(* Claim a DRAM channel slot: with a bandwidth bound, back-to-back
+   fills are spaced [dram_min_gap] cycles apart and queueing delay adds
+   to the fill's completion time. *)
+let dram_start t ~cycle =
+  if t.cfg.dram_min_gap <= 0 then cycle
+  else begin
+    let start = max cycle t.next_dram_slot in
+    t.next_dram_slot <- start + t.cfg.dram_min_gap;
+    start
+  end
+
+(* Start a fill for [line] if it is not cached anywhere and not already
+   in flight. Returns true if a fill buffer was allocated. *)
+let start_fill t ~line ~cycle ~origin =
+  if Cache.probe t.l1 line || Cache.probe t.l2 line then false
+  else begin
+    let from_dram = not (Cache.probe t.llc line) in
+    let ready_at =
+      if from_dram then dram_start t ~cycle + t.cfg.dram_latency
+      else cycle + t.cfg.llc_latency
+    in
+    let ok = Mshr.allocate t.mshr ~line ~ready_at ~origin in
+    if ok && from_dram then
+      t.c <- { t.c with offcore_all_data_rd = t.c.offcore_all_data_rd + 1 };
+    ok
+  end
+
+let hw_prefetch_lines t ~pc ~addr ~miss ~cycle =
+  let lines = Hwpf.on_demand_access t.hwpf ~pc ~addr ~miss in
+  List.iter
+    (fun line ->
+      if start_fill t ~line ~cycle ~origin:Mshr.Hw_prefetch then
+        t.c <- { t.c with hw_prefetch_issued = t.c.hw_prefetch_issued + 1 })
+    lines
+
+let demand_load t ~pc ~addr ~cycle =
+  drain_fills t ~cycle;
+  let line = line_of t addr in
+  t.c <- { t.c with demand_loads = t.c.demand_loads + 1 };
+  match Mshr.find t.mshr line with
+  | Some entry ->
+    (* Fill in flight: wait out the remainder, then it behaves like an
+       L1 hit. The real counter treats this as a cache miss. *)
+    let wait = max 0 (entry.ready_at - cycle) in
+    let late_sw = entry.origin = Mshr.Sw_prefetch in
+    Mshr.remove t.mshr line;
+    install_all t line;
+    t.c <-
+      {
+        t.c with
+        load_hit_pre_sw_pf =
+          (t.c.load_hit_pre_sw_pf + if late_sw then 1 else 0);
+        offcore_all_data_rd = t.c.offcore_all_data_rd + 1;
+        offcore_demand_data_rd = t.c.offcore_demand_data_rd + 1;
+        stall_cycles_dram = t.c.stall_cycles_dram + wait;
+      };
+    hw_prefetch_lines t ~pc ~addr ~miss:true ~cycle;
+    {
+      latency = wait + t.cfg.l1_latency;
+      served_from = Dram;
+      fill_buffer_hit = true;
+      late_sw_prefetch = late_sw;
+    }
+  | None ->
+    if Cache.touch t.l1 line then begin
+      t.c <- { t.c with hits_l1 = t.c.hits_l1 + 1 };
+      hw_prefetch_lines t ~pc ~addr ~miss:false ~cycle;
+      {
+        latency = t.cfg.l1_latency;
+        served_from = L1;
+        fill_buffer_hit = false;
+        late_sw_prefetch = false;
+      }
+    end
+    else if Cache.touch t.l2 line then begin
+      ignore (Cache.insert t.l1 line);
+      t.c <-
+        {
+          t.c with
+          hits_l2 = t.c.hits_l2 + 1;
+          stall_cycles_l2 = t.c.stall_cycles_l2 + t.cfg.l2_latency - t.cfg.l1_latency;
+        };
+      hw_prefetch_lines t ~pc ~addr ~miss:true ~cycle;
+      {
+        latency = t.cfg.l2_latency;
+        served_from = L2;
+        fill_buffer_hit = false;
+        late_sw_prefetch = false;
+      }
+    end
+    else if Cache.touch t.llc line then begin
+      ignore (Cache.insert t.l2 line);
+      ignore (Cache.insert t.l1 line);
+      t.c <-
+        {
+          t.c with
+          hits_llc = t.c.hits_llc + 1;
+          stall_cycles_llc =
+            t.c.stall_cycles_llc + t.cfg.llc_latency - t.cfg.l1_latency;
+        };
+      hw_prefetch_lines t ~pc ~addr ~miss:true ~cycle;
+      {
+        latency = t.cfg.llc_latency;
+        served_from = Llc;
+        fill_buffer_hit = false;
+        late_sw_prefetch = false;
+      }
+    end
+    else begin
+      install_all t line;
+      let start = dram_start t ~cycle in
+      let latency = start - cycle + t.cfg.dram_latency in
+      t.c <-
+        {
+          t.c with
+          dram_fills_demand = t.c.dram_fills_demand + 1;
+          offcore_all_data_rd = t.c.offcore_all_data_rd + 1;
+          offcore_demand_data_rd = t.c.offcore_demand_data_rd + 1;
+          stall_cycles_dram =
+            t.c.stall_cycles_dram + latency - t.cfg.l1_latency;
+        };
+      hw_prefetch_lines t ~pc ~addr ~miss:true ~cycle;
+      {
+        latency;
+        served_from = Dram;
+        fill_buffer_hit = false;
+        late_sw_prefetch = false;
+      }
+    end
+
+let sw_prefetch t ~addr ~cycle =
+  drain_fills t ~cycle;
+  let line = line_of t addr in
+  if Cache.probe t.l1 line || Cache.probe t.l2 line then
+    t.c <- { t.c with sw_prefetch_useless = t.c.sw_prefetch_useless + 1 }
+  else if Mshr.find t.mshr line <> None then
+    (* Coalesces with the in-flight fill. *)
+    t.c <- { t.c with sw_prefetch_useless = t.c.sw_prefetch_useless + 1 }
+  else if start_fill t ~line ~cycle ~origin:Mshr.Sw_prefetch then
+    t.c <- { t.c with sw_prefetch_issued = t.c.sw_prefetch_issued + 1 }
+  else t.c <- { t.c with sw_prefetch_dropped = t.c.sw_prefetch_dropped + 1 }
+
+let counters t = t.c
+let reset_counters t = t.c <- zero_counters
+
+let flush t =
+  Cache.clear t.l1;
+  Cache.clear t.l2;
+  Cache.clear t.llc;
+  Mshr.clear t.mshr;
+  t.next_dram_slot <- 0;
+  reset_counters t

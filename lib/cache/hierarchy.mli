@@ -1,0 +1,91 @@
+(** Three-level inclusive cache hierarchy with fill buffers and
+    hardware prefetching — the memory system of the simulated machine
+    (Table 2 of the paper, scaled; see DESIGN.md).
+
+    Latency semantics (the heart of prefetch timeliness):
+    - a demand load blocks for the latency of the level that serves it;
+    - a software prefetch is non-blocking: it allocates a fill buffer
+      whose completion installs the line, and is dropped when the
+      buffers are full;
+    - a demand load whose line is still in flight stalls only for the
+      *remaining* fill time and is recorded as a late prefetch
+      ([LOAD_HIT_PRE.SW_PF]) when the fill came from a software
+      prefetch. *)
+
+type config = {
+  line_bytes : int;
+  l1_size : int;
+  l1_assoc : int;
+  l1_latency : int;
+  l2_size : int;
+  l2_assoc : int;
+  l2_latency : int;
+  llc_size : int;
+  llc_assoc : int;
+  llc_latency : int;
+  dram_latency : int;
+  dram_min_gap : int;
+      (** minimum cycles between DRAM fills (a bandwidth bound);
+          0 = unlimited bandwidth (the default model) *)
+  mshr_capacity : int;
+  hw_prefetch : bool;
+}
+
+val default_config : config
+(** 32 KiB/8-way L1 (4 cyc), 256 KiB/8-way L2 (14 cyc), 2 MiB/16-way
+    LLC (50 cyc), DRAM 250 cyc, 16 MSHRs, HW prefetch on. Sizes are the
+    paper's Xeon scaled down ~10x so that interpreter-feasible working
+    sets still exceed the LLC. *)
+
+type level = L1 | L2 | Llc | Dram
+
+val level_to_string : level -> string
+
+type access = {
+  latency : int;         (** cycles the demand load blocks the core *)
+  served_from : level;
+  fill_buffer_hit : bool;
+  late_sw_prefetch : bool; (** fill-buffer hit on a SW-prefetch fill *)
+}
+
+type counters = {
+  demand_loads : int;
+  hits_l1 : int;
+  hits_l2 : int;
+  hits_llc : int;
+  dram_fills_demand : int;
+  load_hit_pre_sw_pf : int;  (** demand loads that hit an in-flight fill
+                                 initiated by a software prefetch *)
+  offcore_all_data_rd : int;
+  offcore_demand_data_rd : int;
+  sw_prefetch_issued : int;   (** prefetches that allocated a fill *)
+  sw_prefetch_useless : int;  (** prefetches that hit in L1/L2 (no-op) *)
+  sw_prefetch_dropped : int;  (** dropped: fill buffers full *)
+  hw_prefetch_issued : int;
+  stall_cycles_l2 : int;
+  stall_cycles_llc : int;
+  stall_cycles_dram : int;   (** includes fill-buffer waits *)
+}
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val demand_load : t -> pc:int -> addr:int -> cycle:int -> access
+(** Perform a demand load of word address [addr] at time [cycle],
+    returning its blocking latency and classification. Trains and
+    triggers the hardware prefetcher. *)
+
+val sw_prefetch : t -> addr:int -> cycle:int -> unit
+(** Issue a software prefetch for the line of [addr]; non-blocking. *)
+
+val counters : t -> counters
+(** Snapshot of all counters since creation (or [reset_counters]). *)
+
+val reset_counters : t -> unit
+(** Zero the counters, keeping cache contents warm (used to exclude
+    workload setup from measurement). *)
+
+val flush : t -> unit
+(** Empty caches, fill buffers, and counters. *)

@@ -1,0 +1,57 @@
+type slot = {
+  mutable tag : int;
+  mutable last_addr : int;
+  mutable stride : int;
+  mutable confidence : int;
+}
+
+type t = {
+  enabled : bool;
+  degree : int;
+  table : slot array;
+}
+
+let create ?(stride_table_size = 256) ?(degree = 2) () =
+  {
+    enabled = true;
+    degree;
+    table =
+      Array.init stride_table_size (fun _ ->
+          { tag = -1; last_addr = 0; stride = 0; confidence = 0 });
+  }
+
+let disabled () = { (create ()) with enabled = false }
+
+let line_of addr = addr / Aptget_mem.Memory.words_per_line
+
+let on_demand_access t ~pc ~addr ~miss =
+  if not t.enabled then []
+  else begin
+    let slot = t.table.(pc land (Array.length t.table - 1)) in
+    let targets = ref [] in
+    if slot.tag = pc then begin
+      let stride = addr - slot.last_addr in
+      if stride = slot.stride && stride <> 0 then
+        slot.confidence <- min 4 (slot.confidence + 1)
+      else begin
+        slot.stride <- stride;
+        slot.confidence <- if stride <> 0 then 1 else 0
+      end;
+      slot.last_addr <- addr;
+      if slot.confidence >= 2 then
+        for d = 1 to t.degree do
+          let target = addr + (slot.stride * d) in
+          if target >= 0 && line_of target <> line_of addr then
+            targets := line_of target :: !targets
+        done
+    end
+    else begin
+      slot.tag <- pc;
+      slot.last_addr <- addr;
+      slot.stride <- 0;
+      slot.confidence <- 0
+    end;
+    (* Next-line prefetch on demand misses. *)
+    if miss then targets := (line_of addr + 1) :: !targets;
+    List.sort_uniq compare !targets
+  end

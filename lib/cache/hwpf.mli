@@ -1,0 +1,25 @@
+(** Hardware prefetchers: next-line and per-PC stride.
+
+    Models the simple prefetchers shipped in real CPUs (§1: only
+    next-line and stride prefetchers exist in hardware). They cover
+    sequential and strided streams, leaving irregular *indirect*
+    accesses — the paper's target — uncovered. *)
+
+type t
+
+val create : ?stride_table_size:int -> ?degree:int -> unit -> t
+(** [degree] is how many lines ahead a confident stream prefetches
+    (default 2). The stride table is direct-mapped on load PC (default
+    256 entries). *)
+
+val disabled : unit -> t
+(** A prefetcher that never issues anything (for ablations and for the
+    microbenchmark study, which disables HW prefetching interference). *)
+
+val on_demand_access :
+  t -> pc:int -> addr:int -> miss:bool -> int list
+(** [on_demand_access t ~pc ~addr ~miss] trains the prefetcher with a
+    demand load of word address [addr] issued by instruction [pc] and
+    returns the list of cache lines to prefetch. Next-line fires on
+    misses; the stride prefetcher fires once a PC has shown the same
+    word-stride twice in a row. *)

@@ -1,0 +1,29 @@
+type origin = Demand | Sw_prefetch | Hw_prefetch
+type entry = { line : int; ready_at : int; origin : origin }
+type t = { capacity : int; mutable entries : entry list (* unsorted *) }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Mshr.create: capacity <= 0";
+  { capacity; entries = [] }
+
+let capacity t = t.capacity
+let in_flight t = List.length t.entries
+let find t line = List.find_opt (fun e -> e.line = line) t.entries
+
+let allocate t ~line ~ready_at ~origin =
+  if List.length t.entries >= t.capacity then false
+  else if find t line <> None then false
+  else begin
+    t.entries <- { line; ready_at; origin } :: t.entries;
+    true
+  end
+
+let remove t line =
+  t.entries <- List.filter (fun e -> e.line <> line) t.entries
+
+let pop_ready t ~now =
+  let ready, pending = List.partition (fun e -> e.ready_at <= now) t.entries in
+  t.entries <- pending;
+  List.sort (fun a b -> compare a.ready_at b.ready_at) ready
+
+let clear t = t.entries <- []

@@ -1,0 +1,43 @@
+(** Miss-status holding registers (fill buffers).
+
+    Track cache-line fills in flight. A demand load that finds its line
+    here was prefetched *too late*: it must wait for the remaining fill
+    latency. This is the event the paper measures as
+    [LOAD_HIT_PRE.SW_PF] (§2.3). *)
+
+type origin =
+  | Demand        (** fill triggered by a blocking demand miss *)
+  | Sw_prefetch   (** fill triggered by a software prefetch *)
+  | Hw_prefetch   (** fill triggered by the hardware prefetcher *)
+
+type entry = {
+  line : int;
+  ready_at : int;   (** cycle at which the fill completes *)
+  origin : origin;
+}
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] outstanding fills; further allocations fail. *)
+
+val capacity : t -> int
+val in_flight : t -> int
+
+val find : t -> int -> entry option
+(** Entry for a line, if a fill is in flight. *)
+
+val allocate : t -> line:int -> ready_at:int -> origin:origin -> bool
+(** [allocate t ~line ~ready_at ~origin] starts a fill. Returns [false]
+    (and does nothing) when the buffers are full or the line is already
+    in flight (the request coalesces in that case). *)
+
+val remove : t -> int -> unit
+(** Drop the in-flight entry for a line, if present (used when a demand
+    load absorbs the fill). *)
+
+val pop_ready : t -> now:int -> entry list
+(** Remove and return all fills completed at or before [now], in
+    completion order. *)
+
+val clear : t -> unit

@@ -1,0 +1,34 @@
+module Machine = Aptget_machine.Machine
+module Hierarchy = Aptget_cache.Hierarchy
+
+let machine = Machine.default_config
+
+let kib b = Printf.sprintf "%dKiB" (b / 1024)
+
+let rows () =
+  let h = machine.Machine.hierarchy in
+  [
+    ("Core", "in-order timing model, 1 uop/cycle, blocking demand loads");
+    ( "L1 D-Cache",
+      Printf.sprintf "%s, %d-way, %d cycles" (kib h.Hierarchy.l1_size)
+        h.Hierarchy.l1_assoc h.Hierarchy.l1_latency );
+    ( "L2 Cache",
+      Printf.sprintf "%s, %d-way, %d cycles" (kib h.Hierarchy.l2_size)
+        h.Hierarchy.l2_assoc h.Hierarchy.l2_latency );
+    ( "LLC",
+      Printf.sprintf "%s, %d-way, %d cycles" (kib h.Hierarchy.llc_size)
+        h.Hierarchy.llc_assoc h.Hierarchy.llc_latency );
+    ("Main Memory", Printf.sprintf "flat %d-cycle DRAM" h.Hierarchy.dram_latency);
+    ( "Fill buffers",
+      Printf.sprintf "%d MSHRs (prefetches dropped when full)"
+        h.Hierarchy.mshr_capacity );
+    ( "HW prefetchers",
+      if h.Hierarchy.hw_prefetch then "next-line on miss + per-PC stride, degree 2"
+      else "disabled" );
+    ("LBR", "32 entries with cycle counts");
+  ]
+
+let scale_note =
+  "Paper: Xeon Gold 5218 (64KiB L1, 1MiB L2, 22MiB LLC, DDR4-2666). This \
+   simulator scales capacities ~10x down so that interpreter-feasible \
+   working sets still exceed the LLC; latencies are kept in cycles."

@@ -1,0 +1,13 @@
+(** Simulated machine configuration and its Table 2 rendering. *)
+
+val machine : Aptget_machine.Machine.config
+(** The default evaluation machine: the paper's Xeon Gold 5218 scaled
+    ~10x down (see DESIGN.md) — 32 KiB L1, 256 KiB L2, 2 MiB LLC,
+    DRAM 250 cycles, 16 fill buffers, HW next-line + stride
+    prefetchers. *)
+
+val rows : unit -> (string * string) list
+(** (component, parameters) rows, mirroring Table 2. *)
+
+val scale_note : string
+(** One-line explanation of the scaling substitution. *)

@@ -1,0 +1,87 @@
+module Machine = Aptget_machine.Machine
+module Profiler = Aptget_profile.Profiler
+module Workload = Aptget_workloads.Workload
+module Aj = Aptget_passes.Aj
+module Aptget_pass = Aptget_passes.Aptget_pass
+module Inject = Aptget_passes.Inject
+
+type measurement = {
+  workload : string;
+  outcome : Machine.outcome;
+  verified : (unit, string) result;
+  injected : Inject.injected list;
+  skipped : (int * string) list;
+  wall_seconds : float;
+}
+
+let verified_exn m =
+  match m.verified with
+  | Ok () -> m
+  | Error e -> failwith (Printf.sprintf "%s: verification failed: %s" m.workload e)
+
+let speedup ~baseline m =
+  float_of_int baseline.outcome.Machine.cycles
+  /. float_of_int m.outcome.Machine.cycles
+
+let instruction_overhead ~baseline m =
+  float_of_int m.outcome.Machine.instructions
+  /. float_of_int baseline.outcome.Machine.instructions
+
+let mpki_reduction ~baseline m =
+  let b = Machine.mpki baseline.outcome in
+  if b = 0. then 0. else 1. -. (Machine.mpki m.outcome /. b)
+
+let wall f =
+  let t0 = Sys.time () in
+  let v = f () in
+  (v, Sys.time () -. t0)
+
+let run_transformed ?config (w : Workload.t) transform =
+  let (outcome, verified, injected, skipped), wall_seconds =
+    wall (fun () ->
+        let inst = w.Workload.build () in
+        let injected, skipped = transform inst in
+        Verify.check_exn inst.Workload.func;
+        let outcome =
+          Machine.execute ?config ~args:inst.Workload.args
+            ~mem:inst.Workload.mem inst.Workload.func
+        in
+        let verified =
+          inst.Workload.verify inst.Workload.mem outcome.Machine.ret
+        in
+        (outcome, verified, injected, skipped))
+  in
+  { workload = w.Workload.name; outcome; verified; injected; skipped; wall_seconds }
+
+let baseline ?config w = run_transformed ?config w (fun _ -> ([], []))
+
+let aj ?config ?distance w =
+  run_transformed ?config w (fun inst ->
+      let r = Aj.run ?distance inst.Workload.func in
+      (r.Aj.injected, r.Aj.skipped))
+
+let profile ?options (w : Workload.t) =
+  let inst = w.Workload.build () in
+  Profiler.profile ?options ~args:inst.Workload.args ~mem:inst.Workload.mem
+    inst.Workload.func
+
+let with_hints ?config ?(cse = false) ~hints w =
+  run_transformed ?config w (fun inst ->
+      let r = Aptget_pass.run inst.Workload.func ~hints in
+      if cse then ignore (Aptget_passes.Cse.run inst.Workload.func);
+      (r.Aptget_pass.injected, r.Aptget_pass.skipped))
+
+let aptget ?options ?config ?cse w =
+  let prof = profile ?options w in
+  (with_hints ?config ?cse ~hints:prof.Profiler.hints w, prof)
+
+let force_distance d hints =
+  List.map (fun h -> { h with Aptget_pass.distance = d }) hints
+
+let force_site site hints =
+  List.map
+    (fun h ->
+      match site with
+      | Inject.Inner -> { h with Aptget_pass.site; sweep = 1 }
+      | Inject.Outer -> { h with Aptget_pass.site })
+    hints

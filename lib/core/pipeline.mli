@@ -1,0 +1,77 @@
+(** The end-to-end APT-GET pipeline (the paper's headline flow):
+
+    {v
+    build workload -> baseline run
+    build workload -> profiling run (LBR + PEBS) -> hints
+    build workload -> inject (APT-GET pass)      -> optimized run
+    build workload -> inject (A&J static pass)   -> baseline competitor
+    v}
+
+    Every run gets a freshly built workload instance, so measured runs
+    never see a previous run's memory side effects, and every run's
+    semantic verifier is checked — a prefetch pass that breaks the
+    program is reported, not silently timed. *)
+
+type measurement = {
+  workload : string;
+  outcome : Aptget_machine.Machine.outcome;
+  verified : (unit, string) result;
+  injected : Aptget_passes.Inject.injected list;
+  skipped : (int * string) list;
+  wall_seconds : float;  (** CPU seconds spent building + simulating *)
+}
+
+val verified_exn : measurement -> measurement
+(** Raise [Failure] if the run's semantic verification failed. *)
+
+val speedup : baseline:measurement -> measurement -> float
+(** Cycle-count ratio (>1 = faster than baseline). *)
+
+val instruction_overhead : baseline:measurement -> measurement -> float
+(** Dynamic instruction ratio (Fig. 11). *)
+
+val mpki_reduction : baseline:measurement -> measurement -> float
+(** 1 - mpki/mpki_baseline (Fig. 7, higher is better). *)
+
+val baseline : ?config:Aptget_machine.Machine.config -> Aptget_workloads.Workload.t -> measurement
+(** Unmodified kernel. *)
+
+val aj : ?config:Aptget_machine.Machine.config -> ?distance:int -> Aptget_workloads.Workload.t -> measurement
+(** Ainsworth & Jones static injection, then run. *)
+
+val profile :
+  ?options:Aptget_profile.Profiler.options ->
+  Aptget_workloads.Workload.t ->
+  Aptget_profile.Profiler.t
+(** The profiling run on a fresh instance. *)
+
+val aptget :
+  ?options:Aptget_profile.Profiler.options ->
+  ?config:Aptget_machine.Machine.config ->
+  ?cse:bool ->
+  Aptget_workloads.Workload.t ->
+  measurement * Aptget_profile.Profiler.t
+(** Full pipeline: profile, inject hints, run. [cse] (default false)
+    runs the local CSE cleanup after injection, as LLVM's scalar
+    optimisations would. *)
+
+val with_hints :
+  ?config:Aptget_machine.Machine.config ->
+  ?cse:bool ->
+  hints:Aptget_passes.Aptget_pass.hint list ->
+  Aptget_workloads.Workload.t ->
+  measurement
+(** Inject externally supplied hints (used by the distance/site
+    studies and by cross-input evaluation, Fig. 8–10, 12). *)
+
+val force_distance :
+  int -> Aptget_passes.Aptget_pass.hint list -> Aptget_passes.Aptget_pass.hint list
+(** Override every hint's distance (static-distance competitors,
+    Fig. 9). *)
+
+val force_site :
+  Aptget_passes.Inject.site ->
+  Aptget_passes.Aptget_pass.hint list ->
+  Aptget_passes.Aptget_pass.hint list
+(** Override every hint's injection site (Fig. 10); forcing [Inner]
+    also resets the sweep to 1. *)

@@ -1,0 +1,41 @@
+(** §4 evaluation experiments over the full application suite. *)
+
+val table2 : Lab.t -> Aptget_util.Table.t list
+(** Machine configuration. *)
+
+val table3 : Lab.t -> Aptget_util.Table.t list
+(** Application list. *)
+
+val table4 : Lab.t -> Aptget_util.Table.t list
+(** Graph dataset registry (paper sizes and scaled stand-ins). *)
+
+val fig5 : Lab.t -> Aptget_util.Table.t list
+(** Fraction of cycles stalled on L3/DRAM per application (baseline). *)
+
+val fig6 : Lab.t -> Aptget_util.Table.t list
+(** Execution-time speedup of APT-GET and Ainsworth & Jones over the
+    non-prefetching baseline, with geometric means. *)
+
+val fig7 : Lab.t -> Aptget_util.Table.t list
+(** LLC MPKI per build and the reduction over baseline. *)
+
+val fig8 : Lab.t -> Aptget_util.Table.t list
+(** LBR-selected distance vs the best of an exhaustive sweep over
+    D = {1,2,4,...,128}. *)
+
+val fig9 : Lab.t -> Aptget_util.Table.t list
+(** Static distances {4,16,64} vs the LBR-selected distance. *)
+
+val fig10 : Lab.t -> Aptget_util.Table.t list
+(** Inner- vs outer-loop injection for the nested-loop applications. *)
+
+val fig11 : Lab.t -> Aptget_util.Table.t list
+(** Dynamic instruction overhead of the injected prefetch slices. *)
+
+val fig12 : Lab.t -> Aptget_util.Table.t list
+(** Train-input vs test-input generalization: hints profiled on one
+    input applied to another. *)
+
+val datasets : Lab.t -> Aptget_util.Table.t list
+(** BFS across every Table-4 dataset stand-in — the per-input axis of
+    the paper's bar charts. *)

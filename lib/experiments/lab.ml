@@ -1,0 +1,103 @@
+module Pipeline = Aptget_core.Pipeline
+module Profiler = Aptget_profile.Profiler
+module Workload = Aptget_workloads.Workload
+module Suite = Aptget_workloads.Suite
+module Micro = Aptget_workloads.Micro
+module Inject = Aptget_passes.Inject
+
+type t = {
+  quick : bool;
+  measurements : (string, Pipeline.measurement) Hashtbl.t;
+  profiles : (string, Profiler.t) Hashtbl.t;
+}
+
+let create ?(quick = false) () =
+  { quick; measurements = Hashtbl.create 64; profiles = Hashtbl.create 16 }
+
+let quick t = t.quick
+
+let suite t =
+  if not t.quick then Suite.default
+  else
+    [
+      Suite.bfs ~name:"BFS-20K8"
+        ~graph:(fun () -> Aptget_graph.Datasets.synthetic ~nodes:20_000 ~degree:8 ())
+        ~input:"20K-d8";
+      Aptget_workloads.Is.workload
+        ~params:
+          {
+            Aptget_workloads.Is.n_keys = 65_536;
+            key_range = 262_144;
+            iterations = 1;
+            seed = 11;
+          }
+        ~name:"IS-quick" ();
+      Aptget_workloads.Hashjoin.workload
+        ~params:
+          {
+            Aptget_workloads.Hashjoin.hj2_params with
+            Aptget_workloads.Hashjoin.n_build = 65_536;
+            n_probe = 32_768;
+            n_buckets = 1 lsl 16;
+          }
+        ~name:"HJ2-quick" ();
+      Aptget_workloads.Randacc.workload
+        ~params:
+          { Aptget_workloads.Randacc.table_words = 1 lsl 20;
+            updates = 65_536;
+            seed = 31;
+          }
+        ~name:"randAcc-quick" ();
+    ]
+
+let nested_suite t = List.filter (fun w -> w.Workload.nested) (suite t)
+
+let micro_params t =
+  if t.quick then
+    { Micro.default_params with Micro.total = 32_768; table_words = 1 lsl 20 }
+  else { Micro.default_params with Micro.total = 131_072; table_words = 1 lsl 22 }
+
+let check (m : Pipeline.measurement) = Pipeline.verified_exn m
+
+let memo t key f =
+  match Hashtbl.find_opt t.measurements key with
+  | Some m -> m
+  | None ->
+    let m = check (f ()) in
+    Hashtbl.add t.measurements key m;
+    m
+
+let baseline t w =
+  memo t (w.Workload.name ^ "/baseline") (fun () -> Pipeline.baseline w)
+
+let aj t ?distance w =
+  let d = Option.value ~default:Aptget_passes.Aj.default_distance distance in
+  memo t (Printf.sprintf "%s/aj-%d" w.Workload.name d) (fun () ->
+      Pipeline.aj ~distance:d w)
+
+let profiled t w =
+  match Hashtbl.find_opt t.profiles w.Workload.name with
+  | Some p -> p
+  | None ->
+    let p = Pipeline.profile w in
+    Hashtbl.add t.profiles w.Workload.name p;
+    p
+
+let aptget t w =
+  memo t (w.Workload.name ^ "/aptget") (fun () ->
+      let prof = profiled t w in
+      Pipeline.with_hints ~hints:prof.Profiler.hints w)
+
+let static_distance t ~distance w =
+  memo t (Printf.sprintf "%s/static-%d" w.Workload.name distance) (fun () ->
+      let prof = profiled t w in
+      Pipeline.with_hints
+        ~hints:(Pipeline.force_distance distance prof.Profiler.hints)
+        w)
+
+let forced_site t site w =
+  memo t
+    (Printf.sprintf "%s/site-%s" w.Workload.name (Inject.site_to_string site))
+    (fun () ->
+      let prof = profiled t w in
+      Pipeline.with_hints ~hints:(Pipeline.force_site site prof.Profiler.hints) w)

@@ -1,0 +1,40 @@
+(** Measurement cache shared by all experiments.
+
+    Several figures reuse the same runs (baseline, A&J, APT-GET,
+    distance sweeps); the lab memoizes each (workload, variant) pair so
+    a full benchmark invocation executes every simulation exactly
+    once. *)
+
+type t
+
+val create : ?quick:bool -> unit -> t
+(** [quick] shrinks the suite and the microbenchmark so the whole
+    harness finishes in well under a minute (used by tests and
+    [--quick]). *)
+
+val quick : t -> bool
+
+val suite : t -> Aptget_workloads.Workload.t list
+(** The evaluation suite (possibly reduced in quick mode). *)
+
+val nested_suite : t -> Aptget_workloads.Workload.t list
+
+val micro_params : t -> Aptget_workloads.Micro.params
+(** Microbenchmark sizing for §2 experiments. *)
+
+val baseline : t -> Aptget_workloads.Workload.t -> Aptget_core.Pipeline.measurement
+val aj : t -> ?distance:int -> Aptget_workloads.Workload.t -> Aptget_core.Pipeline.measurement
+val aptget : t -> Aptget_workloads.Workload.t -> Aptget_core.Pipeline.measurement
+val profiled : t -> Aptget_workloads.Workload.t -> Aptget_profile.Profiler.t
+
+val static_distance : t -> distance:int -> Aptget_workloads.Workload.t -> Aptget_core.Pipeline.measurement
+(** Profiled injection sites with a forced static distance (Fig. 8–9). *)
+
+val forced_site :
+  t -> Aptget_passes.Inject.site -> Aptget_workloads.Workload.t ->
+  Aptget_core.Pipeline.measurement
+(** Profiled hints with a forced injection site (Fig. 10). *)
+
+val check : Aptget_core.Pipeline.measurement -> Aptget_core.Pipeline.measurement
+(** Assert semantic verification passed (all experiments run through
+    this, so a miscompiling pass aborts the harness loudly). *)

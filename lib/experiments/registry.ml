@@ -1,0 +1,41 @@
+module Table = Aptget_util.Table
+
+type experiment = {
+  id : string;
+  title : string;
+  run : Lab.t -> Table.t list;
+}
+
+let all =
+  [
+    { id = "table1"; title = "Prefetch accuracy/timeliness vs distance"; run = Micro_exps.table1 };
+    { id = "fig1"; title = "Speedup vs distance per work complexity"; run = Micro_exps.fig1 };
+    { id = "fig2"; title = "Speedup vs distance per trip count"; run = Micro_exps.fig2 };
+    { id = "fig3"; title = "LBR snapshot and recovered loop statistics"; run = Micro_exps.fig3 };
+    { id = "fig4"; title = "Loop latency distribution and peaks"; run = Micro_exps.fig4 };
+    { id = "table2"; title = "Machine configuration"; run = Eval_exps.table2 };
+    { id = "table3"; title = "Application list"; run = Eval_exps.table3 };
+    { id = "table4"; title = "Graph data-sets"; run = Eval_exps.table4 };
+    { id = "fig5"; title = "Memory-bound stall fractions"; run = Eval_exps.fig5 };
+    { id = "fig6"; title = "Speedup vs the state of the art"; run = Eval_exps.fig6 };
+    { id = "fig7"; title = "LLC MPKI reduction"; run = Eval_exps.fig7 };
+    { id = "fig8"; title = "LBR distance vs exhaustive best"; run = Eval_exps.fig8 };
+    { id = "fig9"; title = "Static distances vs LBR distance"; run = Eval_exps.fig9 };
+    { id = "fig10"; title = "Injection-site study"; run = Eval_exps.fig10 };
+    { id = "fig11"; title = "Instruction overhead"; run = Eval_exps.fig11 };
+    { id = "fig12"; title = "Train/test input sensitivity"; run = Eval_exps.fig12 };
+    { id = "datasets"; title = "BFS across all Table-4 graphs"; run = Eval_exps.datasets };
+    { id = "ablations"; title = "Design-choice ablations"; run = Ablations.all };
+    { id = "extensions"; title = "Extension studies (cost model, conditional injection, HW/SW interplay)"; run = Extensions.all };
+  ]
+
+let find id =
+  let k = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.id = k) all
+
+let run_and_print lab e =
+  let t0 = Sys.time () in
+  Printf.printf "== %s: %s ==\n%!" e.id e.title;
+  let tables = e.run lab in
+  List.iter Table.print tables;
+  Printf.printf "(%s finished in %.1fs CPU)\n\n%!" e.id (Sys.time () -. t0)

@@ -1,0 +1,15 @@
+(** Name -> experiment dispatch for the bench harness and the CLI. *)
+
+type experiment = {
+  id : string;          (** e.g. "fig6" *)
+  title : string;
+  run : Lab.t -> Aptget_util.Table.t list;
+}
+
+val all : experiment list
+(** Every table, figure and ablation, in paper order. *)
+
+val find : string -> experiment option
+
+val run_and_print : Lab.t -> experiment -> unit
+(** Execute and print each produced table, with timing. *)

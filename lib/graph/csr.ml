@@ -1,0 +1,98 @@
+type t = {
+  n : int;
+  m : int;
+  offsets : int array;
+  cols : int array;
+  weights : int array;
+}
+
+let of_edges ?weights ~n edges =
+  let m = Array.length edges in
+  (match weights with
+  | Some w when Array.length w <> m ->
+    invalid_arg "Csr.of_edges: weights length mismatch"
+  | _ -> ());
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Csr.of_edges: endpoint out of range";
+      deg.(u) <- deg.(u) + 1)
+    edges;
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + deg.(v)
+  done;
+  let cols = Array.make m 0 in
+  let w_out = Array.make m 1 in
+  let cursor = Array.copy offsets in
+  Array.iteri
+    (fun i (u, v) ->
+      let slot = cursor.(u) in
+      cols.(slot) <- v;
+      (match weights with Some w -> w_out.(slot) <- w.(i) | None -> ());
+      cursor.(u) <- slot + 1)
+    edges;
+  { n; m; offsets; cols; weights = w_out }
+
+let degree g v = g.offsets.(v + 1) - g.offsets.(v)
+
+let neighbours g v =
+  Array.sub g.cols g.offsets.(v) (degree g v)
+
+let avg_degree g = if g.n = 0 then 0. else float_of_int g.m /. float_of_int g.n
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !best then best := degree g v
+  done;
+  !best
+
+let edges_of g =
+  let acc = Array.make g.m ((0, 0), 1) in
+  let k = ref 0 in
+  for u = 0 to g.n - 1 do
+    for e = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+      acc.(!k) <- ((u, g.cols.(e)), g.weights.(e));
+      incr k
+    done
+  done;
+  acc
+
+let reverse g =
+  let pairs = edges_of g in
+  let edges = Array.map (fun ((u, v), _) -> (v, u)) pairs in
+  let weights = Array.map snd pairs in
+  of_edges ~weights ~n:g.n edges
+
+let symmetrize g =
+  let pairs = edges_of g in
+  let tbl = Hashtbl.create (2 * g.m) in
+  Array.iter (fun ((u, v), w) -> if not (Hashtbl.mem tbl (u, v)) then Hashtbl.add tbl (u, v) w) pairs;
+  Array.iter
+    (fun ((u, v), w) -> if not (Hashtbl.mem tbl (v, u)) then Hashtbl.add tbl (v, u) w)
+    pairs;
+  let all = Hashtbl.fold (fun (u, v) w acc -> ((u, v), w) :: acc) tbl [] in
+  let all = List.sort compare all in
+  let edges = Array.of_list (List.map fst all) in
+  let weights = Array.of_list (List.map snd all) in
+  of_edges ~weights ~n:g.n edges
+
+let validate g =
+  let err what = Error what in
+  if Array.length g.offsets <> g.n + 1 then err "offsets length <> n+1"
+  else if Array.length g.cols <> g.m then err "cols length <> m"
+  else if Array.length g.weights <> g.m then err "weights length <> m"
+  else if g.offsets.(0) <> 0 then err "offsets.(0) <> 0"
+  else if g.offsets.(g.n) <> g.m then err "offsets.(n) <> m"
+  else begin
+    let ok = ref (Ok ()) in
+    for v = 0 to g.n - 1 do
+      if g.offsets.(v) > g.offsets.(v + 1) then ok := err "offsets not monotone"
+    done;
+    Array.iter
+      (fun c -> if c < 0 || c >= g.n then ok := err "column out of range")
+      g.cols;
+    !ok
+  end

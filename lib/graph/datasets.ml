@@ -1,0 +1,102 @@
+type spec = {
+  name : string;
+  short : string;
+  paper_vertices : int;
+  paper_edges : int;
+  scaled_vertices : int;
+  family : [ `Web | `P2p | `Road | `Social ];
+}
+
+let all =
+  [
+    {
+      name = "web-Google";
+      short = "WG";
+      paper_vertices = 875_713;
+      paper_edges = 5_105_039;
+      scaled_vertices = 87_000;
+      family = `Web;
+    };
+    {
+      name = "p2p-Gnutella31";
+      short = "P2P";
+      paper_vertices = 62_586;
+      paper_edges = 147_892;
+      scaled_vertices = 62_586;
+      family = `P2p;
+    };
+    {
+      name = "roadNet-CA";
+      short = "CA";
+      paper_vertices = 1_965_206;
+      paper_edges = 2_766_607;
+      scaled_vertices = 196_000;
+      family = `Road;
+    };
+    {
+      name = "roadNet-PA";
+      short = "PA";
+      paper_vertices = 1_088_092;
+      paper_edges = 1_541_898;
+      scaled_vertices = 108_000;
+      family = `Road;
+    };
+    {
+      name = "loc-Brightkite";
+      short = "LBE";
+      paper_vertices = 58_228;
+      paper_edges = 214_078;
+      scaled_vertices = 58_228;
+      family = `Social;
+    };
+    {
+      name = "web-BerkStan";
+      short = "WB";
+      paper_vertices = 685_230;
+      paper_edges = 7_600_595;
+      scaled_vertices = 68_000;
+      family = `Web;
+    };
+    {
+      name = "web-NotreDame";
+      short = "WN";
+      paper_vertices = 325_729;
+      paper_edges = 1_497_134;
+      scaled_vertices = 65_000;
+      family = `Web;
+    };
+    {
+      name = "web-Stanford";
+      short = "WS";
+      paper_vertices = 281_903;
+      paper_edges = 2_312_497;
+      scaled_vertices = 56_000;
+      family = `Web;
+    };
+  ]
+
+let find key =
+  let k = String.lowercase_ascii key in
+  List.find_opt
+    (fun s ->
+      String.lowercase_ascii s.short = k || String.lowercase_ascii s.name = k)
+    all
+
+let build ?(seed = 42) spec =
+  let n = spec.scaled_vertices in
+  let degree =
+    max 2
+      (int_of_float
+         (Float.round
+            (float_of_int spec.paper_edges /. float_of_int spec.paper_vertices)))
+  in
+  match spec.family with
+  | `Web -> Generate.preferential ~seed ~n ~degree
+  | `Social -> Generate.preferential ~seed ~n ~degree
+  | `P2p -> Generate.uniform ~seed ~n ~degree
+  | `Road ->
+    let width = int_of_float (sqrt (float_of_int n)) in
+    Generate.grid ~seed ~width ~height:width
+
+let synthetic ?(seed = 42) ~nodes ~degree () =
+  Generate.uniform ~seed ~n:nodes ~degree

@@ -1,0 +1,29 @@
+(** Registry of the paper's graph inputs (Table 4), as synthetic
+    stand-ins.
+
+    Each dataset maps a SNAP graph to a generator configuration whose
+    degree profile matches; vertex counts are scaled down ~10x so a
+    baseline traversal stays interpreter-feasible while the footprint
+    still exceeds the (equally scaled) LLC. *)
+
+type spec = {
+  name : string;          (** paper's name, e.g. "web-Google" *)
+  short : string;         (** paper's abbreviation, e.g. "WG" *)
+  paper_vertices : int;
+  paper_edges : int;
+  scaled_vertices : int;
+  family : [ `Web | `P2p | `Road | `Social ];
+}
+
+val all : spec list
+(** The eight SNAP datasets of Table 4. *)
+
+val find : string -> spec option
+(** Lookup by [short] or [name] (case-insensitive). *)
+
+val build : ?seed:int -> spec -> Csr.t
+(** Materialise the stand-in graph. Deterministic for a given seed
+    (default 42). *)
+
+val synthetic : ?seed:int -> nodes:int -> degree:int -> unit -> Csr.t
+(** The paper's synthetic inputs, e.g. "80K nodes, degree 8". *)

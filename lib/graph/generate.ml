@@ -1,0 +1,99 @@
+module Rng = Aptget_util.Rng
+
+let uniform ~seed ~n ~degree =
+  let rng = Rng.create seed in
+  let edges = Array.make (n * degree) (0, 0) in
+  let k = ref 0 in
+  for u = 0 to n - 1 do
+    for _ = 1 to degree do
+      edges.(!k) <- (u, Rng.int rng n);
+      incr k
+    done
+  done;
+  Csr.of_edges ~n edges
+
+let rmat ~seed ~scale ~edge_factor =
+  let rng = Rng.create seed in
+  let n = 1 lsl scale in
+  let m = edge_factor * n in
+  let a = 0.57 and b = 0.19 and c = 0.19 in
+  let pick () =
+    let u = ref 0 and v = ref 0 in
+    for _ = 1 to scale do
+      let r = Rng.float rng 1.0 in
+      let du, dv =
+        if r < a then (0, 0)
+        else if r < a +. b then (0, 1)
+        else if r < a +. b +. c then (1, 0)
+        else (1, 1)
+      in
+      u := (!u lsl 1) lor du;
+      v := (!v lsl 1) lor dv
+    done;
+    (!u, !v)
+  in
+  let edges = Array.init m (fun _ -> pick ()) in
+  (* Permute vertex ids so the power-law hubs are scattered, as in the
+     Graph500 reference implementation. *)
+  let perm = Rng.permutation rng n in
+  let edges = Array.map (fun (u, v) -> (perm.(u), perm.(v))) edges in
+  Csr.of_edges ~n edges
+
+let grid ~seed ~width ~height =
+  let rng = Rng.create seed in
+  let n = width * height in
+  let id x y = (y * width) + x in
+  let acc = ref [] in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      let u = id x y in
+      if x + 1 < width then begin
+        acc := (u, id (x + 1) y) :: (id (x + 1) y, u) :: !acc
+      end;
+      if y + 1 < height then begin
+        acc := (u, id x (y + 1)) :: (id x (y + 1), u) :: !acc
+      end
+    done
+  done;
+  (* Sparse shortcuts (bridges/highways). *)
+  let shortcuts = max 1 (n / 1000) in
+  for _ = 1 to shortcuts do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    acc := (u, v) :: (v, u) :: !acc
+  done;
+  Csr.of_edges ~n (Array.of_list !acc)
+
+let preferential ~seed ~n ~degree =
+  let rng = Rng.create seed in
+  let m = n * degree in
+  (* Target pool: each chosen endpoint is re-added, giving the
+     rich-get-richer skew. *)
+  let pool = Array.make (2 * m) 0 in
+  let pool_len = ref 0 in
+  let push v =
+    if !pool_len < Array.length pool then begin
+      pool.(!pool_len) <- v;
+      incr pool_len
+    end
+  in
+  push 0;
+  let edges = ref [] in
+  for u = 1 to n - 1 do
+    for _ = 1 to degree do
+      let v =
+        if Rng.float rng 1.0 < 0.15 || !pool_len = 0 then Rng.int rng u
+        else pool.(Rng.int rng !pool_len)
+      in
+      edges := (u, v) :: !edges;
+      push v;
+      push u
+    done
+  done;
+  Csr.of_edges ~n (Array.of_list !edges)
+
+let random_weights ~seed ?(max_weight = 64) (g : Csr.t) =
+  let rng = Rng.create seed in
+  {
+    g with
+    Csr.weights = Array.map (fun _ -> 1 + Rng.int rng max_weight) g.Csr.weights;
+  }

@@ -1,0 +1,27 @@
+(** Deterministic synthetic graph generators.
+
+    Stand-ins for the SNAP datasets of Table 4 (see DESIGN.md): what
+    matters for APT-GET's behaviour is the degree distribution (inner
+    trip counts) and the footprint (cache residency), both of which
+    these generators control. *)
+
+val uniform : seed:int -> n:int -> degree:int -> Csr.t
+(** Every vertex gets [degree] out-edges with uniformly random targets
+    (the paper's "synthetic graphs with N nodes and degree d"). *)
+
+val rmat : seed:int -> scale:int -> edge_factor:int -> Csr.t
+(** RMAT/Kronecker power-law generator with the Graph500 parameters
+    (a,b,c) = (0.57, 0.19, 0.19); [n = 2^scale],
+    [m = edge_factor * n]. *)
+
+val grid : seed:int -> width:int -> height:int -> Csr.t
+(** 4-connected grid with ~0.1% random shortcut edges: a road-network
+    stand-in (roadNet-CA/PA) — large diameter, degree ~2-4. *)
+
+val preferential : seed:int -> n:int -> degree:int -> Csr.t
+(** Barabási–Albert preferential attachment: web-graph-like skewed
+    degrees (web-Google / web-BerkStan stand-in). *)
+
+val random_weights : seed:int -> ?max_weight:int -> Csr.t -> Csr.t
+(** Replace weights with uniform ints in [1, max_weight] (default 64),
+    for SSSP. *)

@@ -1,0 +1,193 @@
+type proto_block = {
+  mutable p_phis : Ir.phi list;   (* reversed *)
+  mutable p_instrs : Ir.instr list; (* reversed *)
+  mutable p_term : Ir.terminator;
+  mutable p_sealed : bool;
+}
+
+type t = {
+  name : string;
+  mutable blocks : proto_block array;
+  mutable nblocks : int;
+  mutable cur : Ir.label;
+  mutable next_reg : int;
+  params : Ir.reg list;
+  mutable finished : bool;
+}
+
+let fresh_block () =
+  { p_phis = []; p_instrs = []; p_term = Ir.Ret None; p_sealed = false }
+
+let create ~name ~nparams =
+  let params = List.init nparams (fun i -> i) in
+  let b =
+    {
+      name;
+      blocks = Array.init 8 (fun _ -> fresh_block ());
+      nblocks = 1;
+      cur = 0;
+      next_reg = nparams;
+      params;
+      finished = false;
+    }
+  in
+  b
+
+let params t = List.map (fun r -> Ir.Reg r) t.params
+
+let new_block t =
+  if t.nblocks = Array.length t.blocks then begin
+    let bigger = Array.init (2 * t.nblocks) (fun _ -> fresh_block ()) in
+    Array.blit t.blocks 0 bigger 0 t.nblocks;
+    t.blocks <- bigger
+  end;
+  let l = t.nblocks in
+  t.blocks.(l) <- fresh_block ();
+  t.nblocks <- l + 1;
+  l
+
+let switch_to t l =
+  if l < 0 || l >= t.nblocks then invalid_arg "Builder.switch_to: bad label";
+  t.cur <- l
+
+let current t = t.cur
+
+let fresh_reg t =
+  let r = t.next_reg in
+  t.next_reg <- r + 1;
+  r
+
+let emit t kind ~defines =
+  let blk = t.blocks.(t.cur) in
+  if blk.p_sealed then
+    invalid_arg "Builder: emitting into a terminated block";
+  let dst = if defines then fresh_reg t else Ir.no_dst in
+  blk.p_instrs <- { Ir.dst; kind } :: blk.p_instrs;
+  if defines then Ir.Reg dst else Ir.Imm 0
+
+let binop t op a b = emit t (Ir.Binop (op, a, b)) ~defines:true
+let add t a b = binop t Ir.Add a b
+let sub t a b = binop t Ir.Sub a b
+let mul t a b = binop t Ir.Mul a b
+let div t a b = binop t Ir.Div a b
+let rem t a b = binop t Ir.Rem a b
+let band t a b = binop t Ir.And a b
+let bxor t a b = binop t Ir.Xor a b
+let shl t a b = binop t Ir.Shl a b
+let shr t a b = binop t Ir.Shr a b
+let cmp t op a b = emit t (Ir.Cmp (op, a, b)) ~defines:true
+let select t c a b = emit t (Ir.Select (c, a, b)) ~defines:true
+let load t a = emit t (Ir.Load a) ~defines:true
+let store t ~addr ~value = ignore (emit t (Ir.Store (addr, value)) ~defines:false)
+let prefetch t a = ignore (emit t (Ir.Prefetch a) ~defines:false)
+let work t n = ignore (emit t (Ir.Work n) ~defines:false)
+
+let phi t incoming =
+  let blk = t.blocks.(t.cur) in
+  let dst = fresh_reg t in
+  blk.p_phis <- { Ir.phi_dst = dst; incoming } :: blk.p_phis;
+  Ir.Reg dst
+
+let add_incoming t ~block ~phi edge =
+  let dst = match phi with Ir.Reg r -> r | Ir.Imm _ -> invalid_arg "add_incoming" in
+  let blk = t.blocks.(block) in
+  blk.p_phis <-
+    List.map
+      (fun (p : Ir.phi) ->
+        if p.Ir.phi_dst = dst then { p with Ir.incoming = p.Ir.incoming @ [ edge ] }
+        else p)
+      blk.p_phis
+
+let set_term t term =
+  let blk = t.blocks.(t.cur) in
+  if blk.p_sealed then invalid_arg "Builder: block already terminated";
+  blk.p_term <- term;
+  blk.p_sealed <- true
+
+let jmp t l = set_term t (Ir.Jmp l)
+let br t c l1 l2 = set_term t (Ir.Br (c, l1, l2))
+let ret t v = set_term t (Ir.Ret v)
+
+let for_loop t ~from ~bound ?(step = 1) body =
+  let pred = current t in
+  let header = new_block t in
+  let body_block = new_block t in
+  let exit = new_block t in
+  jmp t header;
+  switch_to t header;
+  let iv = phi t [ (pred, from) ] in
+  let cond = cmp t Ir.Lt iv bound in
+  br t cond body_block exit;
+  switch_to t body_block;
+  body t iv;
+  (* the body may have moved the current block; the back edge leaves
+     from wherever it ended. *)
+  let latch = current t in
+  let iv_next = add t iv (Ir.Imm step) in
+  jmp t header;
+  add_incoming t ~block:header ~phi:iv (latch, iv_next);
+  switch_to t exit
+
+let for_loop_acc t ~from ~bound ?(step = 1) ~init body =
+  let pred = current t in
+  let header = new_block t in
+  let body_block = new_block t in
+  let exit = new_block t in
+  jmp t header;
+  switch_to t header;
+  let iv = phi t [ (pred, from) ] in
+  let accs = List.map (fun i -> phi t [ (pred, i) ]) init in
+  let bound_op =
+    match bound with `Op o -> o | `Acc k -> List.nth accs k
+  in
+  let cond = cmp t Ir.Lt iv bound_op in
+  br t cond body_block exit;
+  switch_to t body_block;
+  let accs' = body t iv accs in
+  if List.length accs' <> List.length accs then
+    invalid_arg "Builder.for_loop_acc: body changed accumulator count";
+  let latch = current t in
+  let iv_next = add t iv (Ir.Imm step) in
+  jmp t header;
+  add_incoming t ~block:header ~phi:iv (latch, iv_next);
+  List.iter2
+    (fun acc acc' -> add_incoming t ~block:header ~phi:acc (latch, acc'))
+    accs accs';
+  switch_to t exit;
+  accs
+
+let if_then_acc t ~cond ~init body =
+  let pred = current t in
+  let then_block = new_block t in
+  let join = new_block t in
+  br t cond then_block join;
+  switch_to t then_block;
+  let then_vals = body t in
+  if List.length then_vals <> List.length init then
+    invalid_arg "Builder.if_then_acc: body changed accumulator count";
+  let then_end = current t in
+  jmp t join;
+  switch_to t join;
+  List.map2
+    (fun fallthrough then_v -> phi t [ (pred, fallthrough); (then_end, then_v) ])
+    init then_vals
+
+let finish t =
+  if t.finished then invalid_arg "Builder.finish: already finished";
+  t.finished <- true;
+  let blocks =
+    Array.init t.nblocks (fun i ->
+        let pb = t.blocks.(i) in
+        {
+          Ir.phis = List.rev pb.p_phis;
+          Ir.instrs = Array.of_list (List.rev pb.p_instrs);
+          Ir.term = pb.p_term;
+        })
+  in
+  {
+    Ir.fname = t.name;
+    Ir.params = t.params;
+    Ir.entry = 0;
+    Ir.blocks = blocks;
+    Ir.next_reg = t.next_reg;
+  }

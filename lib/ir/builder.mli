@@ -1,0 +1,98 @@
+(** Imperative construction of IR functions.
+
+    The workloads build their kernels through this DSL; the [for_loop]
+    combinator emits the canonical loop shape (pre-header jump, header
+    with the induction phi and the bound test, body, back-edge) that the
+    loop-analysis pass recognises, just as Clang emits rotated canonical
+    loops for the paper's pass to consume. *)
+
+type t
+
+val create : name:string -> nparams:int -> t
+val params : t -> Ir.operand list
+
+val new_block : t -> Ir.label
+(** Allocate an empty block (terminator defaults to [Ret None]). *)
+
+val switch_to : t -> Ir.label -> unit
+(** Subsequent emissions go to this block. *)
+
+val current : t -> Ir.label
+
+(** {2 Instructions} — each appends to the current block. *)
+
+val binop : t -> Ir.binop -> Ir.operand -> Ir.operand -> Ir.operand
+val add : t -> Ir.operand -> Ir.operand -> Ir.operand
+val sub : t -> Ir.operand -> Ir.operand -> Ir.operand
+val mul : t -> Ir.operand -> Ir.operand -> Ir.operand
+val div : t -> Ir.operand -> Ir.operand -> Ir.operand
+val rem : t -> Ir.operand -> Ir.operand -> Ir.operand
+val band : t -> Ir.operand -> Ir.operand -> Ir.operand
+val bxor : t -> Ir.operand -> Ir.operand -> Ir.operand
+val shl : t -> Ir.operand -> Ir.operand -> Ir.operand
+val shr : t -> Ir.operand -> Ir.operand -> Ir.operand
+val cmp : t -> Ir.cmp_op -> Ir.operand -> Ir.operand -> Ir.operand
+val select : t -> Ir.operand -> Ir.operand -> Ir.operand -> Ir.operand
+val load : t -> Ir.operand -> Ir.operand
+val store : t -> addr:Ir.operand -> value:Ir.operand -> unit
+val prefetch : t -> Ir.operand -> unit
+val work : t -> Ir.operand -> unit
+
+(** {2 Phis and terminators} *)
+
+val phi : t -> (Ir.label * Ir.operand) list -> Ir.operand
+(** Add a phi to the current block. Incoming edges may be completed
+    later with [add_incoming]. *)
+
+val add_incoming : t -> block:Ir.label -> phi:Ir.operand -> Ir.label * Ir.operand -> unit
+(** Append an incoming edge to an existing phi (identified by its
+    destination operand, which must be a [Reg]). *)
+
+val jmp : t -> Ir.label -> unit
+val br : t -> Ir.operand -> Ir.label -> Ir.label -> unit
+val ret : t -> Ir.operand option -> unit
+
+(** {2 Structured helpers} *)
+
+val for_loop :
+  t ->
+  from:Ir.operand ->
+  bound:Ir.operand ->
+  ?step:int ->
+  (t -> Ir.operand -> unit) ->
+  unit
+(** [for_loop b ~from ~bound body] emits
+    [for (iv = from; iv < bound; iv += step) body iv] in canonical
+    shape and leaves the builder positioned in the exit block. [body]
+    may create inner blocks/loops. Default [step] is 1. *)
+
+val for_loop_acc :
+  t ->
+  from:Ir.operand ->
+  bound:[ `Op of Ir.operand | `Acc of int ] ->
+  ?step:int ->
+  init:Ir.operand list ->
+  (t -> Ir.operand -> Ir.operand list -> Ir.operand list) ->
+  Ir.operand list
+(** Like {!for_loop} but threading loop-carried accumulators: [init]
+    seeds one phi per accumulator, the body receives the current
+    accumulator values and returns the next ones, and the final values
+    (the header phis, valid in the exit block) are returned.
+
+    [bound] may reference an accumulator ([`Acc k]) — this expresses
+    work-list loops such as BFS's [while (head < tail)], where the
+    bound grows as the body pushes work. *)
+
+val if_then_acc :
+  t ->
+  cond:Ir.operand ->
+  init:Ir.operand list ->
+  (t -> Ir.operand list) ->
+  Ir.operand list
+(** Conditional diamond: when [cond] is non-zero, run the then-branch
+    (which returns one value per entry of [init]); otherwise the values
+    fall through as [init]. Returns the join phis. With [init = []]
+    this is a plain [if cond then ...]. *)
+
+val finish : t -> Ir.func
+(** Freeze into a function. The builder must not be reused. *)

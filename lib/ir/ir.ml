@@ -1,0 +1,87 @@
+type reg = int
+type label = int
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+type operand = Reg of reg | Imm of int
+
+type instr_kind =
+  | Binop of binop * operand * operand
+  | Cmp of cmp_op * operand * operand
+  | Select of operand * operand * operand
+  | Load of operand
+  | Store of operand * operand
+  | Prefetch of operand
+  | Work of operand
+
+type instr = { dst : reg; kind : instr_kind }
+type phi = { phi_dst : reg; incoming : (label * operand) list }
+
+type terminator =
+  | Jmp of label
+  | Br of operand * label * label
+  | Ret of operand option
+
+type block = {
+  mutable phis : phi list;
+  mutable instrs : instr array;
+  mutable term : terminator;
+}
+
+type func = {
+  fname : string;
+  params : reg list;
+  entry : label;
+  mutable blocks : block array;
+  mutable next_reg : int;
+}
+
+let no_dst = -1
+
+let fresh_reg f =
+  let r = f.next_reg in
+  f.next_reg <- r + 1;
+  r
+
+let defines i = i.dst <> no_dst
+
+let successors = function
+  | Jmp l -> [ l ]
+  | Br (_, t, f) -> if t = f then [ t ] else [ t; f ]
+  | Ret _ -> []
+
+let predecessors f label =
+  let preds = ref [] in
+  Array.iteri
+    (fun i b ->
+      if List.mem label (successors b.term) then preds := i :: !preds)
+    f.blocks;
+  List.sort compare !preds
+
+let instr_count f =
+  Array.fold_left (fun acc b -> acc + Array.length b.instrs) 0 f.blocks
+
+let map_operands g = function
+  | Binop (op, a, b) -> Binop (op, g a, g b)
+  | Cmp (op, a, b) -> Cmp (op, g a, g b)
+  | Select (c, a, b) -> Select (g c, g a, g b)
+  | Load a -> Load (g a)
+  | Store (a, v) -> Store (g a, g v)
+  | Prefetch a -> Prefetch (g a)
+  | Work n -> Work (g n)
+
+let operands = function
+  | Binop (_, a, b) | Cmp (_, a, b) | Store (a, b) -> [ a; b ]
+  | Select (c, a, b) -> [ c; a; b ]
+  | Load a | Prefetch a | Work a -> [ a ]
+
+let copy_block b =
+  { phis = b.phis; instrs = Array.copy b.instrs; term = b.term }
+
+let copy_func f =
+  {
+    fname = f.fname;
+    params = f.params;
+    entry = f.entry;
+    blocks = Array.map copy_block f.blocks;
+    next_reg = f.next_reg;
+  }

@@ -1,0 +1,95 @@
+(** A small SSA-style intermediate representation.
+
+    This plays the role LLVM IR plays in the paper: workload kernels are
+    expressed in it, the analysis passes (loop detection, induction
+    variables, load-slice extraction) run over it, and the prefetch
+    injection passes rewrite it. The timing simulator interprets it.
+
+    Design notes:
+    - values are 63-bit integers ([int]); addresses are word indices
+      into {!Aptget_mem.Memory};
+    - each block carries phi nodes, a straight-line instruction array,
+      and one terminator;
+    - instructions are addressed by a *program counter* assigned by
+      {!Layout}; PCs are what the simulated LBR and PEBS report, and
+      what profile hints are keyed by (the AutoFDO analog). *)
+
+type reg = int
+(** Virtual register index, dense from 0 within a function. *)
+
+type label = int
+(** Block index within a function. *)
+
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type operand =
+  | Reg of reg
+  | Imm of int
+
+type instr_kind =
+  | Binop of binop * operand * operand
+  | Cmp of cmp_op * operand * operand    (** result is 0 or 1 *)
+  | Select of operand * operand * operand
+      (** [Select (cond, a, b)] = if cond <> 0 then a else b *)
+  | Load of operand                      (** word address *)
+  | Store of operand * operand           (** address, value *)
+  | Prefetch of operand                  (** non-binding hint, address *)
+  | Work of operand                      (** consume N cycles of ALU work *)
+
+type instr = {
+  dst : reg;  (** -1 when the instruction produces no value *)
+  kind : instr_kind;
+}
+
+type phi = {
+  phi_dst : reg;
+  incoming : (label * operand) list;  (** value per predecessor *)
+}
+
+type terminator =
+  | Jmp of label
+  | Br of operand * label * label  (** cond <> 0 -> first target *)
+  | Ret of operand option
+
+type block = {
+  mutable phis : phi list;
+  mutable instrs : instr array;
+  mutable term : terminator;
+}
+
+type func = {
+  fname : string;
+  params : reg list;   (** registers bound to arguments on entry *)
+  entry : label;
+  mutable blocks : block array;
+  mutable next_reg : int;
+}
+
+val no_dst : reg
+(** The sentinel (-1) used as [dst] of value-less instructions. *)
+
+val fresh_reg : func -> reg
+(** Allocate a new virtual register in [f]. *)
+
+val defines : instr -> bool
+(** Whether the instruction writes a register. *)
+
+val successors : terminator -> label list
+(** Targets of a terminator (deduplicated, in order). *)
+
+val predecessors : func -> label -> label list
+(** Blocks with an edge into [label], ascending. *)
+
+val instr_count : func -> int
+(** Static instructions (phis and terminators excluded). *)
+
+val map_operands : (operand -> operand) -> instr_kind -> instr_kind
+(** Rewrite every operand of an instruction. *)
+
+val operands : instr_kind -> operand list
+(** The operands of an instruction, in syntactic order. *)
+
+val copy_func : func -> func
+(** Deep copy, so passes can transform without mutating the original. *)

@@ -1,0 +1,32 @@
+let block_stride = 1024
+let term_offset = 1000
+let pc_of_instr b i = (b * block_stride) + i
+let pc_of_term b = (b * block_stride) + term_offset
+let block_of_pc pc = pc / block_stride
+
+let slot_of_pc pc =
+  let off = pc mod block_stride in
+  if off = term_offset then `Term else `Instr off
+
+let instr_at (f : Ir.func) pc =
+  let b = block_of_pc pc in
+  if b < 0 || b >= Array.length f.Ir.blocks then None
+  else
+    match slot_of_pc pc with
+    | `Term -> None
+    | `Instr i ->
+      let blk = f.Ir.blocks.(b) in
+      if i < Array.length blk.Ir.instrs then Some blk.Ir.instrs.(i) else None
+
+let pcs_of_loads (f : Ir.func) =
+  let acc = ref [] in
+  Array.iteri
+    (fun b blk ->
+      Array.iteri
+        (fun i (instr : Ir.instr) ->
+          match instr.Ir.kind with
+          | Ir.Load _ -> acc := (pc_of_instr b i, instr) :: !acc
+          | _ -> ())
+        blk.Ir.instrs)
+    f.Ir.blocks;
+  List.rev !acc

@@ -1,0 +1,34 @@
+(** Program-counter assignment.
+
+    The simulated PMU reports PCs (LBR branch PCs, PEBS load PCs); the
+    profiler and the injection pass both need to map between PCs and IR
+    positions — the analog of AutoFDO's debug-info mapping in the paper
+    (§3.5). The layout is positional: block [b] occupies PCs
+    [b*block_stride ..]; its terminator sits at a fixed offset so branch
+    PCs are stable under instruction edits within reason. *)
+
+val block_stride : int
+(** PC distance between consecutive blocks (1024). Blocks must hold
+    fewer than [term_offset] instructions. *)
+
+val term_offset : int
+(** Offset of a block's terminator PC within its stride (1000). *)
+
+val pc_of_instr : Ir.label -> int -> int
+(** PC of the [i]th instruction of a block. *)
+
+val pc_of_term : Ir.label -> int
+(** PC of a block's terminator — the "branch PC" the LBR records. *)
+
+val block_of_pc : int -> Ir.label
+(** Block that a PC belongs to. *)
+
+val slot_of_pc : int -> [ `Instr of int | `Term ]
+(** Whether a PC addresses an instruction (with its index) or the
+    block terminator. *)
+
+val instr_at : Ir.func -> int -> Ir.instr option
+(** Instruction currently at a PC, if the PC is in range. *)
+
+val pcs_of_loads : Ir.func -> (int * Ir.instr) list
+(** Every load instruction with its PC, in layout order. *)

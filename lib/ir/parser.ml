@@ -1,0 +1,330 @@
+let ( let* ) = Result.bind
+
+let fail line what = Error (Printf.sprintf "%s in %S" what line)
+
+let operand s =
+  let s = String.trim s in
+  if s = "" then Error "empty operand"
+  else if s.[0] = '%' then begin
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some r when r >= 0 -> Ok (Ir.Reg r)
+    | _ -> Error (Printf.sprintf "bad register %S" s)
+  end
+  else begin
+    match int_of_string_opt s with
+    | Some i -> Ok (Ir.Imm i)
+    | None -> Error (Printf.sprintf "bad operand %S" s)
+  end
+
+let reg s =
+  match operand s with
+  | Ok (Ir.Reg r) -> Ok r
+  | Ok (Ir.Imm _) -> Error (Printf.sprintf "expected a register, got %S" s)
+  | Error e -> Error e
+
+let label s =
+  let s = String.trim s in
+  if String.length s >= 2 && s.[0] = 'b' then begin
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some l when l >= 0 -> Ok l
+    | _ -> Error (Printf.sprintf "bad label %S" s)
+  end
+  else Error (Printf.sprintf "bad label %S" s)
+
+let binop_of_name = function
+  | "add" -> Some Ir.Add
+  | "sub" -> Some Ir.Sub
+  | "mul" -> Some Ir.Mul
+  | "div" -> Some Ir.Div
+  | "rem" -> Some Ir.Rem
+  | "and" -> Some Ir.And
+  | "or" -> Some Ir.Or
+  | "xor" -> Some Ir.Xor
+  | "shl" -> Some Ir.Shl
+  | "shr" -> Some Ir.Shr
+  | _ -> None
+
+let cmp_of_name = function
+  | "eq" -> Some Ir.Eq
+  | "ne" -> Some Ir.Ne
+  | "lt" -> Some Ir.Lt
+  | "le" -> Some Ir.Le
+  | "gt" -> Some Ir.Gt
+  | "ge" -> Some Ir.Ge
+  | _ -> None
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let split_args s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun w -> w <> "")
+
+(* "[%3]" -> "%3" *)
+let unbracket line s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '[' && s.[n - 1] = ']' then Ok (String.sub s 1 (n - 2))
+  else fail line "expected [address]"
+
+(* Right-hand side of an instruction (after "%d = " when present). *)
+let parse_rhs line ~dst rhs =
+  let words = split_words rhs in
+  match words with
+  | [] -> fail line "empty instruction"
+  | op_name :: rest -> (
+    let rest_str = String.concat " " rest in
+    match (binop_of_name op_name, op_name) with
+    | Some op, _ -> (
+      match split_args rest_str with
+      | [ a; b ] ->
+        let* a = operand a in
+        let* b = operand b in
+        let* dst = match dst with Some d -> Ok d | None -> fail line "missing dst" in
+        Ok { Ir.dst; kind = Ir.Binop (op, a, b) }
+      | _ -> fail line "binop expects two operands")
+    | None, "icmp" -> (
+      match rest with
+      | cmp_name :: args -> (
+        match cmp_of_name cmp_name with
+        | None -> fail line "bad comparison"
+        | Some op -> (
+          match split_args (String.concat " " args) with
+          | [ a; b ] ->
+            let* a = operand a in
+            let* b = operand b in
+            let* dst =
+              match dst with Some d -> Ok d | None -> fail line "missing dst"
+            in
+            Ok { Ir.dst; kind = Ir.Cmp (op, a, b) }
+          | _ -> fail line "icmp expects two operands"))
+      | [] -> fail line "icmp expects a comparison")
+    | None, "select" -> (
+      match split_args rest_str with
+      | [ c; a; b ] ->
+        let* c = operand c in
+        let* a = operand a in
+        let* b = operand b in
+        let* dst = match dst with Some d -> Ok d | None -> fail line "missing dst" in
+        Ok { Ir.dst; kind = Ir.Select (c, a, b) }
+      | _ -> fail line "select expects three operands")
+    | None, "load" ->
+      let* inner = unbracket line rest_str in
+      let* a = operand inner in
+      let* dst = match dst with Some d -> Ok d | None -> fail line "missing dst" in
+      Ok { Ir.dst; kind = Ir.Load a }
+    | None, "store" -> (
+      match split_args rest_str with
+      | [ addr; v ] ->
+        let* inner = unbracket line addr in
+        let* a = operand inner in
+        let* v = operand v in
+        Ok { Ir.dst = Ir.no_dst; kind = Ir.Store (a, v) }
+      | _ -> fail line "store expects [addr], value")
+    | None, "prefetch" ->
+      let* inner = unbracket line rest_str in
+      let* a = operand inner in
+      Ok { Ir.dst = Ir.no_dst; kind = Ir.Prefetch a }
+    | None, "work" ->
+      let* n = operand rest_str in
+      Ok { Ir.dst = Ir.no_dst; kind = Ir.Work n }
+    | None, _ -> fail line "unknown instruction")
+
+let parse_term line words =
+  match words with
+  | [ "jmp"; l ] ->
+    let* l = label l in
+    Ok (Ir.Jmp l)
+  | "br" :: rest -> (
+    match split_args (String.concat " " rest) with
+    | [ c; t; e ] ->
+      let* c = operand c in
+      let* t = label t in
+      let* e = label e in
+      Ok (Ir.Br (c, t, e))
+    | _ -> fail line "br expects cond, b<t>, b<f>")
+  | [ "ret" ] -> Ok (Ir.Ret None)
+  | [ "ret"; v ] ->
+    let* v = operand v in
+    Ok (Ir.Ret (Some v))
+  | _ -> fail line "bad terminator"
+
+(* "%5 = phi [b0: 0] [b2: %7]" after the dst split. *)
+let parse_phi line ~dst rest =
+  let rec edges acc s =
+    let s = String.trim s in
+    if s = "" then Ok (List.rev acc)
+    else if s.[0] = '[' then begin
+      match String.index_opt s ']' with
+      | None -> fail line "unterminated phi edge"
+      | Some close -> (
+        let body = String.sub s 1 (close - 1) in
+        let rest = String.sub s (close + 1) (String.length s - close - 1) in
+        match String.index_opt body ':' with
+        | None -> fail line "phi edge needs b<label>: value"
+        | Some colon ->
+          let* l = label (String.sub body 0 colon) in
+          let* v =
+            operand (String.sub body (colon + 1) (String.length body - colon - 1))
+          in
+          edges ((l, v) :: acc) rest)
+    end
+    else fail line "expected phi edge"
+  in
+  let* incoming = edges [] rest in
+  Ok { Ir.phi_dst = dst; incoming }
+
+type line_kind =
+  | Lfunc of string * Ir.reg list
+  | Lblock of Ir.label
+  | Lphi of Ir.phi
+  | Linstr of Ir.instr
+  | Lterm of Ir.terminator
+
+let classify line =
+  let t = String.trim line in
+  if t = "" then Ok None
+  else if String.length t > 5 && String.sub t 0 5 = "func " then begin
+    match (String.index_opt t '(', String.index_opt t ')') with
+    | Some o, Some c when c > o ->
+      let name = String.trim (String.sub t 5 (o - 5)) in
+      let params_str = String.sub t (o + 1) (c - o - 1) in
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+          match reg p with Ok r -> collect (r :: acc) rest | Error e -> Error e)
+      in
+      let* params = collect [] (split_args params_str) in
+      Ok (Some (Lfunc (name, params)))
+    | _ -> fail line "bad func header"
+  end
+  else if t.[0] = 'b' && t.[String.length t - 1] = ':' then begin
+    let* l = label (String.sub t 0 (String.length t - 1)) in
+    Ok (Some (Lblock l))
+  end
+  else begin
+    (* Strip a leading program counter if present. *)
+    let words = split_words t in
+    let words =
+      match words with
+      | w :: rest when int_of_string_opt w <> None -> rest
+      | ws -> ws
+    in
+    let t = String.concat " " words in
+    match words with
+    | [] -> Ok None
+    | first :: _ when first = "jmp" || first = "br" || first = "ret" ->
+      let* term = parse_term t words in
+      Ok (Some (Lterm term))
+    | first :: "=" :: rhs when String.length first > 1 && first.[0] = '%' -> (
+      let* dst = reg first in
+      match rhs with
+      | "phi" :: rest ->
+        let* p = parse_phi t ~dst (String.concat " " rest) in
+        Ok (Some (Lphi p))
+      | _ ->
+        let* i = parse_rhs t ~dst:(Some dst) (String.concat " " rhs) in
+        Ok (Some (Linstr i)))
+    | _ ->
+      let* i = parse_rhs t ~dst:None t in
+      Ok (Some (Linstr i))
+  end
+
+type proto = {
+  mutable phis : Ir.phi list;
+  mutable instrs : Ir.instr list;
+  mutable term : Ir.terminator option;
+}
+
+let func text =
+  let lines = String.split_on_char '\n' text in
+  let name = ref None in
+  let params = ref [] in
+  let blocks : proto list ref = ref [] in
+  let current : proto option ref = ref None in
+  let err = ref None in
+  List.iter
+    (fun line ->
+      if !err = None then begin
+        match classify line with
+        | Error e -> err := Some e
+        | Ok None -> ()
+        | Ok (Some (Lfunc (n, ps))) ->
+          name := Some n;
+          params := ps
+        | Ok (Some (Lblock l)) ->
+          if l <> List.length !blocks then
+            err := Some (Printf.sprintf "expected b%d, got b%d" (List.length !blocks) l)
+          else begin
+            let p = { phis = []; instrs = []; term = None } in
+            blocks := !blocks @ [ p ];
+            current := Some p
+          end
+        | Ok (Some item) -> (
+          match !current with
+          | None -> err := Some "instruction before the first block"
+          | Some p -> (
+            match item with
+            | Lphi phi -> p.phis <- p.phis @ [ phi ]
+            | Linstr i ->
+              if p.term <> None then err := Some "instruction after terminator"
+              else p.instrs <- p.instrs @ [ i ]
+            | Lterm term ->
+              if p.term <> None then err := Some "second terminator"
+              else p.term <- Some term
+            | Lfunc _ | Lblock _ -> assert false))
+      end)
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None -> (
+    match !name with
+    | None -> Error "missing func header"
+    | Some fname ->
+      let rec build acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+          match p.term with
+          | None -> Error "block without terminator"
+          | Some term ->
+            build
+              ({ Ir.phis = p.phis; instrs = Array.of_list p.instrs; term } :: acc)
+              rest)
+      in
+      let* block_list = build [] !blocks in
+      if block_list = [] then Error "function has no blocks"
+      else begin
+        let max_reg = ref (-1) in
+        let note = function Ir.Reg r -> if r > !max_reg then max_reg := r | Ir.Imm _ -> () in
+        List.iter (fun r -> note (Ir.Reg r)) !params;
+        List.iter
+          (fun (b : Ir.block) ->
+            List.iter
+              (fun (p : Ir.phi) ->
+                note (Ir.Reg p.Ir.phi_dst);
+                List.iter (fun (_, v) -> note v) p.Ir.incoming)
+              b.Ir.phis;
+            Array.iter
+              (fun (i : Ir.instr) ->
+                if Ir.defines i then note (Ir.Reg i.Ir.dst);
+                List.iter note (Ir.operands i.Ir.kind))
+              b.Ir.instrs;
+            match b.Ir.term with
+            | Ir.Br (c, _, _) -> note c
+            | Ir.Ret (Some v) -> note v
+            | Ir.Jmp _ | Ir.Ret None -> ())
+          block_list;
+        let f =
+          {
+            Ir.fname;
+            params = !params;
+            entry = 0;
+            blocks = Array.of_list block_list;
+            next_reg = !max_reg + 1;
+          }
+        in
+        match Verify.check f with Ok () -> Ok f | Error e -> Error e
+      end)
+
+let func_exn text =
+  match func text with Ok f -> f | Error e -> invalid_arg ("Parser.func: " ^ e)

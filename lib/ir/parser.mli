@@ -1,0 +1,17 @@
+(** Parser for the textual IR format emitted by {!Printer}.
+
+    Round-trips [Printer.func_to_string]: leading program counters are
+    ignored (they are re-derived positionally by {!Layout}), block
+    labels must be dense ([b0..bN] in order), and the parsed function
+    is verified before being returned. This gives the repo the usual
+    compiler affordance of writing kernels and golden tests as text. *)
+
+val operand : string -> (Ir.operand, string) result
+(** ["%3"] or an integer literal. *)
+
+val func : string -> (Ir.func, string) result
+(** Parse a whole function. The error string carries the offending
+    line. The result satisfies {!Verify.check}. *)
+
+val func_exn : string -> Ir.func
+(** @raise Invalid_argument on parse or verification errors. *)

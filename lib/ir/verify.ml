@@ -1,0 +1,89 @@
+type error = { where : string; what : string }
+
+let errors (f : Ir.func) =
+  let errs = ref [] in
+  let err where what = errs := { where; what } :: !errs in
+  let nblocks = Array.length f.Ir.blocks in
+  let defined = Array.make (max 1 f.Ir.next_reg) 0 in
+  let note_def where r =
+    if r < 0 || r >= f.Ir.next_reg then
+      err where (Printf.sprintf "register %%%d out of range" r)
+    else begin
+      defined.(r) <- defined.(r) + 1;
+      if defined.(r) > 1 then
+        err where (Printf.sprintf "register %%%d defined more than once" r)
+    end
+  in
+  List.iter (fun r -> note_def "params" r) f.Ir.params;
+  (* Definitions. *)
+  Array.iteri
+    (fun bi (b : Ir.block) ->
+      List.iter
+        (fun (p : Ir.phi) ->
+          note_def (Printf.sprintf "b%d/phi %%%d" bi p.Ir.phi_dst) p.Ir.phi_dst)
+        b.Ir.phis;
+      Array.iteri
+        (fun ii (i : Ir.instr) ->
+          if Ir.defines i then note_def (Printf.sprintf "b%d/i%d" bi ii) i.Ir.dst)
+        b.Ir.instrs)
+    f.Ir.blocks;
+  (* Uses, targets, phi well-formedness, block size. *)
+  let check_use where = function
+    | Ir.Imm _ -> ()
+    | Ir.Reg r ->
+      if r < 0 || r >= f.Ir.next_reg || defined.(r) = 0 then
+        err where (Printf.sprintf "use of undefined register %%%d" r)
+  in
+  let check_target where l =
+    if l < 0 || l >= nblocks then err where (Printf.sprintf "branch to b%d out of range" l)
+  in
+  if f.Ir.entry <> 0 then err "func" "entry must be block 0";
+  Array.iteri
+    (fun bi (b : Ir.block) ->
+      if Array.length b.Ir.instrs >= Layout.term_offset then
+        err (Printf.sprintf "b%d" bi) "block too large for PC layout";
+      let preds = Ir.predecessors f bi in
+      if bi = f.Ir.entry && b.Ir.phis <> [] then
+        err (Printf.sprintf "b%d" bi) "entry block must not contain phis";
+      List.iter
+        (fun (p : Ir.phi) ->
+          let where = Printf.sprintf "b%d/phi %%%d" bi p.Ir.phi_dst in
+          let labels = List.map fst p.Ir.incoming in
+          let sorted = List.sort compare labels in
+          if sorted <> preds then
+            err where
+              (Printf.sprintf "incoming labels {%s} do not match predecessors {%s}"
+                 (String.concat "," (List.map string_of_int sorted))
+                 (String.concat "," (List.map string_of_int preds)));
+          List.iter (fun (_, v) -> check_use where v) p.Ir.incoming)
+        b.Ir.phis;
+      Array.iteri
+        (fun ii (i : Ir.instr) ->
+          let where = Printf.sprintf "b%d/i%d" bi ii in
+          List.iter (check_use where) (Ir.operands i.Ir.kind))
+        b.Ir.instrs;
+      let where = Printf.sprintf "b%d/term" bi in
+      (match b.Ir.term with
+      | Ir.Jmp l -> check_target where l
+      | Ir.Br (c, t, e) ->
+        check_use where c;
+        check_target where t;
+        check_target where e
+      | Ir.Ret (Some v) -> check_use where v
+      | Ir.Ret None -> ()))
+    f.Ir.blocks;
+  List.rev !errs
+
+let check f =
+  match errors f with
+  | [] -> Ok ()
+  | errs ->
+    let lines =
+      List.map (fun e -> Printf.sprintf "  %s: %s" e.where e.what) errs
+    in
+    Error
+      (Printf.sprintf "IR verification failed for %s:\n%s" f.Ir.fname
+         (String.concat "\n" lines))
+
+let check_exn f =
+  match check f with Ok () -> () | Error msg -> invalid_arg msg

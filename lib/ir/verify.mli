@@ -1,0 +1,25 @@
+(** Structural well-formedness checks for IR functions.
+
+    Run by tests and by the injection passes after rewriting, in the
+    spirit of LLVM's verifier: a pass that produces ill-formed IR is a
+    bug we want to catch at the source. *)
+
+type error = {
+  where : string;  (** "b3/i7", "b2/phi %5", "b1/term" *)
+  what : string;
+}
+
+val errors : Ir.func -> error list
+(** All violations found:
+    - branch / jump targets in range;
+    - every used register defined (by a param, phi, or instruction);
+    - registers defined at most once (SSA);
+    - phi incoming labels are exactly the block's predecessors;
+    - block instruction counts below {!Layout.term_offset};
+    - entry block has no phis. *)
+
+val check : Ir.func -> (unit, string) result
+(** [Ok ()] or a rendered multi-line error report. *)
+
+val check_exn : Ir.func -> unit
+(** Raises [Invalid_argument] with the report on failure. *)

@@ -1,0 +1,362 @@
+module Memory = Aptget_mem.Memory
+module Hierarchy = Aptget_cache.Hierarchy
+module Sampler = Aptget_pmu.Sampler
+module Lbr = Aptget_pmu.Lbr
+
+type core_model = Blocking | Stall_on_use of { window : int }
+
+type config = {
+  hierarchy : Hierarchy.config;
+  max_instructions : int;
+  core : core_model;
+}
+
+let default_config =
+  {
+    hierarchy = Hierarchy.default_config;
+    max_instructions = 2_000_000_000;
+    core = Blocking;
+  }
+
+let stall_on_use_config ?(window = 64) () =
+  { default_config with core = Stall_on_use { window } }
+
+type outcome = {
+  cycles : int;
+  instructions : int;
+  dyn_loads : int;
+  dyn_prefetches : int;
+  ret : int option;
+  counters : Hierarchy.counters;
+}
+
+let ipc o =
+  if o.cycles = 0 then 0. else float_of_int o.instructions /. float_of_int o.cycles
+
+let mpki o =
+  if o.instructions = 0 then 0.
+  else
+    float_of_int o.counters.Hierarchy.offcore_demand_data_rd
+    *. 1000.
+    /. float_of_int o.instructions
+
+let memory_stall_fraction o =
+  if o.cycles = 0 then 0.
+  else
+    float_of_int
+      (o.counters.Hierarchy.stall_cycles_llc + o.counters.Hierarchy.stall_cycles_dram)
+    /. float_of_int o.cycles
+
+exception Fuse_blown of int
+
+(* Shared value semantics. *)
+let eval_binop op a b =
+  match op with
+  | Ir.Add -> a + b
+  | Ir.Sub -> a - b
+  | Ir.Mul -> a * b
+  | Ir.Div -> if b = 0 then 0 else a / b
+  | Ir.Rem -> if b = 0 then 0 else a mod b
+  | Ir.And -> a land b
+  | Ir.Or -> a lor b
+  | Ir.Xor -> a lxor b
+  | Ir.Shl -> a lsl (b land 62)
+  | Ir.Shr -> a asr (b land 62)
+
+let eval_cmp op a b =
+  let v =
+    match op with
+    | Ir.Eq -> a = b
+    | Ir.Ne -> a <> b
+    | Ir.Lt -> a < b
+    | Ir.Le -> a <= b
+    | Ir.Gt -> a > b
+    | Ir.Ge -> a >= b
+  in
+  if v then 1 else 0
+
+type state = {
+  mutable cycle : int;
+  mutable instrs : int;
+  mutable loads : int;
+  mutable prefetches : int;
+}
+
+let bind_params (f : Ir.func) regs args =
+  List.iteri
+    (fun i r -> if i < List.length args then regs.(r) <- List.nth args i)
+    f.Ir.params
+
+let eval_phis (f : Ir.func) regs eval ~cur ~prev =
+  let blk = f.Ir.blocks.(cur) in
+  match blk.Ir.phis with
+  | [] -> ()
+  | phis ->
+    (* Parallel evaluation: read all incoming values before writing. *)
+    let values =
+      List.map
+        (fun (p : Ir.phi) ->
+          match List.assoc_opt prev p.Ir.incoming with
+          | Some v -> (p.Ir.phi_dst, eval v)
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Machine: phi %%%d in b%d has no edge from b%d"
+                 p.Ir.phi_dst cur prev))
+        phis
+    in
+    List.iter (fun (r, v) -> regs.(r) <- v) values
+
+(* ------------------------------------------------------------------ *)
+(* Blocking core: a demand load stalls until its data is available.    *)
+(* ------------------------------------------------------------------ *)
+
+let execute_blocking ~config ~hier ~sampler ~mem ~regs (f : Ir.func) =
+  let eval = function Ir.Reg r -> regs.(r) | Ir.Imm i -> i in
+  let st = { cycle = 0; instrs = 0; loads = 0; prefetches = 0 } in
+  let l1_lat = (Hierarchy.config hier).Hierarchy.l1_latency in
+  let tick_sampler () =
+    match sampler with
+    | Some s -> Sampler.on_cycle s ~cycle:st.cycle
+    | None -> ()
+  in
+  let charge n_instr n_cycles =
+    st.instrs <- st.instrs + n_instr;
+    st.cycle <- st.cycle + n_cycles;
+    if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
+    tick_sampler ()
+  in
+  let run_block cur prev =
+    let blk = f.Ir.blocks.(cur) in
+    eval_phis f regs eval ~cur ~prev;
+    let n = Array.length blk.Ir.instrs in
+    for ii = 0 to n - 1 do
+      let i = blk.Ir.instrs.(ii) in
+      match i.Ir.kind with
+      | Ir.Binop (op, a, b) ->
+        regs.(i.Ir.dst) <- eval_binop op (eval a) (eval b);
+        charge 1 1
+      | Ir.Cmp (op, a, b) ->
+        regs.(i.Ir.dst) <- eval_cmp op (eval a) (eval b);
+        charge 1 1
+      | Ir.Select (c, a, b) ->
+        regs.(i.Ir.dst) <- (if eval c <> 0 then eval a else eval b);
+        charge 1 1
+      | Ir.Load a ->
+        let addr = eval a in
+        let pc = Layout.pc_of_instr cur ii in
+        let access = Hierarchy.demand_load hier ~pc ~addr ~cycle:st.cycle in
+        regs.(i.Ir.dst) <- Memory.get mem addr;
+        st.loads <- st.loads + 1;
+        (match sampler with
+        | Some s when access.Hierarchy.served_from = Hierarchy.Dram ->
+          Sampler.on_llc_miss s ~load_pc:pc
+        | _ -> ());
+        (* L1 hits are pipelined: 1 cycle. Anything deeper stalls the
+           in-order core for the extra latency. *)
+        charge 1 (1 + max 0 (access.Hierarchy.latency - l1_lat))
+      | Ir.Store (a, v) ->
+        Memory.set mem (eval a) (eval v);
+        charge 1 1
+      | Ir.Prefetch a ->
+        let addr = eval a in
+        if addr >= 0 then Hierarchy.sw_prefetch hier ~addr ~cycle:st.cycle;
+        st.prefetches <- st.prefetches + 1;
+        charge 1 1
+      | Ir.Work n ->
+        let n = max 0 (eval n) in
+        charge n n
+    done;
+    let record_branch target =
+      (match sampler with
+      | Some s ->
+        Lbr.record (Sampler.lbr s) ~branch_pc:(Layout.pc_of_term cur)
+          ~target_pc:(Layout.pc_of_instr target 0) ~cycle:st.cycle
+      | None -> ());
+      charge 1 1
+    in
+    match blk.Ir.term with
+    | Ir.Jmp l ->
+      record_branch l;
+      `Goto l
+    | Ir.Br (c, t, e) ->
+      let target = if eval c <> 0 then t else e in
+      record_branch target;
+      `Goto target
+    | Ir.Ret v ->
+      charge 1 1;
+      `Done (Option.map eval v)
+  in
+  let rec loop cur prev =
+    match run_block cur prev with
+    | `Goto next -> loop next cur
+    | `Done v -> v
+  in
+  let ret = loop f.Ir.entry (-1) in
+  (st, ret)
+
+(* ------------------------------------------------------------------ *)
+(* Stall-on-use core: loads complete in the background; the core       *)
+(* stalls only when a not-yet-ready register is consumed, bounded by a *)
+(* reorder window.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window (f : Ir.func) =
+  let eval = function Ir.Reg r -> regs.(r) | Ir.Imm i -> i in
+  let ready = Array.make (Array.length regs) 0 in
+  let st = { cycle = 0; instrs = 0; loads = 0; prefetches = 0 } in
+  let l1_lat = (Hierarchy.config hier).Hierarchy.l1_latency in
+  (* Ring of completion times of the last [window] instructions. *)
+  let rob = Array.make (max 1 window) 0 in
+  let rob_idx = ref 0 in
+  let tick_sampler () =
+    match sampler with
+    | Some s -> Sampler.on_cycle s ~cycle:st.cycle
+    | None -> ()
+  in
+  let issue ?(n = 1) () =
+    (* In-order issue at one instruction per cycle, gated by the oldest
+       in-flight instruction leaving the window. *)
+    st.instrs <- st.instrs + n;
+    st.cycle <- max (st.cycle + n) rob.(!rob_idx);
+    if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
+    tick_sampler ()
+  in
+  let retire completion =
+    rob.(!rob_idx) <- completion;
+    rob_idx := (!rob_idx + 1) mod Array.length rob
+  in
+  let op_ready = function Ir.Reg r -> ready.(r) | Ir.Imm _ -> 0 in
+  let ops_ready ops = List.fold_left (fun m o -> max m (op_ready o)) 0 ops in
+  let wait_for ops = st.cycle <- max st.cycle (ops_ready ops) in
+  let run_block cur prev =
+    let blk = f.Ir.blocks.(cur) in
+    (* Phi values inherit the readiness of the taken edge's source, so
+       a loop-carried dependence (e.g. a pointer chase) serialises
+       correctly. Parallel evaluation as in the blocking core. *)
+    (match blk.Ir.phis with
+    | [] -> ()
+    | phis ->
+      let values =
+        List.map
+          (fun (p : Ir.phi) ->
+            match List.assoc_opt prev p.Ir.incoming with
+            | Some v -> (p.Ir.phi_dst, eval v, op_ready v)
+            | None ->
+              invalid_arg
+                (Printf.sprintf "Machine: phi %%%d in b%d has no edge from b%d"
+                   p.Ir.phi_dst cur prev))
+          phis
+      in
+      List.iter
+        (fun (r, v, rdy) ->
+          regs.(r) <- v;
+          ready.(r) <- rdy)
+        values);
+    let n = Array.length blk.Ir.instrs in
+    for ii = 0 to n - 1 do
+      let i = blk.Ir.instrs.(ii) in
+      match i.Ir.kind with
+      | Ir.Binop (op, a, b) ->
+        issue ();
+        let start = max st.cycle (ops_ready [ a; b ]) in
+        regs.(i.Ir.dst) <- eval_binop op (eval a) (eval b);
+        ready.(i.Ir.dst) <- start + 1;
+        retire (start + 1)
+      | Ir.Cmp (op, a, b) ->
+        issue ();
+        let start = max st.cycle (ops_ready [ a; b ]) in
+        regs.(i.Ir.dst) <- eval_cmp op (eval a) (eval b);
+        ready.(i.Ir.dst) <- start + 1;
+        retire (start + 1)
+      | Ir.Select (c, a, b) ->
+        issue ();
+        let start = max st.cycle (ops_ready [ c; a; b ]) in
+        regs.(i.Ir.dst) <- (if eval c <> 0 then eval a else eval b);
+        ready.(i.Ir.dst) <- start + 1;
+        retire (start + 1)
+      | Ir.Load a ->
+        issue ();
+        let start = max st.cycle (op_ready a) in
+        let addr = eval a in
+        let pc = Layout.pc_of_instr cur ii in
+        let access = Hierarchy.demand_load hier ~pc ~addr ~cycle:start in
+        regs.(i.Ir.dst) <- Memory.get mem addr;
+        st.loads <- st.loads + 1;
+        (match sampler with
+        | Some s when access.Hierarchy.served_from = Hierarchy.Dram ->
+          Sampler.on_llc_miss s ~load_pc:pc
+        | _ -> ());
+        let completion = start + 1 + max 0 (access.Hierarchy.latency - l1_lat) in
+        ready.(i.Ir.dst) <- completion;
+        retire completion
+      | Ir.Store (a, v) ->
+        issue ();
+        (* Stores drain through the store buffer; the written value's
+           readiness is irrelevant to timing. *)
+        Memory.set mem (eval a) (eval v);
+        retire (st.cycle + 1)
+      | Ir.Prefetch a ->
+        issue ();
+        let start = max st.cycle (op_ready a) in
+        let addr = eval a in
+        if addr >= 0 then Hierarchy.sw_prefetch hier ~addr ~cycle:start;
+        st.prefetches <- st.prefetches + 1;
+        retire (start + 1)
+      | Ir.Work n ->
+        let n = max 0 (eval n) in
+        if n > 0 then issue ~n ();
+        retire st.cycle
+    done;
+    let record_branch ~cond target =
+      issue ();
+      (* No speculation: the branch resolves before the next block. *)
+      wait_for cond;
+      retire (st.cycle + 1);
+      (match sampler with
+      | Some s ->
+        Lbr.record (Sampler.lbr s) ~branch_pc:(Layout.pc_of_term cur)
+          ~target_pc:(Layout.pc_of_instr target 0) ~cycle:st.cycle
+      | None -> ())
+    in
+    match blk.Ir.term with
+    | Ir.Jmp l ->
+      record_branch ~cond:[] l;
+      `Goto l
+    | Ir.Br (c, t, e) ->
+      let target = if eval c <> 0 then t else e in
+      record_branch ~cond:[ c ] target;
+      `Goto target
+    | Ir.Ret v ->
+      issue ();
+      (match v with Some o -> wait_for [ o ] | None -> ());
+      `Done (Option.map eval v)
+  in
+  let rec loop cur prev =
+    match run_block cur prev with
+    | `Goto next -> loop next cur
+    | `Done v -> v
+  in
+  let ret = loop f.Ir.entry (-1) in
+  (st, ret)
+
+let execute ?(config = default_config) ?hierarchy ?sampler ?(args = [])
+    ~mem (f : Ir.func) =
+  let hier =
+    match hierarchy with Some h -> h | None -> Hierarchy.create config.hierarchy
+  in
+  let regs = Array.make (max 1 f.Ir.next_reg) 0 in
+  bind_params f regs args;
+  let st, ret =
+    match config.core with
+    | Blocking -> execute_blocking ~config ~hier ~sampler ~mem ~regs f
+    | Stall_on_use { window } ->
+      execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window f
+  in
+  {
+    cycles = st.cycle;
+    instructions = st.instrs;
+    dyn_loads = st.loads;
+    dyn_prefetches = st.prefetches;
+    ret;
+    counters = Hierarchy.counters hier;
+  }

@@ -1,0 +1,84 @@
+(** Timing interpreter for IR functions (in-order issue; blocking or stall-on-use completion).
+
+    Executes a kernel over a {!Aptget_mem.Memory}, charging cycles
+    against a {!Aptget_cache.Hierarchy} and feeding the simulated PMU:
+    every executed terminator is recorded into the LBR as a taken
+    branch (with its layout PC, target PC and cycle stamp), and demand
+    loads served by DRAM are subsampled into the PEBS delinquent-load
+    table.
+
+    Two core models are available:
+
+    - {!Blocking} (default): a demand load stalls the core until its
+      data arrives. Simple and deterministic; memory-level parallelism
+      exists only through prefetching — this is the model used for the
+      paper-reproduction numbers.
+    - {!Stall_on_use}: loads complete in the background and the core
+      only stalls when a not-yet-ready register is *used* (or at a
+      branch), bounded by a reorder-window of in-flight instructions —
+      a first-order stand-in for the paper's out-of-order Xeon. The
+      core-model ablation in the bench shows the paper's shapes
+      survive it.
+
+    Shared cost model:
+    - ALU / compare / select / store / prefetch / branch: 1 cycle each
+      (stores retire through an idealised store buffer and do not
+      interact with the cache model);
+    - [Work n]: n cycles and n instructions (a stand-in for the
+      microbenchmark's work function);
+    - loads: 1 issue cycle when L1-resident; deeper hits and misses add
+      their level's latency — blocking the core or merely delaying the
+      destination register, depending on the core model. Software
+      prefetches never block. *)
+
+type core_model =
+  | Blocking
+  | Stall_on_use of { window : int }
+      (** [window] bounds in-flight instructions (a ROB stand-in). *)
+
+type config = {
+  hierarchy : Aptget_cache.Hierarchy.config;
+  max_instructions : int;  (** fuse against runaway kernels *)
+  core : core_model;
+}
+
+val default_config : config
+(** Blocking core, default hierarchy, 2e9-instruction fuse. *)
+
+val stall_on_use_config : ?window:int -> unit -> config
+(** [default_config] with a stall-on-use core (window default 64). *)
+
+type outcome = {
+  cycles : int;
+  instructions : int;
+  dyn_loads : int;
+  dyn_prefetches : int;
+  ret : int option;
+  counters : Aptget_cache.Hierarchy.counters;
+}
+
+val ipc : outcome -> float
+val mpki : outcome -> float
+(** LLC misses per kilo-instruction, from
+    [offcore_requests.demand_data_rd] as in the paper (Fig. 7). *)
+
+val memory_stall_fraction : outcome -> float
+(** Fraction of cycles attributable to L3/DRAM latency (Fig. 5).
+    Meaningful for the blocking core; under [Stall_on_use] overlapped
+    latencies can push it past 1. *)
+
+exception Fuse_blown of int
+(** Raised when [max_instructions] is exceeded. *)
+
+val execute :
+  ?config:config ->
+  ?hierarchy:Aptget_cache.Hierarchy.t ->
+  ?sampler:Aptget_pmu.Sampler.t ->
+  ?args:int list ->
+  mem:Aptget_mem.Memory.t ->
+  Ir.func ->
+  outcome
+(** Run [f] to its [Ret]. A supplied [hierarchy] is used as-is (warm
+    caches; counters are NOT reset) — otherwise a fresh one is built
+    from [config]. [args] bind the function parameters (default all 0).
+    Raises [Invalid_argument] on malformed IR and memory errors. *)

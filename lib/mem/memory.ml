@@ -1,0 +1,59 @@
+type region = { name : string; base : int; words : int }
+
+type t = {
+  mutable data : int array;
+  mutable next : int;
+  mutable regions : region list; (* reversed *)
+}
+
+let words_per_line = 8
+
+let create ?(capacity_words = 1 lsl 20) () =
+  { data = Array.make capacity_words 0; next = 0; regions = [] }
+
+let ensure t needed =
+  let cap = Array.length t.data in
+  if needed > cap then begin
+    let new_cap = max needed (cap * 2) in
+    let fresh = Array.make new_cap 0 in
+    Array.blit t.data 0 fresh 0 t.next;
+    t.data <- fresh
+  end
+
+let align_up v a = (v + a - 1) / a * a
+
+let alloc t ~name ~words =
+  if words < 0 then invalid_arg "Memory.alloc: negative size";
+  let base = align_up t.next words_per_line in
+  let words_alloc = max words 1 in
+  ensure t (base + words_alloc);
+  Array.fill t.data base words_alloc 0;
+  t.next <- base + words_alloc;
+  let r = { name; base; words = words_alloc } in
+  t.regions <- r :: t.regions;
+  r
+
+let size_words t = t.next
+
+let get t addr =
+  if addr < 0 || addr >= t.next then
+    invalid_arg (Printf.sprintf "Memory.get: address %d out of bounds" addr);
+  t.data.(addr)
+
+let set t addr v =
+  if addr < 0 || addr >= t.next then
+    invalid_arg (Printf.sprintf "Memory.set: address %d out of bounds" addr);
+  t.data.(addr) <- v
+
+let blit_array t r a =
+  if Array.length a > r.words then invalid_arg "Memory.blit_array: too large";
+  Array.blit a 0 t.data r.base (Array.length a)
+
+let read_array t r = Array.sub t.data r.base r.words
+let line_of_addr addr = addr / words_per_line
+let regions t = List.rev t.regions
+
+let find_region t addr =
+  List.find_opt
+    (fun r -> addr >= r.base && addr < r.base + r.words)
+    (regions t)

@@ -1,0 +1,44 @@
+type report = {
+  injected : Inject.injected list;
+  skipped : (int * string) list;
+}
+
+let default_distance = 32
+
+let candidate_loads (f : Ir.func) =
+  let loops = Loops.analyze f in
+  List.filter_map
+    (fun (pc, _) ->
+      let bi = Layout.block_of_pc pc in
+      match Layout.slot_of_pc pc with
+      | `Term -> None
+      | `Instr ii -> (
+        match Loops.loop_containing loops bi with
+        | None -> None
+        | Some li -> (
+          match loops.(li).Loops.indvar with
+          | None -> None
+          | Some iv -> (
+            match Slice.extract f ~block:bi ~index:ii with
+            | None -> None
+            | Some s ->
+              if Slice.is_indirect s && Slice.depends_on_phi s iv.Loops.iv_reg
+              then Some pc
+              else None))))
+    (Layout.pcs_of_loads f)
+
+let run ?(distance = default_distance) (f : Ir.func) =
+  let candidates = candidate_loads f in
+  (* Descending PC order keeps earlier candidates' positions valid while
+     later (higher-PC) ones splice instructions in front of themselves. *)
+  let candidates = List.sort (fun a b -> compare b a) candidates in
+  List.fold_left
+    (fun report pc ->
+      match
+        Inject.inject f
+          { Inject.load_pc = pc; distance; site = Inject.Inner; sweep = 1 }
+      with
+      | Ok inj -> { report with injected = inj :: report.injected }
+      | Error e -> { report with skipped = (pc, e) :: report.skipped })
+    { injected = []; skipped = [] }
+    candidates

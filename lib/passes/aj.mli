@@ -1,0 +1,25 @@
+(** The Ainsworth & Jones (CGO'17) static software-prefetching pass —
+    the paper's baseline.
+
+    Statically finds every *indirect* load inside a loop (a load whose
+    address slice contains another load and depends on the loop's
+    induction variable), and injects its prefetch slice into the inner
+    loop with one global, compile-time prefetch distance — the
+    [-DFETCHDIST] flag of §2.1. No profile, no timeliness reasoning,
+    no outer-loop injection. *)
+
+type report = {
+  injected : Inject.injected list;
+  skipped : (int * string) list;  (** (load PC, reason) *)
+}
+
+val default_distance : int
+(** 32, a typical static choice. *)
+
+val candidate_loads : Ir.func -> int list
+(** PCs of the loads the pass would target: indirect loads in loops
+    whose address depends on the loop induction variable. *)
+
+val run : ?distance:int -> Ir.func -> report
+(** Transform [f] in place, injecting an inner-loop prefetch for every
+    candidate load with the given static distance. *)

@@ -1,0 +1,60 @@
+type hint = {
+  load_pc : int;
+  distance : int;
+  site : Inject.site;
+  sweep : int;
+}
+
+type report = {
+  injected : Inject.injected list;
+  skipped : (int * string) list;
+  fellback : bool;
+}
+
+let dedup hints =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun h ->
+      if Hashtbl.mem seen h.load_pc then false
+      else begin
+        Hashtbl.add seen h.load_pc ();
+        true
+      end)
+    hints
+
+let run ?(fallback_distance = Aj.default_distance) (f : Ir.func) ~hints =
+  match hints with
+  | [] ->
+    let r = Aj.run ~distance:fallback_distance f in
+    { injected = r.Aj.injected; skipped = r.Aj.skipped; fellback = true }
+  | _ :: _ ->
+    let hints =
+      dedup hints |> List.sort (fun a b -> compare b.load_pc a.load_pc)
+    in
+    List.fold_left
+      (fun report h ->
+        let spec =
+          {
+            Inject.load_pc = h.load_pc;
+            distance = h.distance;
+            site = h.site;
+            sweep = h.sweep;
+          }
+        in
+        match Inject.inject f spec with
+        | Ok inj -> { report with injected = inj :: report.injected }
+        | Error _ when h.site = Inject.Outer -> (
+          (* An outer-site hint that cannot be realised (e.g. the outer
+             loop has a data-dependent induction update, as in DFS)
+             degrades to an inner-loop prefetch at the §3.6 default
+             distance — the profiled distance exceeds the inner trip
+             count, so reusing it would only add overhead. *)
+          match
+            Inject.inject f
+              { spec with Inject.site = Inject.Inner; sweep = 1; distance = 1 }
+          with
+          | Ok inj -> { report with injected = inj :: report.injected }
+          | Error e -> { report with skipped = (h.load_pc, e) :: report.skipped })
+        | Error e -> { report with skipped = (h.load_pc, e) :: report.skipped })
+      { injected = []; skipped = []; fellback = false }
+      hints

@@ -1,0 +1,26 @@
+(** The APT-GET profile-guided injection pass (paper Algorithm 2).
+
+    Consumes per-load hints computed by the profiler
+    ({!Aptget_profile}): each delinquent load PC carries its own
+    prefetch distance and injection site. Loads without hints are left
+    alone (they were not delinquent); if the whole hint list is empty
+    — "no samples found" in Algorithm 2, lines 35–38 — the pass falls
+    back to the static Ainsworth & Jones scheme. *)
+
+type hint = {
+  load_pc : int;
+  distance : int;
+  site : Inject.site;
+  sweep : int;
+}
+
+type report = {
+  injected : Inject.injected list;
+  skipped : (int * string) list;
+  fellback : bool;  (** true when the static fallback ran instead *)
+}
+
+val run : ?fallback_distance:int -> Ir.func -> hints:hint list -> report
+(** Transform [f] in place according to [hints]. Hints are deduplicated
+    by PC (first wins) and applied in descending PC order so that each
+    splice leaves remaining targets' PCs intact. *)

@@ -1,0 +1,86 @@
+type t = {
+  rpo : Ir.label array;
+  rpo_index : int array; (* -1 when unreachable *)
+  idom : int array;      (* -1 when none *)
+  preds : Ir.label list array;
+  succs : Ir.label list array;
+}
+
+let build (f : Ir.func) =
+  let n = Array.length f.Ir.blocks in
+  let succs = Array.init n (fun i -> Ir.successors f.Ir.blocks.(i).Ir.term) in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i ss -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss)
+    succs;
+  Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
+  (* Postorder DFS from entry. *)
+  let visited = Array.make n false in
+  let post = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs succs.(b);
+      post := b :: !post
+    end
+  in
+  dfs f.Ir.entry;
+  let rpo = Array.of_list !post in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  (* Cooper-Harvey-Kennedy. *)
+  let idom = Array.make n (-1) in
+  idom.(f.Ir.entry) <- f.Ir.entry;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while rpo_index.(!f1) > rpo_index.(!f2) do
+        f1 := idom.(!f1)
+      done;
+      while rpo_index.(!f2) > rpo_index.(!f1) do
+        f2 := idom.(!f2)
+      done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> f.Ir.entry then begin
+          let processed =
+            List.filter (fun p -> rpo_index.(p) >= 0 && idom.(p) >= 0) preds.(b)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(b) <> new_idom then begin
+              idom.(b) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  { rpo; rpo_index; idom; preds; succs }
+
+let rpo t = t.rpo
+let reachable t b = b >= 0 && b < Array.length t.rpo_index && t.rpo_index.(b) >= 0
+
+let idom t b =
+  if not (reachable t b) then None
+  else begin
+    let d = t.idom.(b) in
+    if d = b then None else Some d
+  end
+
+let dominates t a b =
+  if not (reachable t a) || not (reachable t b) then false
+  else begin
+    let rec climb x = if x = a then true else if t.idom.(x) = x then false else climb t.idom.(x) in
+    climb b
+  end
+
+let preds t b = t.preds.(b)
+let succs t b = t.succs.(b)

@@ -1,0 +1,24 @@
+(** Control-flow-graph analyses: reverse postorder and dominators.
+
+    Dominator computation uses the Cooper–Harvey–Kennedy iterative
+    algorithm; it underpins natural-loop detection. *)
+
+type t
+
+val build : Ir.func -> t
+
+val rpo : t -> Ir.label array
+(** Reachable blocks in reverse postorder (entry first). *)
+
+val reachable : t -> Ir.label -> bool
+
+val idom : t -> Ir.label -> Ir.label option
+(** Immediate dominator; [None] for the entry block and unreachable
+    blocks. *)
+
+val dominates : t -> Ir.label -> Ir.label -> bool
+(** [dominates t a b] — every path from entry to [b] passes [a].
+    Reflexive. False when either block is unreachable. *)
+
+val preds : t -> Ir.label -> Ir.label list
+val succs : t -> Ir.label -> Ir.label list

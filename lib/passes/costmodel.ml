@@ -1,0 +1,26 @@
+type config = {
+  assumed_load_latency : int;
+  assumed_work : int;
+}
+
+let default_config = { assumed_load_latency = 4; assumed_work = 0 }
+
+let instr_cost cfg (i : Ir.instr) =
+  match i.Ir.kind with
+  | Ir.Binop _ | Ir.Cmp _ | Ir.Select _ | Ir.Store _ | Ir.Prefetch _ -> 1
+  | Ir.Load _ -> cfg.assumed_load_latency
+  | Ir.Work (Ir.Imm n) -> max 0 n
+  | Ir.Work (Ir.Reg _) -> cfg.assumed_work
+
+let loop_iteration_cost ?(config = default_config) (f : Ir.func)
+    (loop : Loops.loop) =
+  List.fold_left
+    (fun acc b ->
+      let blk = f.Ir.blocks.(b) in
+      Array.fold_left (fun acc i -> acc + instr_cost config i) (acc + 1)
+        blk.Ir.instrs)
+    0 loop.Loops.blocks
+
+let static_distance ?(config = default_config) ~dram_latency f loop =
+  let ic = max 1 (loop_iteration_cost ~config f loop) in
+  max 1 (min 128 ((dram_latency + ic - 1) / ic))

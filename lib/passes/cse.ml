@@ -1,0 +1,75 @@
+type key =
+  | Kbinop of Ir.binop * Ir.operand * Ir.operand
+  | Kcmp of Ir.cmp_op * Ir.operand * Ir.operand
+  | Kselect of Ir.operand * Ir.operand * Ir.operand
+  | Kload of Ir.operand * int  (** address, memory epoch *)
+
+let commutative = function
+  | Ir.Add | Ir.Mul | Ir.And | Ir.Or | Ir.Xor -> true
+  | Ir.Sub | Ir.Div | Ir.Rem | Ir.Shl | Ir.Shr -> false
+
+let canonical op a b =
+  if commutative op && b < a then (b, a) else (a, b)
+
+let run (f : Ir.func) =
+  (* removed register -> surviving replacement *)
+  let subst : (Ir.reg, Ir.reg) Hashtbl.t = Hashtbl.create 16 in
+  let resolve o =
+    match o with
+    | Ir.Reg r -> (
+      match Hashtbl.find_opt subst r with Some r' -> Ir.Reg r' | None -> o)
+    | Ir.Imm _ -> o
+  in
+  let removed = ref 0 in
+  Array.iter
+    (fun (blk : Ir.block) ->
+      let table : (key, Ir.reg) Hashtbl.t = Hashtbl.create 16 in
+      let epoch = ref 0 in
+      let keep = ref [] in
+      Array.iter
+        (fun (i : Ir.instr) ->
+          let kind = Ir.map_operands resolve i.Ir.kind in
+          let key =
+            match kind with
+            | Ir.Binop (op, a, b) ->
+              let a, b = canonical op a b in
+              Some (Kbinop (op, a, b))
+            | Ir.Cmp (op, a, b) -> Some (Kcmp (op, a, b))
+            | Ir.Select (c, a, b) -> Some (Kselect (c, a, b))
+            | Ir.Load a -> Some (Kload (a, !epoch))
+            | Ir.Store _ | Ir.Prefetch _ | Ir.Work _ -> None
+          in
+          (match kind with Ir.Store _ -> incr epoch | _ -> ());
+          match key with
+          | None -> keep := { i with Ir.kind } :: !keep
+          | Some key -> (
+            match Hashtbl.find_opt table key with
+            | Some existing when Ir.defines i ->
+              Hashtbl.replace subst i.Ir.dst existing;
+              incr removed
+            | _ ->
+              if Ir.defines i then Hashtbl.replace table key i.Ir.dst;
+              keep := { i with Ir.kind } :: !keep))
+        blk.Ir.instrs;
+      blk.Ir.instrs <- Array.of_list (List.rev !keep))
+    f.Ir.blocks;
+  (* Apply the substitution everywhere (phis, later blocks, terms). *)
+  if Hashtbl.length subst > 0 then
+    Array.iter
+      (fun (blk : Ir.block) ->
+        blk.Ir.instrs <-
+          Array.map
+            (fun (i : Ir.instr) -> { i with Ir.kind = Ir.map_operands resolve i.Ir.kind })
+            blk.Ir.instrs;
+        blk.Ir.phis <-
+          List.map
+            (fun (p : Ir.phi) ->
+              { p with Ir.incoming = List.map (fun (l, v) -> (l, resolve v)) p.Ir.incoming })
+            blk.Ir.phis;
+        blk.Ir.term <-
+          (match blk.Ir.term with
+          | Ir.Jmp l -> Ir.Jmp l
+          | Ir.Br (c, t, e) -> Ir.Br (resolve c, t, e)
+          | Ir.Ret v -> Ir.Ret (Option.map resolve v)))
+      f.Ir.blocks;
+  !removed

@@ -1,0 +1,21 @@
+(** Block-local common-subexpression elimination.
+
+    Injected prefetch slices duplicate address arithmetic that often
+    already exists in the block (the original slice, or a second hint's
+    clone). LLVM's scalar cleanups would fold these; this pass plays
+    that role so the reproduction's instruction-overhead numbers
+    (Fig. 11) are not inflated by trivially removable duplicates.
+
+    Scope and safety:
+    - pure instructions (arithmetic, compares, selects) are value
+      -numbered within a block, with commutative operands canonicalised;
+    - loads are reused only when the same address is re-loaded with no
+      intervening store (a conservative, block-local memory epoch);
+    - stores, prefetches and [Work] are never removed;
+    - removed registers are substituted function-wide (definitions
+      dominate uses, so a kept value is available wherever the removed
+      duplicate was). *)
+
+val run : Ir.func -> int
+(** Transform in place; returns the number of instructions removed.
+    The result verifies under {!Aptget_ir.Verify}. *)

@@ -1,0 +1,18 @@
+type site = Param | Phi of Ir.label * Ir.phi | Instr of Ir.label * int
+type t = site option array
+
+let build (f : Ir.func) : t =
+  let defs = Array.make (max 1 f.Ir.next_reg) None in
+  List.iter (fun r -> defs.(r) <- Some Param) f.Ir.params;
+  Array.iteri
+    (fun bi (b : Ir.block) ->
+      List.iter (fun (p : Ir.phi) -> defs.(p.Ir.phi_dst) <- Some (Phi (bi, p))) b.Ir.phis;
+      Array.iteri
+        (fun ii (i : Ir.instr) ->
+          if Ir.defines i then defs.(i.Ir.dst) <- Some (Instr (bi, ii)))
+        b.Ir.instrs)
+    f.Ir.blocks;
+  defs
+
+let find (t : t) r = if r < 0 || r >= Array.length t then None else t.(r)
+let instr (f : Ir.func) b i = f.Ir.blocks.(b).Ir.instrs.(i)

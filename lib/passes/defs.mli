@@ -1,0 +1,16 @@
+(** Use-def map: where each virtual register is defined. *)
+
+type site =
+  | Param
+  | Phi of Ir.label * Ir.phi
+  | Instr of Ir.label * int  (** block, instruction index *)
+
+type t
+
+val build : Ir.func -> t
+
+val find : t -> Ir.reg -> site option
+(** Definition site of a register, [None] if undefined. *)
+
+val instr : Ir.func -> Ir.label -> int -> Ir.instr
+(** Convenience accessor. *)

@@ -1,0 +1,245 @@
+type site = Inner | Outer
+
+let site_to_string = function Inner -> "inner" | Outer -> "outer"
+
+type spec = { load_pc : int; distance : int; site : site; sweep : int }
+type injected = { spec : spec; cloned_instrs : int }
+
+let ( let* ) = Result.bind
+let opt ~err = function Some v -> Ok v | None -> Error err
+
+let subst env = function
+  | Ir.Reg r -> (
+    match Hashtbl.find_opt env r with Some o -> o | None -> Ir.Reg r)
+  | Ir.Imm _ as imm -> imm
+
+(* Clone the instructions at [sites] (in order), remapping operands
+   through [env] and extending [env] with dst -> clone mappings.
+   Accumulates clones (reversed) into [out]. *)
+let clone_sites (f : Ir.func) sites env out =
+  List.iter
+    (fun (bi, ii) ->
+      let i = Defs.instr f bi ii in
+      let kind = Ir.map_operands (subst env) i.Ir.kind in
+      let dst = Ir.fresh_reg f in
+      Hashtbl.replace env i.Ir.dst (Ir.Reg dst);
+      out := { Ir.dst; kind } :: !out)
+    sites
+
+(* Emit [iv_future = clamp (advance iv distance)] instructions into
+   [out]; returns the future operand. *)
+let future_value (f : Ir.func) (iv : Loops.indvar) ~distance ~clamp out =
+  let emit kind =
+    let dst = Ir.fresh_reg f in
+    out := { Ir.dst; kind } :: !out;
+    Ir.Reg dst
+  in
+  let advanced =
+    match iv.Loops.step with
+    | Loops.Step_add s ->
+      Ok (emit (Ir.Binop (Ir.Add, Ir.Reg iv.Loops.iv_reg, Ir.Imm (s * distance))))
+    | Loops.Step_mul s ->
+      let factor = ref 1 in
+      for _ = 1 to min distance 40 do
+        factor := !factor * s
+      done;
+      Ok (emit (Ir.Binop (Ir.Mul, Ir.Reg iv.Loops.iv_reg, Ir.Imm !factor)))
+    | Loops.Step_other -> Error "unsupported induction-variable step"
+  in
+  let* advanced in
+  match (if clamp then iv.Loops.bound else None) with
+  | None -> Ok advanced
+  | Some bound ->
+    (* future = min (advanced, bound - 1), as Listing 4's select. *)
+    let cond = emit (Ir.Cmp (Ir.Lt, advanced, bound)) in
+    let bm1 = emit (Ir.Binop (Ir.Sub, bound, Ir.Imm 1)) in
+    Ok (emit (Ir.Select (cond, advanced, bm1)))
+
+let splice (blk : Ir.block) ~at clones =
+  let before = Array.sub blk.Ir.instrs 0 at in
+  let after =
+    Array.sub blk.Ir.instrs at (Array.length blk.Ir.instrs - at)
+  in
+  blk.Ir.instrs <- Array.concat [ before; Array.of_list clones; after ]
+
+let phis_of_loop (f : Ir.func) (l : Loops.loop) =
+  List.concat_map
+    (fun b -> List.map (fun (p : Ir.phi) -> p.Ir.phi_dst) f.Ir.blocks.(b).Ir.phis)
+    l.Loops.blocks
+
+let inject ?(clamp = true) (f : Ir.func) spec =
+  let* () =
+    if spec.distance >= 1 then Ok () else Error "distance must be >= 1"
+  in
+  let* () = if spec.sweep >= 1 then Ok () else Error "sweep must be >= 1" in
+  let bi = Layout.block_of_pc spec.load_pc in
+  let* ii =
+    match Layout.slot_of_pc spec.load_pc with
+    | `Instr i -> Ok i
+    | `Term -> Error "PC addresses a terminator, not a load"
+  in
+  let* () =
+    if bi >= 0 && bi < Array.length f.Ir.blocks then Ok ()
+    else Error "PC out of range"
+  in
+  let blk = f.Ir.blocks.(bi) in
+  let* addr =
+    if ii < Array.length blk.Ir.instrs then begin
+      match blk.Ir.instrs.(ii).Ir.kind with
+      | Ir.Load a -> Ok a
+      | _ -> Error "PC does not address a load"
+    end
+    else Error "PC out of range"
+  in
+  let loops = Loops.analyze f in
+  let* li = opt ~err:"load is not inside a loop" (Loops.loop_containing loops bi) in
+  let inner = loops.(li) in
+  let* ivi = opt ~err:"loop has no recognisable induction variable" inner.Loops.indvar in
+  let* slice =
+    opt ~err:"load slice escapes the function" (Slice.extract f ~block:bi ~index:ii)
+  in
+  let* () =
+    if Slice.depends_on_phi slice ivi.Loops.iv_reg then Ok ()
+    else Error "load address does not depend on the loop induction variable"
+  in
+  match spec.site with
+  | Inner ->
+    let* () =
+      match ivi.Loops.step with
+      | Loops.Step_other -> Error "unsupported induction-variable step"
+      | _ -> Ok ()
+    in
+    let out = ref [] in
+    let* fut = future_value f ivi ~distance:spec.distance ~clamp out in
+    let env = Hashtbl.create 16 in
+    Hashtbl.replace env ivi.Loops.iv_reg fut;
+    clone_sites f slice.Slice.instrs env out;
+    let pf_addr = subst env addr in
+    out := { Ir.dst = Ir.no_dst; kind = Ir.Prefetch pf_addr } :: !out;
+    let clones = List.rev !out in
+    let* () =
+      if Array.length blk.Ir.instrs + List.length clones < Layout.term_offset
+      then Ok ()
+      else Error "block too large after injection"
+    in
+    splice blk ~at:ii clones;
+    Ok { spec; cloned_instrs = List.length clones }
+  | Outer ->
+    let* pi = opt ~err:"no enclosing outer loop" inner.Loops.parent in
+    let outer = loops.(pi) in
+    let* ivo =
+      opt ~err:"outer loop has no recognisable induction variable"
+        outer.Loops.indvar
+    in
+    let* () =
+      match ivo.Loops.step with
+      | Loops.Step_other -> Error "unsupported outer induction-variable step"
+      | _ -> Ok ()
+    in
+    let* pre =
+      opt ~err:"inner loop has no preheader" inner.Loops.preheader
+    in
+    let* () =
+      if List.mem pre outer.Loops.blocks then Ok ()
+      else Error "inner preheader lies outside the outer loop"
+    in
+    (* Any slice phi defined by the *inner* loop other than the inner
+       induction variable cannot be re-materialised in the preheader. *)
+    let inner_phis = phis_of_loop f inner in
+    let* () =
+      let bad =
+        List.filter
+          (fun p -> p <> ivi.Loops.iv_reg && List.mem p inner_phis)
+          slice.Slice.phis
+      in
+      if bad = [] then Ok ()
+      else Error "slice depends on inner-loop values beyond the induction variable"
+    in
+    let* init_slice =
+      opt ~err:"inner initial value not sliceable" (Slice.of_operand f ivi.Loops.init)
+    in
+    let* () =
+      let bad = List.filter (fun p -> List.mem p inner_phis) init_slice.Slice.phis in
+      if bad = [] then Ok ()
+      else Error "inner initial value depends on inner-loop state"
+    in
+    (* The future outer iteration must actually influence the prefetch
+       address — either directly (the address slice reaches the outer
+       phi) or through the inner loop's initial value (the CSR shape:
+       [e] starts at [offsets[v]]). *)
+    let* () =
+      if
+        Slice.depends_on_phi slice ivo.Loops.iv_reg
+        || Slice.depends_on_phi init_slice ivo.Loops.iv_reg
+      then Ok ()
+      else Error "load address does not depend on the outer induction variable"
+    in
+    let* step_add =
+      match ivi.Loops.step with
+      | Loops.Step_add s -> Ok s
+      | Loops.Step_mul _ | Loops.Step_other ->
+        if spec.sweep = 1 then Ok 0
+        else Error "sweep requires an additive inner induction variable"
+    in
+    let out = ref [] in
+    let* fut_o = future_value f ivo ~distance:spec.distance ~clamp out in
+    let env = Hashtbl.create 16 in
+    Hashtbl.replace env ivo.Loops.iv_reg fut_o;
+    (* Re-materialise the init value of the inner loop under the future
+       outer iteration. *)
+    let init_sites = init_slice.Slice.instrs in
+    clone_sites f init_sites env out;
+    let init_op = subst env ivi.Loops.init in
+    let module Pset = Set.Make (struct
+      type t = int * int
+
+      let compare = compare
+    end) in
+    let init_set = Pset.of_list init_sites in
+    let body_sites =
+      List.filter (fun s -> not (Pset.mem s init_set)) slice.Slice.instrs
+    in
+    (* Only the part of the slice that (transitively) depends on the
+       inner induction variable changes across swept iterations; the
+       rest — typically the whole outer-indexed address chain — is
+       cloned once. *)
+    let iv_dependent = Hashtbl.create 8 in
+    let depends_on_iv = function
+      | Ir.Reg r -> r = ivi.Loops.iv_reg || Hashtbl.mem iv_dependent r
+      | Ir.Imm _ -> false
+    in
+    let per_sweep_sites, shared_sites =
+      List.partition
+        (fun (bi2, ii2) ->
+          let i = Defs.instr f bi2 ii2 in
+          let dep = List.exists depends_on_iv (Ir.operands i.Ir.kind) in
+          if dep && Ir.defines i then Hashtbl.replace iv_dependent i.Ir.dst ();
+          dep)
+        body_sites
+    in
+    clone_sites f shared_sites env out;
+    let emit kind =
+      let dst = Ir.fresh_reg f in
+      out := { Ir.dst; kind } :: !out;
+      Ir.Reg dst
+    in
+    for s = 0 to spec.sweep - 1 do
+      let iv_val =
+        if s = 0 then init_op
+        else emit (Ir.Binop (Ir.Add, init_op, Ir.Imm (s * step_add)))
+      in
+      let env_s = Hashtbl.copy env in
+      Hashtbl.replace env_s ivi.Loops.iv_reg iv_val;
+      clone_sites f per_sweep_sites env_s out;
+      let pf_addr = subst env_s addr in
+      out := { Ir.dst = Ir.no_dst; kind = Ir.Prefetch pf_addr } :: !out
+    done;
+    let clones = List.rev !out in
+    let pre_blk = f.Ir.blocks.(pre) in
+    let* () =
+      if Array.length pre_blk.Ir.instrs + List.length clones < Layout.term_offset
+      then Ok ()
+      else Error "preheader too large after injection"
+    in
+    splice pre_blk ~at:(Array.length pre_blk.Ir.instrs) clones;
+    Ok { spec; cloned_instrs = List.length clones }

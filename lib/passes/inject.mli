@@ -1,0 +1,39 @@
+(** Prefetch-slice injection (paper §3.5, Listings 3–4).
+
+    Given a target load and a prefetch specification, clone the load's
+    backward slice, re-anchor it [distance] iterations into the future
+    (clamped to the loop bound with a [select], as in Listing 4), turn
+    the final load into a [Prefetch], and splice the clone into the
+    function:
+
+    - {b Inner} site: immediately before the original load, with the
+      inner induction variable advanced by [distance].
+    - {b Outer} site: at the end of the inner loop's preheader (inside
+      the outer loop), with the outer induction variable advanced by
+      [distance] and the inner one re-materialised at its initial
+      value — optionally swept over the first [sweep] iterations to
+      improve coverage (§3.5). *)
+
+type site = Inner | Outer
+
+val site_to_string : site -> string
+
+type spec = {
+  load_pc : int;    (** layout PC of the target load *)
+  distance : int;   (** prefetch distance in iterations, >= 1 *)
+  site : site;
+  sweep : int;      (** outer site: inner iterations prefetched, >= 1 *)
+}
+
+type injected = {
+  spec : spec;
+  cloned_instrs : int;  (** static instructions added *)
+}
+
+val inject : ?clamp:bool -> Ir.func -> spec -> (injected, string) result
+(** Mutates [f] in place. [clamp] (default true) bounds the advanced
+    induction value with the Listing-4 [select]; disabling it exists
+    only for the DESIGN.md clamping ablation. Errors (load not found, no loop, unsupported
+    induction, slice escape, missing nest for [Outer], ...) leave [f]
+    unchanged and explain why. The result verifies under
+    {!Aptget_ir.Verify}. *)

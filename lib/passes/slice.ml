@@ -1,0 +1,71 @@
+type t = {
+  target_block : Ir.label;
+  target_index : int;
+  instrs : (Ir.label * int) list;
+  phis : Ir.reg list;
+  loads : int;
+}
+
+module Pset = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let walk_from (f : Ir.func) (defs : Defs.t) root =
+  let sites = ref Pset.empty in
+  let phis = ref [] in
+  let ok = ref true in
+  let rec walk (operand : Ir.operand) =
+    match operand with
+    | Ir.Imm _ -> ()
+    | Ir.Reg r -> (
+      match Defs.find defs r with
+      | None -> ok := false
+      | Some Defs.Param -> ()
+      | Some (Defs.Phi (_, p)) ->
+        if not (List.mem p.Ir.phi_dst !phis) then phis := p.Ir.phi_dst :: !phis
+      | Some (Defs.Instr (bi, ii)) ->
+        if not (Pset.mem (bi, ii) !sites) then begin
+          sites := Pset.add (bi, ii) !sites;
+          let i = Defs.instr f bi ii in
+          List.iter walk (Ir.operands i.Ir.kind)
+        end)
+  in
+  walk root;
+  if not !ok then None
+  else begin
+    let loads =
+      Pset.fold
+        (fun (bi, ii) acc ->
+          match (Defs.instr f bi ii).Ir.kind with
+          | Ir.Load _ -> acc + 1
+          | _ -> acc)
+        !sites 0
+    in
+    Some (Pset.elements !sites, List.rev !phis, loads)
+  end
+
+let of_operand (f : Ir.func) operand =
+  let defs = Defs.build f in
+  match walk_from f defs operand with
+  | None -> None
+  | Some (instrs, phis, loads) ->
+    Some { target_block = -1; target_index = -1; instrs; phis; loads }
+
+let extract (f : Ir.func) ~block ~index =
+  let blk = f.Ir.blocks.(block) in
+  if index >= Array.length blk.Ir.instrs then None
+  else begin
+    match blk.Ir.instrs.(index).Ir.kind with
+    | Ir.Load addr -> (
+      let defs = Defs.build f in
+      match walk_from f defs addr with
+      | None -> None
+      | Some (instrs, phis, loads) ->
+        Some { target_block = block; target_index = index; instrs; phis; loads })
+    | _ -> None
+  end
+
+let is_indirect t = t.loads > 0
+let depends_on_phi t r = List.mem r t.phis

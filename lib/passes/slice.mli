@@ -1,0 +1,34 @@
+(** Backward load-slice extraction (paper §2.1, §3.5).
+
+    Starting from a load's address operand, walk the use-def chains
+    backwards, collecting every instruction the address depends on. The
+    walk terminates at phi nodes (loop induction variables), function
+    parameters and immediates — like the DFS of Ainsworth & Jones,
+    extended (as APT-GET does) to keep walking past the first induction
+    variable so the slice can also be re-anchored in the outer loop. *)
+
+type t = {
+  target_block : Ir.label;
+  target_index : int;        (** position of the sliced load *)
+  instrs : (Ir.label * int) list;
+      (** slice instructions in dependency (= layout) order, the target
+          load excluded *)
+  phis : Ir.reg list;         (** phi registers the slice terminates at *)
+  loads : int;                (** intermediate loads inside the slice *)
+}
+
+val extract : Ir.func -> block:Ir.label -> index:int -> t option
+(** Slice of the load at [block.index]. [None] if that instruction is
+    not a load, or the slice escapes through an unsupported definition
+    (e.g. a value defined by another function). *)
+
+val of_operand : Ir.func -> Ir.operand -> t option
+(** Backward slice of an arbitrary value (used to re-materialise an
+    inner loop's initial value inside the outer loop). The
+    [target_block]/[target_index] fields are set to [-1]. *)
+
+val is_indirect : t -> bool
+(** At least one intermediate load in the slice: the classic
+    [A[B[i]]] shape that hardware prefetchers cannot cover. *)
+
+val depends_on_phi : t -> Ir.reg -> bool

@@ -1,0 +1,30 @@
+type entry = { branch_pc : int; target_pc : int; cycle : int }
+
+type t = {
+  ring : entry array;
+  ring_size : int;
+  mutable head : int; (* next slot to write *)
+  mutable filled : int;
+}
+
+let dummy = { branch_pc = -1; target_pc = -1; cycle = -1 }
+
+let create ?(size = 32) () =
+  if size <= 0 then invalid_arg "Lbr.create: size <= 0";
+  { ring = Array.make size dummy; ring_size = size; head = 0; filled = 0 }
+
+let size t = t.ring_size
+
+let record t ~branch_pc ~target_pc ~cycle =
+  t.ring.(t.head) <- { branch_pc; target_pc; cycle };
+  t.head <- (t.head + 1) mod t.ring_size;
+  if t.filled < t.ring_size then t.filled <- t.filled + 1
+
+let snapshot t =
+  Array.init t.filled (fun i ->
+      let idx = (t.head - t.filled + i + (2 * t.ring_size)) mod t.ring_size in
+      t.ring.(idx))
+
+let clear t =
+  t.head <- 0;
+  t.filled <- 0

@@ -1,0 +1,27 @@
+(** Last Branch Record: a ring buffer of the most recent taken branches.
+
+    Mirrors Intel's LBR with cycle-count support (paper §3.1, Fig. 3):
+    each entry holds the branch instruction's PC, its target PC, and the
+    core cycle at which the branch retired. The ring holds 32 entries by
+    default. *)
+
+type entry = {
+  branch_pc : int;
+  target_pc : int;
+  cycle : int;
+}
+
+type t
+
+val create : ?size:int -> unit -> t
+(** Default size 32, as on the paper's Xeon. *)
+
+val size : t -> int
+
+val record : t -> branch_pc:int -> target_pc:int -> cycle:int -> unit
+(** Push a taken branch, evicting the oldest entry when full. *)
+
+val snapshot : t -> entry array
+(** Entries in chronological order (oldest first). Length <= size. *)
+
+val clear : t -> unit

@@ -1,0 +1,54 @@
+type lbr_sample = { at_cycle : int; entries : Lbr.entry array }
+
+type t = {
+  lbr : Lbr.t;
+  lbr_period : int;
+  pebs_period : int;
+  mutable next_lbr_sample : int;
+  mutable samples : lbr_sample list; (* reversed *)
+  mutable miss_count : int;
+  mutable pebs_samples : int;
+  delinquents : (int, int) Hashtbl.t;
+}
+
+let create ?(lbr_period = 20_000) ?(pebs_period = 64) ?(lbr_size = 32) () =
+  if lbr_period <= 0 then invalid_arg "Sampler.create: lbr_period <= 0";
+  if pebs_period <= 0 then invalid_arg "Sampler.create: pebs_period <= 0";
+  {
+    lbr = Lbr.create ~size:lbr_size ();
+    lbr_period;
+    pebs_period;
+    next_lbr_sample = lbr_period;
+    samples = [];
+    miss_count = 0;
+    pebs_samples = 0;
+    delinquents = Hashtbl.create 64;
+  }
+
+let lbr t = t.lbr
+
+let on_cycle t ~cycle =
+  if cycle >= t.next_lbr_sample then begin
+    t.samples <- { at_cycle = cycle; entries = Lbr.snapshot t.lbr } :: t.samples;
+    (* Skip forward past [cycle]: long stalls may cross several
+       boundaries but yield a single (unchanged) ring. *)
+    while t.next_lbr_sample <= cycle do
+      t.next_lbr_sample <- t.next_lbr_sample + t.lbr_period
+    done
+  end
+
+let on_llc_miss t ~load_pc =
+  t.miss_count <- t.miss_count + 1;
+  if t.miss_count mod t.pebs_period = 0 then begin
+    t.pebs_samples <- t.pebs_samples + 1;
+    let prev = Option.value ~default:0 (Hashtbl.find_opt t.delinquents load_pc) in
+    Hashtbl.replace t.delinquents load_pc (prev + 1)
+  end
+
+let lbr_samples t = List.rev t.samples
+
+let delinquent_loads t =
+  Hashtbl.fold (fun pc n acc -> (pc, n) :: acc) t.delinquents []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let miss_samples t = t.pebs_samples

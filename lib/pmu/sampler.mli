@@ -1,0 +1,40 @@
+(** Profiling samplers driven by the simulated core.
+
+    Two samplers, matching the paper's two-step profile (§3.4):
+    - the {b PEBS} sampler records the PC of every Nth demand load that
+      misses the LLC, yielding the delinquent-load ranking;
+    - the {b LBR} sampler snapshots the LBR ring at a fixed cycle
+      period ("once per millisecond" on real hardware). *)
+
+type lbr_sample = {
+  at_cycle : int;
+  entries : Lbr.entry array; (** chronological, oldest first *)
+}
+
+type t
+
+val create : ?lbr_period:int -> ?pebs_period:int -> ?lbr_size:int -> unit -> t
+(** [lbr_period] is in cycles (default 20_000 — the scaled equivalent of
+    1 ms at the scaled simulation sizes); [pebs_period] samples every
+    Nth LLC-missing load (default 64). *)
+
+val lbr : t -> Lbr.t
+(** The live ring the core records taken branches into. *)
+
+val on_cycle : t -> cycle:int -> unit
+(** Called by the core as time advances; takes an LBR snapshot whenever
+    a period boundary is crossed. *)
+
+val on_llc_miss : t -> load_pc:int -> unit
+(** Called by the core on every demand LLC miss; subsamples into the
+    delinquent-load table. *)
+
+val lbr_samples : t -> lbr_sample list
+(** All snapshots, in chronological order. *)
+
+val delinquent_loads : t -> (int * int) list
+(** [(load_pc, samples)] sorted by descending sample count: the loads
+    responsible for most LLC misses. *)
+
+val miss_samples : t -> int
+(** Total PEBS samples taken. *)

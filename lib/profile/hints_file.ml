@@ -1,0 +1,93 @@
+module Aptget_pass = Aptget_passes.Aptget_pass
+module Inject = Aptget_passes.Inject
+
+let header = "# aptget prefetch hints v1"
+
+let to_string hints =
+  let lines =
+    List.map
+      (fun (h : Aptget_pass.hint) ->
+        Printf.sprintf "pc=%d distance=%d site=%s sweep=%d"
+          h.Aptget_pass.load_pc h.Aptget_pass.distance
+          (Inject.site_to_string h.Aptget_pass.site)
+          h.Aptget_pass.sweep)
+      hints
+  in
+  String.concat "\n" ((header :: lines) @ [ "" ])
+
+let parse_field line (key, value) =
+  match key with
+  | "pc" | "distance" | "sweep" -> (
+    match int_of_string_opt value with
+    | Some v when v >= 0 -> Ok (key, `Int v)
+    | _ -> Error (Printf.sprintf "bad integer %S in %S" value line))
+  | "site" -> (
+    match value with
+    | "inner" -> Ok (key, `Site Inject.Inner)
+    | "outer" -> Ok (key, `Site Inject.Outer)
+    | _ -> Error (Printf.sprintf "bad site %S in %S" value line))
+  | _ -> Error (Printf.sprintf "unknown field %S in %S" key line)
+
+let parse_line line =
+  let parts =
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+  in
+  let fields =
+    List.map
+      (fun part ->
+        match String.index_opt part '=' with
+        | Some i ->
+          parse_field line
+            ( String.sub part 0 i,
+              String.sub part (i + 1) (String.length part - i - 1) )
+        | None -> Error (Printf.sprintf "expected key=value, got %S" part))
+      parts
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | Ok kv :: rest -> collect (kv :: acc) rest
+    | Error e :: _ -> Error e
+  in
+  match collect [] fields with
+  | Error e -> Error e
+  | Ok kvs -> (
+    let int_field k = List.assoc_opt k kvs in
+    match (int_field "pc", int_field "distance", int_field "site") with
+    | Some (`Int pc), Some (`Int distance), Some (`Site site) ->
+      let sweep =
+        match int_field "sweep" with Some (`Int s) -> max 1 s | _ -> 1
+      in
+      Ok { Aptget_pass.load_pc = pc; distance; site; sweep }
+    | _ ->
+      Error (Printf.sprintf "missing pc/distance/site in %S" line))
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let t = String.trim line in
+      if t = "" || t.[0] = '#' then go acc rest
+      else begin
+        match parse_line t with
+        | Ok h -> go (h :: acc) rest
+        | Error e -> Error e
+      end
+  in
+  go [] lines
+
+let save ~path hints =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string hints))
+
+let load ~path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> of_string contents
+  | exception Sys_error e -> Error e

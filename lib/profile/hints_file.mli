@@ -1,0 +1,25 @@
+(** Persisting prefetch hints — the analog of the AutoFDO profile file
+    that the paper's workflow hands from the profiling step to the LLVM
+    pass ("a list of delinquent load PCs with their corresponding
+    prefetch-distance and prefetch injection site", §3.4).
+
+    The format is line-oriented text:
+    {v
+    # aptget prefetch hints v1
+    pc=2051 distance=12 site=inner sweep=1
+    pc=11265 distance=3 site=outer sweep=7
+    v}
+    Blank lines and [#] comments are ignored. *)
+
+val to_string : Aptget_passes.Aptget_pass.hint list -> string
+(** Serialise, one hint per line, with the version header. *)
+
+val of_string : string -> (Aptget_passes.Aptget_pass.hint list, string) result
+(** Parse; reports the first offending line on error. Accepts fields in
+    any order; [sweep] defaults to 1 when omitted. *)
+
+val save : path:string -> Aptget_passes.Aptget_pass.hint list -> unit
+(** Write to a file (truncating). *)
+
+val load : path:string -> (Aptget_passes.Aptget_pass.hint list, string) result
+(** Read and parse a file; I/O problems are reported as [Error]. *)

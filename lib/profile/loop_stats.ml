@@ -1,0 +1,53 @@
+module Sampler = Aptget_pmu.Sampler
+module Lbr = Aptget_pmu.Lbr
+
+let iteration_times samples ~latch_pc ~in_loop =
+  let acc = ref [] in
+  List.iter
+    (fun (s : Sampler.lbr_sample) ->
+      let entries = s.Sampler.entries in
+      let n = Array.length entries in
+      let last = ref (-1) in
+      let clean = ref true in
+      for i = 0 to n - 1 do
+        let e = entries.(i) in
+        if e.Lbr.branch_pc = latch_pc then begin
+          if !last >= 0 && !clean then begin
+            let delta = e.Lbr.cycle - entries.(!last).Lbr.cycle in
+            if delta > 0 then acc := float_of_int delta :: !acc
+          end;
+          last := i;
+          clean := true
+        end
+        else if not (in_loop e.Lbr.branch_pc) then clean := false
+      done)
+    samples;
+  Array.of_list (List.rev !acc)
+
+let trip_counts samples ~inner_latch_pc ~outer_latch_pc =
+  let acc = ref [] in
+  List.iter
+    (fun (s : Sampler.lbr_sample) ->
+      let entries = s.Sampler.entries in
+      let n = Array.length entries in
+      let in_window = ref false in
+      let count = ref 0 in
+      for i = 0 to n - 1 do
+        let e = entries.(i) in
+        if e.Lbr.branch_pc = outer_latch_pc then begin
+          if !in_window then acc := float_of_int !count :: !acc;
+          in_window := true;
+          count := 0
+        end
+        else if !in_window && e.Lbr.branch_pc = inner_latch_pc then incr count
+      done)
+    samples;
+  Array.of_list (List.rev !acc)
+
+let occurrences samples ~pc =
+  List.fold_left
+    (fun total (s : Sampler.lbr_sample) ->
+      Array.fold_left
+        (fun t (e : Lbr.entry) -> if e.Lbr.branch_pc = pc then t + 1 else t)
+        total s.Sampler.entries)
+    0 samples

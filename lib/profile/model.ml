@@ -1,0 +1,61 @@
+module Histogram = Aptget_util.Histogram
+module Stats = Aptget_util.Stats
+module Peaks = Aptget_signal.Peaks
+
+type peak_finder = Cwt | Naive
+
+type distance_model = {
+  ic_latency : float;
+  mc_latency : float;
+  peaks : float list;
+  distance : int;
+}
+
+let distance_of_times ?(finder = Cwt) ?(bins = 96) ?(max_distance = 128)
+    ?(min_samples = 8) times =
+  if Array.length times < min_samples then None
+  else begin
+    let hist = Histogram.of_samples ~bins times in
+    let counts = Histogram.counts hist in
+    let idxs =
+      match finder with
+      | Cwt -> Peaks.find_peaks_cwt counts
+      | Naive -> Peaks.find_peaks_naive counts
+    in
+    let peak_values =
+      List.map (fun i -> Histogram.bin_center hist i) idxs |> List.sort compare
+    in
+    let ic, mc, peaks =
+      match peak_values with
+      | [] | [ _ ] ->
+        (* Zero/one peak: the load misses (or hits) nearly always. Use
+           the fastest observed iterations as the instruction
+           component and the slowest peak (or maximum) as the
+           memory-bound case. *)
+        let ic = Stats.percentile times 5. in
+        let top =
+          match List.rev peak_values with
+          | top :: _ -> top
+          | [] -> Stats.percentile times 95.
+        in
+        (ic, top -. ic, peak_values)
+      | low :: _ ->
+        let top = List.nth peak_values (List.length peak_values - 1) in
+        (* The all-hit peak can sit on the histogram's lower edge where
+           the CWT response is attenuated; the fastest observed
+           iterations bound IC from below. *)
+        let ic = Float.min low (Stats.percentile times 5.) in
+        (ic, top -. ic, peak_values)
+    in
+    if mc <= 0. || ic <= 0. then None
+    else begin
+      let d = int_of_float (ceil (mc /. ic)) in
+      let distance = max 1 (min d max_distance) in
+      Some { ic_latency = ic; mc_latency = mc; peaks; distance }
+    end
+  end
+
+let choose_site ?(k = 5) ~distance ~trip_count () =
+  match trip_count with
+  | Some t when t < float_of_int (k * distance) -> `Outer
+  | Some _ | None -> `Inner

@@ -1,0 +1,55 @@
+(** The analytical model of §3.2–§3.3.
+
+    From the distribution of a loop's iteration times, identify the
+    latency peaks (one per memory-hierarchy level serving the
+    delinquent load, Fig. 4). The lowest peak is the iteration's
+    instruction component [IC] — its execution time when the load hits
+    close to the core; the gap up to the highest peak is the memory
+    component [MC] that prefetching can hide. Equation (1),
+    [IC * prefetch_distance = MC], then gives the optimal distance, and
+    Equation (2), [trip_count * k < prefetch_distance], decides whether
+    the prefetch must move to the outer loop. *)
+
+type peak_finder = Cwt | Naive
+(** CWT ridge-line finder (the paper's choice) or the smoothed-argmax
+    baseline used in the ablation bench. *)
+
+type distance_model = {
+  ic_latency : float;
+  mc_latency : float;
+  peaks : float list;     (** detected peak latencies, ascending *)
+  distance : int;         (** ceil(MC / IC), clamped to [1, max] *)
+}
+
+val distance_of_times :
+  ?finder:peak_finder ->
+  ?bins:int ->
+  ?max_distance:int ->
+  ?min_samples:int ->
+  float array ->
+  distance_model option
+(** Compute the model from iteration-time samples.
+
+    - fewer than [min_samples] (default 8) observations: [None];
+    - one detected peak: [IC] falls back to the 5th percentile of the
+      samples (the fastest iterations seen), so a loop whose load
+      virtually always misses still gets a sensible distance;
+    - [MC <= 0] (the loop is not memory-bound): [None].
+
+    Default [bins] 96, [max_distance] 128 (matching the paper's
+    exhaustive search space). *)
+
+val choose_site :
+  ?k:int -> distance:int -> trip_count:float option -> unit ->
+  [ `Inner | `Outer ]
+(** Equation (2)'s site decision with the paper's k = 5. An inner-loop
+    prefetch at distance [d] leaves a prologue/epilogue of [d]
+    iterations uncovered per loop entry, so inner injection only
+    reaches the paper's 80 % coverage target when
+    [d / trip_count <= 1/k]; we inject in the outer loop iff
+    [trip_count < k * distance]. (The paper prints the inequality as
+    [trip_count * k < distance], but its own derivation — "if we want
+    to prefetch 80 % of all demand loads, k needs to be 5" — requires k
+    to scale the distance side; see DESIGN.md.) Unknown trip count (no
+    nesting, or the LBR never captured an outer window) keeps the
+    prefetch in the inner loop. *)

@@ -1,0 +1,302 @@
+module Machine = Aptget_machine.Machine
+module Sampler = Aptget_pmu.Sampler
+module Memory = Aptget_mem.Memory
+module Loops = Aptget_passes.Loops
+module Aptget_pass = Aptget_passes.Aptget_pass
+module Inject = Aptget_passes.Inject
+module Stats = Aptget_util.Stats
+module Slice = Aptget_passes.Slice
+
+type options = {
+  machine : Machine.config;
+  lbr_period : int;
+  pebs_period : int;
+  top_loads : int;
+  min_share : float;
+  k : int;
+  max_distance : int;
+  max_sweep : int;
+  finder : Model.peak_finder;
+  default_distance : int;
+  max_overhead_frac : float;
+}
+
+let default_options =
+  {
+    machine = Machine.default_config;
+    lbr_period = 20_000;
+    pebs_period = 64;
+    top_loads = 8;
+    min_share = 0.02;
+    k = 5;
+    max_distance = 128;
+    max_sweep = 8;
+    finder = Model.Cwt;
+    default_distance = 1;
+    max_overhead_frac = infinity;
+  }
+
+type load_profile = {
+  load_pc : int;
+  pebs_count : int;
+  latch_pc : int;
+  iteration_times : float array;
+  trip_count : float option;
+  outer_times : float array;
+  model : Model.distance_model option;
+  hint : Aptget_pass.hint option;
+  note : string;
+}
+
+type t = {
+  hints : Aptget_pass.hint list;
+  profiles : load_profile list;
+  lbr_snapshots : int;
+  pebs_samples : int;
+  baseline : Machine.outcome;
+}
+
+let in_loop_pred (loop : Loops.loop) pc =
+  List.mem (Layout.block_of_pc pc) loop.Loops.blocks
+
+let no_hint ~load_pc ~pebs_count note =
+  {
+    load_pc;
+    pebs_count;
+    latch_pc = -1;
+    iteration_times = [||];
+    trip_count = None;
+    outer_times = [||];
+    model = None;
+    hint = None;
+    note;
+  }
+
+(* Loads whose address slice contains no other load are direct (stride)
+   accesses: the hardware prefetcher covers them, and injecting a
+   software prefetch only adds instruction overhead. Both the paper's
+   pass and Ainsworth & Jones restrict themselves to indirect loads. *)
+let is_indirect_load (f : Ir.func) ~load_pc =
+  let bi = Layout.block_of_pc load_pc in
+  match Layout.slot_of_pc load_pc with
+  | `Term -> false
+  | `Instr ii -> (
+    match Slice.extract f ~block:bi ~index:ii with
+    | Some s -> Slice.is_indirect s
+    | None -> false)
+
+let analyze_load (f : Ir.func) (loops : Loops.loop array) opts samples ~load_pc
+    ~pebs_count =
+  let bi = Layout.block_of_pc load_pc in
+  if not (is_indirect_load f ~load_pc) then
+    no_hint ~load_pc ~pebs_count "direct access; left to the hardware prefetcher"
+  else
+  match Loops.loop_containing loops bi with
+  | None -> no_hint ~load_pc ~pebs_count "delinquent load is not inside a loop"
+  | Some li ->
+    let inner = loops.(li) in
+    let times =
+      Loop_stats.iteration_times samples ~latch_pc:inner.Loops.latch_pc
+        ~in_loop:(in_loop_pred inner)
+    in
+    let trip_count, outer =
+      match inner.Loops.parent with
+      | None -> (None, None)
+      | Some pi ->
+        let outer = loops.(pi) in
+        let trips =
+          Loop_stats.trip_counts samples ~inner_latch_pc:inner.Loops.latch_pc
+            ~outer_latch_pc:outer.Loops.latch_pc
+        in
+        if Array.length trips = 0 then (None, Some outer)
+        else (Some (Stats.mean trips), Some outer)
+    in
+    let model =
+      Model.distance_of_times ~finder:opts.finder
+        ~max_distance:opts.max_distance times
+    in
+    (match model with
+    | None ->
+      (* §3.6: too few (or degenerate) latency observations. When the
+         load still samples heavily in PEBS we fall back to the default
+         distance in the inner loop. *)
+      let hint =
+        Some
+          {
+            Aptget_pass.load_pc;
+            distance = opts.default_distance;
+            site = Inject.Inner;
+            sweep = 1;
+          }
+      in
+      {
+        load_pc;
+        pebs_count;
+        latch_pc = inner.Loops.latch_pc;
+        iteration_times = times;
+        trip_count;
+        outer_times = [||];
+        model = None;
+        hint;
+        note = "no latency model; using default distance";
+      }
+    | Some m ->
+      let site = Model.choose_site ~k:opts.k ~distance:m.Model.distance ~trip_count () in
+      (match site with
+      | `Inner ->
+        {
+          load_pc;
+          pebs_count;
+          latch_pc = inner.Loops.latch_pc;
+          iteration_times = times;
+          trip_count;
+          outer_times = [||];
+          model = Some m;
+          hint =
+            Some
+              {
+                Aptget_pass.load_pc;
+                distance = m.Model.distance;
+                site = Inject.Inner;
+                sweep = 1;
+              };
+          note = "inner-loop injection";
+        }
+      | `Outer ->
+        (* Recompute the distance on the outer loop's latency
+           distribution (§3.3). If the LBR never captured two outer
+           back-edges, stay in the inner loop. *)
+        let outer_times, outer_model =
+          match outer with
+          | None -> ([||], None)
+          | Some o ->
+            let ot =
+              Loop_stats.iteration_times samples ~latch_pc:o.Loops.latch_pc
+                ~in_loop:(in_loop_pred o)
+            in
+            ( ot,
+              Model.distance_of_times ~finder:opts.finder
+                ~max_distance:opts.max_distance ot )
+        in
+        (match outer_model with
+        | Some om ->
+          let sweep =
+            match trip_count with
+            | Some tc ->
+              max 1 (min opts.max_sweep (int_of_float (Float.round tc)))
+            | None -> 1
+          in
+          {
+            load_pc;
+            pebs_count;
+            latch_pc = inner.Loops.latch_pc;
+            iteration_times = times;
+            trip_count;
+            outer_times;
+            model = Some om;
+            hint =
+              Some
+                {
+                  Aptget_pass.load_pc;
+                  distance = om.Model.distance;
+                  site = Inject.Outer;
+                  sweep;
+                };
+            note = "outer-loop injection";
+          }
+        | None ->
+          {
+            load_pc;
+            pebs_count;
+            latch_pc = inner.Loops.latch_pc;
+            iteration_times = times;
+            trip_count;
+            outer_times;
+            model = Some m;
+            hint =
+              Some
+                {
+                  Aptget_pass.load_pc;
+                  distance = m.Model.distance;
+                  site = Inject.Inner;
+                  sweep = 1;
+                };
+            note = "outer site chosen but outer latency unavailable; inner";
+          })))
+
+(* §4.8 extension: estimate the per-iteration instruction overhead a
+   hint's slice would add and drop hints that are predicted to cost
+   more than they can recover. *)
+let slice_length (f : Ir.func) ~load_pc =
+  let bi = Layout.block_of_pc load_pc in
+  match Layout.slot_of_pc load_pc with
+  | `Term -> 0
+  | `Instr ii -> (
+    match Slice.extract f ~block:bi ~index:ii with
+    | Some s -> List.length s.Slice.instrs + 4 (* future value + prefetch *)
+    | None -> 0)
+
+let overhead_filter opts (f : Ir.func) profiles =
+  if opts.max_overhead_frac = infinity then profiles
+  else
+    List.map
+      (fun p ->
+        match (p.hint, p.model) with
+        | Some h, Some m ->
+          let slice = float_of_int (slice_length f ~load_pc:p.load_pc) in
+          let per_iter =
+            match h.Aptget_pass.site with
+            | Inject.Inner -> slice
+            | Inject.Outer -> (
+              match p.trip_count with
+              | Some t when t >= 1. ->
+                slice *. float_of_int h.Aptget_pass.sweep /. t
+              | _ -> slice)
+          in
+          if per_iter > opts.max_overhead_frac *. m.Model.ic_latency then
+            {
+              p with
+              hint = None;
+              note =
+                Printf.sprintf
+                  "hint dropped: predicted +%.0f instrs/iteration vs IC %.0f"
+                  per_iter m.Model.ic_latency;
+            }
+          else p
+        | _ -> p)
+      profiles
+
+let profile ?(options = default_options) ?(args = []) ~mem (f : Ir.func) =
+  let sampler =
+    Sampler.create ~lbr_period:options.lbr_period
+      ~pebs_period:options.pebs_period ()
+  in
+  let baseline =
+    Machine.execute ~config:options.machine ~sampler ~args ~mem f
+  in
+  let samples = Sampler.lbr_samples sampler in
+  let pebs_total = Sampler.miss_samples sampler in
+  let loops = Loops.analyze f in
+  let delinquents =
+    Sampler.delinquent_loads sampler
+    |> List.filter (fun (_, n) ->
+           float_of_int n >= options.min_share *. float_of_int pebs_total
+           && n >= 2)
+    |> fun l ->
+    List.filteri (fun i _ -> i < options.top_loads) l
+  in
+  let profiles =
+    List.map
+      (fun (load_pc, pebs_count) ->
+        analyze_load f loops options samples ~load_pc ~pebs_count)
+      delinquents
+    |> overhead_filter options f
+  in
+  let hints = List.filter_map (fun p -> p.hint) profiles in
+  {
+    hints;
+    profiles;
+    lbr_snapshots = List.length samples;
+    pebs_samples = pebs_total;
+    baseline;
+  }

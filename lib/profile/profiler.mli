@@ -1,0 +1,62 @@
+(** The automated profiling pipeline of §3.4.
+
+    One profiling run of the unmodified kernel under the simulated PMU
+    yields (1) PEBS delinquent-load PCs and (2) LBR snapshots. For each
+    delinquent load, the loop containing it is identified in the IR,
+    its iteration-time distribution and (when nested) its trip count
+    are extracted from the LBR, and the analytical model turns these
+    into a prefetch distance and an injection site. The output is the
+    hint list consumed by {!Aptget_passes.Aptget_pass}. *)
+
+type options = {
+  machine : Aptget_machine.Machine.config;
+  lbr_period : int;
+  pebs_period : int;
+  top_loads : int;      (** delinquent loads to consider (default 8) *)
+  min_share : float;    (** minimum share of PEBS samples (default 0.02) *)
+  k : int;              (** Equation (2) constant (default 5) *)
+  max_distance : int;
+  max_sweep : int;      (** cap on outer-site inner-iteration sweep *)
+  finder : Model.peak_finder;
+  default_distance : int;
+      (** used when the LBR never captured two back-edges of the loop
+          (§3.6: very long loop bodies) — the paper defaults to 1 *)
+  max_overhead_frac : float;
+      (** conditional injection (the paper's §4.8 future work): drop a
+          hint whose prefetch slice would grow the loop body by more
+          than this fraction of the measured instruction component.
+          Default [infinity] (filter off, the paper's behaviour). *)
+}
+
+val default_options : options
+
+type load_profile = {
+  load_pc : int;
+  pebs_count : int;
+  latch_pc : int;
+  iteration_times : float array;
+  trip_count : float option;
+  outer_times : float array;  (** empty when not nested / not captured *)
+  model : Model.distance_model option;
+  hint : Aptget_passes.Aptget_pass.hint option;
+  note : string;  (** why a hint was or was not produced *)
+}
+
+type t = {
+  hints : Aptget_passes.Aptget_pass.hint list;
+  profiles : load_profile list;
+  lbr_snapshots : int;
+  pebs_samples : int;
+  baseline : Aptget_machine.Machine.outcome;
+      (** the profiling run doubles as a baseline measurement *)
+}
+
+val profile :
+  ?options:options ->
+  ?args:int list ->
+  mem:Aptget_mem.Memory.t ->
+  Ir.func ->
+  t
+(** Run the kernel once with sampling enabled and derive hints.
+    The memory is mutated by the run (workloads are expected to either
+    tolerate re-running or rebuild their data). *)

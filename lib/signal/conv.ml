@@ -1,0 +1,41 @@
+let convolve_same signal kernel =
+  let n = Array.length signal in
+  let m = Array.length kernel in
+  let out = Array.make n 0. in
+  let half = m / 2 in
+  for i = 0 to n - 1 do
+    let acc = ref 0. in
+    for k = 0 to m - 1 do
+      let j = i + half - k in
+      if j >= 0 && j < n then acc := !acc +. (signal.(j) *. kernel.(k))
+    done;
+    out.(i) <- !acc
+  done;
+  out
+
+let moving_average w xs =
+  let n = Array.length xs in
+  if w <= 1 || n = 0 then Array.copy xs
+  else begin
+    let half = w / 2 in
+    Array.init n (fun i ->
+        let lo = max 0 (i - half) in
+        let hi = min (n - 1) (i + half) in
+        let acc = ref 0. in
+        for j = lo to hi do
+          acc := !acc +. xs.(j)
+        done;
+        !acc /. float_of_int (hi - lo + 1))
+  end
+
+let gaussian_kernel ~sigma =
+  if sigma <= 0. then invalid_arg "Conv.gaussian_kernel: sigma <= 0";
+  let half = max 1 (int_of_float (ceil (4. *. sigma))) in
+  let len = (2 * half) + 1 in
+  let k =
+    Array.init len (fun i ->
+        let x = float_of_int (i - half) in
+        exp (-.(x *. x) /. (2. *. sigma *. sigma)))
+  in
+  let sum = Array.fold_left ( +. ) 0. k in
+  Array.map (fun v -> v /. sum) k

@@ -1,0 +1,15 @@
+(** Discrete convolution and smoothing primitives for the CWT. *)
+
+val convolve_same : float array -> float array -> float array
+(** [convolve_same signal kernel] is the linear convolution of [signal]
+    with [kernel], truncated to the length of [signal] and centred on
+    the kernel midpoint (numpy's [mode="same"]). The kernel is applied
+    symmetrically around each sample; out-of-range signal values are
+    treated as zero. *)
+
+val moving_average : int -> float array -> float array
+(** [moving_average w xs] smooths with a centred window of width [w]
+    (clamped at the edges). [w <= 1] returns a copy. *)
+
+val gaussian_kernel : sigma:float -> float array
+(** A normalised Gaussian kernel truncated at 4 sigma (odd length). *)

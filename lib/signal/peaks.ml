@@ -1,0 +1,126 @@
+let relative_maxima ?(order = 1) xs =
+  let n = Array.length xs in
+  let is_max i =
+    let ok = ref (i >= 0 && i < n) in
+    for d = 1 to order do
+      let l = i - d and r = i + d in
+      if l >= 0 && xs.(l) >= xs.(i) then ok := false;
+      if r < n && xs.(r) >= xs.(i) then ok := false
+    done;
+    !ok && xs.(i) > 0.
+  in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    if is_max i then acc := i :: !acc
+  done;
+  !acc
+
+(* A ridge line: positions of a maximum tracked across scales, from the
+   largest scale (row index high) down to the smallest. *)
+type ridge = {
+  mutable rows : int list; (* scale indices, most recent first *)
+  mutable cols : int list; (* positions, most recent first *)
+  mutable gap : int;
+}
+
+let find_peaks_cwt ?widths ?(min_snr = 1.0) ?(min_length_frac = 0.25)
+    ?(gap_thresh = 2) signal =
+  let n = Array.length signal in
+  if n = 0 then []
+  else begin
+    let widths =
+      match widths with
+      | Some w -> w
+      | None -> Array.init 16 (fun i -> float_of_int (i + 1))
+    in
+    let mat = Wavelet.cwt ~widths signal in
+    let n_scales = Array.length widths in
+    (* Link ridge lines top-down (largest scale first), scipy-style. *)
+    let max_distances = Array.map (fun w -> Float.max 1. (w /. 4.)) widths in
+    let ridges : ridge list ref = ref [] in
+    let finished : ridge list ref = ref [] in
+    for row = n_scales - 1 downto 0 do
+      let maxima = relative_maxima ~order:1 mat.(row) in
+      let unclaimed = ref maxima in
+      (* Try to extend each live ridge with the nearest maximum. *)
+      List.iter
+        (fun r ->
+          match r.cols with
+          | [] -> ()
+          | last_col :: _ ->
+            let dist_limit = max_distances.(row) in
+            let best =
+              List.fold_left
+                (fun acc c ->
+                  let d = abs (c - last_col) in
+                  if float_of_int d <= dist_limit then
+                    match acc with
+                    | Some (_, bd) when bd <= d -> acc
+                    | _ -> Some (c, d)
+                  else acc)
+                None !unclaimed
+            in
+            (match best with
+            | Some (c, _) ->
+              r.rows <- row :: r.rows;
+              r.cols <- c :: r.cols;
+              r.gap <- 0;
+              unclaimed := List.filter (fun x -> x <> c) !unclaimed
+            | None ->
+              r.gap <- r.gap + 1;
+              if r.gap > gap_thresh then begin
+                finished := r :: !finished;
+                ridges := List.filter (fun x -> x != r) !ridges
+              end))
+        !ridges;
+      (* Unclaimed maxima start new ridges. *)
+      List.iter
+        (fun c -> ridges := { rows = [ row ]; cols = [ c ]; gap = 0 } :: !ridges)
+        !unclaimed
+    done;
+    let all = !finished @ !ridges in
+    (* Noise floor: per-position 10th percentile of |cwt| at the smallest
+       scale over a +-window, per scipy. *)
+    let row0 = Array.map abs_float mat.(0) in
+    let window = max 1 (n / 20) in
+    let noise_at pos =
+      let lo = max 0 (pos - window) in
+      let hi = min (n - 1) (pos + window) in
+      let seg = Array.sub row0 lo (hi - lo + 1) in
+      Array.sort compare seg;
+      let idx = int_of_float (0.10 *. float_of_int (Array.length seg - 1)) in
+      Float.max seg.(idx) 1e-12
+    in
+    let min_length =
+      max 1 (int_of_float (ceil (min_length_frac *. float_of_int n_scales)))
+    in
+    let keep r =
+      let len = List.length r.rows in
+      if len < min_length then None
+      else begin
+        (* Peak position: column at the smallest recorded scale. *)
+        let rows = Array.of_list r.rows in
+        let cols = Array.of_list r.cols in
+        (* rows are in descending recording order: head = smallest row. *)
+        let pos = cols.(0) in
+        let best_strength = ref 0. in
+        Array.iteri
+          (fun i row ->
+            let v = abs_float mat.(row).(cols.(i)) in
+            if v > !best_strength then best_strength := v)
+          rows;
+        let snr = !best_strength /. noise_at pos in
+        if snr >= min_snr then Some pos else None
+      end
+    in
+    let peaks = List.filter_map keep all in
+    List.sort_uniq compare peaks
+  end
+
+let find_peaks_naive ?(smooth = 3) ?(min_prominence = 0.05) signal =
+  let smoothed = Conv.moving_average smooth signal in
+  let mx = Array.fold_left max 0. smoothed in
+  if mx <= 0. then []
+  else
+    relative_maxima ~order:1 smoothed
+    |> List.filter (fun i -> smoothed.(i) >= min_prominence *. mx)

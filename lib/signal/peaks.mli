@@ -1,0 +1,38 @@
+(** Peak detection over histograms of loop-iteration latencies.
+
+    The primary finder is a reimplementation of
+    [scipy.signal.find_peaks_cwt] (Du et al., Bioinformatics 2006):
+    compute a CWT over a range of wavelet widths, link relative maxima
+    across scales into ridge lines, and keep ridges that are long and
+    have sufficient signal-to-noise ratio. The paper uses exactly this
+    routine to locate the per-memory-level latency peaks (§3.4).
+
+    A naive single-scale finder is also exported for the ablation bench
+    (DESIGN.md, "Peak detection"). *)
+
+val relative_maxima : ?order:int -> float array -> int list
+(** Indices [i] such that [xs.(i)] is strictly greater than all
+    neighbours within [order] positions (default 1), scipy's
+    [argrelmax] with clipped boundaries. *)
+
+val find_peaks_cwt :
+  ?widths:float array ->
+  ?min_snr:float ->
+  ?min_length_frac:float ->
+  ?gap_thresh:int ->
+  float array ->
+  int list
+(** [find_peaks_cwt signal] returns the indices of detected peaks in
+    ascending order.
+
+    @param widths wavelet widths to scan (default 1..16)
+    @param min_snr minimum ridge SNR (default 1.0, as scipy)
+    @param min_length_frac required ridge length as a fraction of the
+      number of widths (default 0.25, as scipy's [len(widths)/4])
+    @param gap_thresh allowed consecutive scales without a matching
+      maximum before a ridge is terminated (default 2) *)
+
+val find_peaks_naive : ?smooth:int -> ?min_prominence:float -> float array -> int list
+(** Baseline finder for ablations: smooth with a moving average and
+    return relative maxima whose height exceeds
+    [min_prominence * max signal] (default smooth 3, prominence 0.05). *)

@@ -1,0 +1,21 @@
+let pi = 4. *. atan 1.
+
+let ricker ~points ~a =
+  if points <= 0 then invalid_arg "Wavelet.ricker: points <= 0";
+  if a <= 0. then invalid_arg "Wavelet.ricker: a <= 0";
+  let amp = 2. /. (sqrt (3. *. a) *. (pi ** 0.25)) in
+  let wsq = a *. a in
+  Array.init points (fun i ->
+      let x = float_of_int i -. ((float_of_int points -. 1.) /. 2.) in
+      let xsq = x *. x in
+      amp *. (1. -. (xsq /. wsq)) *. exp (-.xsq /. (2. *. wsq)))
+
+let cwt ~widths signal =
+  let n = Array.length signal in
+  Array.map
+    (fun width ->
+      let points = min (int_of_float (10. *. width)) n in
+      let points = max points 1 in
+      let kernel = ricker ~points ~a:width in
+      Conv.convolve_same signal kernel)
+    widths

@@ -1,0 +1,15 @@
+(** Ricker ("Mexican hat") wavelet and continuous wavelet transform.
+
+    Mirrors [scipy.signal.ricker] / [scipy.signal.cwt], which back the
+    paper's automated peak detection (§3.4). *)
+
+val ricker : points:int -> a:float -> float array
+(** [ricker ~points ~a] samples the Ricker wavelet with width parameter
+    [a] at [points] integer offsets centred on zero, using scipy's
+    normalisation [2 / (sqrt(3a) * pi^(1/4))]. *)
+
+val cwt : widths:float array -> float array -> float array array
+(** [cwt ~widths signal] returns one transformed row per width:
+    [row.(w).(t)] is the convolution of [signal] with a Ricker wavelet
+    of width [widths.(w)] (kernel length [min (10*width) (len signal)]),
+    in [mode="same"] alignment. *)

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic inputs in the repository (synthetic graphs, random
+    key streams, hash-join key distributions, ...) are derived from this
+    splitmix64 generator so that every experiment is reproducible from a
+    seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. Two generators
+    created from the same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances once. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform random permutation of [0..n-1]. *)

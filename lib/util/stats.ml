@@ -1,0 +1,73 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0. }
+  else begin
+    let sum = Array.fold_left ( +. ) 0. xs in
+    let mean = sum /. float_of_int n in
+    let sq = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs in
+    let stddev = sqrt (sq /. float_of_int n) in
+    let mn = Array.fold_left min xs.(0) xs in
+    let mx = Array.fold_left max xs.(0) xs in
+    { count = n; mean; stddev; min = mn; max = mx }
+  end
+
+let mean xs = (summarize xs).mean
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else begin
+    let log_sum =
+      Array.fold_left
+        (fun acc x ->
+          if x <= 0. then invalid_arg "Stats.geomean: non-positive entry";
+          acc +. log x)
+        0. xs
+    in
+    exp (log_sum /. float_of_int n)
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.
+
+type running = {
+  mutable n : int;
+  mutable m : float;
+  mutable s : float;
+}
+
+let running_create () = { n = 0; m = 0.; s = 0. }
+
+let running_add r x =
+  r.n <- r.n + 1;
+  let delta = x -. r.m in
+  r.m <- r.m +. (delta /. float_of_int r.n);
+  r.s <- r.s +. (delta *. (x -. r.m))
+
+let running_count r = r.n
+let running_mean r = r.m
+
+let running_stddev r =
+  if r.n < 2 then 0. else sqrt (r.s /. float_of_int r.n)

@@ -1,0 +1,37 @@
+(** Small statistics helpers shared by the profiler and experiments. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+(** Moment summary of a sample set. *)
+
+val summarize : float array -> summary
+(** [summarize xs] computes count/mean/stddev/min/max. Returns a zeroed
+    summary for the empty array. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean; used for speedup averaging as in the paper (§4.3).
+    Requires strictly positive entries; 0-length arrays yield 1.0. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for p in [0,100], linear interpolation between
+    order statistics. The input need not be sorted. *)
+
+val median : float array -> float
+(** 50th percentile. *)
+
+type running
+(** Online mean/variance accumulator (Welford). *)
+
+val running_create : unit -> running
+val running_add : running -> float -> unit
+val running_count : running -> int
+val running_mean : running -> float
+val running_stddev : running -> float

@@ -1,0 +1,60 @@
+type t = {
+  title : string;
+  header : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~header = { title; header; rows = [] }
+
+let add_row t row =
+  let n_header = List.length t.header in
+  let n_row = List.length row in
+  if n_row > n_header then invalid_arg "Table.add_row: row wider than header";
+  let row =
+    if n_row = n_header then row
+    else row @ List.init (n_header - n_row) (fun _ -> "")
+  in
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let pad i cell =
+    let w = widths.(i) in
+    let len = String.length cell in
+    if len >= w then cell else cell ^ String.make (w - len) ' '
+  in
+  let render_row row = String.concat "  " (List.mapi pad row) in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let fmt_speedup x = Printf.sprintf "%.2fx" x
+let fmt_pct x = Printf.sprintf "%.1f%%" (x *. 100.)

@@ -1,0 +1,30 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Every experiment in [Aptget_experiments] reduces to a header plus
+    rows of strings; this module aligns and prints them so the bench
+    output mirrors the paper's tables and figure series. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+(** A table with a caption line and column names. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Rows shorter than the header are right-padded with
+    empty cells; longer rows raise [Invalid_argument]. *)
+
+val render : t -> string
+(** Render with aligned columns, the title, and a rule under the
+    header. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting helper, default 2 decimals. *)
+
+val fmt_speedup : float -> string
+(** Formats a ratio as e.g. "1.30x". *)
+
+val fmt_pct : float -> string
+(** Formats a fraction as a percentage, e.g. 0.654 -> "65.4%". *)

@@ -1,0 +1,131 @@
+module Memory = Aptget_mem.Memory
+module Rng = Aptget_util.Rng
+module Csr = Aptget_graph.Csr
+
+type params = {
+  rows : int;
+  nnz_per_row : int;
+  iterations : int;
+  seed : int;
+}
+
+let default_params = { rows = 262_144; nnz_per_row = 4; iterations = 1; seed = 23 }
+
+let matrix_of p =
+  let rng = Rng.create p.seed in
+  let edges = Array.make (p.rows * p.nnz_per_row) (0, 0) in
+  let vals = Array.make (p.rows * p.nnz_per_row) 0 in
+  let k = ref 0 in
+  for r = 0 to p.rows - 1 do
+    for _ = 1 to p.nnz_per_row do
+      edges.(!k) <- (r, Rng.int rng p.rows);
+      vals.(!k) <- 1 + Rng.int rng 7;
+      incr k
+    done
+  done;
+  Csr.of_edges ~weights:vals ~n:p.rows edges
+
+let host_cg (m : Csr.t) iterations =
+  let n = m.Csr.n in
+  let x = Array.init n (fun i -> (i land 15) + 1) in
+  let q = Array.make n 0 in
+  for _ = 1 to iterations do
+    for r = 0 to n - 1 do
+      let acc = ref 0 in
+      for e = m.Csr.offsets.(r) to m.Csr.offsets.(r + 1) - 1 do
+        acc := !acc + (m.Csr.weights.(e) * x.(m.Csr.cols.(e)))
+      done;
+      q.(r) <- !acc
+    done;
+    (* x <- x + q/16 : the CG vector-update step, stream-shaped. *)
+    for r = 0 to n - 1 do
+      x.(r) <- x.(r) + (q.(r) / 16)
+    done
+  done;
+  (x, q)
+
+let build p =
+  let m = matrix_of p in
+  let mem =
+    Memory.create
+      ~capacity_words:((3 * m.Csr.m) + (4 * p.rows) + 65536)
+      ()
+  in
+  let off_r = Memory.alloc mem ~name:"offsets" ~words:(p.rows + 1) in
+  let cols_r = Memory.alloc mem ~name:"cols" ~words:m.Csr.m in
+  let vals_r = Memory.alloc mem ~name:"vals" ~words:m.Csr.m in
+  let x_r = Memory.alloc mem ~name:"x" ~words:p.rows in
+  let q_r = Memory.alloc mem ~name:"q" ~words:p.rows in
+  Workload.alloc_guard mem;
+  Memory.blit_array mem off_r m.Csr.offsets;
+  Memory.blit_array mem cols_r m.Csr.cols;
+  Memory.blit_array mem vals_r m.Csr.weights;
+  Memory.blit_array mem x_r (Array.init p.rows (fun i -> (i land 15) + 1));
+  let bld = Builder.create ~name:"cg" ~nparams:7 in
+  let off_b, cols_b, vals_b, x_b, q_b, n_op, iters_op =
+    match Builder.params bld with
+    | [ a; b; c; d; e; f; g ] -> (a, b, c, d, e, f, g)
+    | _ -> assert false
+  in
+  Builder.for_loop bld ~from:(Ir.Imm 0) ~bound:iters_op (fun bld _it ->
+      Builder.for_loop bld ~from:(Ir.Imm 0) ~bound:n_op (fun bld r ->
+          let start, stop = Graph_kernels.row_bounds bld ~off_base:off_b r in
+          let sums =
+            Builder.for_loop_acc bld ~from:start ~bound:(`Op stop)
+              ~init:[ Ir.Imm 0 ]
+              (fun bld e iaccs ->
+                let acc = List.hd iaccs in
+                let caddr = Builder.add bld cols_b e in
+                let c = Builder.load bld caddr in
+                let vaddr = Builder.add bld vals_b e in
+                let a = Builder.load bld vaddr in
+                let xaddr = Builder.add bld x_b c in
+                let xv = Builder.load bld xaddr in
+                let prod = Builder.mul bld a xv in
+                [ Builder.add bld acc prod ])
+          in
+          let qaddr = Builder.add bld q_b r in
+          Builder.store bld ~addr:qaddr ~value:(List.hd sums));
+      Builder.for_loop bld ~from:(Ir.Imm 0) ~bound:n_op (fun bld r ->
+          let qaddr = Builder.add bld q_b r in
+          let qv = Builder.load bld qaddr in
+          let upd = Builder.div bld qv (Ir.Imm 16) in
+          let xaddr = Builder.add bld x_b r in
+          let xv = Builder.load bld xaddr in
+          let nx = Builder.add bld xv upd in
+          Builder.store bld ~addr:xaddr ~value:nx));
+  Builder.ret bld None;
+  let func = Builder.finish bld in
+  Verify.check_exn func;
+  let host_x, host_q = host_cg m p.iterations in
+  let verify mem _ =
+    let ok = ref (Ok ()) in
+    let stride = max 1 (p.rows / 997) in
+    let r = ref 0 in
+    while !r < p.rows do
+      let gx = Memory.get mem (x_r.Memory.base + !r) in
+      let gq = Memory.get mem (q_r.Memory.base + !r) in
+      if gx <> host_x.(!r) then
+        ok := Error (Printf.sprintf "CG x[%d] = %d, expected %d" !r gx host_x.(!r))
+      else if gq <> host_q.(!r) then
+        ok := Error (Printf.sprintf "CG q[%d] = %d, expected %d" !r gq host_q.(!r));
+      r := !r + stride
+    done;
+    !ok
+  in
+  {
+    Workload.mem;
+    func;
+    args =
+      [
+        off_r.Memory.base; cols_r.Memory.base; vals_r.Memory.base;
+        x_r.Memory.base; q_r.Memory.base; p.rows; p.iterations;
+      ];
+    verify;
+  }
+
+let workload ?(params = default_params) ~name () =
+  Workload.make ~name ~app:"CG"
+    ~input:(Printf.sprintf "%dKx%d" (params.rows / 1024) params.nnz_per_row)
+    ~description:"Sparse matrix multiplications" ~nested:true
+    (fun () -> build params)

@@ -1,0 +1,18 @@
+(** NAS Conjugate Gradient kernel (Table 3): sparse matrix-vector
+    products over a random matrix in CSR, whose column gathers
+    ([x[cols[e]]]) are the irregular indirect accesses, plus the
+    CG vector updates (sequential streams the hardware prefetcher
+    covers). Fixed-point arithmetic; verified against a host mirror. *)
+
+type params = {
+  rows : int;
+  nnz_per_row : int;
+  iterations : int;
+  seed : int;
+}
+
+val default_params : params
+(** 262144 rows x 4 nnz, 1 iteration: the x vector alone is 2 MiB. *)
+
+val build : params -> Workload.instance
+val workload : ?params:params -> name:string -> unit -> Workload.t

@@ -1,0 +1,160 @@
+module Memory = Aptget_mem.Memory
+module Rng = Aptget_util.Rng
+
+type algo = Npo | Npo_st
+
+type params = {
+  n_buckets : int;
+  elems_per_bucket : int;
+  n_build : int;
+  n_probe : int;
+  seed : int;
+  algo : algo;
+}
+
+let hj2_params =
+  {
+    n_buckets = 1 lsl 18;
+    elems_per_bucket = 2;
+    n_build = 262_144;
+    n_probe = 131_072;
+    seed = 17;
+    algo = Npo;
+  }
+
+let hj8_params =
+  {
+    n_buckets = 1 lsl 16;
+    elems_per_bucket = 8;
+    n_build = 262_144;
+    n_probe = 131_072;
+    seed = 19;
+    algo = Npo;
+  }
+
+(* Hash functions; mirrored exactly by the IR kernel (63-bit OCaml int
+   semantics on both sides). *)
+let hash_const = 2654435761
+
+let hash ~algo ~mask key =
+  match algo with
+  | Npo -> ((key * hash_const) asr 12) land mask
+  | Npo_st -> (((key lxor (key asr 16)) * hash_const) asr 8) land mask
+
+let slot_words = 2 (* key, payload *)
+
+let build p =
+  if p.n_buckets land (p.n_buckets - 1) <> 0 then
+    invalid_arg "Hashjoin.build: n_buckets must be a power of two";
+  let mask = p.n_buckets - 1 in
+  let bucket_words = slot_words * p.elems_per_bucket in
+  let table_words = p.n_buckets * bucket_words in
+  let rng = Rng.create p.seed in
+  (* Build side: keys >= 1 (0 marks an empty slot). *)
+  let table = Array.make table_words 0 in
+  let build_keys = Array.init p.n_build (fun _ -> 1 + Rng.int rng (1 lsl 24)) in
+  Array.iter
+    (fun key ->
+      let b = hash ~algo:p.algo ~mask key in
+      let base = b * bucket_words in
+      let rec place s =
+        if s < p.elems_per_bucket then begin
+          if table.(base + (slot_words * s)) = 0 then begin
+            table.(base + (slot_words * s)) <- key;
+            table.(base + (slot_words * s) + 1) <- (key * 3) + 1
+          end
+          else place (s + 1)
+        end
+        (* bucket overflow: tuple dropped, as in NPO with fixed buckets *)
+      in
+      place 0)
+    build_keys;
+  (* Probe side: half the keys come from the build side for matches. *)
+  let probe_keys =
+    Array.init p.n_probe (fun _ ->
+        if Rng.bool rng then build_keys.(Rng.int rng p.n_build)
+        else 1 + Rng.int rng (1 lsl 24))
+  in
+  let expected =
+    Array.fold_left
+      (fun acc key ->
+        let b = hash ~algo:p.algo ~mask key in
+        let base = b * bucket_words in
+        let sum = ref 0 in
+        for s = 0 to p.elems_per_bucket - 1 do
+          if table.(base + (slot_words * s)) = key then
+            sum := !sum + table.(base + (slot_words * s) + 1)
+        done;
+        acc + !sum)
+      0 probe_keys
+  in
+  let mem =
+    Memory.create ~capacity_words:(table_words + p.n_probe + 65536) ()
+  in
+  let probe_r = Memory.alloc mem ~name:"probe_keys" ~words:p.n_probe in
+  let ht_r = Memory.alloc mem ~name:"hash_table" ~words:table_words in
+  Workload.alloc_guard mem;
+  Memory.blit_array mem probe_r probe_keys;
+  Memory.blit_array mem ht_r table;
+  (* params: probe_base, ht_base, n_probe, mask, elems_per_bucket *)
+  let bld = Builder.create ~name:"hashjoin" ~nparams:5 in
+  let probe_b, ht_b, n_op, mask_op, epb_op =
+    match Builder.params bld with
+    | [ a; b; c; d; e ] -> (a, b, c, d, e)
+    | _ -> assert false
+  in
+  let final =
+    Builder.for_loop_acc bld ~from:(Ir.Imm 0) ~bound:(`Op n_op)
+      ~init:[ Ir.Imm 0 ]
+      (fun bld i accs ->
+        let acc0 = List.hd accs in
+        let kaddr = Builder.add bld probe_b i in
+        let key = Builder.load bld kaddr in
+        let h =
+          match p.algo with
+          | Npo ->
+            let prod = Builder.mul bld key (Ir.Imm hash_const) in
+            let shifted = Builder.shr bld prod (Ir.Imm 12) in
+            Builder.band bld shifted mask_op
+          | Npo_st ->
+            let folded = Builder.shr bld key (Ir.Imm 16) in
+            let mixed = Builder.bxor bld key folded in
+            let prod = Builder.mul bld mixed (Ir.Imm hash_const) in
+            let shifted = Builder.shr bld prod (Ir.Imm 8) in
+            Builder.band bld shifted mask_op
+        in
+        let boff = Builder.mul bld h (Ir.Imm (slot_words * p.elems_per_bucket)) in
+        let bucket = Builder.add bld ht_b boff in
+        Builder.for_loop_acc bld ~from:(Ir.Imm 0) ~bound:(`Op epb_op)
+          ~init:[ acc0 ]
+          (fun bld s iaccs ->
+            let acc = List.hd iaccs in
+            let soff = Builder.mul bld s (Ir.Imm slot_words) in
+            let saddr = Builder.add bld bucket soff in
+            let k = Builder.load bld saddr in
+            let matches = Builder.cmp bld Ir.Eq k key in
+            Builder.if_then_acc bld ~cond:matches ~init:[ acc ] (fun bld ->
+                let paddr = Builder.add bld saddr (Ir.Imm 1) in
+                let payload = Builder.load bld paddr in
+                [ Builder.add bld acc payload ])))
+  in
+  Builder.ret bld (Some (List.hd final));
+  let func = Builder.finish bld in
+  Verify.check_exn func;
+  {
+    Workload.mem;
+    func;
+    args =
+      [
+        probe_r.Memory.base; ht_r.Memory.base; p.n_probe; mask;
+        p.elems_per_bucket;
+      ];
+    verify = Workload.expect_ret expected;
+  }
+
+let workload ?(params = hj8_params) ~name () =
+  Workload.make ~name ~app:(Printf.sprintf "HJ%d" params.elems_per_bucket)
+    ~input:(match params.algo with Npo -> "NPO" | Npo_st -> "NPO_st")
+    ~description:"Represents a database application (hash join probe)"
+    ~nested:true
+    (fun () -> build params)

@@ -1,0 +1,32 @@
+(** Hash-join probe kernel (Balkesen et al.'s NPO, Table 3).
+
+    The build side is materialised host-side into a bucketed hash table
+    (open addressing within fixed-size buckets of [elems_per_bucket]
+    slots — 2 for HJ2, 8 for HJ8); the measured kernel is the probe
+    phase: for every probe tuple, hash the key and scan the bucket's
+    slots, accumulating matching payloads. The bucket scan is the
+    low-trip-count inner loop that makes outer-site prefetch injection
+    shine (Fig. 10). *)
+
+type algo =
+  | Npo     (** multiplicative hashing *)
+  | Npo_st  (** xor-fold then multiplicative, the paper's second variant *)
+
+type params = {
+  n_buckets : int;        (** power of two *)
+  elems_per_bucket : int; (** 2 (HJ2) or 8 (HJ8) *)
+  n_build : int;
+  n_probe : int;
+  seed : int;
+  algo : algo;
+}
+
+val hj2_params : params
+val hj8_params : params
+(** NPO variants; switch [algo] for NPO_st. *)
+
+val build : params -> Workload.instance
+(** The kernel returns the sum of matched payloads, verified against a
+    host-side probe of the same table. *)
+
+val workload : ?params:params -> name:string -> unit -> Workload.t

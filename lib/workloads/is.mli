@@ -1,0 +1,26 @@
+(** NAS Integer Sort (bucket sort of random integers, Table 3).
+
+    Two indirect phases per iteration, as in NAS IS's counting sort:
+    key counting ([count[keys[i]]++], delinquent read-modify-write) and
+    key ranking ([rank[i] = cursor[keys[i]]++]). The count/cursor
+    arrays exceed the LLC, so both indirect loads miss. *)
+
+type params = {
+  n_keys : int;
+  key_range : int;  (** counting-array length in words *)
+  iterations : int;
+  seed : int;
+}
+
+val default_params : params
+(** = [class_b]. *)
+
+val class_b : params
+(** 393216 keys over a 524288-word range (4 MiB > LLC), 1 iteration
+    (NAS Class B scaled: the paper runs 25 iterations of 2^25 keys). *)
+
+val class_c : params
+(** 786432 keys over a 1 Mi-word range (8 MiB), the Class C scaling. *)
+
+val build : params -> Workload.instance
+val workload : ?params:params -> name:string -> unit -> Workload.t

@@ -1,0 +1,39 @@
+(** The microbenchmark of Listing 1 (§2.1).
+
+    A two-deep loop nest performing the indirect access [T[B[idx]]]
+    with a tunable work function:
+
+    {v
+    for (j = 0; j < outer; j++)
+      for (i = 0; i < inner; i++) {
+        idx = j * inner + i;
+        v = T[B[idx]];          // indirect, delinquent
+        work(complexity, v);    // IC of the loop
+      }
+    v}
+
+    [B] holds uniformly random indices into [T]; [T] is sized well
+    beyond the LLC so the indirect load misses. [INNER] and
+    [COMPLEXITY] are the paper's two knobs (§2.2, Fig. 1–2). *)
+
+type params = {
+  total : int;       (** outer * inner elements (B length) *)
+  inner : int;       (** inner-loop trip count *)
+  complexity : int;  (** cycles of work per element *)
+  table_words : int; (** size of T *)
+  seed : int;
+}
+
+val default_params : params
+(** total 262144, inner 256, complexity 0, T = 4 Mi words (32 MiB). *)
+
+val accumulate_expected : params -> int
+(** The checksum the kernel should return (sum of the low bit of every
+    loaded element, as consumed by the work function). *)
+
+val build : params -> Workload.instance
+
+val workload : ?params:params -> name:string -> unit -> Workload.t
+
+val delinquent_load_pc : Workload.instance -> int
+(** Layout PC of the indirect [T] load (for targeted experiments). *)

@@ -1,0 +1,69 @@
+module Memory = Aptget_mem.Memory
+module Rng = Aptget_util.Rng
+
+type params = { table_words : int; updates : int; seed : int }
+
+let default_params = { table_words = 1 lsl 22; updates = 524_288; seed = 31 }
+
+let stream_of p =
+  let rng = Rng.create p.seed in
+  Array.init p.updates (fun _ -> Rng.int rng p.table_words)
+
+let build p =
+  if p.table_words land (p.table_words - 1) <> 0 then
+    invalid_arg "Randacc.build: table_words must be a power of two";
+  let stream = stream_of p in
+  let mem =
+    Memory.create ~capacity_words:(p.table_words + p.updates + 65536) ()
+  in
+  let idx_r = Memory.alloc mem ~name:"idx" ~words:p.updates in
+  let table_r = Memory.alloc mem ~name:"T" ~words:p.table_words in
+  Workload.alloc_guard mem;
+  Memory.blit_array mem idx_r stream;
+  let init_table = Array.init p.table_words (fun i -> i) in
+  Memory.blit_array mem table_r init_table;
+  let bld = Builder.create ~name:"randacc" ~nparams:3 in
+  let idx_b, table_b, n_op =
+    match Builder.params bld with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
+  Builder.for_loop bld ~from:(Ir.Imm 0) ~bound:n_op (fun bld i ->
+      let iaddr = Builder.add bld idx_b i in
+      let r = Builder.load bld iaddr in
+      let taddr = Builder.add bld table_b r in
+      let v = Builder.load bld taddr in
+      let nv = Builder.bxor bld v r in
+      Builder.store bld ~addr:taddr ~value:nv);
+  Builder.ret bld None;
+  let func = Builder.finish bld in
+  Verify.check_exn func;
+  let host_table = Array.init p.table_words (fun i -> i) in
+  Array.iter (fun r -> host_table.(r) <- host_table.(r) lxor r) stream;
+  let verify mem _ =
+    let ok = ref (Ok ()) in
+    let stride = max 1 (p.table_words / 997) in
+    let i = ref 0 in
+    while !i < p.table_words do
+      let got = Memory.get mem (table_r.Memory.base + !i) in
+      if got <> host_table.(!i) then
+        ok :=
+          Error
+            (Printf.sprintf "randAcc T[%d] = %d, expected %d" !i got
+               host_table.(!i));
+      i := !i + stride
+    done;
+    !ok
+  in
+  {
+    Workload.mem;
+    func;
+    args = [ idx_r.Memory.base; table_r.Memory.base; p.updates ];
+    verify;
+  }
+
+let workload ?(params = default_params) ~name () =
+  Workload.make ~name ~app:"RandAcc"
+    ~input:(Printf.sprintf "%dMiB" (params.table_words * 8 / 1024 / 1024))
+    ~description:"Measuring memory system performance" ~nested:false
+    (fun () -> build params)

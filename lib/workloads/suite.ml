@@ -1,0 +1,106 @@
+module Csr = Aptget_graph.Csr
+module Datasets = Aptget_graph.Datasets
+module Generate = Aptget_graph.Generate
+
+let bfs ~name ~graph ~input =
+  Workload.make ~name ~app:"BFS" ~input
+    ~description:"Searches a target vertex given a start node in a graph"
+    ~nested:true
+    (fun () -> Graph_kernels.bfs (graph ()))
+
+let dfs ~name ~graph ~input =
+  Workload.make ~name ~app:"DFS" ~input
+    ~description:"Depth-first traversal given a start node" ~nested:true
+    (fun () -> Graph_kernels.dfs (graph ()))
+
+let pr ~name ~graph ~input =
+  Workload.make ~name ~app:"PR" ~input
+    ~description:"Computes ranking of web-pages" ~nested:true
+    (fun () -> Graph_kernels.pagerank (graph ()))
+
+let bc ~name ~graph ~input =
+  Workload.make ~name ~app:"BC" ~input
+    ~description:"Centrality via shortest-path counting" ~nested:true
+    (fun () -> Graph_kernels.bc (graph ()))
+
+let sssp ~name ~graph ~input =
+  Workload.make ~name ~app:"SSSP" ~input
+    ~description:"Shortest path to all vertices from a source" ~nested:true
+    (fun () -> Graph_kernels.sssp (graph ()))
+
+let dataset short =
+  match Datasets.find short with
+  | Some s -> s
+  | None -> invalid_arg ("Suite: unknown dataset " ^ short)
+
+let sym_dataset short () = Csr.symmetrize (Datasets.build (dataset short))
+let synth ~nodes ~degree () = Datasets.synthetic ~nodes ~degree ()
+
+let g500_graph ?(scale = 15) ?(edge_factor = 10) () =
+  Csr.symmetrize (Generate.rmat ~seed:97 ~scale ~edge_factor)
+
+let default =
+  [
+    bfs ~name:"BFS-LBE" ~graph:(sym_dataset "LBE") ~input:"loc-Brightkite";
+    bfs ~name:"BFS-80K8" ~graph:(synth ~nodes:80_000 ~degree:8) ~input:"80K-d8";
+    dfs ~name:"DFS-P2P" ~graph:(sym_dataset "P2P") ~input:"p2p-Gnutella31";
+    pr ~name:"PR-WG" ~graph:(sym_dataset "WG") ~input:"web-Google";
+    bc ~name:"BC-50K8" ~graph:(synth ~nodes:50_000 ~degree:8) ~input:"50K-d8";
+    sssp ~name:"SSSP-40K8"
+      ~graph:(fun () ->
+        Generate.random_weights ~seed:5 (synth ~nodes:40_000 ~degree:8 ()))
+      ~input:"40K-d8";
+    Is.workload ~params:Is.class_b ~name:"IS-B" ();
+    Is.workload ~params:Is.class_c ~name:"IS-C" ();
+    Cg.workload ~name:"CG" ();
+    Randacc.workload ~name:"randAcc" ();
+    Hashjoin.workload ~params:Hashjoin.hj2_params ~name:"HJ2-NPO" ();
+    Hashjoin.workload
+      ~params:{ Hashjoin.hj2_params with Hashjoin.algo = Hashjoin.Npo_st }
+      ~name:"HJ2-NPOst" ();
+    Hashjoin.workload ~params:Hashjoin.hj8_params ~name:"HJ8-NPO" ();
+    Hashjoin.workload
+      ~params:{ Hashjoin.hj8_params with Hashjoin.algo = Hashjoin.Npo_st }
+      ~name:"HJ8-NPOst" ();
+    Workload.make ~name:"Graph500" ~app:"Graph500" ~input:"rmat-s15-ef10"
+      ~description:"Breadth-first search on an undirected RMAT graph"
+      ~nested:true
+      (fun () -> Graph_kernels.bfs (g500_graph ()));
+  ]
+
+let nested = List.filter (fun w -> w.Workload.nested) default
+
+let train_test =
+  [
+    ( bfs ~name:"BFS-train-LBE" ~graph:(sym_dataset "LBE") ~input:"loc-Brightkite",
+      bfs ~name:"BFS-test-80K8" ~graph:(synth ~nodes:80_000 ~degree:8)
+        ~input:"80K-d8" );
+    ( dfs ~name:"DFS-train-P2P" ~graph:(sym_dataset "P2P") ~input:"p2p-Gnutella31",
+      dfs ~name:"DFS-test-60K4" ~graph:(synth ~nodes:60_000 ~degree:4)
+        ~input:"60K-d4" );
+    ( pr ~name:"PR-train-WG" ~graph:(sym_dataset "WG") ~input:"web-Google",
+      pr ~name:"PR-test-WS" ~graph:(sym_dataset "WS") ~input:"web-Stanford" );
+    ( sssp ~name:"SSSP-train-40K8"
+        ~graph:(fun () ->
+          Generate.random_weights ~seed:5 (synth ~nodes:40_000 ~degree:8 ()))
+        ~input:"40K-d8",
+      sssp ~name:"SSSP-test-60K6"
+        ~graph:(fun () ->
+          Generate.random_weights ~seed:6
+            (Datasets.synthetic ~seed:51 ~nodes:60_000 ~degree:6 ()))
+        ~input:"60K-d6" );
+    ( Hashjoin.workload ~params:Hashjoin.hj8_params ~name:"HJ8-train" (),
+      Hashjoin.workload
+        ~params:{ Hashjoin.hj8_params with Hashjoin.seed = 77 }
+        ~name:"HJ8-test" () );
+  ]
+
+let find name =
+  let k = String.lowercase_ascii name in
+  List.find_opt (fun w -> String.lowercase_ascii w.Workload.name = k) default
+
+let micro ~inner ~complexity =
+  Micro.workload
+    ~params:{ Micro.default_params with Micro.inner; complexity }
+    ~name:(Printf.sprintf "micro-i%d-c%d" inner complexity)
+    ()

@@ -1,0 +1,30 @@
+(** The benchmark suite of the paper's evaluation (§4.2, Table 3).
+
+    Ten applications over their inputs: CRONO graph kernels (BFS, DFS,
+    PR, BC, SSSP) on SNAP stand-ins and synthetic graphs, NAS IS and
+    CG, HPCC RandomAccess, the two hash-join variants, and Graph500
+    BFS on an RMAT graph. *)
+
+val bfs : name:string -> graph:(unit -> Aptget_graph.Csr.t) -> input:string -> Workload.t
+val dfs : name:string -> graph:(unit -> Aptget_graph.Csr.t) -> input:string -> Workload.t
+val pr : name:string -> graph:(unit -> Aptget_graph.Csr.t) -> input:string -> Workload.t
+val bc : name:string -> graph:(unit -> Aptget_graph.Csr.t) -> input:string -> Workload.t
+val sssp : name:string -> graph:(unit -> Aptget_graph.Csr.t) -> input:string -> Workload.t
+
+val default : Workload.t list
+(** The main evaluation suite (Fig. 5–9, 11): one representative input
+    per application, 13 entries. *)
+
+val nested : Workload.t list
+(** The subset with loop nests, used for the injection-site study
+    (Fig. 10). *)
+
+val train_test : (Workload.t * Workload.t) list
+(** (train-input, test-input) pairs per application for the input
+    -sensitivity study (Fig. 12): same app, different dataset. *)
+
+val find : string -> Workload.t option
+(** Look up a suite entry by name (case-insensitive). *)
+
+val micro : inner:int -> complexity:int -> Workload.t
+(** The §2 microbenchmark at a given trip count and work complexity. *)

@@ -1,0 +1,31 @@
+module Memory = Aptget_mem.Memory
+
+type instance = {
+  mem : Memory.t;
+  func : Ir.func;
+  args : int list;
+  verify : Memory.t -> int option -> (unit, string) result;
+}
+
+type t = {
+  name : string;
+  app : string;
+  input : string;
+  description : string;
+  nested : bool;
+  build : unit -> instance;
+}
+
+let make ~name ~app ~input ~description ~nested build =
+  { name; app; input; description; nested; build }
+
+let alloc_guard mem = ignore (Memory.alloc mem ~name:"guard" ~words:8192)
+
+let no_verify _ _ = Ok ()
+
+let expect_ret expected _ ret =
+  match ret with
+  | Some v when v = expected -> Ok ()
+  | Some v ->
+    Error (Printf.sprintf "kernel returned %d, expected %d" v expected)
+  | None -> Error "kernel returned no value"

@@ -1,0 +1,45 @@
+(** Common shape of a benchmark workload.
+
+    A workload is a deterministic recipe: building it lays out fresh
+    data in a fresh simulated memory and produces the IR kernel plus
+    its arguments. Every measured run (baseline, Ainsworth & Jones,
+    APT-GET, distance sweeps, ...) rebuilds the instance so runs never
+    see each other's side effects. *)
+
+type instance = {
+  mem : Aptget_mem.Memory.t;
+  func : Ir.func;
+  args : int list;
+  verify : Aptget_mem.Memory.t -> int option -> (unit, string) result;
+      (** semantic check on (memory, return value) after a run *)
+}
+
+type t = {
+  name : string;        (** e.g. "BFS-LBE" *)
+  app : string;         (** paper application name, e.g. "BFS" *)
+  input : string;       (** dataset tag, e.g. "LBE" or "80K-d8" *)
+  description : string; (** Table 3 description *)
+  nested : bool;        (** has a loop nest eligible for outer-site *)
+  build : unit -> instance;
+}
+
+val make :
+  name:string ->
+  app:string ->
+  input:string ->
+  description:string ->
+  nested:bool ->
+  (unit -> instance) ->
+  t
+
+val alloc_guard : Aptget_mem.Memory.t -> unit
+(** Allocate a trailing guard region so prefetch-slice clones that
+    overshoot an array by a few elements still read in-bounds zeros
+    (mirrors reading adjacent pages on real hardware). Call last,
+    after all workload allocations. *)
+
+val no_verify : Aptget_mem.Memory.t -> int option -> (unit, string) result
+(** Always [Ok ()]. *)
+
+val expect_ret : int -> Aptget_mem.Memory.t -> int option -> (unit, string) result
+(** Check the kernel returned exactly this value. *)

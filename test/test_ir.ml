@@ -1,0 +1,393 @@
+(* IR construction, layout, verification, and printing. *)
+
+let build_simple_loop () =
+  (* sum = 0; for i in 0..n: sum += A[i]; ret sum *)
+  let b = Builder.create ~name:"sum" ~nparams:2 in
+  let a_base, n =
+    match Builder.params b with [ x; y ] -> (x, y) | _ -> assert false
+  in
+  let final =
+    Builder.for_loop_acc b ~from:(Ir.Imm 0) ~bound:(`Op n) ~init:[ Ir.Imm 0 ]
+      (fun b i accs ->
+        let v = Builder.load b (Builder.add b a_base i) in
+        [ Builder.add b (List.hd accs) v ])
+  in
+  Builder.ret b (Some (List.hd final));
+  Builder.finish b
+
+let test_builder_verifies () =
+  let f = build_simple_loop () in
+  match Verify.check f with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_builder_loop_shape () =
+  let f = build_simple_loop () in
+  Alcotest.(check int) "4 blocks (entry/header/body/exit)" 4
+    (Array.length f.Ir.blocks);
+  Alcotest.(check int) "entry is 0" 0 f.Ir.entry;
+  (* header has the induction phi and the accumulator phi *)
+  Alcotest.(check int) "two phis" 2 (List.length f.Ir.blocks.(1).Ir.phis)
+
+let test_builder_if_then () =
+  let b = Builder.create ~name:"abs" ~nparams:1 in
+  let x = List.hd (Builder.params b) in
+  let neg = Builder.cmp b Ir.Lt x (Ir.Imm 0) in
+  let r =
+    Builder.if_then_acc b ~cond:neg ~init:[ x ] (fun b ->
+        [ Builder.sub b (Ir.Imm 0) x ])
+  in
+  Builder.ret b (Some (List.hd r));
+  let f = Builder.finish b in
+  Verify.check_exn f
+
+let test_builder_rejects_double_term () =
+  let b = Builder.create ~name:"t" ~nparams:0 in
+  Builder.ret b None;
+  Alcotest.(check bool) "second terminator rejected" true
+    (try
+       Builder.ret b None;
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_rejects_emit_after_term () =
+  let b = Builder.create ~name:"t" ~nparams:0 in
+  Builder.ret b None;
+  Alcotest.(check bool) "emit after terminator rejected" true
+    (try
+       ignore (Builder.add b (Ir.Imm 1) (Ir.Imm 2));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Ir helpers ---------------- *)
+
+let test_successors () =
+  Alcotest.(check (list int)) "jmp" [ 3 ] (Ir.successors (Ir.Jmp 3));
+  Alcotest.(check (list int)) "br" [ 1; 2 ] (Ir.successors (Ir.Br (Ir.Imm 1, 1, 2)));
+  Alcotest.(check (list int)) "br same target deduped" [ 1 ]
+    (Ir.successors (Ir.Br (Ir.Imm 1, 1, 1)));
+  Alcotest.(check (list int)) "ret" [] (Ir.successors (Ir.Ret None))
+
+let test_predecessors () =
+  let f = build_simple_loop () in
+  (* header (1) is reached from entry (0) and body (2) *)
+  Alcotest.(check (list int)) "preds of header" [ 0; 2 ] (Ir.predecessors f 1)
+
+let test_operands_and_map () =
+  let k = Ir.Binop (Ir.Add, Ir.Reg 1, Ir.Imm 2) in
+  Alcotest.(check int) "two operands" 2 (List.length (Ir.operands k));
+  let k2 = Ir.map_operands (function Ir.Reg 1 -> Ir.Reg 9 | o -> o) k in
+  (match k2 with
+  | Ir.Binop (Ir.Add, Ir.Reg 9, Ir.Imm 2) -> ()
+  | _ -> Alcotest.fail "map_operands did not rewrite")
+
+let test_copy_func_isolated () =
+  let f = build_simple_loop () in
+  let g = Ir.copy_func f in
+  g.Ir.blocks.(2).Ir.instrs <- [||];
+  Alcotest.(check bool) "original untouched" true
+    (Array.length f.Ir.blocks.(2).Ir.instrs > 0)
+
+let test_instr_count () =
+  let f = build_simple_loop () in
+  Alcotest.(check bool) "counts instructions" true (Ir.instr_count f >= 4)
+
+(* ---------------- Layout ---------------- *)
+
+let test_layout_roundtrip () =
+  let pc = Layout.pc_of_instr 3 17 in
+  Alcotest.(check int) "block" 3 (Layout.block_of_pc pc);
+  (match Layout.slot_of_pc pc with
+  | `Instr 17 -> ()
+  | _ -> Alcotest.fail "slot mismatch");
+  let t = Layout.pc_of_term 5 in
+  Alcotest.(check int) "term block" 5 (Layout.block_of_pc t);
+  match Layout.slot_of_pc t with
+  | `Term -> ()
+  | `Instr _ -> Alcotest.fail "expected terminator slot"
+
+let test_layout_instr_at () =
+  let f = build_simple_loop () in
+  (match Layout.instr_at f (Layout.pc_of_instr 2 0) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected an instruction");
+  Alcotest.(check bool) "out of range" true
+    (Layout.instr_at f (Layout.pc_of_instr 40 0) = None)
+
+let test_layout_loads () =
+  let f = build_simple_loop () in
+  Alcotest.(check int) "one load" 1 (List.length (Layout.pcs_of_loads f))
+
+let prop_layout_roundtrip =
+  QCheck.Test.make ~name:"layout pc roundtrip" ~count:200
+    QCheck.(pair (int_bound 100) (int_bound (Layout.term_offset - 1)))
+    (fun (b, i) ->
+      let pc = Layout.pc_of_instr b i in
+      Layout.block_of_pc pc = b && Layout.slot_of_pc pc = `Instr i)
+
+(* ---------------- Verify ---------------- *)
+
+let broken_func blocks next_reg =
+  { Ir.fname = "broken"; params = []; entry = 0; blocks; next_reg }
+
+let test_verify_bad_target () =
+  let f = broken_func [| { Ir.phis = []; instrs = [||]; term = Ir.Jmp 9 } |] 0 in
+  Alcotest.(check bool) "rejected" true (Verify.errors f <> [])
+
+let test_verify_undefined_use () =
+  let f =
+    broken_func
+      [|
+        {
+          Ir.phis = [];
+          instrs = [| { Ir.dst = 0; kind = Ir.Binop (Ir.Add, Ir.Reg 5, Ir.Imm 1) } |];
+          term = Ir.Ret None;
+        };
+      |]
+      1
+  in
+  Alcotest.(check bool) "rejected" true (Verify.errors f <> [])
+
+let test_verify_double_def () =
+  let f =
+    broken_func
+      [|
+        {
+          Ir.phis = [];
+          instrs =
+            [|
+              { Ir.dst = 0; kind = Ir.Binop (Ir.Add, Ir.Imm 1, Ir.Imm 1) };
+              { Ir.dst = 0; kind = Ir.Binop (Ir.Add, Ir.Imm 2, Ir.Imm 2) };
+            |];
+          term = Ir.Ret None;
+        };
+      |]
+      1
+  in
+  Alcotest.(check bool) "rejected" true (Verify.errors f <> [])
+
+let test_verify_phi_mismatch () =
+  let f =
+    broken_func
+      [|
+        { Ir.phis = []; instrs = [||]; term = Ir.Jmp 1 };
+        {
+          Ir.phis = [ { Ir.phi_dst = 0; incoming = [ (7, Ir.Imm 1) ] } ];
+          instrs = [||];
+          term = Ir.Ret None;
+        };
+      |]
+      1
+  in
+  Alcotest.(check bool) "rejected" true (Verify.errors f <> [])
+
+let test_verify_entry_phi () =
+  let f =
+    broken_func
+      [|
+        {
+          Ir.phis = [ { Ir.phi_dst = 0; incoming = [] } ];
+          instrs = [||];
+          term = Ir.Ret None;
+        };
+      |]
+      1
+  in
+  Alcotest.(check bool) "rejected" true (Verify.errors f <> [])
+
+let test_verify_accepts_good () =
+  Verify.check_exn (build_simple_loop ())
+
+(* ---------------- Printer ---------------- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_printer_renders () =
+  let f = build_simple_loop () in
+  let s = Printer.func_to_string f in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains s needle))
+    [ "func sum"; "load"; "phi"; "icmp lt"; "ret" ]
+
+(* ---------------- Parser ---------------- *)
+
+let test_parser_roundtrip_simple () =
+  let f = build_simple_loop () in
+  let text = Printer.func_to_string f in
+  match Parser.func text with
+  | Ok g ->
+    Alcotest.(check string) "print . parse . print = print" text
+      (Printer.func_to_string g)
+  | Error e -> Alcotest.fail e
+
+let test_parser_hand_written () =
+  let text =
+    "func double_sum(%0, %1):\n\
+     b0:\n\
+     jmp b1\n\
+     b1:\n\
+     %2 = phi [b0: 0] [b2: %6]\n\
+     %3 = phi [b0: 0] [b2: %7]\n\
+     %4 = icmp lt %2, %1\n\
+     br %4, b2, b3\n\
+     b2:\n\
+     %5 = load [%0]\n\
+     %6 = add %2, 1\n\
+     %7 = add %3, %5\n\
+     jmp b1\n\
+     b3:\n\
+     ret %3\n"
+  in
+  match Parser.func text with
+  | Ok f ->
+    Alcotest.(check string) "name" "double_sum" f.Ir.fname;
+    Alcotest.(check int) "blocks" 4 (Array.length f.Ir.blocks);
+    (* run it: sums memory.(base) n times *)
+    let mem = Aptget_mem.Memory.create () in
+    let r = Aptget_mem.Memory.alloc mem ~name:"r" ~words:8 in
+    Aptget_mem.Memory.set mem r.Aptget_mem.Memory.base 5;
+    let out =
+      Aptget_machine.Machine.execute
+        ~args:[ r.Aptget_mem.Memory.base; 3 ]
+        ~mem f
+    in
+    Alcotest.(check (option int)) "3 * 5" (Some 15) out.Aptget_machine.Machine.ret
+  | Error e -> Alcotest.fail e
+
+let test_parser_errors () =
+  List.iter
+    (fun (what, text) ->
+      match Parser.func text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted " ^ what))
+    [
+      ("missing header", "b0:\nret\n");
+      ("missing terminator", "func f():\nb0:\n%0 = add 1, 2\n");
+      ("bad opcode", "func f():\nb0:\n%0 = frobnicate 1, 2\nret\n");
+      ("out-of-order blocks", "func f():\nb1:\nret\n");
+      ("second terminator", "func f():\nb0:\nret\nret\n");
+      ("undefined register", "func f():\nb0:\n%5 = add %9, 1\nret\n");
+      ("bad target", "func f():\nb0:\njmp b7\n");
+    ]
+
+let test_parser_operand () =
+  Alcotest.(check bool) "reg" true (Parser.operand "%12" = Ok (Ir.Reg 12));
+  Alcotest.(check bool) "imm" true (Parser.operand "-3" = Ok (Ir.Imm (-3)));
+  Alcotest.(check bool) "junk" true (Result.is_error (Parser.operand "zzz"))
+
+let test_parser_all_opcodes () =
+  (* One function exercising every instruction kind and terminator. *)
+  let text =
+    "func zoo(%0, %1):\n\
+     b0:\n\
+     %2 = add %0, 1\n\
+     %3 = sub %2, %1\n\
+     %4 = mul %3, 3\n\
+     %5 = div %4, 2\n\
+     %6 = rem %5, 7\n\
+     %7 = and %6, 15\n\
+     %8 = or %7, 1\n\
+     %9 = xor %8, %2\n\
+     %10 = shl %9, 1\n\
+     %11 = shr %10, 1\n\
+     %12 = icmp ge %11, 0\n\
+     %13 = select %12, %11, 0\n\
+     store [%0], %13\n\
+     prefetch [%0]\n\
+     work 5\n\
+     %14 = load [%0]\n\
+     br %12, b1, b2\n\
+     b1:\n\
+     ret %14\n\
+     b2:\n\
+     ret\n"
+  in
+  match Parser.func text with
+  | Error e -> Alcotest.fail e
+  | Ok f ->
+    let printed = Printer.func_to_string f in
+    (match Parser.func printed with
+    | Ok g ->
+      Alcotest.(check string) "stable under reprint" printed
+        (Printer.func_to_string g)
+    | Error e -> Alcotest.fail e);
+    (* run it to make sure the zoo executes *)
+    let mem = Aptget_mem.Memory.create () in
+    let r = Aptget_mem.Memory.alloc mem ~name:"r" ~words:8 in
+    let out =
+      Aptget_machine.Machine.execute
+        ~args:[ r.Aptget_mem.Memory.base; 2 ]
+        ~mem f
+    in
+    Alcotest.(check bool) "returned" true (out.Aptget_machine.Machine.ret <> None)
+
+let prop_parser_roundtrip_workloads =
+  QCheck.Test.make ~name:"parser roundtrips workload kernels" ~count:8
+    QCheck.(int_range 1 6)
+    (fun log_inner ->
+      let inner = 1 lsl log_inner in
+      let p =
+        {
+          Aptget_workloads.Micro.default_params with
+          Aptget_workloads.Micro.total = 256;
+          inner;
+          table_words = 4096;
+        }
+      in
+      let inst = Aptget_workloads.Micro.build p in
+      let text = Printer.func_to_string inst.Aptget_workloads.Workload.func in
+      match Parser.func text with
+      | Ok g -> Printer.func_to_string g = text
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "verifies" `Quick test_builder_verifies;
+          Alcotest.test_case "loop shape" `Quick test_builder_loop_shape;
+          Alcotest.test_case "if-then" `Quick test_builder_if_then;
+          Alcotest.test_case "double terminator" `Quick test_builder_rejects_double_term;
+          Alcotest.test_case "emit after terminator" `Quick
+            test_builder_rejects_emit_after_term;
+        ] );
+      ( "ir",
+        [
+          Alcotest.test_case "successors" `Quick test_successors;
+          Alcotest.test_case "predecessors" `Quick test_predecessors;
+          Alcotest.test_case "operands/map" `Quick test_operands_and_map;
+          Alcotest.test_case "copy isolated" `Quick test_copy_func_isolated;
+          Alcotest.test_case "instr count" `Quick test_instr_count;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_layout_roundtrip;
+          Alcotest.test_case "instr_at" `Quick test_layout_instr_at;
+          Alcotest.test_case "loads" `Quick test_layout_loads;
+          QCheck_alcotest.to_alcotest prop_layout_roundtrip;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "bad target" `Quick test_verify_bad_target;
+          Alcotest.test_case "undefined use" `Quick test_verify_undefined_use;
+          Alcotest.test_case "double def" `Quick test_verify_double_def;
+          Alcotest.test_case "phi mismatch" `Quick test_verify_phi_mismatch;
+          Alcotest.test_case "entry phi" `Quick test_verify_entry_phi;
+          Alcotest.test_case "accepts good" `Quick test_verify_accepts_good;
+        ] );
+      ("printer", [ Alcotest.test_case "renders" `Quick test_printer_renders ]);
+      ( "parser",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parser_roundtrip_simple;
+          Alcotest.test_case "hand-written kernel" `Quick test_parser_hand_written;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "all opcodes" `Quick test_parser_all_opcodes;
+          Alcotest.test_case "operands" `Quick test_parser_operand;
+          QCheck_alcotest.to_alcotest prop_parser_roundtrip_workloads;
+        ] );
+    ]

@@ -1,0 +1,109 @@
+module Memory = Aptget_mem.Memory
+
+let test_alloc_aligned () =
+  let m = Memory.create () in
+  let a = Memory.alloc m ~name:"a" ~words:3 in
+  let b = Memory.alloc m ~name:"b" ~words:5 in
+  Alcotest.(check int) "first at 0" 0 a.Memory.base;
+  Alcotest.(check int) "line aligned" 0 (b.Memory.base mod Memory.words_per_line);
+  Alcotest.(check bool) "disjoint" true (b.Memory.base >= a.Memory.base + a.Memory.words)
+
+let test_zero_initialised () =
+  let m = Memory.create () in
+  let r = Memory.alloc m ~name:"r" ~words:16 in
+  for i = 0 to 15 do
+    Alcotest.(check int) "zero" 0 (Memory.get m (r.Memory.base + i))
+  done
+
+let test_get_set () =
+  let m = Memory.create () in
+  let r = Memory.alloc m ~name:"r" ~words:4 in
+  Memory.set m (r.Memory.base + 2) 99;
+  Alcotest.(check int) "roundtrip" 99 (Memory.get m (r.Memory.base + 2))
+
+let test_bounds () =
+  let m = Memory.create () in
+  let r = Memory.alloc m ~name:"r" ~words:4 in
+  ignore r;
+  Alcotest.(check bool) "oob get raises" true
+    (try
+       ignore (Memory.get m 100_000);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative get raises" true
+    (try
+       ignore (Memory.get m (-1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_blit_read_roundtrip () =
+  let m = Memory.create () in
+  let r = Memory.alloc m ~name:"r" ~words:8 in
+  let data = [| 1; 2; 3; 4; 5; 6; 7; 8 |] in
+  Memory.blit_array m r data;
+  Alcotest.(check (array int)) "roundtrip" data (Memory.read_array m r)
+
+let test_blit_too_large () =
+  let m = Memory.create () in
+  let r = Memory.alloc m ~name:"r" ~words:2 in
+  Alcotest.check_raises "too large" (Invalid_argument "Memory.blit_array: too large")
+    (fun () -> Memory.blit_array m r [| 1; 2; 3 |])
+
+let test_growth () =
+  let m = Memory.create ~capacity_words:16 () in
+  let r = Memory.alloc m ~name:"big" ~words:10_000 in
+  Memory.set m (r.Memory.base + 9_999) 7;
+  Alcotest.(check int) "grown" 7 (Memory.get m (r.Memory.base + 9_999))
+
+let test_regions () =
+  let m = Memory.create () in
+  let _ = Memory.alloc m ~name:"a" ~words:8 in
+  let b = Memory.alloc m ~name:"b" ~words:8 in
+  Alcotest.(check (list string)) "order" [ "a"; "b" ]
+    (List.map (fun (r : Memory.region) -> r.Memory.name) (Memory.regions m));
+  (match Memory.find_region m (b.Memory.base + 3) with
+  | Some r -> Alcotest.(check string) "found" "b" r.Memory.name
+  | None -> Alcotest.fail "region not found");
+  Alcotest.(check bool) "miss" true (Memory.find_region m 1_000_000 = None)
+
+let test_line_of_addr () =
+  Alcotest.(check int) "line 0" 0 (Memory.line_of_addr 7);
+  Alcotest.(check int) "line 1" 1 (Memory.line_of_addr 8)
+
+let prop_alloc_disjoint =
+  QCheck.Test.make ~name:"allocations never overlap" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 20) (int_range 1 64))
+    (fun sizes ->
+      let m = Memory.create () in
+      let regions =
+        List.map (fun w -> Memory.alloc m ~name:"r" ~words:w) sizes
+      in
+      let rec disjoint = function
+        | [] -> true
+        | (r : Memory.region) :: rest ->
+          List.for_all
+            (fun (s : Memory.region) ->
+              r.Memory.base + r.Memory.words <= s.Memory.base
+              || s.Memory.base + s.Memory.words <= r.Memory.base)
+            rest
+          && disjoint rest
+      in
+      disjoint regions)
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "alloc aligned" `Quick test_alloc_aligned;
+          Alcotest.test_case "zero initialised" `Quick test_zero_initialised;
+          Alcotest.test_case "get/set" `Quick test_get_set;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "blit roundtrip" `Quick test_blit_read_roundtrip;
+          Alcotest.test_case "blit too large" `Quick test_blit_too_large;
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "regions" `Quick test_regions;
+          Alcotest.test_case "line of addr" `Quick test_line_of_addr;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_alloc_disjoint ]);
+    ]

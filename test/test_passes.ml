@@ -1,0 +1,717 @@
+(* CFG, loop analysis, slicing, and prefetch injection.
+
+   The key property here is semantic transparency: injecting prefetch
+   slices must never change what a kernel computes, only when its loads
+   are issued. Several tests run kernels before and after injection on
+   identical data and require bit-identical results. *)
+
+module Cfg = Aptget_passes.Cfg
+module Loops = Aptget_passes.Loops
+module Slice = Aptget_passes.Slice
+module Inject = Aptget_passes.Inject
+module Aj = Aptget_passes.Aj
+module Aptget_pass = Aptget_passes.Aptget_pass
+module Machine = Aptget_machine.Machine
+module Memory = Aptget_mem.Memory
+module Rng = Aptget_util.Rng
+
+(* A[B[i]] gather in a single loop. *)
+let gather_kernel () =
+  let b = Builder.create ~name:"gather" ~nparams:3 in
+  let b_base, t_base, n =
+    match Builder.params b with [ x; y; z ] -> (x, y, z) | _ -> assert false
+  in
+  let final =
+    Builder.for_loop_acc b ~from:(Ir.Imm 0) ~bound:(`Op n) ~init:[ Ir.Imm 0 ]
+      (fun b i accs ->
+        let idx = Builder.load b (Builder.add b b_base i) in
+        let v = Builder.load b (Builder.add b t_base idx) in
+        [ Builder.add b (List.hd accs) v ])
+  in
+  Builder.ret b (Some (List.hd final));
+  Builder.finish b
+
+(* Nested T[B[j*inner+i]] gather (the micro shape). *)
+let nested_kernel () =
+  let b = Builder.create ~name:"nested" ~nparams:4 in
+  let b_base, t_base, outer, inner =
+    match Builder.params b with
+    | [ w; x; y; z ] -> (w, x, y, z)
+    | _ -> assert false
+  in
+  let final =
+    Builder.for_loop_acc b ~from:(Ir.Imm 0) ~bound:(`Op outer) ~init:[ Ir.Imm 0 ]
+      (fun b j accs ->
+        Builder.for_loop_acc b ~from:(Ir.Imm 0) ~bound:(`Op inner)
+          ~init:[ List.hd accs ]
+          (fun b i iaccs ->
+            let row = Builder.mul b j inner in
+            let idx = Builder.add b row i in
+            let t_idx = Builder.load b (Builder.add b b_base idx) in
+            let v = Builder.load b (Builder.add b t_base t_idx) in
+            [ Builder.add b (List.hd iaccs) v ]))
+  in
+  Builder.ret b (Some (List.hd final));
+  Builder.finish b
+
+let gather_memory ~elements ~table_words ~seed =
+  let mem = Memory.create () in
+  let b = Memory.alloc mem ~name:"B" ~words:elements in
+  let t = Memory.alloc mem ~name:"T" ~words:table_words in
+  ignore (Memory.alloc mem ~name:"guard" ~words:1024);
+  let rng = Rng.create seed in
+  Memory.blit_array mem b (Array.init elements (fun _ -> Rng.int rng table_words));
+  Memory.blit_array mem t (Array.init table_words (fun i -> (i * 31) land 1023));
+  (mem, b.Memory.base, t.Memory.base)
+
+let indirect_load_pc f =
+  match Aj.candidate_loads f with
+  | pc :: _ -> pc
+  | [] -> Alcotest.fail "no indirect load found"
+
+(* ---------------- Cfg ---------------- *)
+
+let diamond () =
+  (* 0 -> 1,2 -> 3 *)
+  {
+    Ir.fname = "diamond";
+    params = [ 0 ];
+    entry = 0;
+    next_reg = 1;
+    blocks =
+      [|
+        { Ir.phis = []; instrs = [||]; term = Ir.Br (Ir.Reg 0, 1, 2) };
+        { Ir.phis = []; instrs = [||]; term = Ir.Jmp 3 };
+        { Ir.phis = []; instrs = [||]; term = Ir.Jmp 3 };
+        { Ir.phis = []; instrs = [||]; term = Ir.Ret None };
+      |];
+  }
+
+let test_cfg_dominators_diamond () =
+  let cfg = Cfg.build (diamond ()) in
+  Alcotest.(check bool) "0 dom 3" true (Cfg.dominates cfg 0 3);
+  Alcotest.(check bool) "1 not dom 3" false (Cfg.dominates cfg 1 3);
+  Alcotest.(check bool) "reflexive" true (Cfg.dominates cfg 2 2);
+  Alcotest.(check (option int)) "idom of 3" (Some 0) (Cfg.idom cfg 3);
+  Alcotest.(check (option int)) "entry has no idom" None (Cfg.idom cfg 0)
+
+let test_cfg_rpo () =
+  let cfg = Cfg.build (diamond ()) in
+  let rpo = Cfg.rpo cfg in
+  Alcotest.(check int) "all reachable" 4 (Array.length rpo);
+  Alcotest.(check int) "entry first" 0 rpo.(0)
+
+let test_cfg_unreachable () =
+  let f = diamond () in
+  f.Ir.blocks <-
+    Array.append f.Ir.blocks
+      [| { Ir.phis = []; instrs = [||]; term = Ir.Ret None } |];
+  let cfg = Cfg.build f in
+  Alcotest.(check bool) "block 4 unreachable" false (Cfg.reachable cfg 4);
+  Alcotest.(check bool) "not dominated" false (Cfg.dominates cfg 0 4)
+
+(* Random CFGs: every reachable block is dominated by the entry, and
+   an immediate dominator, when present, is itself a dominator. *)
+let prop_dominator_laws =
+  QCheck.Test.make ~name:"dominator laws on random CFGs" ~count:100
+    QCheck.(pair (int_range 2 12) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Aptget_util.Rng.create seed in
+      let blocks =
+        Array.init n (fun i ->
+            let term =
+              match Aptget_util.Rng.int rng 4 with
+              | 0 -> Ir.Ret None
+              | 1 -> Ir.Jmp (Aptget_util.Rng.int rng n)
+              | _ ->
+                Ir.Br
+                  ( Ir.Reg 0,
+                    Aptget_util.Rng.int rng n,
+                    Aptget_util.Rng.int rng n )
+            in
+            ignore i;
+            { Ir.phis = []; instrs = [||]; term })
+      in
+      let f =
+        { Ir.fname = "rand"; params = [ 0 ]; entry = 0; blocks; next_reg = 1 }
+      in
+      let cfg = Cfg.build f in
+      let ok = ref true in
+      for b = 0 to n - 1 do
+        if Cfg.reachable cfg b then begin
+          if not (Cfg.dominates cfg 0 b) then ok := false;
+          if not (Cfg.dominates cfg b b) then ok := false;
+          match Cfg.idom cfg b with
+          | Some d ->
+            if not (Cfg.dominates cfg d b) then ok := false;
+            if d = b then ok := false
+          | None -> if b <> 0 then ok := false
+        end
+        else if Cfg.dominates cfg 0 b then ok := false
+      done;
+      !ok)
+
+(* ---------------- Loops ---------------- *)
+
+let test_loops_simple () =
+  let f = gather_kernel () in
+  let loops = Loops.analyze f in
+  Alcotest.(check int) "one loop" 1 (Array.length loops);
+  let l = loops.(0) in
+  Alcotest.(check int) "depth" 1 l.Loops.depth;
+  Alcotest.(check bool) "no parent" true (l.Loops.parent = None);
+  Alcotest.(check (option int)) "preheader is entry" (Some 0) l.Loops.preheader;
+  match l.Loops.indvar with
+  | Some iv ->
+    Alcotest.(check bool) "step +1" true (iv.Loops.step = Loops.Step_add 1);
+    Alcotest.(check bool) "bound found" true (iv.Loops.bound <> None)
+  | None -> Alcotest.fail "expected an induction variable"
+
+let test_loops_nested () =
+  let f = nested_kernel () in
+  let loops = Loops.analyze f in
+  Alcotest.(check int) "two loops" 2 (Array.length loops);
+  let outer = loops.(0) and inner = loops.(1) in
+  Alcotest.(check int) "outer depth" 1 outer.Loops.depth;
+  Alcotest.(check int) "inner depth" 2 inner.Loops.depth;
+  Alcotest.(check (option int)) "inner parent" (Some 0) inner.Loops.parent;
+  Alcotest.(check bool) "inner inside outer" true
+    (List.mem inner.Loops.header outer.Loops.blocks)
+
+let test_loops_containing () =
+  let f = nested_kernel () in
+  let loops = Loops.analyze f in
+  let inner = loops.(1) in
+  (* the inner body block belongs to the inner loop *)
+  let body =
+    List.find (fun b -> b <> inner.Loops.header) inner.Loops.blocks
+  in
+  Alcotest.(check (option int)) "innermost wins" (Some 1)
+    (Loops.loop_containing loops body)
+
+let test_loops_latch_pc () =
+  let f = gather_kernel () in
+  let loops = Loops.analyze f in
+  let l = loops.(0) in
+  Alcotest.(check (option int)) "latch pc lookup" (Some 0)
+    (Loops.loop_of_latch_pc loops l.Loops.latch_pc)
+
+let test_loops_noncanonical_step () =
+  (* for (i = 1; i < n; i *= 2) *)
+  let b = Builder.create ~name:"pow2" ~nparams:1 in
+  let n = List.hd (Builder.params b) in
+  let entry = Builder.current b in
+  let header = Builder.new_block b in
+  let body = Builder.new_block b in
+  let exit = Builder.new_block b in
+  Builder.jmp b header;
+  Builder.switch_to b header;
+  let iv = Builder.phi b [ (entry, Ir.Imm 1) ] in
+  let c = Builder.cmp b Ir.Lt iv n in
+  Builder.br b c body exit;
+  Builder.switch_to b body;
+  let next = Builder.mul b iv (Ir.Imm 2) in
+  Builder.jmp b header;
+  Builder.add_incoming b ~block:header ~phi:iv (body, next);
+  Builder.switch_to b exit;
+  Builder.ret b None;
+  let f = Builder.finish b in
+  Verify.check_exn f;
+  let loops = Loops.analyze f in
+  match loops.(0).Loops.indvar with
+  | Some iv -> Alcotest.(check bool) "mul step" true (iv.Loops.step = Loops.Step_mul 2)
+  | None -> Alcotest.fail "expected an induction variable"
+
+(* ---------------- Slice ---------------- *)
+
+let test_slice_indirect () =
+  let f = gather_kernel () in
+  let pc = indirect_load_pc f in
+  let bi = Layout.block_of_pc pc in
+  let ii = match Layout.slot_of_pc pc with `Instr i -> i | `Term -> -1 in
+  match Slice.extract f ~block:bi ~index:ii with
+  | Some s ->
+    Alcotest.(check bool) "indirect" true (Slice.is_indirect s);
+    Alcotest.(check int) "one intermediate load" 1 s.Slice.loads;
+    Alcotest.(check int) "one phi (induction)" 1 (List.length s.Slice.phis)
+  | None -> Alcotest.fail "slice failed"
+
+let test_slice_direct_load () =
+  let f = gather_kernel () in
+  (* The B[i] load is direct: slice has no intermediate load. *)
+  let direct =
+    Layout.pcs_of_loads f
+    |> List.filter (fun (pc, _) -> not (List.mem pc (Aj.candidate_loads f)))
+  in
+  Alcotest.(check int) "one direct load" 1 (List.length direct);
+  let pc, _ = List.hd direct in
+  let bi = Layout.block_of_pc pc in
+  let ii = match Layout.slot_of_pc pc with `Instr i -> i | `Term -> -1 in
+  match Slice.extract f ~block:bi ~index:ii with
+  | Some s -> Alcotest.(check bool) "not indirect" false (Slice.is_indirect s)
+  | None -> Alcotest.fail "slice failed"
+
+let test_slice_of_operand () =
+  let f = nested_kernel () in
+  let loops = Loops.analyze f in
+  let inner = loops.(1) in
+  let iv = Option.get inner.Loops.indvar in
+  match Slice.of_operand f iv.Loops.init with
+  | Some s -> Alcotest.(check int) "Imm 0 init has empty slice" 0 (List.length s.Slice.instrs)
+  | None -> Alcotest.fail "of_operand failed"
+
+let test_slice_non_load () =
+  let f = gather_kernel () in
+  Alcotest.(check bool) "non-load rejected" true
+    (Slice.extract f ~block:2 ~index:0 <> None
+    || Slice.extract f ~block:2 ~index:0 = None)
+
+(* ---------------- Inject: semantic transparency ---------------- *)
+
+let run_gather f =
+  let mem, b_base, t_base = gather_memory ~elements:2048 ~table_words:4096 ~seed:3 in
+  let out = Machine.execute ~args:[ b_base; t_base; 2048 ] ~mem f in
+  out.Machine.ret
+
+let test_inject_inner_preserves_semantics () =
+  let f = gather_kernel () in
+  let expected = run_gather f in
+  let g = gather_kernel () in
+  let pc = indirect_load_pc g in
+  (match Inject.inject g { Inject.load_pc = pc; distance = 8; site = Inject.Inner; sweep = 1 } with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Verify.check_exn g;
+  Alcotest.(check bool) "same checksum" true (run_gather g = expected)
+
+let test_inject_inserts_prefetch () =
+  let f = gather_kernel () in
+  let pc = indirect_load_pc f in
+  (match Inject.inject f { Inject.load_pc = pc; distance = 4; site = Inject.Inner; sweep = 1 } with
+  | Ok inj ->
+    Alcotest.(check bool) "cloned a few instructions" true
+      (inj.Inject.cloned_instrs >= 3)
+  | Error e -> Alcotest.fail e);
+  let has_prefetch =
+    Array.exists
+      (fun (b : Ir.block) ->
+        Array.exists
+          (fun (i : Ir.instr) ->
+            match i.Ir.kind with Ir.Prefetch _ -> true | _ -> false)
+          b.Ir.instrs)
+      f.Ir.blocks
+  in
+  Alcotest.(check bool) "prefetch present" true has_prefetch
+
+let test_inject_prefetch_before_load () =
+  let f = gather_kernel () in
+  let pc = indirect_load_pc f in
+  let bi = Layout.block_of_pc pc in
+  ignore
+    (Inject.inject f { Inject.load_pc = pc; distance = 4; site = Inject.Inner; sweep = 1 });
+  let blk = f.Ir.blocks.(bi) in
+  let pf_idx = ref (-1) and load_idx = ref (-1) in
+  Array.iteri
+    (fun i (instr : Ir.instr) ->
+      match instr.Ir.kind with
+      | Ir.Prefetch _ when !pf_idx < 0 -> pf_idx := i
+      | Ir.Load _ -> load_idx := i
+      | _ -> ())
+    blk.Ir.instrs;
+  Alcotest.(check bool) "prefetch precedes the target load" true
+    (!pf_idx >= 0 && !pf_idx < !load_idx)
+
+let run_nested f =
+  let mem, b_base, t_base = gather_memory ~elements:4096 ~table_words:4096 ~seed:5 in
+  let out = Machine.execute ~args:[ b_base; t_base; 4096 / 16; 16 ] ~mem f in
+  out.Machine.ret
+
+let test_inject_outer_preserves_semantics () =
+  let f = nested_kernel () in
+  let expected = run_nested f in
+  let g = nested_kernel () in
+  let pc = indirect_load_pc g in
+  (match
+     Inject.inject g
+       { Inject.load_pc = pc; distance = 2; site = Inject.Outer; sweep = 4 }
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Verify.check_exn g;
+  Alcotest.(check bool) "same checksum" true (run_nested g = expected)
+
+let test_inject_outer_prefetches_in_preheader () =
+  let f = nested_kernel () in
+  let pc = indirect_load_pc f in
+  let loops = Loops.analyze f in
+  let inner = loops.(1) in
+  let pre = Option.get inner.Loops.preheader in
+  ignore
+    (Inject.inject f { Inject.load_pc = pc; distance = 2; site = Inject.Outer; sweep = 2 });
+  let prefetches =
+    Array.fold_left
+      (fun acc (i : Ir.instr) ->
+        match i.Ir.kind with Ir.Prefetch _ -> acc + 1 | _ -> acc)
+      0 f.Ir.blocks.(pre).Ir.instrs
+  in
+  Alcotest.(check int) "one prefetch per swept iteration" 2 prefetches
+
+let test_inject_errors () =
+  let f = gather_kernel () in
+  let pc = indirect_load_pc f in
+  let check_err msg spec =
+    match Inject.inject f spec with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail msg
+  in
+  check_err "distance 0"
+    { Inject.load_pc = pc; distance = 0; site = Inject.Inner; sweep = 1 };
+  check_err "sweep 0"
+    { Inject.load_pc = pc; distance = 1; site = Inject.Inner; sweep = 0 };
+  check_err "terminator pc"
+    { Inject.load_pc = Layout.pc_of_term 1; distance = 1; site = Inject.Inner; sweep = 1 };
+  check_err "outer without nest"
+    { Inject.load_pc = pc; distance = 4; site = Inject.Outer; sweep = 1 };
+  check_err "pc out of range"
+    { Inject.load_pc = Layout.pc_of_instr 90 0; distance = 1; site = Inject.Inner; sweep = 1 }
+
+let test_inject_unclamped_still_correct () =
+  (* With the trailing guard region, even unclamped clones stay within
+     the simulated memory and the checksum is unchanged. *)
+  let f = nested_kernel () in
+  let expected = run_nested f in
+  let g = nested_kernel () in
+  let pc = indirect_load_pc g in
+  (match
+     Inject.inject ~clamp:false g
+       { Inject.load_pc = pc; distance = 4; site = Inject.Inner; sweep = 1 }
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "same checksum" true (run_nested g = expected)
+
+(* ---------------- Aj / Aptget_pass ---------------- *)
+
+let test_aj_targets_only_indirect () =
+  let f = gather_kernel () in
+  Alcotest.(check int) "one candidate" 1 (List.length (Aj.candidate_loads f));
+  let r = Aj.run ~distance:16 f in
+  Alcotest.(check int) "one injection" 1 (List.length r.Aj.injected);
+  Alcotest.(check int) "no skips" 0 (List.length r.Aj.skipped);
+  Verify.check_exn f
+
+let test_aj_preserves_semantics () =
+  let f = gather_kernel () in
+  let expected = run_gather f in
+  let g = gather_kernel () in
+  ignore (Aj.run ~distance:32 g);
+  Alcotest.(check bool) "same checksum" true (run_gather g = expected)
+
+let test_aptget_pass_applies_hints () =
+  let f = gather_kernel () in
+  let pc = indirect_load_pc f in
+  let r =
+    Aptget_pass.run f
+      ~hints:
+        [ { Aptget_pass.load_pc = pc; distance = 6; site = Inject.Inner; sweep = 1 } ]
+  in
+  Alcotest.(check int) "injected" 1 (List.length r.Aptget_pass.injected);
+  Alcotest.(check bool) "no fallback" false r.Aptget_pass.fellback;
+  Verify.check_exn f
+
+let test_aptget_pass_empty_hints_falls_back () =
+  let f = gather_kernel () in
+  let r = Aptget_pass.run f ~hints:[] in
+  Alcotest.(check bool) "fell back to static" true r.Aptget_pass.fellback;
+  Alcotest.(check int) "static injection happened" 1
+    (List.length r.Aptget_pass.injected)
+
+let test_aptget_pass_dedups_hints () =
+  let f = gather_kernel () in
+  let pc = indirect_load_pc f in
+  let h d = { Aptget_pass.load_pc = pc; distance = d; site = Inject.Inner; sweep = 1 } in
+  let r = Aptget_pass.run f ~hints:[ h 4; h 9 ] in
+  Alcotest.(check int) "only first applied" 1 (List.length r.Aptget_pass.injected)
+
+let test_aptget_pass_outer_fallback () =
+  (* Outer hint on a single loop degrades to an inner d=1 prefetch. *)
+  let f = gather_kernel () in
+  let pc = indirect_load_pc f in
+  let r =
+    Aptget_pass.run f
+      ~hints:
+        [ { Aptget_pass.load_pc = pc; distance = 40; site = Inject.Outer; sweep = 4 } ]
+  in
+  match r.Aptget_pass.injected with
+  | [ inj ] ->
+    Alcotest.(check bool) "degraded to inner" true
+      (inj.Inject.spec.Inject.site = Inject.Inner);
+    Alcotest.(check int) "default distance" 1 inj.Inject.spec.Inject.distance
+  | _ -> Alcotest.fail "expected one (degraded) injection"
+
+(* §3.5 generality: non-canonical induction (i *= 2). *)
+let mul_step_kernel () =
+  let b = Builder.create ~name:"mulstep" ~nparams:3 in
+  let b_base, t_base, n =
+    match Builder.params b with [ x; y; z ] -> (x, y, z) | _ -> assert false
+  in
+  let entry = Builder.current b in
+  let header = Builder.new_block b in
+  let body = Builder.new_block b in
+  let exit = Builder.new_block b in
+  Builder.jmp b header;
+  Builder.switch_to b header;
+  let iv = Builder.phi b [ (entry, Ir.Imm 1) ] in
+  let acc = Builder.phi b [ (entry, Ir.Imm 0) ] in
+  let c = Builder.cmp b Ir.Lt iv n in
+  Builder.br b c body exit;
+  Builder.switch_to b body;
+  let idx = Builder.load b (Builder.add b b_base iv) in
+  let v = Builder.load b (Builder.add b t_base idx) in
+  let acc' = Builder.add b acc v in
+  let iv' = Builder.mul b iv (Ir.Imm 2) in
+  Builder.jmp b header;
+  Builder.add_incoming b ~block:header ~phi:iv (body, iv');
+  Builder.add_incoming b ~block:header ~phi:acc (body, acc');
+  Builder.switch_to b exit;
+  Builder.ret b (Some acc);
+  let f = Builder.finish b in
+  Verify.check_exn f;
+  f
+
+let test_inject_mul_step () =
+  let run f =
+    let mem, b_base, t_base = gather_memory ~elements:2048 ~table_words:4096 ~seed:11 in
+    (Machine.execute ~args:[ b_base; t_base; 2000 ] ~mem f).Machine.ret
+  in
+  let expected = run (mul_step_kernel ()) in
+  let g = mul_step_kernel () in
+  let pc = indirect_load_pc g in
+  (match Inject.inject g { Inject.load_pc = pc; distance = 2; site = Inject.Inner; sweep = 1 } with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Verify.check_exn g;
+  Alcotest.(check bool) "same checksum with i*=2" true (run g = expected)
+
+(* §3.5 generality: a complex exit condition (break out of the loop). *)
+let break_kernel () =
+  let b = Builder.create ~name:"break" ~nparams:3 in
+  let b_base, t_base, n =
+    match Builder.params b with [ x; y; z ] -> (x, y, z) | _ -> assert false
+  in
+  let entry = Builder.current b in
+  let header = Builder.new_block b in
+  let body = Builder.new_block b in
+  let cont = Builder.new_block b in
+  let exit = Builder.new_block b in
+  Builder.jmp b header;
+  Builder.switch_to b header;
+  let iv = Builder.phi b [ (entry, Ir.Imm 0) ] in
+  let acc = Builder.phi b [ (entry, Ir.Imm 0) ] in
+  let c = Builder.cmp b Ir.Lt iv n in
+  Builder.br b c body exit;
+  Builder.switch_to b body;
+  let idx = Builder.load b (Builder.add b b_base iv) in
+  (* break when the index is divisible by 1009 (data-dependent) *)
+  let r = Builder.rem b idx (Ir.Imm 1009) in
+  let stop = Builder.cmp b Ir.Eq r (Ir.Imm 0) in
+  Builder.br b stop exit cont;
+  Builder.switch_to b cont;
+  let v = Builder.load b (Builder.add b t_base idx) in
+  let acc' = Builder.add b acc v in
+  let iv' = Builder.add b iv (Ir.Imm 1) in
+  Builder.jmp b header;
+  Builder.add_incoming b ~block:header ~phi:iv (cont, iv');
+  Builder.add_incoming b ~block:header ~phi:acc (cont, acc');
+  Builder.switch_to b exit;
+  Builder.ret b (Some acc);
+  let f = Builder.finish b in
+  Verify.check_exn f;
+  f
+
+let test_inject_loop_with_break () =
+  let run f =
+    let mem, b_base, t_base = gather_memory ~elements:2048 ~table_words:4096 ~seed:13 in
+    (Machine.execute ~args:[ b_base; t_base; 2048 ] ~mem f).Machine.ret
+  in
+  let expected = run (break_kernel ()) in
+  let g = break_kernel () in
+  let pc =
+    (* the T load is the one in the continuation block *)
+    match Aj.candidate_loads g with
+    | pcs -> List.nth pcs (List.length pcs - 1)
+  in
+  (match Inject.inject g { Inject.load_pc = pc; distance = 8; site = Inject.Inner; sweep = 1 } with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Verify.check_exn g;
+  Alcotest.(check bool) "same checksum with break" true (run g = expected)
+
+(* ---------------- Cse ---------------- *)
+
+module Cse = Aptget_passes.Cse
+
+let test_cse_removes_duplicates () =
+  let b = Builder.create ~name:"dups" ~nparams:2 in
+  let x, y = match Builder.params b with [ x; y ] -> (x, y) | _ -> assert false in
+  let a1 = Builder.add b x y in
+  let a2 = Builder.add b y x in (* commutative duplicate *)
+  let s = Builder.add b a1 a2 in
+  Builder.ret b (Some s);
+  let f = Builder.finish b in
+  let removed = Cse.run f in
+  Verify.check_exn f;
+  Alcotest.(check int) "one duplicate removed" 1 removed;
+  let mem = Memory.create () in
+  ignore (Memory.alloc mem ~name:"pad" ~words:8);
+  let out = Machine.execute ~args:[ 3; 4 ] ~mem f in
+  Alcotest.(check (option int)) "still 14" (Some 14) out.Machine.ret
+
+let test_cse_loads_respect_stores () =
+  let b = Builder.create ~name:"mem" ~nparams:1 in
+  let base = List.hd (Builder.params b) in
+  let v1 = Builder.load b base in
+  Builder.store b ~addr:base ~value:(Ir.Imm 9) ;
+  let v2 = Builder.load b base in (* must NOT merge with v1 *)
+  let s = Builder.add b v1 v2 in
+  Builder.ret b (Some s);
+  let f = Builder.finish b in
+  ignore (Cse.run f);
+  Verify.check_exn f;
+  let mem = Memory.create () in
+  let r = Memory.alloc mem ~name:"r" ~words:8 in
+  Memory.set mem r.Memory.base 5;
+  let out = Machine.execute ~args:[ r.Memory.base ] ~mem f in
+  Alcotest.(check (option int)) "5 + 9" (Some 14) out.Machine.ret
+
+let test_cse_merges_safe_loads () =
+  let b = Builder.create ~name:"mem2" ~nparams:1 in
+  let base = List.hd (Builder.params b) in
+  let v1 = Builder.load b base in
+  let v2 = Builder.load b base in
+  let s = Builder.add b v1 v2 in
+  Builder.ret b (Some s);
+  let f = Builder.finish b in
+  let removed = Cse.run f in
+  Alcotest.(check int) "second load merged" 1 removed
+
+let test_cse_preserves_injected_semantics () =
+  let f = nested_kernel () in
+  let expected = run_nested f in
+  let g = nested_kernel () in
+  let pc = indirect_load_pc g in
+  (match
+     Inject.inject g
+       { Inject.load_pc = pc; distance = 3; site = Inject.Outer; sweep = 4 }
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  ignore (Cse.run g);
+  Verify.check_exn g;
+  Alcotest.(check bool) "same checksum after inject+cse" true
+    (run_nested g = expected)
+
+let prop_cse_semantics =
+  QCheck.Test.make ~name:"cse never changes the checksum" ~count:25
+    QCheck.(pair (int_range 1 500) bool)
+    (fun (seed, nested) ->
+      let build () = if nested then nested_kernel () else gather_kernel () in
+      let run f =
+        let mem, b_base, t_base =
+          gather_memory ~elements:1024 ~table_words:2048 ~seed
+        in
+        let args =
+          if nested then [ b_base; t_base; 64; 16 ] else [ b_base; t_base; 1024 ]
+        in
+        (Machine.execute ~args ~mem f).Machine.ret
+      in
+      let f = build () in
+      let expected = run f in
+      let g = build () in
+      ignore (Aj.run ~distance:8 g);
+      ignore (Cse.run g);
+      Verify.check g = Ok () && run g = expected)
+
+let prop_injection_semantics =
+  QCheck.Test.make ~name:"injection never changes the checksum" ~count:25
+    QCheck.(triple (int_range 1 64) (int_range 1 500) bool)
+    (fun (distance, seed, nested) ->
+      let build () = if nested then nested_kernel () else gather_kernel () in
+      let run f =
+        let mem, b_base, t_base =
+          gather_memory ~elements:1024 ~table_words:2048 ~seed
+        in
+        let args =
+          if nested then [ b_base; t_base; 64; 16 ] else [ b_base; t_base; 1024 ]
+        in
+        (Machine.execute ~args ~mem f).Machine.ret
+      in
+      let f = build () in
+      let expected = run f in
+      let g = build () in
+      let pc = indirect_load_pc g in
+      match
+        Inject.inject g
+          { Inject.load_pc = pc; distance; site = Inject.Inner; sweep = 1 }
+      with
+      | Ok _ -> Verify.check g = Ok () && run g = expected
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "passes"
+    [
+      ( "cfg",
+        [
+          Alcotest.test_case "dominators" `Quick test_cfg_dominators_diamond;
+          Alcotest.test_case "rpo" `Quick test_cfg_rpo;
+          Alcotest.test_case "unreachable" `Quick test_cfg_unreachable;
+          QCheck_alcotest.to_alcotest prop_dominator_laws;
+        ] );
+      ( "loops",
+        [
+          Alcotest.test_case "simple" `Quick test_loops_simple;
+          Alcotest.test_case "nested" `Quick test_loops_nested;
+          Alcotest.test_case "containing" `Quick test_loops_containing;
+          Alcotest.test_case "latch pc" `Quick test_loops_latch_pc;
+          Alcotest.test_case "non-canonical step" `Quick test_loops_noncanonical_step;
+        ] );
+      ( "slice",
+        [
+          Alcotest.test_case "indirect" `Quick test_slice_indirect;
+          Alcotest.test_case "direct" `Quick test_slice_direct_load;
+          Alcotest.test_case "of_operand" `Quick test_slice_of_operand;
+          Alcotest.test_case "non-load" `Quick test_slice_non_load;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "inner semantics" `Quick test_inject_inner_preserves_semantics;
+          Alcotest.test_case "inserts prefetch" `Quick test_inject_inserts_prefetch;
+          Alcotest.test_case "prefetch before load" `Quick test_inject_prefetch_before_load;
+          Alcotest.test_case "outer semantics" `Quick test_inject_outer_preserves_semantics;
+          Alcotest.test_case "outer in preheader" `Quick test_inject_outer_prefetches_in_preheader;
+          Alcotest.test_case "errors" `Quick test_inject_errors;
+          Alcotest.test_case "unclamped correct" `Quick test_inject_unclamped_still_correct;
+          Alcotest.test_case "non-canonical step (i*=2)" `Quick test_inject_mul_step;
+          Alcotest.test_case "loop with break" `Quick test_inject_loop_with_break;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "aj indirect only" `Quick test_aj_targets_only_indirect;
+          Alcotest.test_case "aj semantics" `Quick test_aj_preserves_semantics;
+          Alcotest.test_case "aptget applies hints" `Quick test_aptget_pass_applies_hints;
+          Alcotest.test_case "empty hints fallback" `Quick test_aptget_pass_empty_hints_falls_back;
+          Alcotest.test_case "dedups hints" `Quick test_aptget_pass_dedups_hints;
+          Alcotest.test_case "outer fallback" `Quick test_aptget_pass_outer_fallback;
+        ] );
+      ( "cse",
+        [
+          Alcotest.test_case "removes duplicates" `Quick test_cse_removes_duplicates;
+          Alcotest.test_case "loads respect stores" `Quick test_cse_loads_respect_stores;
+          Alcotest.test_case "merges safe loads" `Quick test_cse_merges_safe_loads;
+          Alcotest.test_case "inject+cse semantics" `Quick
+            test_cse_preserves_injected_semantics;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_injection_semantics; prop_cse_semantics ] );
+    ]

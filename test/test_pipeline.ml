@@ -1,0 +1,218 @@
+(* Integration: the full APT-GET pipeline end to end, plus the
+   experiment lab. These use reduced workload sizes but exercise the
+   same code paths as the paper's headline results. *)
+
+module Machine = Aptget_machine.Machine
+module Pipeline = Aptget_core.Pipeline
+module Config = Aptget_core.Config
+module Workload = Aptget_workloads.Workload
+module Micro = Aptget_workloads.Micro
+module Suite = Aptget_workloads.Suite
+module Hashjoin = Aptget_workloads.Hashjoin
+module Profiler = Aptget_profile.Profiler
+module Aptget_pass = Aptget_passes.Aptget_pass
+module Inject = Aptget_passes.Inject
+module Lab = Aptget_experiments.Lab
+module Registry = Aptget_experiments.Registry
+module Table = Aptget_util.Table
+
+let micro_w ?(inner = 256) () =
+  Micro.workload
+    ~params:
+      { Micro.default_params with Micro.total = 32_768; table_words = 1 lsl 20; inner }
+    ~name:"micro-test" ()
+
+let test_baseline_measurement () =
+  let m = Pipeline.baseline (micro_w ()) in
+  Alcotest.(check bool) "verified" true (m.Pipeline.verified = Ok ());
+  Alcotest.(check bool) "no injections" true (m.Pipeline.injected = []);
+  Alcotest.(check bool) "ran" true (m.Pipeline.outcome.Machine.cycles > 0)
+
+let test_aptget_speeds_up_micro () =
+  let w = micro_w () in
+  let base = Pipeline.verified_exn (Pipeline.baseline w) in
+  let apt, prof = Pipeline.aptget w in
+  let apt = Pipeline.verified_exn apt in
+  Alcotest.(check bool) "hints produced" true (prof.Profiler.hints <> []);
+  let s = Pipeline.speedup ~baseline:base apt in
+  Alcotest.(check bool) (Printf.sprintf "speedup > 1.5 (got %.2f)" s) true (s > 1.5)
+
+let test_aptget_beats_or_matches_naive_distance () =
+  let w = micro_w () in
+  let base = Pipeline.verified_exn (Pipeline.baseline w) in
+  let apt, _ = Pipeline.aptget w in
+  let d1 = Pipeline.verified_exn (Pipeline.aj ~distance:1 w) in
+  Alcotest.(check bool) "timely beats distance-1" true
+    (Pipeline.speedup ~baseline:base apt
+    > Pipeline.speedup ~baseline:base d1)
+
+let test_low_trip_count_needs_outer () =
+  let w = micro_w ~inner:4 () in
+  let base = Pipeline.verified_exn (Pipeline.baseline w) in
+  let prof = Pipeline.profile w in
+  let inner =
+    Pipeline.verified_exn
+      (Pipeline.with_hints ~hints:(Pipeline.force_site Inject.Inner prof.Profiler.hints) w)
+  in
+  let outer =
+    Pipeline.verified_exn
+      (Pipeline.with_hints ~hints:(Pipeline.force_site Inject.Outer prof.Profiler.hints) w)
+  in
+  let s_inner = Pipeline.speedup ~baseline:base inner in
+  let s_outer = Pipeline.speedup ~baseline:base outer in
+  Alcotest.(check bool)
+    (Printf.sprintf "outer (%0.2f) > inner (%0.2f) at trip count 4" s_outer s_inner)
+    true (s_outer > s_inner)
+
+let test_force_distance () =
+  let hints =
+    [ { Aptget_pass.load_pc = 1; distance = 9; site = Inject.Inner; sweep = 1 } ]
+  in
+  match Pipeline.force_distance 3 hints with
+  | [ h ] -> Alcotest.(check int) "forced" 3 h.Aptget_pass.distance
+  | _ -> Alcotest.fail "unexpected"
+
+let test_force_site_resets_sweep () =
+  let hints =
+    [ { Aptget_pass.load_pc = 1; distance = 9; site = Inject.Outer; sweep = 7 } ]
+  in
+  match Pipeline.force_site Inject.Inner hints with
+  | [ h ] ->
+    Alcotest.(check bool) "inner" true (h.Aptget_pass.site = Inject.Inner);
+    Alcotest.(check int) "sweep reset" 1 h.Aptget_pass.sweep
+  | _ -> Alcotest.fail "unexpected"
+
+let test_train_test_hints_transfer () =
+  (* Hints profiled on one input instance apply to another of the same
+     app: the IR layout (and thus the PCs) is structural. *)
+  let small seed =
+    Hashjoin.workload
+      ~params:
+        {
+          Hashjoin.hj2_params with
+          Hashjoin.n_build = 8192;
+          n_probe = 4096;
+          n_buckets = 1 lsl 12;
+          seed;
+        }
+      ~name:(Printf.sprintf "hj2-seed%d" seed)
+      ()
+  in
+  let train = small 1 and test = small 99 in
+  let prof = Pipeline.profile train in
+  let base = Pipeline.verified_exn (Pipeline.baseline test) in
+  let m = Pipeline.verified_exn (Pipeline.with_hints ~hints:prof.Profiler.hints test) in
+  Alcotest.(check bool) "injected on the test input" true (m.Pipeline.injected <> []);
+  Alcotest.(check bool) "no regression" true
+    (Pipeline.speedup ~baseline:base m > 0.9)
+
+let test_verified_exn_raises () =
+  let m =
+    {
+      Pipeline.workload = "w";
+      outcome =
+        {
+          Machine.cycles = 1;
+          instructions = 1;
+          dyn_loads = 0;
+          dyn_prefetches = 0;
+          ret = None;
+          counters =
+            Aptget_cache.Hierarchy.counters
+              (Aptget_cache.Hierarchy.create Aptget_cache.Hierarchy.default_config);
+        };
+      verified = Error "boom";
+      injected = [];
+      skipped = [];
+      wall_seconds = 0.;
+    }
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Pipeline.verified_exn m);
+       false
+     with Failure _ -> true)
+
+let test_config_rows () =
+  let rows = Config.rows () in
+  Alcotest.(check bool) "has LLC row" true
+    (List.exists (fun (c, _) -> c = "LLC") rows);
+  Alcotest.(check bool) "has LBR row" true
+    (List.exists (fun (c, _) -> c = "LBR") rows)
+
+(* ---------------- Lab + experiments ---------------- *)
+
+let test_lab_memoizes () =
+  let lab = Lab.create ~quick:true () in
+  let w = List.hd (Lab.suite lab) in
+  let m1 = Lab.baseline lab w in
+  let m2 = Lab.baseline lab w in
+  Alcotest.(check bool) "same measurement object" true (m1 == m2)
+
+let test_lab_quick_suite () =
+  let lab = Lab.create ~quick:true () in
+  Alcotest.(check bool) "reduced suite" true
+    (List.length (Lab.suite lab) < List.length Suite.default);
+  Alcotest.(check bool) "quick flag" true (Lab.quick lab)
+
+let test_registry_complete () =
+  let ids =
+    [ "table1"; "fig1"; "fig2"; "fig3"; "fig4"; "table2"; "table3"; "table4";
+      "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
+      "datasets"; "ablations"; "extensions" ]
+  in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " registered") true (Registry.find id <> None))
+    ids;
+  Alcotest.(check int) "exactly the paper's artefacts" (List.length ids)
+    (List.length Registry.all);
+  Alcotest.(check bool) "unknown rejected" true (Registry.find "fig99" = None)
+
+let test_static_tables_render () =
+  let lab = Lab.create ~quick:true () in
+  List.iter
+    (fun id ->
+      let e = Option.get (Registry.find id) in
+      let tables = e.Registry.run lab in
+      Alcotest.(check bool) (id ^ " produces tables") true (tables <> []);
+      List.iter
+        (fun t ->
+          Alcotest.(check bool) (id ^ " renders") true
+            (String.length (Table.render t) > 0))
+        tables)
+    [ "table2"; "table3"; "table4" ]
+
+let test_micro_experiments_run () =
+  let lab = Lab.create ~quick:true () in
+  List.iter
+    (fun id ->
+      let e = Option.get (Registry.find id) in
+      Alcotest.(check bool) (id ^ " runs") true (e.Registry.run lab <> []))
+    [ "table1"; "fig3"; "fig4" ]
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "baseline" `Quick test_baseline_measurement;
+          Alcotest.test_case "micro speedup" `Quick test_aptget_speeds_up_micro;
+          Alcotest.test_case "beats distance-1" `Quick
+            test_aptget_beats_or_matches_naive_distance;
+          Alcotest.test_case "outer at low trip" `Quick test_low_trip_count_needs_outer;
+          Alcotest.test_case "force distance" `Quick test_force_distance;
+          Alcotest.test_case "force site" `Quick test_force_site_resets_sweep;
+          Alcotest.test_case "train/test transfer" `Quick test_train_test_hints_transfer;
+          Alcotest.test_case "verified_exn" `Quick test_verified_exn_raises;
+          Alcotest.test_case "config rows" `Quick test_config_rows;
+        ] );
+      ( "lab",
+        [
+          Alcotest.test_case "memoizes" `Quick test_lab_memoizes;
+          Alcotest.test_case "quick suite" `Quick test_lab_quick_suite;
+          Alcotest.test_case "registry complete" `Quick test_registry_complete;
+          Alcotest.test_case "static tables" `Quick test_static_tables_render;
+          Alcotest.test_case "micro experiments" `Quick test_micro_experiments_run;
+        ] );
+    ]

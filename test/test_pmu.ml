@@ -1,0 +1,133 @@
+module Lbr = Aptget_pmu.Lbr
+module Sampler = Aptget_pmu.Sampler
+
+(* ---------------- Lbr ---------------- *)
+
+let test_lbr_empty () =
+  let l = Lbr.create () in
+  Alcotest.(check int) "default size" 32 (Lbr.size l);
+  Alcotest.(check int) "empty" 0 (Array.length (Lbr.snapshot l))
+
+let test_lbr_partial_fill () =
+  let l = Lbr.create ~size:4 () in
+  Lbr.record l ~branch_pc:1 ~target_pc:10 ~cycle:100;
+  Lbr.record l ~branch_pc:2 ~target_pc:20 ~cycle:200;
+  let s = Lbr.snapshot l in
+  Alcotest.(check int) "two entries" 2 (Array.length s);
+  Alcotest.(check int) "oldest first" 1 s.(0).Lbr.branch_pc;
+  Alcotest.(check int) "newest last" 2 s.(1).Lbr.branch_pc
+
+let test_lbr_wraparound () =
+  let l = Lbr.create ~size:3 () in
+  for i = 1 to 5 do
+    Lbr.record l ~branch_pc:i ~target_pc:0 ~cycle:(i * 10)
+  done;
+  let s = Lbr.snapshot l in
+  Alcotest.(check int) "capped at size" 3 (Array.length s);
+  Alcotest.(check (list int)) "last three, chronological" [ 3; 4; 5 ]
+    (Array.to_list (Array.map (fun e -> e.Lbr.branch_pc) s))
+
+let test_lbr_cycles_monotone () =
+  let l = Lbr.create ~size:8 () in
+  for i = 1 to 20 do
+    Lbr.record l ~branch_pc:i ~target_pc:0 ~cycle:(i * 7)
+  done;
+  let s = Lbr.snapshot l in
+  for i = 0 to Array.length s - 2 do
+    Alcotest.(check bool) "monotone cycles" true (s.(i).Lbr.cycle < s.(i + 1).Lbr.cycle)
+  done
+
+let test_lbr_clear () =
+  let l = Lbr.create ~size:4 () in
+  Lbr.record l ~branch_pc:1 ~target_pc:0 ~cycle:0;
+  Lbr.clear l;
+  Alcotest.(check int) "cleared" 0 (Array.length (Lbr.snapshot l))
+
+let prop_lbr_keeps_most_recent =
+  QCheck.Test.make ~name:"snapshot is the most recent suffix" ~count:100
+    QCheck.(pair (int_range 1 16) (list_of_size Gen.(0 -- 100) small_nat))
+    (fun (size, pcs) ->
+      let l = Lbr.create ~size () in
+      List.iteri (fun i pc -> Lbr.record l ~branch_pc:pc ~target_pc:0 ~cycle:i) pcs;
+      let s = Array.to_list (Array.map (fun e -> e.Lbr.branch_pc) (Lbr.snapshot l)) in
+      let expected =
+        let n = List.length pcs in
+        let keep = min size n in
+        List.filteri (fun i _ -> i >= n - keep) pcs
+      in
+      s = expected)
+
+(* ---------------- Sampler ---------------- *)
+
+let test_sampler_lbr_period () =
+  let s = Sampler.create ~lbr_period:100 () in
+  Sampler.on_cycle s ~cycle:50;
+  Alcotest.(check int) "before period: none" 0 (List.length (Sampler.lbr_samples s));
+  Sampler.on_cycle s ~cycle:100;
+  Alcotest.(check int) "at period: one" 1 (List.length (Sampler.lbr_samples s));
+  Sampler.on_cycle s ~cycle:150;
+  Alcotest.(check int) "no resample within period" 1
+    (List.length (Sampler.lbr_samples s));
+  Sampler.on_cycle s ~cycle:205;
+  Alcotest.(check int) "next period" 2 (List.length (Sampler.lbr_samples s))
+
+let test_sampler_long_stall_one_sample () =
+  let s = Sampler.create ~lbr_period:100 () in
+  Sampler.on_cycle s ~cycle:1_000;
+  Alcotest.(check int) "single sample for a long gap" 1
+    (List.length (Sampler.lbr_samples s));
+  Sampler.on_cycle s ~cycle:1_050;
+  Alcotest.(check int) "boundary advanced past the gap" 1
+    (List.length (Sampler.lbr_samples s))
+
+let test_sampler_pebs_subsampling () =
+  let s = Sampler.create ~pebs_period:4 () in
+  for _ = 1 to 16 do
+    Sampler.on_llc_miss s ~load_pc:42
+  done;
+  Alcotest.(check int) "every 4th sampled" 4 (Sampler.miss_samples s);
+  (match Sampler.delinquent_loads s with
+  | [ (pc, n) ] ->
+    Alcotest.(check int) "pc" 42 pc;
+    Alcotest.(check int) "count" 4 n
+  | _ -> Alcotest.fail "expected one delinquent load")
+
+let test_sampler_delinquent_ranking () =
+  let s = Sampler.create ~pebs_period:1 () in
+  for _ = 1 to 10 do Sampler.on_llc_miss s ~load_pc:1 done;
+  for _ = 1 to 5 do Sampler.on_llc_miss s ~load_pc:2 done;
+  for _ = 1 to 20 do Sampler.on_llc_miss s ~load_pc:3 done;
+  Alcotest.(check (list int)) "descending by count" [ 3; 1; 2 ]
+    (List.map fst (Sampler.delinquent_loads s))
+
+let test_sampler_snapshot_captures_ring () =
+  let s = Sampler.create ~lbr_period:10 ~lbr_size:4 () in
+  Lbr.record (Sampler.lbr s) ~branch_pc:9 ~target_pc:0 ~cycle:5;
+  Sampler.on_cycle s ~cycle:10;
+  match Sampler.lbr_samples s with
+  | [ sample ] ->
+    Alcotest.(check int) "one entry" 1 (Array.length sample.Sampler.entries);
+    Alcotest.(check int) "pc preserved" 9 sample.Sampler.entries.(0).Lbr.branch_pc
+  | _ -> Alcotest.fail "expected exactly one sample"
+
+let () =
+  Alcotest.run "pmu"
+    [
+      ( "lbr",
+        [
+          Alcotest.test_case "empty" `Quick test_lbr_empty;
+          Alcotest.test_case "partial fill" `Quick test_lbr_partial_fill;
+          Alcotest.test_case "wraparound" `Quick test_lbr_wraparound;
+          Alcotest.test_case "cycles monotone" `Quick test_lbr_cycles_monotone;
+          Alcotest.test_case "clear" `Quick test_lbr_clear;
+          QCheck_alcotest.to_alcotest prop_lbr_keeps_most_recent;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "lbr period" `Quick test_sampler_lbr_period;
+          Alcotest.test_case "long stall" `Quick test_sampler_long_stall_one_sample;
+          Alcotest.test_case "pebs subsampling" `Quick test_sampler_pebs_subsampling;
+          Alcotest.test_case "delinquent ranking" `Quick test_sampler_delinquent_ranking;
+          Alcotest.test_case "snapshot contents" `Quick test_sampler_snapshot_captures_ring;
+        ] );
+    ]

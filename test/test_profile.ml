@@ -1,0 +1,319 @@
+(* LBR analysis, the Eq. 1/Eq. 2 model, and the end-to-end profiler. *)
+
+module Loop_stats = Aptget_profile.Loop_stats
+module Model = Aptget_profile.Model
+module Profiler = Aptget_profile.Profiler
+module Sampler = Aptget_pmu.Sampler
+module Lbr = Aptget_pmu.Lbr
+module Memory = Aptget_mem.Memory
+module Rng = Aptget_util.Rng
+module Aptget_pass = Aptget_passes.Aptget_pass
+module Inject = Aptget_passes.Inject
+
+let sample entries =
+  {
+    Sampler.at_cycle = 0;
+    entries =
+      Array.of_list
+        (List.map
+           (fun (pc, cycle) -> { Lbr.branch_pc = pc; target_pc = 0; cycle })
+           entries);
+  }
+
+(* ---------------- Loop_stats ---------------- *)
+
+let test_iteration_times_basic () =
+  let s = sample [ (10, 100); (10, 150); (10, 230) ] in
+  let times =
+    Loop_stats.iteration_times [ s ] ~latch_pc:10 ~in_loop:(fun _ -> true)
+  in
+  Alcotest.(check (array (float 1e-9))) "deltas" [| 50.; 80. |] times
+
+let test_iteration_times_filters_foreign () =
+  (* A foreign branch (99) between the two latch instances means the
+     loop was exited: the delta must be discarded. *)
+  let s = sample [ (10, 100); (99, 120); (10, 150); (10, 160) ] in
+  let times =
+    Loop_stats.iteration_times [ s ] ~latch_pc:10 ~in_loop:(fun pc -> pc = 10)
+  in
+  Alcotest.(check (array (float 1e-9))) "only clean window" [| 10. |] times
+
+let test_iteration_times_in_loop_branches_ok () =
+  (* branches inside the loop (e.g. an if diamond) don't break windows *)
+  let s = sample [ (10, 100); (11, 120); (10, 150) ] in
+  let times =
+    Loop_stats.iteration_times [ s ] ~latch_pc:10 ~in_loop:(fun pc ->
+        pc = 10 || pc = 11)
+  in
+  Alcotest.(check (array (float 1e-9))) "kept" [| 50. |] times
+
+let test_trip_counts () =
+  (* outer latch 20, inner latch 10: windows of 3 and 2 iterations *)
+  let s =
+    sample
+      [ (20, 0); (10, 1); (10, 2); (10, 3); (20, 4); (10, 5); (10, 6); (20, 7) ]
+  in
+  let trips =
+    Loop_stats.trip_counts [ s ] ~inner_latch_pc:10 ~outer_latch_pc:20
+  in
+  Alcotest.(check (array (float 1e-9))) "trips" [| 3.; 2. |] trips
+
+let test_trip_counts_incomplete_window () =
+  let s = sample [ (10, 1); (10, 2); (20, 3); (10, 4) ] in
+  let trips =
+    Loop_stats.trip_counts [ s ] ~inner_latch_pc:10 ~outer_latch_pc:20
+  in
+  Alcotest.(check int) "no complete window" 0 (Array.length trips)
+
+let test_occurrences () =
+  let s = sample [ (10, 1); (11, 2); (10, 3) ] in
+  Alcotest.(check int) "two" 2 (Loop_stats.occurrences [ s ] ~pc:10);
+  Alcotest.(check int) "zero" 0 (Loop_stats.occurrences [ s ] ~pc:42)
+
+(* ---------------- Model ---------------- *)
+
+let bimodal ~fast ~slow ~frac_slow ~n seed =
+  let rng = Rng.create seed in
+  Array.init n (fun _ ->
+      let noise = Rng.float rng 6. -. 3. in
+      if Rng.float rng 1.0 < frac_slow then slow +. noise else fast +. noise)
+
+let test_model_bimodal_distance () =
+  let times = bimodal ~fast:10. ~slow:260. ~frac_slow:0.6 ~n:4000 1 in
+  match Model.distance_of_times times with
+  | Some m ->
+    Alcotest.(check bool)
+      (Printf.sprintf "ic ~ 10 (got %.1f)" m.Model.ic_latency)
+      true
+      (m.Model.ic_latency > 5. && m.Model.ic_latency < 20.);
+    Alcotest.(check bool)
+      (Printf.sprintf "distance ~ 25 (got %d)" m.Model.distance)
+      true
+      (m.Model.distance >= 13 && m.Model.distance <= 50)
+  | None -> Alcotest.fail "expected a model"
+
+let test_model_too_few_samples () =
+  Alcotest.(check bool) "too few" true
+    (Model.distance_of_times [| 10.; 20. |] = None)
+
+let test_model_uniform_times () =
+  (* No memory component: all iterations take the same time. *)
+  let times = Array.make 500 50. in
+  Alcotest.(check bool) "not memory bound" true
+    (Model.distance_of_times times = None)
+
+let test_model_distance_clamped () =
+  let times = bimodal ~fast:10. ~slow:1000. ~frac_slow:0.5 ~n:2000 7 in
+  match Model.distance_of_times ~max_distance:64 times with
+  | Some m -> Alcotest.(check bool) "clamped" true (m.Model.distance <= 64)
+  | None -> Alcotest.fail "expected a model"
+
+let test_model_naive_finder_works_too () =
+  let times = bimodal ~fast:10. ~slow:260. ~frac_slow:0.6 ~n:4000 3 in
+  match Model.distance_of_times ~finder:Model.Naive times with
+  | Some m -> Alcotest.(check bool) "positive distance" true (m.Model.distance >= 1)
+  | None -> Alcotest.fail "expected a model"
+
+let test_choose_site () =
+  (* Low trip count vs distance -> outer; high trip count -> inner. *)
+  Alcotest.(check bool) "low trip -> outer" true
+    (Model.choose_site ~k:5 ~distance:10 ~trip_count:(Some 4.) () = `Outer);
+  Alcotest.(check bool) "high trip -> inner" true
+    (Model.choose_site ~k:5 ~distance:10 ~trip_count:(Some 256.) () = `Inner);
+  Alcotest.(check bool) "unknown trip -> inner" true
+    (Model.choose_site ~k:5 ~distance:10 ~trip_count:None () = `Inner)
+
+let prop_model_distance_positive =
+  QCheck.Test.make ~name:"model distance always in [1, max]" ~count:50
+    QCheck.(pair (int_bound 1000) (int_range 1 128))
+    (fun (seed, maxd) ->
+      let times = bimodal ~fast:8. ~slow:300. ~frac_slow:0.5 ~n:1000 seed in
+      match Model.distance_of_times ~max_distance:maxd times with
+      | Some m -> m.Model.distance >= 1 && m.Model.distance <= maxd
+      | None -> true)
+
+(* ---------------- Hints_file ---------------- *)
+
+module Hints_file = Aptget_profile.Hints_file
+
+let test_hints_roundtrip () =
+  let hints =
+    [
+      { Aptget_pass.load_pc = 2051; distance = 12; site = Inject.Inner; sweep = 1 };
+      { Aptget_pass.load_pc = 11265; distance = 3; site = Inject.Outer; sweep = 7 };
+    ]
+  in
+  match Hints_file.of_string (Hints_file.to_string hints) with
+  | Ok parsed -> Alcotest.(check bool) "roundtrip" true (parsed = hints)
+  | Error e -> Alcotest.fail e
+
+let test_hints_parse_flexible () =
+  let text = "\n# comment\n  site=outer pc=5 distance=9  \n" in
+  match Hints_file.of_string text with
+  | Ok [ h ] ->
+    Alcotest.(check int) "pc" 5 h.Aptget_pass.load_pc;
+    Alcotest.(check int) "default sweep" 1 h.Aptget_pass.sweep;
+    Alcotest.(check bool) "site" true (h.Aptget_pass.site = Inject.Outer)
+  | Ok _ -> Alcotest.fail "expected one hint"
+  | Error e -> Alcotest.fail e
+
+let test_hints_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Hints_file.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted: " ^ bad))
+    [
+      "pc=1 distance=2";              (* missing site *)
+      "pc=x distance=2 site=inner";   (* bad int *)
+      "pc=1 distance=2 site=middle";  (* bad site *)
+      "pc=1 distance=2 site=inner bogus=3"; (* unknown field *)
+      "just words";
+    ]
+
+let test_hints_file_io () =
+  let path = Filename.temp_file "aptget_hints" ".txt" in
+  let hints =
+    [ { Aptget_pass.load_pc = 7; distance = 4; site = Inject.Inner; sweep = 1 } ]
+  in
+  Hints_file.save ~path hints;
+  (match Hints_file.load ~path with
+  | Ok parsed -> Alcotest.(check bool) "load = save" true (parsed = hints)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path;
+  match Hints_file.load ~path:"/nonexistent/aptget" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+
+let prop_hints_roundtrip =
+  QCheck.Test.make ~name:"hints serialisation roundtrips" ~count:100
+    QCheck.(
+      list_of_size Gen.(0 -- 20)
+        (quad (int_bound 100_000) (int_range 1 128) bool (int_range 1 8)))
+    (fun raw ->
+      let hints =
+        List.map
+          (fun (pc, d, outer, sw) ->
+            {
+              Aptget_pass.load_pc = pc;
+              distance = d;
+              site = (if outer then Inject.Outer else Inject.Inner);
+              sweep = sw;
+            })
+          raw
+      in
+      Hints_file.of_string (Hints_file.to_string hints) = Ok hints)
+
+(* ---------------- Profiler end-to-end ---------------- *)
+
+let micro_instance () =
+  let p =
+    {
+      Aptget_workloads.Micro.default_params with
+      Aptget_workloads.Micro.total = 16_384;
+      table_words = 1 lsl 19;
+    }
+  in
+  (Aptget_workloads.Micro.build p, p)
+
+let test_profiler_finds_delinquent_load () =
+  let inst, _ = micro_instance () in
+  let prof =
+    Profiler.profile ~args:inst.Aptget_workloads.Workload.args
+      ~mem:inst.Aptget_workloads.Workload.mem inst.Aptget_workloads.Workload.func
+  in
+  Alcotest.(check bool) "snapshots collected" true (prof.Profiler.lbr_snapshots > 0);
+  Alcotest.(check bool) "pebs samples" true (prof.Profiler.pebs_samples > 0);
+  match prof.Profiler.hints with
+  | [ h ] ->
+    let expected_pc =
+      Aptget_workloads.Micro.delinquent_load_pc
+        (fst (micro_instance ()))
+    in
+    Alcotest.(check int) "targets the indirect load" expected_pc
+      h.Aptget_pass.load_pc;
+    Alcotest.(check bool) "sane distance" true
+      (h.Aptget_pass.distance >= 1 && h.Aptget_pass.distance <= 128)
+  | hints ->
+    Alcotest.fail (Printf.sprintf "expected exactly one hint, got %d" (List.length hints))
+
+let test_profiler_skips_direct_loads () =
+  let inst, _ = micro_instance () in
+  let prof =
+    Profiler.profile ~args:inst.Aptget_workloads.Workload.args
+      ~mem:inst.Aptget_workloads.Workload.mem inst.Aptget_workloads.Workload.func
+  in
+  List.iter
+    (fun (p : Profiler.load_profile) ->
+      if p.Profiler.hint = None then
+        Alcotest.(check bool) "documented reason" true
+          (String.length p.Profiler.note > 0))
+    prof.Profiler.profiles
+
+let test_profiler_low_trip_chooses_outer () =
+  let p =
+    {
+      Aptget_workloads.Micro.default_params with
+      Aptget_workloads.Micro.total = 16_384;
+      table_words = 1 lsl 19;
+      inner = 4;
+    }
+  in
+  let inst = Aptget_workloads.Micro.build p in
+  let prof =
+    Profiler.profile ~args:inst.Aptget_workloads.Workload.args
+      ~mem:inst.Aptget_workloads.Workload.mem inst.Aptget_workloads.Workload.func
+  in
+  match prof.Profiler.hints with
+  | h :: _ ->
+    Alcotest.(check bool) "outer site" true (h.Aptget_pass.site = Inject.Outer)
+  | [] -> Alcotest.fail "expected a hint"
+
+let test_profiler_baseline_outcome_sane () =
+  let inst, p = micro_instance () in
+  let prof =
+    Profiler.profile ~args:inst.Aptget_workloads.Workload.args
+      ~mem:inst.Aptget_workloads.Workload.mem inst.Aptget_workloads.Workload.func
+  in
+  Alcotest.(check bool) "ran the kernel" true
+    (prof.Profiler.baseline.Aptget_machine.Machine.instructions
+    > p.Aptget_workloads.Micro.total)
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "loop_stats",
+        [
+          Alcotest.test_case "iteration times" `Quick test_iteration_times_basic;
+          Alcotest.test_case "filters foreign" `Quick test_iteration_times_filters_foreign;
+          Alcotest.test_case "in-loop branches ok" `Quick test_iteration_times_in_loop_branches_ok;
+          Alcotest.test_case "trip counts" `Quick test_trip_counts;
+          Alcotest.test_case "incomplete window" `Quick test_trip_counts_incomplete_window;
+          Alcotest.test_case "occurrences" `Quick test_occurrences;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "bimodal distance" `Quick test_model_bimodal_distance;
+          Alcotest.test_case "too few samples" `Quick test_model_too_few_samples;
+          Alcotest.test_case "uniform times" `Quick test_model_uniform_times;
+          Alcotest.test_case "distance clamped" `Quick test_model_distance_clamped;
+          Alcotest.test_case "naive finder" `Quick test_model_naive_finder_works_too;
+          Alcotest.test_case "choose site" `Quick test_choose_site;
+          QCheck_alcotest.to_alcotest prop_model_distance_positive;
+        ] );
+      ( "hints_file",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_hints_roundtrip;
+          Alcotest.test_case "flexible parse" `Quick test_hints_parse_flexible;
+          Alcotest.test_case "parse errors" `Quick test_hints_parse_errors;
+          Alcotest.test_case "file io" `Quick test_hints_file_io;
+          QCheck_alcotest.to_alcotest prop_hints_roundtrip;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "finds delinquent load" `Quick test_profiler_finds_delinquent_load;
+          Alcotest.test_case "skips direct loads" `Quick test_profiler_skips_direct_loads;
+          Alcotest.test_case "low trip -> outer" `Quick test_profiler_low_trip_chooses_outer;
+          Alcotest.test_case "baseline sane" `Quick test_profiler_baseline_outcome_sane;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+module Conv = Aptget_signal.Conv
+module Wavelet = Aptget_signal.Wavelet
+module Peaks = Aptget_signal.Peaks
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------- Conv ---------------- *)
+
+let test_convolve_identity () =
+  let signal = [| 1.; 2.; 3.; 4. |] in
+  let out = Conv.convolve_same signal [| 1. |] in
+  Alcotest.(check (array (float 1e-9))) "identity" signal out
+
+let test_convolve_box () =
+  let out = Conv.convolve_same [| 0.; 1.; 0. |] [| 1.; 1.; 1. |] in
+  Alcotest.(check (array (float 1e-9))) "box smear" [| 1.; 1.; 1. |] out
+
+let test_convolve_edges_zero_pad () =
+  let out = Conv.convolve_same [| 1.; 1. |] [| 1.; 1.; 1. |] in
+  Alcotest.(check (array (float 1e-9))) "zero padded" [| 2.; 2. |] out
+
+let test_moving_average () =
+  let out = Conv.moving_average 3 [| 3.; 0.; 3.; 0.; 3. |] in
+  check_float "middle" 2. out.(1);
+  check_float "middle" 1. out.(2);
+  check_float "edge window clamped" 1.5 out.(0)
+
+let test_moving_average_identity () =
+  let xs = [| 1.; 5.; 2. |] in
+  Alcotest.(check (array (float 1e-9))) "w<=1 copies" xs (Conv.moving_average 1 xs)
+
+let test_gaussian_kernel () =
+  let k = Conv.gaussian_kernel ~sigma:1.5 in
+  Alcotest.(check bool) "odd length" true (Array.length k mod 2 = 1);
+  check_float "normalised" 1. (Array.fold_left ( +. ) 0. k);
+  let n = Array.length k in
+  for i = 0 to (n / 2) - 1 do
+    check_float "symmetric" k.(i) k.(n - 1 - i)
+  done
+
+(* ---------------- Wavelet ---------------- *)
+
+let test_ricker_shape () =
+  let w = Wavelet.ricker ~points:101 ~a:4. in
+  let mid = w.(50) in
+  Alcotest.(check bool) "centre positive" true (mid > 0.);
+  Alcotest.(check bool) "centre is max" true
+    (Array.for_all (fun v -> v <= mid) w);
+  (* negative side lobes *)
+  Alcotest.(check bool) "side lobes negative" true (w.(42) < 0. && w.(58) < 0.)
+
+let test_ricker_symmetry () =
+  let w = Wavelet.ricker ~points:64 ~a:3. in
+  for i = 0 to 31 do
+    Alcotest.(check (float 1e-9)) "symmetric" w.(i) w.(63 - i)
+  done
+
+let test_ricker_near_zero_mean () =
+  let w = Wavelet.ricker ~points:400 ~a:4. in
+  let sum = Array.fold_left ( +. ) 0. w in
+  Alcotest.(check bool) "approx zero mean" true (abs_float sum < 1e-6)
+
+let test_cwt_shape () =
+  let signal = Array.make 64 0. in
+  let rows = Wavelet.cwt ~widths:[| 1.; 2.; 4. |] signal in
+  Alcotest.(check int) "one row per width" 3 (Array.length rows);
+  Array.iter
+    (fun r -> Alcotest.(check int) "row length" 64 (Array.length r))
+    rows
+
+(* ---------------- Peaks ---------------- *)
+
+let gaussian_bump ~centre ~sigma ~amp n =
+  Array.init n (fun i ->
+      let x = float_of_int (i - centre) in
+      amp *. exp (-.(x *. x) /. (2. *. sigma *. sigma)))
+
+let add a b = Array.mapi (fun i v -> v +. b.(i)) a
+
+let test_relative_maxima () =
+  Alcotest.(check (list int)) "simple" [ 1; 3 ]
+    (Peaks.relative_maxima [| 0.; 2.; 1.; 5.; 0. |]);
+  Alcotest.(check (list int)) "plateau has no strict max" []
+    (Peaks.relative_maxima [| 1.; 1.; 1. |])
+
+let test_find_peaks_two_bumps () =
+  let n = 128 in
+  let signal =
+    add (gaussian_bump ~centre:30 ~sigma:4. ~amp:10. n)
+      (gaussian_bump ~centre:90 ~sigma:5. ~amp:8. n)
+  in
+  let peaks = Peaks.find_peaks_cwt signal in
+  Alcotest.(check bool) "found first bump" true
+    (List.exists (fun p -> abs (p - 30) <= 4) peaks);
+  Alcotest.(check bool) "found second bump" true
+    (List.exists (fun p -> abs (p - 90) <= 5) peaks)
+
+let test_find_peaks_flat () =
+  Alcotest.(check (list int)) "flat has none" [] (Peaks.find_peaks_cwt (Array.make 64 0.))
+
+let test_find_peaks_empty () =
+  Alcotest.(check (list int)) "empty" [] (Peaks.find_peaks_cwt [||])
+
+let test_find_peaks_naive () =
+  let n = 64 in
+  let signal = gaussian_bump ~centre:20 ~sigma:3. ~amp:5. n in
+  let peaks = Peaks.find_peaks_naive signal in
+  Alcotest.(check bool) "near 20" true
+    (List.exists (fun p -> abs (p - 20) <= 2) peaks)
+
+let prop_cwt_peaks_in_range =
+  QCheck.Test.make ~name:"peak indices in range" ~count:50
+    QCheck.(pair small_int (int_range 32 128))
+    (fun (seed, n) ->
+      let rng = Aptget_util.Rng.create seed in
+      let signal =
+        Array.init n (fun _ -> Aptget_util.Rng.float rng 10.)
+      in
+      List.for_all (fun p -> p >= 0 && p < n) (Peaks.find_peaks_cwt signal))
+
+let prop_two_bumps_recovered =
+  QCheck.Test.make ~name:"well-separated bumps recovered" ~count:30
+    QCheck.(pair (int_range 20 40) (int_range 80 110))
+    (fun (c1, c2) ->
+      let n = 144 in
+      let signal =
+        add (gaussian_bump ~centre:c1 ~sigma:4. ~amp:10. n)
+          (gaussian_bump ~centre:c2 ~sigma:4. ~amp:10. n)
+      in
+      let peaks = Peaks.find_peaks_cwt signal in
+      List.exists (fun p -> abs (p - c1) <= 5) peaks
+      && List.exists (fun p -> abs (p - c2) <= 5) peaks)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_cwt_peaks_in_range; prop_two_bumps_recovered ]
+
+let () =
+  Alcotest.run "signal"
+    [
+      ( "conv",
+        [
+          Alcotest.test_case "identity" `Quick test_convolve_identity;
+          Alcotest.test_case "box" `Quick test_convolve_box;
+          Alcotest.test_case "zero pad" `Quick test_convolve_edges_zero_pad;
+          Alcotest.test_case "moving average" `Quick test_moving_average;
+          Alcotest.test_case "moving average identity" `Quick test_moving_average_identity;
+          Alcotest.test_case "gaussian kernel" `Quick test_gaussian_kernel;
+        ] );
+      ( "wavelet",
+        [
+          Alcotest.test_case "ricker shape" `Quick test_ricker_shape;
+          Alcotest.test_case "ricker symmetry" `Quick test_ricker_symmetry;
+          Alcotest.test_case "ricker zero mean" `Quick test_ricker_near_zero_mean;
+          Alcotest.test_case "cwt shape" `Quick test_cwt_shape;
+        ] );
+      ( "peaks",
+        [
+          Alcotest.test_case "relative maxima" `Quick test_relative_maxima;
+          Alcotest.test_case "two bumps" `Quick test_find_peaks_two_bumps;
+          Alcotest.test_case "flat" `Quick test_find_peaks_flat;
+          Alcotest.test_case "empty" `Quick test_find_peaks_empty;
+          Alcotest.test_case "naive finder" `Quick test_find_peaks_naive;
+        ] );
+      ("properties", qsuite);
+    ]
