@@ -19,8 +19,75 @@ module Inject = Aptget_passes.Inject
 module Registry = Aptget_experiments.Registry
 module Lab = Aptget_experiments.Lab
 module Table = Aptget_util.Table
+module Faults = Aptget_pmu.Faults
 
 open Cmdliner
+
+(* --fault-* flags, shared by [run] and [profile]: every knob of the
+   simulated-PMU fault model. [--fault-defaults] switches the base
+   config to the documented default mix; explicit knobs override it. *)
+let faults_term =
+  let defaults =
+    Arg.(
+      value & flag
+      & info [ "fault-defaults" ]
+          ~doc:
+            "Profile under the documented default PMU fault mix (10% LBR \
+             drop, +/-8 cycle jitter, 5% ring truncation, 20% PEBS skid, \
+             throttling). Individual $(b,--fault-*) flags override it.")
+  in
+  let opt_of kind name doc =
+    Arg.(value & opt (some kind) None & info [ name ] ~docv:"VAL" ~doc)
+  in
+  let drop = opt_of Arg.float "fault-lbr-drop" "Probability a due LBR snapshot is lost." in
+  let jitter = opt_of Arg.int "fault-jitter" "Max +/- perturbation of LBR cycle stamps." in
+  let truncate = opt_of Arg.float "fault-truncate" "Probability an LBR snapshot is truncated to a ring suffix." in
+  let skid = opt_of Arg.float "fault-skid" "Probability a PEBS sample skids to a neighbouring PC." in
+  let skid_max = opt_of Arg.int "fault-skid-max" "Maximum PEBS skid distance in PC slots." in
+  let budget = opt_of Arg.int "fault-throttle-budget" "Adaptive throttling: max samples per window (0 = off)." in
+  let seed = opt_of Arg.int "fault-seed" "Seed for the fault schedule." in
+  let build defaults drop jitter truncate skid skid_max budget seed =
+    let base = if defaults then Faults.default_faulty else Faults.none in
+    let or_ dflt = Option.value ~default:dflt in
+    let cfg =
+      {
+        base with
+        Faults.lbr_drop_rate = or_ base.Faults.lbr_drop_rate drop;
+        cycle_jitter = or_ base.Faults.cycle_jitter jitter;
+        lbr_truncate_rate = or_ base.Faults.lbr_truncate_rate truncate;
+        pebs_skid_rate = or_ base.Faults.pebs_skid_rate skid;
+        pebs_skid_max = or_ base.Faults.pebs_skid_max skid_max;
+        throttle_budget = or_ base.Faults.throttle_budget budget;
+        seed = or_ base.Faults.seed seed;
+      }
+    in
+    match Faults.validate cfg with
+    | Ok () -> Ok cfg
+    | Error e -> Error (`Msg (Printf.sprintf "bad --fault-* value: %s" e))
+  in
+  Term.term_result
+    Term.(
+      const build $ defaults $ drop $ jitter $ truncate $ skid $ skid_max
+      $ budget $ seed)
+
+let print_fault_stats = function
+  | None -> ()
+  | Some (s : Faults.stats) ->
+    Printf.printf
+      "fault stats: %d LBR snapshots dropped, %d truncated, %d stamps \
+       jittered, %d PEBS samples skidded, %d throttled (backoff x%.0f)\n"
+      s.Faults.lbr_dropped s.Faults.lbr_truncated s.Faults.stamps_jittered
+      s.Faults.pebs_skidded s.Faults.throttled s.Faults.backoff_factor
+
+let print_degradations (r : Pipeline.robust) =
+  match r.Pipeline.r_degradations with
+  | [] -> Printf.printf "degradation report: clean (no fallbacks)\n"
+  | ds ->
+    Printf.printf "degradation report (%d entries%s):\n" (List.length ds)
+      (if r.Pipeline.r_profile_retried then "; profile retried once" else "");
+    List.iter
+      (fun d -> Printf.printf "  %s\n" (Pipeline.degradation_to_string d))
+      ds
 
 let workload_of_name name =
   match Suite.find name with
@@ -52,31 +119,71 @@ let print_outcome label (m : Pipeline.measurement) =
     (match m.Pipeline.verified with Ok () -> "ok" | Error e -> "FAILED: " ^ e)
 
 let run_cmd =
-  let run w hints_path =
+  let load_hints ~lenient path =
+    if lenient then begin
+      match Aptget_profile.Hints_file.load_lenient ~path with
+      | Ok (hints, errors) ->
+        List.iter
+          (fun (lineno, e) ->
+            Printf.eprintf "%s:%d: skipped: %s\n" path lineno e)
+          errors;
+        hints
+      | Error e ->
+        Printf.eprintf "cannot load hints from %s: %s\n" path e;
+        exit 1
+    end
+    else
+      match Aptget_profile.Hints_file.load ~path with
+      | Ok hints -> hints
+      | Error e ->
+        Printf.eprintf "cannot load hints from %s: %s\n" path e;
+        exit 1
+  in
+  let run w hints_path lenient robust faults =
     Printf.printf "workload %s (%s on %s)\n\n" w.Workload.name w.Workload.app
       w.Workload.input;
     let base = Pipeline.baseline w in
     print_outcome "baseline" base;
     let aj = Pipeline.aj w in
     print_outcome "A&J" aj;
-    let apt, hint_count =
-      match hints_path with
-      | Some path -> (
-        match Aptget_profile.Hints_file.load ~path with
-        | Ok hints -> (Pipeline.with_hints ~hints w, List.length hints)
-        | Error e ->
-          Printf.eprintf "cannot load hints from %s: %s\n" path e;
-          exit 1)
+    let file_hints = Option.map (load_hints ~lenient) hints_path in
+    if robust then begin
+      let r = Pipeline.run_robust ~faults ?hints:file_hints w in
+      match r.Pipeline.r_measurement with
       | None ->
-        let apt, prof = Pipeline.aptget w in
-        (apt, List.length prof.Profiler.hints)
-    in
-    print_outcome "APT-GET" apt;
-    Printf.printf "\nspeedup: A&J %s, APT-GET %s (%d hints%s)\n"
-      (Table.fmt_speedup (Pipeline.speedup ~baseline:base aj))
-      (Table.fmt_speedup (Pipeline.speedup ~baseline:base apt))
-      hint_count
-      (match hints_path with Some p -> " from " ^ p | None -> " from a fresh profile")
+        Printf.printf "APT-GET (robust): no measurement\n";
+        print_degradations r
+      | Some apt ->
+        print_outcome "APT-GET" apt;
+        Option.iter
+          (fun (p : Profiler.t) -> print_fault_stats p.Profiler.fault_stats)
+          r.Pipeline.r_profile;
+        print_degradations r;
+        Printf.printf "\nspeedup: A&J %s, APT-GET %s (%d hints used, %d dropped)\n"
+          (Table.fmt_speedup (Pipeline.speedup ~baseline:base aj))
+          (Table.fmt_speedup (Pipeline.speedup ~baseline:base apt))
+          (List.length r.Pipeline.r_hints_used)
+          (List.length r.Pipeline.r_hints_dropped)
+    end
+    else begin
+      let apt, hint_count =
+        match file_hints with
+        | Some hints -> (Pipeline.with_hints ~hints w, List.length hints)
+        | None ->
+          let options = { Profiler.default_options with Profiler.faults } in
+          let apt, prof = Pipeline.aptget ~options w in
+          print_fault_stats prof.Profiler.fault_stats;
+          (apt, List.length prof.Profiler.hints)
+      in
+      print_outcome "APT-GET" apt;
+      Printf.printf "\nspeedup: A&J %s, APT-GET %s (%d hints%s)\n"
+        (Table.fmt_speedup (Pipeline.speedup ~baseline:base aj))
+        (Table.fmt_speedup (Pipeline.speedup ~baseline:base apt))
+        hint_count
+        (match hints_path with
+        | Some p -> " from " ^ p
+        | None -> " from a fresh profile")
+    end
   in
   let hints_flag =
     Arg.(
@@ -85,16 +192,38 @@ let run_cmd =
       & info [ "hints" ] ~docv:"FILE"
           ~doc:"Use previously saved hints instead of profiling")
   in
+  let lenient_flag =
+    Arg.(
+      value & flag
+      & info [ "lenient-hints" ]
+          ~doc:
+            "Parse $(b,--hints) leniently: keep well-formed lines, report \
+             the rest to stderr instead of aborting")
+  in
+  let robust_flag =
+    Arg.(
+      value & flag
+      & info [ "robust" ]
+          ~doc:
+            "Use the never-raising robust pipeline: stale hints, corrupted \
+             profiles and verifier failures degrade the run and are listed \
+             in a degradation report")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under baseline, A&J and APT-GET")
-    Term.(const run $ workload_arg $ hints_flag)
+    Term.(
+      const run $ workload_arg $ hints_flag $ lenient_flag $ robust_flag
+      $ faults_term)
 
 let profile_cmd =
-  let profile w output =
-    let prof = Pipeline.profile w in
+  let profile w output faults =
+    let options = { Profiler.default_options with Profiler.faults } in
+    let prof = Pipeline.profile ~options w in
     Printf.printf
-      "profiled %s: %d LBR snapshots, %d PEBS samples, baseline IPC %.3f\n\n"
+      "profiled %s: %d LBR snapshots, %d PEBS samples, baseline IPC %.3f\n"
       w.Workload.name prof.Profiler.lbr_snapshots prof.Profiler.pebs_samples
       (Machine.ipc prof.Profiler.baseline);
+    print_fault_stats prof.Profiler.fault_stats;
+    print_newline ();
     let t =
       Table.create ~title:"delinquent loads"
         ~header:
@@ -142,7 +271,7 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Collect and analyse an LBR/PEBS profile for a workload")
-    Term.(const profile $ workload_arg $ output_flag)
+    Term.(const profile $ workload_arg $ output_flag $ faults_term)
 
 let show_ir_cmd =
   let show w inject =

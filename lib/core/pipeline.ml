@@ -4,6 +4,8 @@ module Workload = Aptget_workloads.Workload
 module Aj = Aptget_passes.Aj
 module Aptget_pass = Aptget_passes.Aptget_pass
 module Inject = Aptget_passes.Inject
+module Faults = Aptget_pmu.Faults
+module Clock = Aptget_util.Clock
 
 type measurement = {
   workload : string;
@@ -31,10 +33,7 @@ let mpki_reduction ~baseline m =
   let b = Machine.mpki baseline.outcome in
   if b = 0. then 0. else 1. -. (Machine.mpki m.outcome /. b)
 
-let wall f =
-  let t0 = Sys.time () in
-  let v = f () in
-  (v, Sys.time () -. t0)
+let wall = Clock.wall
 
 let run_transformed ?config (w : Workload.t) transform =
   let (outcome, verified, injected, skipped), wall_seconds =
@@ -74,6 +73,200 @@ let with_hints ?config ?(cse = false) ~hints w =
 let aptget ?options ?config ?cse w =
   let prof = profile ?options w in
   (with_hints ?config ?cse ~hints:prof.Profiler.hints w, prof)
+
+(* ------------------------------------------------------------------ *)
+(* Robust pipeline: profile corruption, stale hints and verifier       *)
+(* failures degrade the run instead of killing it.                     *)
+(* ------------------------------------------------------------------ *)
+
+type degradation = { stage : string; cause : string; fallback : string }
+
+type robust = {
+  r_workload : string;
+  r_measurement : measurement option;
+  r_profile : Profiler.t option;
+  r_hints_used : Aptget_pass.hint list;
+  r_hints_dropped : (Aptget_pass.hint * string) list;
+  r_degradations : degradation list;
+  r_profile_retried : bool;
+}
+
+let degradation_to_string d =
+  Printf.sprintf "[%s] %s -> %s" d.stage d.cause d.fallback
+
+(* The model needs >= 8 iteration observations (its min_samples); a
+   profile where no in-loop delinquent load reached that — or where the
+   LBR barely fired at all — is worth one denser retry. On real
+   hardware the fix is a longer profiling window; for a fixed-length
+   simulated run the equivalent signal boost is a denser LBR period. *)
+let profile_too_thin (p : Profiler.t) =
+  p.Profiler.lbr_snapshots < 2
+  || List.exists
+       (fun (lp : Profiler.load_profile) ->
+         lp.Profiler.latch_pc >= 0
+         && Array.length lp.Profiler.iteration_times < 8)
+       p.Profiler.profiles
+
+let run_robust ?(options = Profiler.default_options) ?config
+    ?(faults = Faults.none) ?hints (w : Workload.t) =
+  let degradations = ref [] in
+  let add stage cause fallback =
+    degradations := { stage; cause; fallback } :: !degradations
+  in
+  let go () =
+        let options = { options with Profiler.faults } in
+        let try_profile opts =
+          match profile ~options:opts w with
+          | p -> Some p
+          | exception e ->
+            add "profile" (Printexc.to_string e)
+              "continuing without a fresh profile";
+            None
+        in
+        (* 1. Profile (unless hints were supplied), retrying once with
+           denser sampling when too few iteration samples came back. *)
+        let prof, retried =
+          match hints with
+          | Some _ -> (None, false)
+          | None -> (
+            match try_profile options with
+            | Some p when profile_too_thin p ->
+              add "profile"
+                (Printf.sprintf
+                   "too few iteration samples (%d LBR snapshots, %d PEBS \
+                    samples)"
+                   p.Profiler.lbr_snapshots p.Profiler.pebs_samples)
+                "retried profiling with a 4x denser LBR sampling period";
+              let denser =
+                {
+                  options with
+                  Profiler.lbr_period = max 1_000 (options.Profiler.lbr_period / 4);
+                }
+              in
+              (match try_profile denser with
+              | Some p2 -> (Some p2, true)
+              | None -> (Some p, true))
+            | p -> (p, false))
+        in
+        (* Per-load diagnostics from the profiler become report entries
+           so every fallback/skip is visible with its cause. *)
+        (match prof with
+        | None -> ()
+        | Some p ->
+          List.iter
+            (fun (lp : Profiler.load_profile) ->
+              match lp.Profiler.status with
+              | Profiler.Hinted -> ()
+              | Profiler.Fallback why ->
+                add "profile"
+                  (Printf.sprintf "load PC %d: %s" lp.Profiler.load_pc why)
+                  "hint emitted with fallback parameters"
+              | Profiler.Skipped why ->
+                add "profile"
+                  (Printf.sprintf "load PC %d: %s" lp.Profiler.load_pc why)
+                  "no hint for this load")
+            p.Profiler.profiles);
+        let candidate =
+          match (hints, prof) with
+          | Some h, _ -> h
+          | None, Some p -> p.Profiler.hints
+          | None, None -> []
+        in
+        (* 2. Build, validate hints against the program, inject, verify
+           the rewritten IR, run, verify semantics — each stage falling
+           back instead of raising. *)
+        match w.Workload.build () with
+        | exception e ->
+          add "build" (Printexc.to_string e) "no measurement for this workload";
+          (prof, retried, candidate, [], None)
+        | inst ->
+          let hints_used, hints_dropped =
+            Profiler.validate_hints inst.Workload.func candidate
+          in
+          List.iter
+            (fun ((_ : Aptget_pass.hint), why) ->
+              add "hints" why "hint skipped")
+            hints_dropped;
+          let inst, injected, skipped =
+            match Aptget_pass.run inst.Workload.func ~hints:hints_used with
+            | exception e ->
+              add "inject" (Printexc.to_string e)
+                "discarding injections; rebuilding the unmodified kernel";
+              (w.Workload.build (), [], [])
+            | r -> (
+              if r.Aptget_pass.fellback then
+                add "inject" "no usable hints (Algorithm 2, lines 35-38)"
+                  "static Ainsworth & Jones injection";
+              List.iter
+                (fun (pc, why) ->
+                  add "inject"
+                    (Printf.sprintf "load PC %d: %s" pc why)
+                    "load left unprefetched")
+                r.Aptget_pass.skipped;
+              match Verify.check inst.Workload.func with
+              | Ok () -> (inst, r.Aptget_pass.injected, r.Aptget_pass.skipped)
+              | Error e ->
+                add "verify-ir" e
+                  "discarding injections; rebuilding the unmodified kernel";
+                (w.Workload.build (), [], []))
+          in
+          let run_inst inst injected skipped =
+            let outcome =
+              Machine.execute ?config ~args:inst.Workload.args
+                ~mem:inst.Workload.mem inst.Workload.func
+            in
+            let verified =
+              inst.Workload.verify inst.Workload.mem outcome.Machine.ret
+            in
+            (match verified with
+            | Ok () -> ()
+            | Error e ->
+              add "semantic-verify" e "measurement reported as unverified");
+            {
+              workload = w.Workload.name;
+              outcome;
+              verified;
+              injected;
+              skipped;
+              wall_seconds = 0.;
+            }
+          in
+          let measurement =
+            match run_inst inst injected skipped with
+            | m -> Some m
+            | exception e -> (
+              add "run" (Printexc.to_string e)
+                "rebuilding and running the unmodified kernel";
+              match run_inst (w.Workload.build ()) [] [] with
+              | m -> Some m
+              | exception e2 ->
+                add "run" (Printexc.to_string e2)
+                  "no measurement for this workload";
+                None)
+          in
+          (prof, retried, hints_used, hints_dropped, measurement)
+  in
+  (* Last-resort catch: run_robust must never raise, even on failures
+     in stages the per-stage handlers above do not anticipate. *)
+  let result, wall_seconds =
+    wall (fun () ->
+        try go ()
+        with e ->
+          add "pipeline" (Printexc.to_string e)
+            "no measurement for this workload";
+          (None, false, [], [], None))
+  in
+  let prof, retried, hints_used, hints_dropped, measurement = result in
+  {
+    r_workload = w.Workload.name;
+    r_measurement =
+      Option.map (fun m -> { m with wall_seconds }) measurement;
+    r_profile = prof;
+    r_hints_used = hints_used;
+    r_hints_dropped = hints_dropped;
+    r_degradations = List.rev !degradations;
+    r_profile_retried = retried;
+  }
 
 let force_distance d hints =
   List.map (fun h -> { h with Aptget_pass.distance = d }) hints

@@ -18,7 +18,9 @@ type measurement = {
   verified : (unit, string) result;
   injected : Aptget_passes.Inject.injected list;
   skipped : (int * string) list;
-  wall_seconds : float;  (** CPU seconds spent building + simulating *)
+  wall_seconds : float;
+      (** elapsed wall-clock seconds spent building + simulating,
+          measured on the monotonic {!Aptget_util.Clock} *)
 }
 
 val verified_exn : measurement -> measurement
@@ -63,6 +65,55 @@ val with_hints :
   measurement
 (** Inject externally supplied hints (used by the distance/site
     studies and by cross-input evaluation, Fig. 8–10, 12). *)
+
+(** {2 Robust pipeline}
+
+    The plain entry points above raise on malformed input (bad IR after
+    injection, a runaway kernel, a profiling failure). {!run_robust}
+    instead degrades: every failure is converted into a structured
+    {!degradation} (which stage, what went wrong, which fallback was
+    taken) and the pipeline continues with the best remaining plan —
+    ultimately the unmodified kernel. Used by the robustness ablation
+    to ask how much profile corruption APT-GET absorbs before its
+    speedups evaporate. *)
+
+type degradation = {
+  stage : string;
+      (** "profile" | "hints" | "inject" | "verify-ir" | "run" |
+          "semantic-verify" | "build" | "pipeline" *)
+  cause : string;
+  fallback : string;  (** the action taken instead *)
+}
+
+val degradation_to_string : degradation -> string
+
+type robust = {
+  r_workload : string;
+  r_measurement : measurement option;
+      (** [None] only when even the unmodified kernel failed to run *)
+  r_profile : Aptget_profile.Profiler.t option;
+  r_hints_used : Aptget_passes.Aptget_pass.hint list;
+  r_hints_dropped : (Aptget_passes.Aptget_pass.hint * string) list;
+      (** stale hints rejected by validation, with reasons *)
+  r_degradations : degradation list;  (** in stage order *)
+  r_profile_retried : bool;
+      (** the profile was re-collected once with denser LBR sampling *)
+}
+
+val run_robust :
+  ?options:Aptget_profile.Profiler.options ->
+  ?config:Aptget_machine.Machine.config ->
+  ?faults:Aptget_pmu.Faults.config ->
+  ?hints:Aptget_passes.Aptget_pass.hint list ->
+  Aptget_workloads.Workload.t ->
+  robust
+(** Full pipeline that never raises. [faults] (default
+    {!Aptget_pmu.Faults.none}) injects PMU faults into the profiling
+    run; with the default config the measured outcome is bit-identical
+    to {!aptget}'s. Supplying [hints] skips profiling and exercises the
+    stale-hint validation path (e.g. hints loaded leniently from a
+    checked-in file). When profiling collects too few iteration
+    samples, it is retried once with a 4x denser LBR period. *)
 
 val force_distance :
   int -> Aptget_passes.Aptget_pass.hint list -> Aptget_passes.Aptget_pass.hint list

@@ -26,6 +26,7 @@ let all =
     { id = "fig12"; title = "Train/test input sensitivity"; run = Eval_exps.fig12 };
     { id = "datasets"; title = "BFS across all Table-4 graphs"; run = Eval_exps.datasets };
     { id = "ablations"; title = "Design-choice ablations"; run = Ablations.all };
+    { id = "robustness"; title = "Speedup vs PMU fault rate (profile corruption tolerance)"; run = Robustness.all };
     { id = "extensions"; title = "Extension studies (cost model, conditional injection, HW/SW interplay)"; run = Extensions.all };
   ]
 
@@ -34,8 +35,7 @@ let find id =
   List.find_opt (fun e -> String.lowercase_ascii e.id = k) all
 
 let run_and_print lab e =
-  let t0 = Sys.time () in
   Printf.printf "== %s: %s ==\n%!" e.id e.title;
-  let tables = e.run lab in
+  let tables, elapsed = Aptget_util.Clock.wall (fun () -> e.run lab) in
   List.iter Table.print tables;
-  Printf.printf "(%s finished in %.1fs CPU)\n\n%!" e.id (Sys.time () -. t0)
+  Printf.printf "(%s finished in %.1fs wall)\n\n%!" e.id elapsed

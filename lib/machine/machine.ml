@@ -1,7 +1,6 @@
 module Memory = Aptget_mem.Memory
 module Hierarchy = Aptget_cache.Hierarchy
 module Sampler = Aptget_pmu.Sampler
-module Lbr = Aptget_pmu.Lbr
 
 type core_model = Blocking | Stall_on_use of { window : int }
 
@@ -149,7 +148,7 @@ let execute_blocking ~config ~hier ~sampler ~mem ~regs (f : Ir.func) =
         st.loads <- st.loads + 1;
         (match sampler with
         | Some s when access.Hierarchy.served_from = Hierarchy.Dram ->
-          Sampler.on_llc_miss s ~load_pc:pc
+          Sampler.on_llc_miss s ~load_pc:pc ~cycle:st.cycle
         | _ -> ());
         (* L1 hits are pipelined: 1 cycle. Anything deeper stalls the
            in-order core for the extra latency. *)
@@ -169,7 +168,7 @@ let execute_blocking ~config ~hier ~sampler ~mem ~regs (f : Ir.func) =
     let record_branch target =
       (match sampler with
       | Some s ->
-        Lbr.record (Sampler.lbr s) ~branch_pc:(Layout.pc_of_term cur)
+        Sampler.on_branch s ~branch_pc:(Layout.pc_of_term cur)
           ~target_pc:(Layout.pc_of_instr target 0) ~cycle:st.cycle
       | None -> ());
       charge 1 1
@@ -284,7 +283,7 @@ let execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window (f : Ir.func)
         st.loads <- st.loads + 1;
         (match sampler with
         | Some s when access.Hierarchy.served_from = Hierarchy.Dram ->
-          Sampler.on_llc_miss s ~load_pc:pc
+          Sampler.on_llc_miss s ~load_pc:pc ~cycle:start
         | _ -> ());
         let completion = start + 1 + max 0 (access.Hierarchy.latency - l1_lat) in
         ready.(i.Ir.dst) <- completion;
@@ -314,7 +313,7 @@ let execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window (f : Ir.func)
       retire (st.cycle + 1);
       (match sampler with
       | Some s ->
-        Lbr.record (Sampler.lbr s) ~branch_pc:(Layout.pc_of_term cur)
+        Sampler.on_branch s ~branch_pc:(Layout.pc_of_term cur)
           ~target_pc:(Layout.pc_of_instr target 0) ~cycle:st.cycle
       | None -> ())
     in

@@ -1,11 +1,14 @@
 (** Timing interpreter for IR functions (in-order issue; blocking or stall-on-use completion).
 
     Executes a kernel over a {!Aptget_mem.Memory}, charging cycles
-    against a {!Aptget_cache.Hierarchy} and feeding the simulated PMU:
-    every executed terminator is recorded into the LBR as a taken
-    branch (with its layout PC, target PC and cycle stamp), and demand
-    loads served by DRAM are subsampled into the PEBS delinquent-load
-    table.
+    against a {!Aptget_cache.Hierarchy} and feeding the simulated PMU
+    through {!Aptget_pmu.Sampler}'s hooks: every executed terminator is
+    reported via [on_branch] as a taken branch (with its layout PC,
+    target PC and cycle stamp), and demand loads served by DRAM are
+    reported via [on_llc_miss] into the PEBS delinquent-load table. The
+    core never touches the LBR ring or the PEBS table directly, so a
+    fault model attached to the sampler ({!Aptget_pmu.Faults}) sees
+    every profiling event.
 
     Two core models are available:
 

@@ -2,47 +2,86 @@ type lbr_sample = { at_cycle : int; entries : Lbr.entry array }
 
 type t = {
   lbr : Lbr.t;
-  lbr_period : int;
-  pebs_period : int;
+  base_lbr_period : int;
+  base_pebs_period : int;
   mutable next_lbr_sample : int;
   mutable samples : lbr_sample list; (* reversed *)
   mutable miss_count : int;
   mutable pebs_samples : int;
   delinquents : (int, int) Hashtbl.t;
+  faults : Faults.t option;
 }
 
-let create ?(lbr_period = 20_000) ?(pebs_period = 64) ?(lbr_size = 32) () =
+let create ?(lbr_period = 20_000) ?(pebs_period = 64) ?(lbr_size = 32) ?faults
+    () =
   if lbr_period <= 0 then invalid_arg "Sampler.create: lbr_period <= 0";
   if pebs_period <= 0 then invalid_arg "Sampler.create: pebs_period <= 0";
   {
     lbr = Lbr.create ~size:lbr_size ();
-    lbr_period;
-    pebs_period;
+    base_lbr_period = lbr_period;
+    base_pebs_period = pebs_period;
     next_lbr_sample = lbr_period;
     samples = [];
     miss_count = 0;
     pebs_samples = 0;
     delinquents = Hashtbl.create 64;
+    faults;
   }
 
 let lbr t = t.lbr
 
+(* Adaptive throttling stretches both sampling periods by the fault
+   model's cumulative backoff factor. Without faults (or before any
+   throttle event) the effective period is the configured one. *)
+let effective t base =
+  match t.faults with
+  | None -> base
+  | Some f -> max base (int_of_float (float_of_int base *. Faults.backoff_factor f))
+
+let current_lbr_period t = effective t t.base_lbr_period
+let current_pebs_period t = effective t t.base_pebs_period
+
+let on_branch t ~branch_pc ~target_pc ~cycle =
+  let cycle =
+    match t.faults with
+    | Some f -> Faults.jitter_cycle f cycle
+    | None -> cycle
+  in
+  Lbr.record t.lbr ~branch_pc ~target_pc ~cycle
+
 let on_cycle t ~cycle =
   if cycle >= t.next_lbr_sample then begin
-    t.samples <- { at_cycle = cycle; entries = Lbr.snapshot t.lbr } :: t.samples;
+    (match t.faults with
+    | None ->
+      t.samples <- { at_cycle = cycle; entries = Lbr.snapshot t.lbr } :: t.samples
+    | Some f ->
+      (* The PMI fires either way; the sample can then be rejected by
+         the throttle or lost outright, and a surviving one may only
+         capture a suffix of the ring. *)
+      if Faults.throttle_admit f ~cycle && not (Faults.drop_lbr f) then begin
+        let entries = Faults.truncate_ring f (Lbr.snapshot t.lbr) in
+        t.samples <- { at_cycle = cycle; entries } :: t.samples
+      end);
     (* Skip forward past [cycle]: long stalls may cross several
        boundaries but yield a single (unchanged) ring. *)
+    let period = current_lbr_period t in
     while t.next_lbr_sample <= cycle do
-      t.next_lbr_sample <- t.next_lbr_sample + t.lbr_period
+      t.next_lbr_sample <- t.next_lbr_sample + period
     done
   end
 
-let on_llc_miss t ~load_pc =
+let on_llc_miss t ~load_pc ~cycle =
   t.miss_count <- t.miss_count + 1;
-  if t.miss_count mod t.pebs_period = 0 then begin
-    t.pebs_samples <- t.pebs_samples + 1;
-    let prev = Option.value ~default:0 (Hashtbl.find_opt t.delinquents load_pc) in
-    Hashtbl.replace t.delinquents load_pc (prev + 1)
+  if t.miss_count mod current_pebs_period t = 0 then begin
+    let record pc =
+      t.pebs_samples <- t.pebs_samples + 1;
+      let prev = Option.value ~default:0 (Hashtbl.find_opt t.delinquents pc) in
+      Hashtbl.replace t.delinquents pc (prev + 1)
+    in
+    match t.faults with
+    | None -> record load_pc
+    | Some f ->
+      if Faults.throttle_admit f ~cycle then record (Faults.skid_pc f load_pc)
   end
 
 let lbr_samples t = List.rev t.samples
@@ -52,3 +91,5 @@ let delinquent_loads t =
   |> List.sort (fun (_, a) (_, b) -> compare b a)
 
 let miss_samples t = t.pebs_samples
+
+let fault_stats t = Option.map Faults.stats t.faults

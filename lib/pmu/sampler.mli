@@ -4,7 +4,13 @@
     - the {b PEBS} sampler records the PC of every Nth demand load that
       misses the LLC, yielding the delinquent-load ranking;
     - the {b LBR} sampler snapshots the LBR ring at a fixed cycle
-      period ("once per millisecond" on real hardware). *)
+      period ("once per millisecond" on real hardware).
+
+    An optional {!Faults} model degrades the collected profile the way
+    real PMU hardware and the perf subsystem do: snapshot loss, cycle
+    stamp jitter, ring truncation, PEBS skid and adaptive throttling.
+    Without a fault model (or with {!Faults.none}) behaviour is
+    bit-identical to the clean sampler. *)
 
 type lbr_sample = {
   at_cycle : int;
@@ -13,21 +19,35 @@ type lbr_sample = {
 
 type t
 
-val create : ?lbr_period:int -> ?pebs_period:int -> ?lbr_size:int -> unit -> t
+val create :
+  ?lbr_period:int ->
+  ?pebs_period:int ->
+  ?lbr_size:int ->
+  ?faults:Faults.t ->
+  unit ->
+  t
 (** [lbr_period] is in cycles (default 20_000 — the scaled equivalent of
     1 ms at the scaled simulation sizes); [pebs_period] samples every
-    Nth LLC-missing load (default 64). *)
+    Nth LLC-missing load (default 64). [faults], when given, injects
+    PMU faults at every decision point. *)
 
 val lbr : t -> Lbr.t
 (** The live ring the core records taken branches into. *)
 
+val on_branch : t -> branch_pc:int -> target_pc:int -> cycle:int -> unit
+(** Called by the core on every taken branch; records into the LBR
+    ring, applying cycle-stamp jitter when a fault model is active.
+    Cores should use this rather than writing the ring directly. *)
+
 val on_cycle : t -> cycle:int -> unit
 (** Called by the core as time advances; takes an LBR snapshot whenever
-    a period boundary is crossed. *)
+    a period boundary is crossed. Under faults a due snapshot may be
+    throttled, dropped or truncated. *)
 
-val on_llc_miss : t -> load_pc:int -> unit
+val on_llc_miss : t -> load_pc:int -> cycle:int -> unit
 (** Called by the core on every demand LLC miss; subsamples into the
-    delinquent-load table. *)
+    delinquent-load table. Under faults the sample may be throttled or
+    its PC skidded to a neighbouring slot. *)
 
 val lbr_samples : t -> lbr_sample list
 (** All snapshots, in chronological order. *)
@@ -38,3 +58,12 @@ val delinquent_loads : t -> (int * int) list
 
 val miss_samples : t -> int
 (** Total PEBS samples taken. *)
+
+val current_lbr_period : t -> int
+(** The effective LBR period: the configured one stretched by any
+    adaptive-throttling backoff. *)
+
+val current_pebs_period : t -> int
+
+val fault_stats : t -> Faults.stats option
+(** Fault counters, when a fault model is attached. *)

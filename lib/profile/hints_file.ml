@@ -1,7 +1,9 @@
 module Aptget_pass = Aptget_passes.Aptget_pass
 module Inject = Aptget_passes.Inject
 
-let header = "# aptget prefetch hints v1"
+let header_prefix = "# aptget prefetch hints "
+let version = "v1"
+let header = header_prefix ^ version
 
 let to_string hints =
   let lines =
@@ -28,6 +30,11 @@ let parse_field line (key, value) =
     | _ -> Error (Printf.sprintf "bad site %S in %S" value line))
   | _ -> Error (Printf.sprintf "unknown field %S in %S" key line)
 
+let rec duplicate_key = function
+  | [] -> None
+  | (k, _) :: rest ->
+    if List.mem_assoc k rest then Some k else duplicate_key rest
+
 let parse_line line =
   let parts =
     String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
@@ -51,30 +58,65 @@ let parse_line line =
   match collect [] fields with
   | Error e -> Error e
   | Ok kvs -> (
-    let int_field k = List.assoc_opt k kvs in
-    match (int_field "pc", int_field "distance", int_field "site") with
-    | Some (`Int pc), Some (`Int distance), Some (`Site site) ->
-      let sweep =
-        match int_field "sweep" with Some (`Int s) -> max 1 s | _ -> 1
-      in
-      Ok { Aptget_pass.load_pc = pc; distance; site; sweep }
-    | _ ->
-      Error (Printf.sprintf "missing pc/distance/site in %S" line))
+    match duplicate_key kvs with
+    | Some k -> Error (Printf.sprintf "duplicate field %S in %S" k line)
+    | None -> (
+      let field k = List.assoc_opt k kvs in
+      match (field "pc", field "distance", field "site") with
+      | Some (`Int pc), Some (`Int distance), Some (`Site site) ->
+        let sweep =
+          match field "sweep" with Some (`Int s) -> max 1 s | _ -> 1
+        in
+        Ok { Aptget_pass.load_pc = pc; distance; site; sweep }
+      | _ -> Error (Printf.sprintf "missing pc/distance/site in %S" line)))
+
+(* A [#] line is normally a free-form comment, but one that announces a
+   hints-file version must announce a version we understand. *)
+let check_header t =
+  if String.length t >= String.length header_prefix
+     && String.sub t 0 (String.length header_prefix) = header_prefix
+  then begin
+    let v =
+      String.trim
+        (String.sub t
+           (String.length header_prefix)
+           (String.length t - String.length header_prefix))
+    in
+    if v = version then Ok ()
+    else
+      Error
+        (Printf.sprintf "unsupported hints file version %S (expected %S)" v
+           version)
+  end
+  else Ok ()
+
+let parse s =
+  let lines = String.split_on_char '\n' s in
+  let hints = ref [] in
+  let errors = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let t = String.trim line in
+      if t = "" then ()
+      else if t.[0] = '#' then begin
+        match check_header t with
+        | Ok () -> ()
+        | Error e -> errors := (lineno, e) :: !errors
+      end
+      else
+        match parse_line t with
+        | Ok h -> hints := h :: !hints
+        | Error e -> errors := (lineno, e) :: !errors)
+    lines;
+  (List.rev !hints, List.rev !errors)
 
 let of_string s =
-  let lines = String.split_on_char '\n' s in
-  let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | line :: rest ->
-      let t = String.trim line in
-      if t = "" || t.[0] = '#' then go acc rest
-      else begin
-        match parse_line t with
-        | Ok h -> go (h :: acc) rest
-        | Error e -> Error e
-      end
-  in
-  go [] lines
+  match parse s with
+  | hints, [] -> Ok hints
+  | _, (lineno, e) :: _ -> Error (Printf.sprintf "line %d: %s" lineno e)
+
+let of_string_lenient = parse
 
 let save ~path hints =
   let oc = open_out path in
@@ -82,12 +124,18 @@ let save ~path hints =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string hints))
 
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let load ~path =
-  match
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
+  match read_file path with
   | contents -> of_string contents
+  | exception Sys_error e -> Error e
+
+let load_lenient ~path =
+  match read_file path with
+  | contents -> Ok (of_string_lenient contents)
   | exception Sys_error e -> Error e

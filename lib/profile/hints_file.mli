@@ -9,17 +9,41 @@
     pc=2051 distance=12 site=inner sweep=1
     pc=11265 distance=3 site=outer sweep=7
     v}
-    Blank lines and [#] comments are ignored. *)
+    Blank lines and [#] comments are ignored, except that a comment
+    announcing a hints-file version ([# aptget prefetch hints vN]) is
+    validated: unknown versions are rejected, so a file written by a
+    future format revision fails loudly instead of being half-parsed.
+
+    Checked-in hint files go stale as the profiled program evolves, so
+    there are two parsing modes: the strict one fails on the first
+    malformed line, and the lenient one (for robustness runs) keeps
+    every well-formed hint and reports each offending line with its
+    line number. Duplicate [key=] fields within a line are an error in
+    both modes rather than silently resolving to the first
+    occurrence. *)
 
 val to_string : Aptget_passes.Aptget_pass.hint list -> string
 (** Serialise, one hint per line, with the version header. *)
 
 val of_string : string -> (Aptget_passes.Aptget_pass.hint list, string) result
-(** Parse; reports the first offending line on error. Accepts fields in
-    any order; [sweep] defaults to 1 when omitted. *)
+(** Strict parse; reports the first offending line (with its line
+    number) on error. Accepts fields in any order; [sweep] defaults to
+    1 when omitted. *)
+
+val of_string_lenient :
+  string -> Aptget_passes.Aptget_pass.hint list * (int * string) list
+(** Lenient parse: all well-formed hints, plus a [(line_no, error)]
+    record for every malformed or unsupported line. Equal to
+    [of_string] composed with [Ok] when the error list is empty. *)
 
 val save : path:string -> Aptget_passes.Aptget_pass.hint list -> unit
 (** Write to a file (truncating). *)
 
 val load : path:string -> (Aptget_passes.Aptget_pass.hint list, string) result
-(** Read and parse a file; I/O problems are reported as [Error]. *)
+(** Read and strictly parse a file; I/O problems are reported as
+    [Error]. *)
+
+val load_lenient :
+  path:string ->
+  (Aptget_passes.Aptget_pass.hint list * (int * string) list, string) result
+(** Read and leniently parse a file; only I/O problems are [Error]. *)

@@ -1,5 +1,6 @@
 module Machine = Aptget_machine.Machine
 module Sampler = Aptget_pmu.Sampler
+module Faults = Aptget_pmu.Faults
 module Memory = Aptget_mem.Memory
 module Loops = Aptget_passes.Loops
 module Aptget_pass = Aptget_passes.Aptget_pass
@@ -19,6 +20,7 @@ type options = {
   finder : Model.peak_finder;
   default_distance : int;
   max_overhead_frac : float;
+  faults : Faults.config;
 }
 
 let default_options =
@@ -34,7 +36,13 @@ let default_options =
     finder = Model.Cwt;
     default_distance = 1;
     max_overhead_frac = infinity;
+    faults = Faults.none;
   }
+
+type status =
+  | Hinted
+  | Fallback of string
+  | Skipped of string
 
 type load_profile = {
   load_pc : int;
@@ -45,6 +53,7 @@ type load_profile = {
   outer_times : float array;
   model : Model.distance_model option;
   hint : Aptget_pass.hint option;
+  status : status;
   note : string;
 }
 
@@ -54,6 +63,7 @@ type t = {
   lbr_snapshots : int;
   pebs_samples : int;
   baseline : Machine.outcome;
+  fault_stats : Faults.stats option;
 }
 
 let in_loop_pred (loop : Loops.loop) pc =
@@ -69,6 +79,7 @@ let no_hint ~load_pc ~pebs_count note =
     outer_times = [||];
     model = None;
     hint = None;
+    status = Skipped note;
     note;
   }
 
@@ -138,6 +149,12 @@ let analyze_load (f : Ir.func) (loops : Loops.loop array) opts samples ~load_pc
         outer_times = [||];
         model = None;
         hint;
+        status =
+          Fallback
+            (Printf.sprintf
+               "peak model degenerate (%d iteration samples); default \
+                distance %d"
+               (Array.length times) opts.default_distance);
         note = "no latency model; using default distance";
       }
     | Some m ->
@@ -160,6 +177,7 @@ let analyze_load (f : Ir.func) (loops : Loops.loop array) opts samples ~load_pc
                 site = Inject.Inner;
                 sweep = 1;
               };
+          status = Hinted;
           note = "inner-loop injection";
         }
       | `Outer ->
@@ -202,6 +220,7 @@ let analyze_load (f : Ir.func) (loops : Loops.loop array) opts samples ~load_pc
                   site = Inject.Outer;
                   sweep;
                 };
+            status = Hinted;
             note = "outer-loop injection";
           }
         | None ->
@@ -221,6 +240,10 @@ let analyze_load (f : Ir.func) (loops : Loops.loop array) opts samples ~load_pc
                   site = Inject.Inner;
                   sweep = 1;
                 };
+            status =
+              Fallback
+                "outer site chosen but outer latency unavailable; inner \
+                 injection with the inner-loop distance";
             note = "outer site chosen but outer latency unavailable; inner";
           })))
 
@@ -253,23 +276,28 @@ let overhead_filter opts (f : Ir.func) profiles =
                 slice *. float_of_int h.Aptget_pass.sweep /. t
               | _ -> slice)
           in
-          if per_iter > opts.max_overhead_frac *. m.Model.ic_latency then
-            {
-              p with
-              hint = None;
-              note =
-                Printf.sprintf
-                  "hint dropped: predicted +%.0f instrs/iteration vs IC %.0f"
-                  per_iter m.Model.ic_latency;
-            }
+          if per_iter > opts.max_overhead_frac *. m.Model.ic_latency then begin
+            let why =
+              Printf.sprintf
+                "hint dropped: predicted +%.0f instrs/iteration vs IC %.0f"
+                per_iter m.Model.ic_latency
+            in
+            { p with hint = None; status = Skipped why; note = why }
+          end
           else p
         | _ -> p)
       profiles
 
 let profile ?(options = default_options) ?(args = []) ~mem (f : Ir.func) =
+  (* An all-zero fault config gets no fault model at all, so the
+     default profile path is bit-identical to the historical one. *)
+  let faults =
+    if Faults.enabled options.faults then Some (Faults.create options.faults)
+    else None
+  in
   let sampler =
     Sampler.create ~lbr_period:options.lbr_period
-      ~pebs_period:options.pebs_period ()
+      ~pebs_period:options.pebs_period ?faults ()
   in
   let baseline =
     Machine.execute ~config:options.machine ~sampler ~args ~mem f
@@ -299,4 +327,28 @@ let profile ?(options = default_options) ?(args = []) ~mem (f : Ir.func) =
     lbr_snapshots = List.length samples;
     pebs_samples = pebs_total;
     baseline;
+    fault_stats = Sampler.fault_stats sampler;
   }
+
+(* Hints may come from a stale checked-in file, or from a profile whose
+   PEBS attribution skidded off the faulting load; both yield PCs that
+   no longer (or never did) address a load in this program. Partition
+   them out with a reason instead of letting the injection pass fail
+   deep inside slice extraction. *)
+let validate_hints (f : Ir.func) hints =
+  List.partition_map
+    (fun (h : Aptget_pass.hint) ->
+      match Layout.instr_at f h.Aptget_pass.load_pc with
+      | Some { Ir.kind = Ir.Load _; _ } -> Either.Left h
+      | Some _ ->
+        Either.Right
+          ( h,
+            Printf.sprintf
+              "stale hint: PC %d no longer addresses a load in this program"
+              h.Aptget_pass.load_pc )
+      | None ->
+        Either.Right
+          ( h,
+            Printf.sprintf "stale hint: PC %d is out of range for this program"
+              h.Aptget_pass.load_pc ))
+    hints

@@ -26,9 +26,22 @@ type options = {
           hint whose prefetch slice would grow the loop body by more
           than this fraction of the measured instruction component.
           Default [infinity] (filter off, the paper's behaviour). *)
+  faults : Aptget_pmu.Faults.config;
+      (** PMU fault injection for robustness studies. Default
+          {!Aptget_pmu.Faults.none}, which leaves the profiling run
+          bit-identical to a fault-free one. *)
 }
 
 val default_options : options
+
+type status =
+  | Hinted  (** a model-backed hint was emitted *)
+  | Fallback of string
+      (** a hint was emitted, but only by falling back (default
+          distance, or inner site when the outer model was
+          unavailable); the payload says why *)
+  | Skipped of string
+      (** no hint was emitted; the payload says why *)
 
 type load_profile = {
   load_pc : int;
@@ -39,7 +52,11 @@ type load_profile = {
   outer_times : float array;  (** empty when not nested / not captured *)
   model : Model.distance_model option;
   hint : Aptget_passes.Aptget_pass.hint option;
-  note : string;  (** why a hint was or was not produced *)
+  status : status;
+      (** structured diagnostic: emitted / fell back / skipped, with
+          the cause — consumed by {!Aptget_core.Pipeline}'s degradation
+          report *)
+  note : string;  (** human-readable summary of [status] *)
 }
 
 type t = {
@@ -49,6 +66,9 @@ type t = {
   pebs_samples : int;
   baseline : Aptget_machine.Machine.outcome;
       (** the profiling run doubles as a baseline measurement *)
+  fault_stats : Aptget_pmu.Faults.stats option;
+      (** fault counters when profiling ran under an active fault
+          model; [None] on clean runs *)
 }
 
 val profile :
@@ -60,3 +80,13 @@ val profile :
 (** Run the kernel once with sampling enabled and derive hints.
     The memory is mutated by the run (workloads are expected to either
     tolerate re-running or rebuild their data). *)
+
+val validate_hints :
+  Ir.func ->
+  Aptget_passes.Aptget_pass.hint list ->
+  Aptget_passes.Aptget_pass.hint list
+  * (Aptget_passes.Aptget_pass.hint * string) list
+(** Partition hints into those whose [load_pc] addresses a load in this
+    program and stale ones (wrong instruction kind, or out of range —
+    e.g. from a checked-in hints file that outlived a code change, or
+    from PEBS skid), each with a reason. *)

@@ -1,0 +1,14 @@
+(* Monotonic clamp over the system clock: NTP steps or manual clock
+   changes can move gettimeofday backwards, which would yield negative
+   elapsed times; never report a time earlier than one already seen. *)
+let last = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let wall f =
+  let t0 = now () in
+  let v = f () in
+  (v, now () -. t0)

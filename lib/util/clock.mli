@@ -1,0 +1,15 @@
+(** Wall-clock timing for measurements and progress reporting.
+
+    [Sys.time] measures process CPU time, which silently under-reports
+    any future parallel or I/O-bound work; the harness wants elapsed
+    wall time. The stdlib offers no monotonic clock, so this wraps
+    [Unix.gettimeofday] behind a monotonic clamp: the reported time
+    never decreases even if the system clock steps backwards. *)
+
+val now : unit -> float
+(** Monotonic non-decreasing wall-clock seconds (absolute epoch-based
+    value; only differences are meaningful). *)
+
+val wall : (unit -> 'a) -> 'a * float
+(** [wall f] runs [f] and returns its result with the elapsed wall
+    seconds (>= 0). *)

@@ -133,6 +133,92 @@ let test_verified_exn_raises () =
        false
      with Failure _ -> true)
 
+(* ---------------- run_robust ---------------- *)
+
+module Faults = Aptget_pmu.Faults
+
+let test_robust_no_faults_bit_identical () =
+  (* With the fault model disabled, run_robust measures the same
+     machine outcome as the plain pipeline: same cycles, same
+     instruction count, same injections. *)
+  let w = micro_w () in
+  let plain, _ = Pipeline.aptget w in
+  let r = Pipeline.run_robust w in
+  match r.Pipeline.r_measurement with
+  | Some m ->
+    Alcotest.(check int) "same cycles" plain.Pipeline.outcome.Machine.cycles
+      m.Pipeline.outcome.Machine.cycles;
+    Alcotest.(check int) "same instructions"
+      plain.Pipeline.outcome.Machine.instructions
+      m.Pipeline.outcome.Machine.instructions;
+    Alcotest.(check bool) "verified" true (m.Pipeline.verified = Ok ());
+    Alcotest.(check bool) "injected" true (m.Pipeline.injected <> [])
+  | None -> Alcotest.fail "expected a measurement"
+
+let test_robust_default_faults_complete () =
+  (* Under the default fault mix the pipeline must complete without
+     raising and produce a verified measurement; whatever was skipped
+     or degraded carries a recorded cause. *)
+  let w = micro_w () in
+  let r = Pipeline.run_robust ~faults:Faults.default_faulty w in
+  (match r.Pipeline.r_measurement with
+  | Some m ->
+    Alcotest.(check bool) "verified" true (m.Pipeline.verified = Ok ());
+    Alcotest.(check bool) "ran" true (m.Pipeline.outcome.Machine.cycles > 0)
+  | None -> Alcotest.fail "expected a measurement even under faults");
+  List.iter
+    (fun (d : Pipeline.degradation) ->
+      Alcotest.(check bool) "cause recorded" true (String.length d.Pipeline.cause > 0);
+      Alcotest.(check bool) "fallback recorded" true
+        (String.length d.Pipeline.fallback > 0))
+    r.Pipeline.r_degradations;
+  List.iter
+    (fun (_, reason) ->
+      Alcotest.(check bool) "drop reason recorded" true (String.length reason > 0))
+    r.Pipeline.r_hints_dropped
+
+let test_robust_extreme_faults_fall_back () =
+  (* Drop every LBR snapshot: no iteration times survive, so the
+     profile degenerates — run_robust must still produce a verified run
+     (static fallback or baseline) and say why. *)
+  let w = micro_w () in
+  let faults = { Faults.none with Faults.lbr_drop_rate = 1.0 } in
+  let r = Pipeline.run_robust ~faults w in
+  Alcotest.(check bool) "degradations recorded" true
+    (r.Pipeline.r_degradations <> []);
+  match r.Pipeline.r_measurement with
+  | Some m -> Alcotest.(check bool) "verified" true (m.Pipeline.verified = Ok ())
+  | None -> Alcotest.fail "expected a fallback measurement"
+
+let test_robust_stale_hints_dropped () =
+  (* A hint whose PC does not name a load in the program (a stale
+     checked-in hints file) is rejected with a reason; good hints are
+     still used. *)
+  let w = micro_w () in
+  let prof = Pipeline.profile w in
+  let good = List.hd prof.Profiler.hints in
+  let stale =
+    { Aptget_pass.load_pc = 999_983; distance = 8; site = Inject.Inner; sweep = 1 }
+  in
+  let r = Pipeline.run_robust ~hints:[ good; stale ] w in
+  Alcotest.(check bool) "good hint used" true
+    (List.exists
+       (fun (h : Aptget_pass.hint) -> h.Aptget_pass.load_pc = good.Aptget_pass.load_pc)
+       r.Pipeline.r_hints_used);
+  (match r.Pipeline.r_hints_dropped with
+  | [ (h, reason) ] ->
+    Alcotest.(check int) "the stale one" stale.Aptget_pass.load_pc
+      h.Aptget_pass.load_pc;
+    Alcotest.(check bool) "with a reason" true (String.length reason > 0)
+  | l -> Alcotest.fail (Printf.sprintf "expected one dropped hint, got %d" (List.length l)));
+  Alcotest.(check bool) "validation surfaced as a degradation" true
+    (List.exists
+       (fun (d : Pipeline.degradation) -> d.Pipeline.stage = "hints")
+       r.Pipeline.r_degradations);
+  match r.Pipeline.r_measurement with
+  | Some m -> Alcotest.(check bool) "verified" true (m.Pipeline.verified = Ok ())
+  | None -> Alcotest.fail "expected a measurement"
+
 let test_config_rows () =
   let rows = Config.rows () in
   Alcotest.(check bool) "has LLC row" true
@@ -159,7 +245,7 @@ let test_registry_complete () =
   let ids =
     [ "table1"; "fig1"; "fig2"; "fig3"; "fig4"; "table2"; "table3"; "table4";
       "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
-      "datasets"; "ablations"; "extensions" ]
+      "datasets"; "ablations"; "robustness"; "extensions" ]
   in
   List.iter
     (fun id ->
@@ -206,6 +292,17 @@ let () =
           Alcotest.test_case "train/test transfer" `Quick test_train_test_hints_transfer;
           Alcotest.test_case "verified_exn" `Quick test_verified_exn_raises;
           Alcotest.test_case "config rows" `Quick test_config_rows;
+        ] );
+      ( "robust",
+        [
+          Alcotest.test_case "no faults bit-identical" `Quick
+            test_robust_no_faults_bit_identical;
+          Alcotest.test_case "default faults complete" `Quick
+            test_robust_default_faults_complete;
+          Alcotest.test_case "extreme faults fall back" `Quick
+            test_robust_extreme_faults_fall_back;
+          Alcotest.test_case "stale hints dropped" `Quick
+            test_robust_stale_hints_dropped;
         ] );
       ( "lab",
         [

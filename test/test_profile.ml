@@ -185,6 +185,101 @@ let test_hints_file_io () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "loaded a nonexistent file"
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_hints_bad_header_version () =
+  let text = "# aptget prefetch hints v2\npc=1 distance=2 site=inner\n" in
+  (match Hints_file.of_string text with
+  | Error e ->
+    Alcotest.(check bool) "mentions the version" true
+      (String.length e > 0
+      && contains ~sub:"version" e)
+  | Ok _ -> Alcotest.fail "accepted an unknown header version");
+  (* A free-form comment that is not a version announcement is fine. *)
+  match Hints_file.of_string "# just a note\npc=1 distance=2 site=inner\n" with
+  | Ok [ _ ] -> ()
+  | Ok _ -> Alcotest.fail "expected one hint"
+  | Error e -> Alcotest.fail e
+
+let test_hints_negative_and_overflow_ints () =
+  List.iter
+    (fun bad ->
+      match Hints_file.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted: " ^ bad))
+    [
+      "pc=-1 distance=2 site=inner";
+      "pc=1 distance=-2 site=inner";
+      "pc=1 distance=2 site=inner sweep=-3";
+      "pc=99999999999999999999999999 distance=2 site=inner";
+    ]
+
+let test_hints_duplicate_fields () =
+  match Hints_file.of_string "pc=1 pc=2 distance=3 site=inner" with
+  | Error e ->
+    Alcotest.(check bool) "names the duplicated key" true
+      (contains ~sub:"duplicate" e
+      && contains ~sub:"pc" e)
+  | Ok _ -> Alcotest.fail "accepted a duplicated field"
+
+let test_hints_truncated_file () =
+  (* A file cut off mid-line: the strict parser fails, the lenient one
+     keeps the complete lines and reports the torn one. *)
+  let text =
+    "# aptget prefetch hints v1\npc=2051 distance=12 site=inner\npc=11265 dis"
+  in
+  (match Hints_file.of_string text with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "strict parse accepted a truncated file");
+  let hints, errors = Hints_file.of_string_lenient text in
+  Alcotest.(check int) "complete lines kept" 1 (List.length hints);
+  match errors with
+  | [ (3, _) ] -> ()
+  | _ -> Alcotest.fail "expected exactly one error, on line 3"
+
+let test_hints_lenient_collects_all_errors () =
+  let text =
+    String.concat "\n"
+      [
+        "# aptget prefetch hints v3";      (* line 1: bad version *)
+        "pc=5 distance=9 site=outer";      (* line 2: good *)
+        "pc=x distance=2 site=inner";      (* line 3: bad int *)
+        "";
+        "pc=7 distance=4 site=inner";      (* line 5: good *)
+        "pc=1 distance=2 site=middle";     (* line 6: bad site *)
+      ]
+  in
+  let hints, errors = Hints_file.of_string_lenient text in
+  Alcotest.(check (list int)) "good hints, in order" [ 5; 7 ]
+    (List.map (fun h -> h.Aptget_pass.load_pc) hints);
+  Alcotest.(check (list int)) "error line numbers" [ 1; 3; 6 ]
+    (List.map fst errors)
+
+let test_hints_lenient_agrees_with_strict () =
+  let text = "# aptget prefetch hints v1\npc=5 distance=9 site=outer sweep=2\n" in
+  let hints, errors = Hints_file.of_string_lenient text in
+  Alcotest.(check int) "no errors on a clean file" 0 (List.length errors);
+  Alcotest.(check bool) "same hints as strict" true
+    (Hints_file.of_string text = Ok hints)
+
+let test_hints_roundtrip_stable () =
+  (* Serialise -> parse -> serialise reproduces the exact same bytes:
+     the writer is a fixed point of the parser. *)
+  let hints =
+    [
+      { Aptget_pass.load_pc = 2051; distance = 12; site = Inject.Inner; sweep = 1 };
+      { Aptget_pass.load_pc = 11265; distance = 3; site = Inject.Outer; sweep = 7 };
+    ]
+  in
+  let once = Hints_file.to_string hints in
+  match Hints_file.of_string once with
+  | Ok parsed ->
+    Alcotest.(check string) "stable" once (Hints_file.to_string parsed)
+  | Error e -> Alcotest.fail e
+
 let prop_hints_roundtrip =
   QCheck.Test.make ~name:"hints serialisation roundtrips" ~count:100
     QCheck.(
@@ -307,6 +402,13 @@ let () =
           Alcotest.test_case "flexible parse" `Quick test_hints_parse_flexible;
           Alcotest.test_case "parse errors" `Quick test_hints_parse_errors;
           Alcotest.test_case "file io" `Quick test_hints_file_io;
+          Alcotest.test_case "bad header version" `Quick test_hints_bad_header_version;
+          Alcotest.test_case "negative/overflow ints" `Quick test_hints_negative_and_overflow_ints;
+          Alcotest.test_case "duplicate fields" `Quick test_hints_duplicate_fields;
+          Alcotest.test_case "truncated file" `Quick test_hints_truncated_file;
+          Alcotest.test_case "lenient collects errors" `Quick test_hints_lenient_collects_all_errors;
+          Alcotest.test_case "lenient agrees with strict" `Quick test_hints_lenient_agrees_with_strict;
+          Alcotest.test_case "roundtrip stable" `Quick test_hints_roundtrip_stable;
           QCheck_alcotest.to_alcotest prop_hints_roundtrip;
         ] );
       ( "profiler",
