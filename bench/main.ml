@@ -56,6 +56,52 @@ let run_bechamel () =
     (List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results: one BENCH_<id>.json per experiment, with
+   the experiment's wall time and the headline per-workload numbers
+   (speedup, MPKI reduction) measured so far. Hand-rolled JSON — the
+   shape is flat and fixed, and it keeps the harness dependency-free. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json lab (e : Registry.experiment) ~wall_seconds =
+  let path = Printf.sprintf "BENCH_%s.json" e.Registry.id in
+  let workloads =
+    Lab.summary lab
+    |> List.map (fun (name, speedup, mpki_reduction) ->
+           Printf.sprintf
+             "    {\"name\": \"%s\", \"speedup\": %.6f, \"mpki_reduction\": \
+              %.6f}"
+             (json_escape name) speedup mpki_reduction)
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"experiment\": \"%s\",\n\
+        \  \"title\": \"%s\",\n\
+        \  \"wall_seconds\": %.3f,\n\
+        \  \"workloads\": [\n\
+         %s\n\
+        \  ]\n\
+         }\n"
+        (json_escape e.Registry.id)
+        (json_escape e.Registry.title)
+        wall_seconds
+        (String.concat ",\n" workloads))
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -87,5 +133,13 @@ let () =
       "APT-GET reproduction harness (%s mode; see DESIGN.md for the \
        experiment index)\n\n%!"
       (if quick then "quick" else "full");
-    List.iter (Registry.run_and_print lab) experiments
+    List.iter
+      (fun (e : Registry.experiment) ->
+        Printf.printf "== %s: %s ==\n%!" e.Registry.id e.Registry.title;
+        let tables, wall_seconds = Registry.run_timed lab e in
+        List.iter Aptget_util.Table.print tables;
+        Printf.printf "(%s finished in %.1fs wall)\n\n%!" e.Registry.id
+          wall_seconds;
+        write_bench_json lab e ~wall_seconds)
+      experiments
   end

@@ -21,7 +21,20 @@ module Lab = Aptget_experiments.Lab
 module Table = Aptget_util.Table
 module Faults = Aptget_pmu.Faults
 
+module Remap = Aptget_profile.Remap
+module Hints_file = Aptget_profile.Hints_file
+module Quarantine = Aptget_core.Quarantine
+
 open Cmdliner
+
+(* Bad flag values get one line on stderr and exit code 2 (the usual
+   CLI usage-error convention) instead of an exception trace. *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "aptget: %s\n" msg;
+      exit 2)
+    fmt
 
 (* --fault-* flags, shared by [run] and [profile]: every knob of the
    simulated-PMU fault model. [--fault-defaults] switches the base
@@ -62,13 +75,12 @@ let faults_term =
       }
     in
     match Faults.validate cfg with
-    | Ok () -> Ok cfg
-    | Error e -> Error (`Msg (Printf.sprintf "bad --fault-* value: %s" e))
+    | Ok () -> cfg
+    | Error e -> die "bad --fault-* value: %s" e
   in
-  Term.term_result
-    Term.(
-      const build $ defaults $ drop $ jitter $ truncate $ skid $ skid_max
-      $ budget $ seed)
+  Term.(
+    const build $ defaults $ drop $ jitter $ truncate $ skid $ skid_max
+    $ budget $ seed)
 
 let print_fault_stats = function
   | None -> ()
@@ -139,13 +151,117 @@ let run_cmd =
         Printf.eprintf "cannot load hints from %s: %s\n" path e;
         exit 1
   in
-  let run w hints_path lenient robust faults =
+  let load_doc ~lenient path =
+    if lenient then begin
+      match Hints_file.load_doc_lenient ~path with
+      | Ok (doc, errors) ->
+        List.iter
+          (fun (lineno, e) ->
+            Printf.eprintf "%s:%d: skipped: %s\n" path lineno e)
+          errors;
+        doc
+      | Error e ->
+        Printf.eprintf "cannot load hints from %s: %s\n" path e;
+        exit 1
+    end
+    else
+      match Hints_file.load_doc ~path with
+      | Ok doc -> doc
+      | Error e ->
+        Printf.eprintf "cannot load hints from %s: %s\n" path e;
+        exit 1
+  in
+  let print_remap (r : Remap.t) =
+    Printf.printf
+      "remap: %d kept, %d remapped, %d rescaled, %d dropped\n" r.Remap.kept
+      r.Remap.remapped r.Remap.rescaled r.Remap.dropped;
+    List.iter
+      (fun ((h : Aptget_pass.hint), d) ->
+        Printf.printf "  pc=%d: %s\n" h.Aptget_pass.load_pc
+          (Remap.decision_to_string d))
+      r.Remap.report
+  in
+  let print_quarantine = function
+    | None -> ()
+    | Some q ->
+      let entries = Quarantine.entries q in
+      Printf.printf "quarantine store%s: %d entry(ies)\n"
+        (match Quarantine.path q with Some p -> " " ^ p | None -> "")
+        (List.length entries);
+      List.iter
+        (fun (e : Quarantine.entry) ->
+          Printf.printf "  %s: hint set %s measured %s\n"
+            e.Quarantine.q_workload
+            (Aptget_ir.Fingerprint.hex e.Quarantine.q_hints)
+            (Table.fmt_speedup e.Quarantine.q_speedup))
+        entries
+  in
+  let run_guarded w ~doc ~remap ~guard_floor ~quarantine_path =
+    let quarantine =
+      Option.map (fun path -> Quarantine.create ~path ()) quarantine_path
+    in
+    let guard = { Pipeline.default_guard with Pipeline.floor = guard_floor } in
+    let g =
+      Pipeline.run_guarded ?quarantine
+        ?remap:(if remap then Some Remap.default_config else None)
+        ~guard ~doc w
+    in
+    print_outcome "APT-GET" g.Pipeline.g_final;
+    Option.iter print_remap g.Pipeline.g_remap;
+    Printf.printf "guard: %s (floor %.2fx)\n"
+      (Pipeline.guard_outcome_to_string g.Pipeline.g_outcome)
+      guard.Pipeline.floor;
+    print_quarantine quarantine;
+    g
+  in
+  let run w hints_path lenient robust remap guard guard_floor quarantine_path
+      faults =
+    if guard_floor <= 0. || guard_floor > 1.5 then
+      die "bad --guard-floor value: %g outside (0, 1.5]" guard_floor;
+    if robust && (remap || guard) then
+      die "--robust cannot be combined with --remap/--guard";
     Printf.printf "workload %s (%s on %s)\n\n" w.Workload.name w.Workload.app
       w.Workload.input;
     let base = Pipeline.baseline w in
     print_outcome "baseline" base;
     let aj = Pipeline.aj w in
     print_outcome "A&J" aj;
+    if remap || guard then begin
+      let doc =
+        match hints_path with
+        | Some path -> load_doc ~lenient path
+        | None ->
+          let options = { Profiler.default_options with Profiler.faults } in
+          let prof = Pipeline.profile ~options w in
+          print_fault_stats prof.Profiler.fault_stats;
+          Profiler.to_doc ~options prof
+      in
+      let speedup_final, n_hints =
+        if guard then begin
+          let g = run_guarded w ~doc ~remap ~guard_floor ~quarantine_path in
+          (g.Pipeline.g_speedup, List.length g.Pipeline.g_hints)
+        end
+        else begin
+          (* --remap without --guard: re-key the hints, then apply them
+             unguarded (the historical pipeline, just with fresh PCs). *)
+          let current =
+            Aptget_ir.Fingerprint.fingerprint (w.Workload.build ()).Workload.func
+          in
+          let r = Remap.run ~current doc in
+          print_remap r;
+          let apt = Pipeline.with_hints ~hints:r.Remap.hints w in
+          print_outcome "APT-GET" apt;
+          (Pipeline.speedup ~baseline:base apt, List.length r.Remap.hints)
+        end
+      in
+      Printf.printf "\nspeedup: A&J %s, APT-GET %s (%d hint(s)%s)\n"
+        (Table.fmt_speedup (Pipeline.speedup ~baseline:base aj))
+        (Table.fmt_speedup speedup_final) n_hints
+        (match hints_path with
+        | Some p -> " from " ^ p
+        | None -> " from a fresh profile")
+    end
+    else
     let file_hints = Option.map (load_hints ~lenient) hints_path in
     if robust then begin
       let r = Pipeline.run_robust ~faults ?hints:file_hints w in
@@ -209,9 +325,43 @@ let run_cmd =
              profiles and verifier failures degrade the run and are listed \
              in a degradation report")
   in
+  let remap_flag =
+    Arg.(
+      value & flag
+      & info [ "remap" ]
+          ~doc:
+            "Re-key stale hints by structural fingerprint before applying \
+             them (v2 hints files carry per-load fingerprints)")
+  in
+  let guard_flag =
+    Arg.(
+      value & flag
+      & info [ "guard" ]
+          ~doc:
+            "Guarded run: measure the hinted kernel against the baseline and \
+             fall back (A&J, then baseline) when its speedup is below the \
+             guard floor")
+  in
+  let guard_floor_flag =
+    Arg.(
+      value
+      & opt float Pipeline.default_guard.Pipeline.floor
+      & info [ "guard-floor" ] ~docv:"RATIO"
+          ~doc:"Minimum admissible speedup for $(b,--guard), in (0, 1.5]")
+  in
+  let quarantine_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "quarantine" ] ~docv:"FILE"
+          ~doc:
+            "Persist guard verdicts: hint sets rejected by $(b,--guard) are \
+             recorded here and skipped on later runs")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under baseline, A&J and APT-GET")
     Term.(
       const run $ workload_arg $ hints_flag $ lenient_flag $ robust_flag
+      $ remap_flag $ guard_flag $ guard_floor_flag $ quarantine_flag
       $ faults_term)
 
 let profile_cmd =
@@ -258,7 +408,9 @@ let profile_cmd =
     Table.print t;
     match output with
     | Some path ->
-      Aptget_profile.Hints_file.save ~path prof.Profiler.hints;
+      (* v2 document: provenance + per-load fingerprints, so the file
+         stays remappable after the program changes. *)
+      Hints_file.save_doc ~path (Profiler.to_doc ~options prof);
       Printf.printf "wrote %d hint(s) to %s\n" (List.length prof.Profiler.hints) path
     | None -> ()
   in

@@ -64,9 +64,9 @@ let profile ?options (w : Workload.t) =
   Profiler.profile ?options ~args:inst.Workload.args ~mem:inst.Workload.mem
     inst.Workload.func
 
-let with_hints ?config ?(cse = false) ~hints w =
+let with_hints ?config ?(cse = false) ?veto ~hints w =
   run_transformed ?config w (fun inst ->
-      let r = Aptget_pass.run inst.Workload.func ~hints in
+      let r = Aptget_pass.run ?veto inst.Workload.func ~hints in
       if cse then ignore (Aptget_passes.Cse.run inst.Workload.func);
       (r.Aptget_pass.injected, r.Aptget_pass.skipped))
 
@@ -266,6 +266,132 @@ let run_robust ?(options = Profiler.default_options) ?config
     r_hints_dropped = hints_dropped;
     r_degradations = List.rev !degradations;
     r_profile_retried = retried;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Guarded pipeline: remap stale hints, measure the candidate against  *)
+(* the baseline, and quarantine hint sets that regress below a floor.  *)
+(* ------------------------------------------------------------------ *)
+
+module Remap = Aptget_profile.Remap
+module Hints_file = Aptget_profile.Hints_file
+
+type guard_config = { floor : float; try_aj : bool }
+
+let default_guard = { floor = 0.98; try_aj = true }
+
+type guard_outcome =
+  | Admitted
+  | Quarantined of { speedup : float; fallback : string }
+  | Known_bad of { prior_speedup : float; fallback : string }
+
+type guarded = {
+  g_workload : string;
+  g_program : int;
+  g_baseline : measurement;
+  g_candidate : measurement option;
+  g_final : measurement;
+  g_speedup : float;
+  g_outcome : guard_outcome;
+  g_hints : Aptget_pass.hint list;
+  g_remap : Remap.t option;
+}
+
+let guard_outcome_to_string = function
+  | Admitted -> "admitted"
+  | Quarantined q ->
+    Printf.sprintf "quarantined (%.3fx < floor); fell back to %s" q.speedup
+      q.fallback
+  | Known_bad k ->
+    Printf.sprintf "known bad (%.3fx on record); fell back to %s"
+      k.prior_speedup k.fallback
+
+(* The baseline-equivalent fallback still goes through the injection
+   pass, vetoing every hint: the measurement is the unmodified kernel
+   (the simulator is deterministic), and the per-hint skip records show
+   exactly what the guard suppressed. An empty candidate would instead
+   trip the pass's Algorithm-2 static fallback, so it shortcuts to the
+   plain baseline run. *)
+let pinned ?config w hints reason =
+  match hints with
+  | [] -> baseline ?config w
+  | _ :: _ -> with_hints ?config ~veto:(fun _ -> Some reason) ~hints w
+
+let run_guarded ?config ?(guard = default_guard) ?quarantine ?remap
+    ~(doc : Hints_file.doc) (w : Workload.t) =
+  let current =
+    Aptget_ir.Fingerprint.fingerprint (w.Workload.build ()).Workload.func
+  in
+  let remap_result =
+    Option.map (fun rc -> Remap.run ~config:rc ~current doc) remap
+  in
+  let hints =
+    match remap_result with
+    | Some r -> r.Remap.hints
+    | None -> Hints_file.hints_of_doc doc
+  in
+  let base = baseline ?config w in
+  let program = current.Aptget_ir.Fingerprint.program in
+  let hkey = Quarantine.hints_key hints in
+  let fall_back ~reason =
+    if guard.try_aj then begin
+      let m = aj ?config w in
+      if speedup ~baseline:base m >= guard.floor then
+        (m, "static Ainsworth & Jones injection")
+      else (pinned ?config w hints reason, "baseline (hints vetoed)")
+    end
+    else (pinned ?config w hints reason, "baseline (hints vetoed)")
+  in
+  let known =
+    Option.bind quarantine (fun q ->
+        Quarantine.find q ~workload:w.Workload.name ~program ~hints_key:hkey)
+  in
+  let candidate, final, outcome =
+    match known with
+    | Some e ->
+      let final, fallback =
+        fall_back
+          ~reason:
+            (Printf.sprintf "hint set quarantined (%.3fx on record)"
+               e.Quarantine.q_speedup)
+      in
+      ( None,
+        final,
+        Known_bad { prior_speedup = e.Quarantine.q_speedup; fallback } )
+    | None ->
+      let m = with_hints ?config ~hints w in
+      let s = speedup ~baseline:base m in
+      if s >= guard.floor then (Some m, m, Admitted)
+      else begin
+        Option.iter
+          (fun q ->
+            Quarantine.add q
+              {
+                Quarantine.q_workload = w.Workload.name;
+                q_program = program;
+                q_hints = hkey;
+                q_speedup = s;
+              })
+          quarantine;
+        let final, fallback =
+          fall_back
+            ~reason:
+              (Printf.sprintf "hint set quarantined (measured %.3fx < %.3fx)"
+                 s guard.floor)
+        in
+        (Some m, final, Quarantined { speedup = s; fallback })
+      end
+  in
+  {
+    g_workload = w.Workload.name;
+    g_program = program;
+    g_baseline = base;
+    g_candidate = candidate;
+    g_final = final;
+    g_speedup = speedup ~baseline:base final;
+    g_outcome = outcome;
+    g_hints = hints;
+    g_remap = remap_result;
   }
 
 let force_distance d hints =

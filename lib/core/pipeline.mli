@@ -60,11 +60,14 @@ val aptget :
 val with_hints :
   ?config:Aptget_machine.Machine.config ->
   ?cse:bool ->
+  ?veto:(Aptget_passes.Aptget_pass.hint -> string option) ->
   hints:Aptget_passes.Aptget_pass.hint list ->
   Aptget_workloads.Workload.t ->
   measurement
 (** Inject externally supplied hints (used by the distance/site
-    studies and by cross-input evaluation, Fig. 8–10, 12). *)
+    studies and by cross-input evaluation, Fig. 8–10, 12). [veto]
+    (default: veto nothing) is forwarded to
+    {!Aptget_passes.Aptget_pass.run}. *)
 
 (** {2 Robust pipeline}
 
@@ -114,6 +117,72 @@ val run_robust :
     stale-hint validation path (e.g. hints loaded leniently from a
     checked-in file). When profiling collects too few iteration
     samples, it is retried once with a 4x denser LBR period. *)
+
+(** {2 Guarded pipeline}
+
+    Stale-profile resilience: a hints document (possibly from an old
+    profile of a since-changed program) is optionally remapped by
+    structural fingerprint ({!Aptget_profile.Remap}), then measured
+    against the freshly measured baseline, and {e admitted} only when
+    its speedup clears a floor. A hint set that regresses is
+    quarantined — persistently, when a {!Quarantine} store is supplied
+    — and the run falls back to the static Ainsworth & Jones pass (if
+    that clears the floor) or to the unmodified baseline. Subsequent
+    runs recognise the quarantined set and skip its candidate
+    simulation entirely. *)
+
+type guard_config = {
+  floor : float;
+      (** minimum admissible speedup over baseline (default 0.98 —
+          up to 2% regression tolerated as measurement slack) *)
+  try_aj : bool;
+      (** on rejection, try the static A&J pass before pinning to the
+          baseline (default true) *)
+}
+
+val default_guard : guard_config
+
+type guard_outcome =
+  | Admitted  (** candidate met the floor; its measurement is final *)
+  | Quarantined of { speedup : float; fallback : string }
+      (** candidate measured below the floor this run; recorded (when a
+          store was supplied) and replaced by [fallback] *)
+  | Known_bad of { prior_speedup : float; fallback : string }
+      (** the store already held this (workload, program, hints) key —
+          no candidate simulation was spent *)
+
+val guard_outcome_to_string : guard_outcome -> string
+
+type guarded = {
+  g_workload : string;
+  g_program : int;
+      (** structural program hash the quarantine entries are keyed by *)
+  g_baseline : measurement;
+  g_candidate : measurement option;
+      (** the measured candidate; [None] when skipped as known-bad *)
+  g_final : measurement;  (** the measurement the guard stands behind *)
+  g_speedup : float;  (** [g_final] vs [g_baseline]; never below the
+          floor except by simulator nondeterminism (there is none) *)
+  g_outcome : guard_outcome;
+  g_hints : Aptget_passes.Aptget_pass.hint list;
+      (** the candidate hint set, post-remap *)
+  g_remap : Aptget_profile.Remap.t option;
+      (** remap decisions when remapping was requested *)
+}
+
+val run_guarded :
+  ?config:Aptget_machine.Machine.config ->
+  ?guard:guard_config ->
+  ?quarantine:Quarantine.t ->
+  ?remap:Aptget_profile.Remap.config ->
+  doc:Aptget_profile.Hints_file.doc ->
+  Aptget_workloads.Workload.t ->
+  guarded
+(** Guarded run of [doc]'s hints on [w]. Supplying [remap] enables
+    fingerprint remapping with that configuration; omitting it applies
+    the document's hints as-is (the historical blind behaviour, but
+    still guarded). [quarantine] both consults and records; omitting it
+    makes every verdict run-local. *)
 
 val force_distance :
   int -> Aptget_passes.Aptget_pass.hint list -> Aptget_passes.Aptget_pass.hint list

@@ -1,0 +1,115 @@
+module Aptget_pass = Aptget_passes.Aptget_pass
+module Inject = Aptget_passes.Inject
+
+type entry = {
+  q_workload : string;
+  q_program : int;
+  q_hints : int;
+  q_speedup : float;
+}
+
+type t = {
+  table : (string * int * int, entry) Hashtbl.t;
+  file : string option;
+}
+
+(* Same stable polynomial as Fingerprint — persisted hashes must not
+   depend on Hashtbl.hash's implementation. *)
+let hash_add h s =
+  let h = ref h in
+  String.iter (fun c -> h := ((!h * 131) + Char.code c) land max_int) s;
+  ((!h * 131) + 0x1f) land max_int
+
+let hints_key hints =
+  hints
+  |> List.map (fun (h : Aptget_pass.hint) ->
+         Printf.sprintf "%d:%d:%s:%d" h.Aptget_pass.load_pc
+           h.Aptget_pass.distance
+           (Inject.site_to_string h.Aptget_pass.site)
+           h.Aptget_pass.sweep)
+  |> List.sort compare
+  |> List.fold_left hash_add 0x1505
+
+let key e = (e.q_workload, e.q_program, e.q_hints)
+
+let entry_to_line e =
+  Printf.sprintf "workload=%s program=%s hints=%s speedup=%f" e.q_workload
+    (Fingerprint.hex e.q_program) (Fingerprint.hex e.q_hints) e.q_speedup
+
+let hex_of_string_opt s =
+  if s = "" then None else int_of_string_opt ("0x" ^ s)
+
+let entry_of_line line =
+  let fields =
+    String.split_on_char ' ' line
+    |> List.filter (fun s -> s <> "")
+    |> List.filter_map (fun part ->
+           match String.index_opt part '=' with
+           | Some i ->
+             Some
+               ( String.sub part 0 i,
+                 String.sub part (i + 1) (String.length part - i - 1) )
+           | None -> None)
+  in
+  let field k = List.assoc_opt k fields in
+  match
+    (field "workload", field "program", field "hints", field "speedup")
+  with
+  | Some w, Some p, Some h, Some s -> (
+    match (hex_of_string_opt p, hex_of_string_opt h, float_of_string_opt s)
+    with
+    | Some p, Some h, Some s when w <> "" ->
+      Some { q_workload = w; q_program = p; q_hints = h; q_speedup = s }
+    | _ -> None)
+  | _ -> None
+
+let load_file table path =
+  match open_in path with
+  | exception Sys_error _ -> ()
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            let line = String.trim (input_line ic) in
+            if line <> "" && line.[0] <> '#' then
+              match entry_of_line line with
+              | Some e -> Hashtbl.replace table (key e) e
+              | None -> ()
+          done
+        with End_of_file -> ())
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+  |> List.sort (fun a b -> compare (key a) (key b))
+
+let persist t =
+  match t.file with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc "# aptget quarantined hint sets\n";
+        List.iter
+          (fun e -> output_string oc (entry_to_line e ^ "\n"))
+          (entries t))
+
+let create ?path () =
+  let table = Hashtbl.create 8 in
+  (match path with None -> () | Some p -> load_file table p);
+  { table; file = path }
+
+let find t ~workload ~program ~hints_key =
+  Hashtbl.find_opt t.table (workload, program, hints_key)
+
+let mem t ~workload ~program ~hints_key =
+  Hashtbl.mem t.table (workload, program, hints_key)
+
+let add t e =
+  Hashtbl.replace t.table (key e) e;
+  persist t
+
+let path t = t.file

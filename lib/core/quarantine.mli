@@ -1,0 +1,44 @@
+(** Persistent quarantine of hint sets the regression guard rejected.
+
+    When a guarded run ({!Pipeline.run_guarded}) measures a hint set
+    below the speedup floor, the verdict is worth keeping: re-measuring
+    a known-bad profile on every run would spend a candidate simulation
+    to rediscover the same regression. Entries are keyed by (workload,
+    program structural hash, hint-set hash) so a quarantine outlives PC
+    renumbering of unrelated code but is invalidated the moment either
+    the program structure or the hint set actually changes.
+
+    The store is an in-memory table, optionally backed by a
+    line-oriented text file (one entry per line, loaded leniently —
+    unparseable lines are dropped, not fatal) so decisions persist
+    across processes. *)
+
+type entry = {
+  q_workload : string;
+  q_program : int;  (** {!Fingerprint.t.program} of the injected-into IR *)
+  q_hints : int;  (** {!hints_key} of the quarantined hint set *)
+  q_speedup : float;  (** the measured speedup that fell below the floor *)
+}
+
+type t
+
+val hints_key : Aptget_passes.Aptget_pass.hint list -> int
+(** Order-insensitive stable hash of a hint set (same polynomial hash
+    family as {!Fingerprint}, so it is safe to persist). *)
+
+val create : ?path:string -> unit -> t
+(** Empty store; with [path], pre-loaded from that file when it exists
+    (missing file = empty store) and persisted back on every {!add}. *)
+
+val find : t -> workload:string -> program:int -> hints_key:int -> entry option
+val mem : t -> workload:string -> program:int -> hints_key:int -> bool
+
+val add : t -> entry -> unit
+(** Record (replacing any entry under the same key) and, when the store
+    is file-backed, rewrite the file. *)
+
+val entries : t -> entry list
+(** All entries, sorted by (workload, program, hints) for stable
+    output. *)
+
+val path : t -> string option

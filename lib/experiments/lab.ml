@@ -95,6 +95,26 @@ let static_distance t ~distance w =
         ~hints:(Pipeline.force_distance distance prof.Profiler.hints)
         w)
 
+(* Derived purely from the memo caches: a workload appears once both
+   its baseline and its APT-GET runs have been measured, so the bench
+   harness can snapshot headline numbers without triggering new
+   simulations. *)
+let summary t =
+  Hashtbl.fold
+    (fun key m acc ->
+      match Filename.chop_suffix_opt ~suffix:"/aptget" key with
+      | None -> acc
+      | Some name -> (
+        match Hashtbl.find_opt t.measurements (name ^ "/baseline") with
+        | None -> acc
+        | Some base ->
+          ( name,
+            Pipeline.speedup ~baseline:base m,
+            Pipeline.mpki_reduction ~baseline:base m )
+          :: acc))
+    t.measurements []
+  |> List.sort compare
+
 let forced_site t site w =
   memo t
     (Printf.sprintf "%s/site-%s" w.Workload.name (Inject.site_to_string site))

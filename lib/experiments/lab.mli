@@ -35,6 +35,12 @@ val forced_site :
   Aptget_core.Pipeline.measurement
 (** Profiled hints with a forced injection site (Fig. 10). *)
 
+val summary : t -> (string * float * float) list
+(** [(workload, speedup, mpki_reduction)] for every workload whose
+    baseline and APT-GET runs are both already in the cache, sorted by
+    name. Never triggers a simulation — the bench harness calls this
+    after each experiment to emit machine-readable results. *)
+
 val check : Aptget_core.Pipeline.measurement -> Aptget_core.Pipeline.measurement
 (** Assert semantic verification passed (all experiments run through
     this, so a miscompiling pass aborts the harness loudly). *)

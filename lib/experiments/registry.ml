@@ -27,6 +27,7 @@ let all =
     { id = "datasets"; title = "BFS across all Table-4 graphs"; run = Eval_exps.datasets };
     { id = "ablations"; title = "Design-choice ablations"; run = Ablations.all };
     { id = "robustness"; title = "Speedup vs PMU fault rate (profile corruption tolerance)"; run = Robustness.all };
+    { id = "staleness"; title = "Stale profiles: fingerprint remapping and the regression guard"; run = Staleness.all };
     { id = "extensions"; title = "Extension studies (cost model, conditional injection, HW/SW interplay)"; run = Extensions.all };
   ]
 
@@ -34,8 +35,10 @@ let find id =
   let k = String.lowercase_ascii id in
   List.find_opt (fun e -> String.lowercase_ascii e.id = k) all
 
+let run_timed lab e = Aptget_util.Clock.wall (fun () -> e.run lab)
+
 let run_and_print lab e =
   Printf.printf "== %s: %s ==\n%!" e.id e.title;
-  let tables, elapsed = Aptget_util.Clock.wall (fun () -> e.run lab) in
+  let tables, elapsed = run_timed lab e in
   List.iter Table.print tables;
   Printf.printf "(%s finished in %.1fs wall)\n\n%!" e.id elapsed

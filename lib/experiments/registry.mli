@@ -11,5 +11,9 @@ val all : experiment list
 
 val find : string -> experiment option
 
+val run_timed : Lab.t -> experiment -> Aptget_util.Table.t list * float
+(** Execute, returning the tables and the elapsed wall seconds
+    (monotonic {!Aptget_util.Clock}). *)
+
 val run_and_print : Lab.t -> experiment -> unit
 (** Execute and print each produced table, with timing. *)

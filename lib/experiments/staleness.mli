@@ -1,0 +1,16 @@
+(** Stale-profile study: what happens when a checked-in profile
+    outlives the program it described.
+
+    Each scenario profiles a workload, then mutates the workload's IR
+    (or its inputs) the way a recompile would — PC renumbering, edits
+    above the load, loop splitting, an adversarial load collision, a
+    trip-count change — and compares three ways of consuming the now
+    stale hints: blindly by PC (the paper's behaviour), remapped by
+    structural fingerprint ({!Aptget_profile.Remap}), and remapped
+    under the regression guard
+    ({!Aptget_core.Pipeline.run_guarded}). A second table demonstrates
+    quarantine persistence: the first guarded run measures and
+    quarantines a harmful hint set, the second recognises it and spends
+    no candidate simulation. *)
+
+val all : Lab.t -> Aptget_util.Table.t list

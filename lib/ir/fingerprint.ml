@@ -1,0 +1,330 @@
+type load_fp = {
+  lf_pc : int;
+  lf_depth : int;
+  lf_shape : int;
+  lf_slice : int;
+  lf_len : int;
+  lf_loads : int;
+}
+
+type t = { program : int; loads : load_fp list }
+
+(* ------------------------------------------------------------------ *)
+(* Hashing: a fixed polynomial rolling hash over token strings. The    *)
+(* stdlib's Hashtbl.hash is documented to vary between versions, and   *)
+(* these hashes are persisted in hints files, so roll our own.         *)
+(* ------------------------------------------------------------------ *)
+
+let hash_seed = 0x1505
+
+let hash_add h s =
+  let h = ref h in
+  String.iter (fun c -> h := ((!h * 131) + Char.code c) land max_int) s;
+  (* token separator, so ["ab";"c"] <> ["a";"bc"] *)
+  ((!h * 131) + 0x1f) land max_int
+
+let hash_tokens tokens = List.fold_left hash_add hash_seed tokens
+let hex = Printf.sprintf "%x"
+
+(* ------------------------------------------------------------------ *)
+(* Definitions: register -> where it is born.                          *)
+(* ------------------------------------------------------------------ *)
+
+type def =
+  | Def_param of int  (* position in the parameter list *)
+  | Def_phi of Ir.label
+  | Def_instr of Ir.label * int
+
+let build_defs (f : Ir.func) =
+  let defs = Hashtbl.create 64 in
+  List.iteri (fun i r -> Hashtbl.replace defs r (Def_param i)) f.Ir.params;
+  Array.iteri
+    (fun b (blk : Ir.block) ->
+      List.iter
+        (fun (p : Ir.phi) -> Hashtbl.replace defs p.Ir.phi_dst (Def_phi b))
+        blk.Ir.phis;
+      Array.iteri
+        (fun i (ins : Ir.instr) ->
+          if Ir.defines ins then Hashtbl.replace defs ins.Ir.dst (Def_instr (b, i)))
+        blk.Ir.instrs)
+    f.Ir.blocks;
+  defs
+
+(* ------------------------------------------------------------------ *)
+(* Minimal loop analysis: iterative dominators, back edges, natural    *)
+(* loop bodies, per-block nesting depth and per-loop induction step.   *)
+(* Self-contained on purpose — fingerprints must not depend on the     *)
+(* passes library whose analyses they are meant to outlive.            *)
+(* ------------------------------------------------------------------ *)
+
+module Iset = Set.Make (Int)
+
+type loop_info = { lp_body : Iset.t; lp_step : string }
+
+let analyze_loops (f : Ir.func) =
+  let n = Array.length f.Ir.blocks in
+  let succs b = Ir.successors f.Ir.blocks.(b).Ir.term in
+  let preds = Array.make n [] in
+  for b = 0 to n - 1 do
+    List.iter (fun s -> preds.(s) <- b :: preds.(s)) (succs b)
+  done;
+  (* Reachability from the entry. *)
+  let reachable = Array.make n false in
+  let rec visit b =
+    if not reachable.(b) then begin
+      reachable.(b) <- true;
+      List.iter visit (succs b)
+    end
+  in
+  visit f.Ir.entry;
+  (* Iterative dominator sets (functions here are small). *)
+  let all = Array.to_list (Array.init n Fun.id) |> Iset.of_list in
+  let dom = Array.make n all in
+  dom.(f.Ir.entry) <- Iset.singleton f.Ir.entry;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to n - 1 do
+      if reachable.(b) && b <> f.Ir.entry then begin
+        let inter =
+          List.fold_left
+            (fun acc p -> if reachable.(p) then Iset.inter acc dom.(p) else acc)
+            all preds.(b)
+        in
+        let d = Iset.add b inter in
+        if not (Iset.equal d dom.(b)) then begin
+          dom.(b) <- d;
+          changed := true
+        end
+      end
+    done
+  done;
+  (* Back edges u -> h (h dominates u); group natural loops by header. *)
+  let bodies = Hashtbl.create 4 in
+  for u = 0 to n - 1 do
+    if reachable.(u) then
+      List.iter
+        (fun h ->
+          if Iset.mem h dom.(u) then begin
+            let body = ref (Iset.singleton h) in
+            let stack = ref [ u ] in
+            while !stack <> [] do
+              match !stack with
+              | [] -> ()
+              | b :: rest ->
+                stack := rest;
+                if not (Iset.mem b !body) then begin
+                  body := Iset.add b !body;
+                  List.iter (fun p -> stack := p :: !stack) preds.(b)
+                end
+            done;
+            match Hashtbl.find_opt bodies h with
+            | None -> Hashtbl.add bodies h !body
+            | Some b0 -> Hashtbl.replace bodies h (Iset.union b0 !body)
+          end)
+        (succs u)
+  done;
+  (* Induction step pattern: a header phi whose loop-carried input is
+     the phi plus/times a constant. *)
+  let defs = build_defs f in
+  let step_of header body =
+    let blk = f.Ir.blocks.(header) in
+    let classify (p : Ir.phi) =
+      List.find_map
+        (fun (from, (v : Ir.operand)) ->
+          if not (Iset.mem from body) then None
+          else
+            match v with
+            | Ir.Imm _ -> None
+            | Ir.Reg u -> (
+              match Hashtbl.find_opt defs u with
+              | Some (Def_instr (b, i)) -> (
+                match f.Ir.blocks.(b).Ir.instrs.(i).Ir.kind with
+                | Ir.Binop (Ir.Add, Ir.Reg r, Ir.Imm c)
+                | Ir.Binop (Ir.Add, Ir.Imm c, Ir.Reg r)
+                  when r = p.Ir.phi_dst ->
+                  Some (Printf.sprintf "+%d" c)
+                | Ir.Binop (Ir.Sub, Ir.Reg r, Ir.Imm c) when r = p.Ir.phi_dst ->
+                  Some (Printf.sprintf "+%d" (-c))
+                | Ir.Binop (Ir.Mul, Ir.Reg r, Ir.Imm c)
+                | Ir.Binop (Ir.Mul, Ir.Imm c, Ir.Reg r)
+                  when r = p.Ir.phi_dst ->
+                  Some (Printf.sprintf "*%d" c)
+                | Ir.Binop (Ir.Shl, Ir.Reg r, Ir.Imm c) when r = p.Ir.phi_dst ->
+                  Some (Printf.sprintf "*%d" (1 lsl c))
+                | _ -> None)
+              | _ -> None))
+        p.Ir.incoming
+    in
+    match List.find_map classify blk.Ir.phis with
+    | Some s -> s
+    | None -> "?"
+  in
+  let loops =
+    Hashtbl.fold
+      (fun h body acc -> { lp_body = body; lp_step = step_of h body } :: acc)
+      bodies []
+  in
+  (* Innermost-first chain per block, ordered by body size (an enclosing
+     loop's body strictly contains the inner one's). *)
+  let chain b =
+    List.filter (fun l -> Iset.mem b l.lp_body) loops
+    |> List.sort (fun a b' -> compare (Iset.cardinal a.lp_body) (Iset.cardinal b'.lp_body))
+  in
+  chain
+
+(* ------------------------------------------------------------------ *)
+(* Slice skeleton: backward walk from the load's address operand,      *)
+(* emitting structural tokens. Terminates at phis (tagged with their   *)
+(* defining block's loop depth), parameters (tagged with position) and *)
+(* immediates; recurses through intermediate loads.                    *)
+(* ------------------------------------------------------------------ *)
+
+let binop_name = function
+  | Ir.Add -> "add"
+  | Ir.Sub -> "sub"
+  | Ir.Mul -> "mul"
+  | Ir.Div -> "div"
+  | Ir.Rem -> "rem"
+  | Ir.And -> "and"
+  | Ir.Or -> "or"
+  | Ir.Xor -> "xor"
+  | Ir.Shl -> "shl"
+  | Ir.Shr -> "shr"
+
+let cmp_name = function
+  | Ir.Eq -> "eq"
+  | Ir.Ne -> "ne"
+  | Ir.Lt -> "lt"
+  | Ir.Le -> "le"
+  | Ir.Gt -> "gt"
+  | Ir.Ge -> "ge"
+
+let max_walk_depth = 64
+
+let slice_tokens (f : Ir.func) defs depth_of_block op =
+  let tokens = ref [] in
+  let loads = ref 0 in
+  let emit s = tokens := s :: !tokens in
+  let rec walk fuel (op : Ir.operand) =
+    if fuel <= 0 then emit "deep"
+    else
+      match op with
+      | Ir.Imm n -> emit (Printf.sprintf "i%d" n)
+      | Ir.Reg r -> (
+        match Hashtbl.find_opt defs r with
+        | None -> emit "undef"
+        | Some (Def_param k) -> emit (Printf.sprintf "p%d" k)
+        | Some (Def_phi b) -> emit (Printf.sprintf "phi@%d" (depth_of_block b))
+        | Some (Def_instr (b, i)) -> (
+          match f.Ir.blocks.(b).Ir.instrs.(i).Ir.kind with
+          | Ir.Binop (bop, a, b') ->
+            emit (binop_name bop);
+            walk (fuel - 1) a;
+            walk (fuel - 1) b'
+          | Ir.Cmp (c, a, b') ->
+            emit (cmp_name c);
+            walk (fuel - 1) a;
+            walk (fuel - 1) b'
+          | Ir.Select (c, a, b') ->
+            emit "sel";
+            walk (fuel - 1) c;
+            walk (fuel - 1) a;
+            walk (fuel - 1) b'
+          | Ir.Load a ->
+            incr loads;
+            emit "ld";
+            walk (fuel - 1) a
+          | Ir.Store _ | Ir.Prefetch _ | Ir.Work _ -> emit "effect"))
+  in
+  walk max_walk_depth op;
+  let tokens = List.rev !tokens in
+  (hash_tokens tokens, List.length tokens, !loads)
+
+(* ------------------------------------------------------------------ *)
+
+let instr_token (ins : Ir.instr) =
+  match ins.Ir.kind with
+  | Ir.Binop (b, _, _) -> binop_name b
+  | Ir.Cmp (c, _, _) -> "cmp." ^ cmp_name c
+  | Ir.Select _ -> "sel"
+  | Ir.Load _ -> "ld"
+  | Ir.Store _ -> "st"
+  | Ir.Prefetch _ -> "pf"
+  | Ir.Work _ -> "work"
+
+let term_token = function
+  | Ir.Jmp _ -> "jmp"
+  | Ir.Br _ -> "br"
+  | Ir.Ret _ -> "ret"
+
+let program_hash (f : Ir.func) =
+  let h = ref hash_seed in
+  Array.iter
+    (fun (blk : Ir.block) ->
+      h := hash_add !h (Printf.sprintf "b:%d" (List.length blk.Ir.phis));
+      Array.iter (fun ins -> h := hash_add !h (instr_token ins)) blk.Ir.instrs;
+      h := hash_add !h (term_token blk.Ir.term))
+    f.Ir.blocks;
+  !h
+
+let fingerprint (f : Ir.func) =
+  let defs = build_defs f in
+  let chain = analyze_loops f in
+  let depth_of_block b = List.length (chain b) in
+  (* Innermost-to-outermost induction patterns; the chain position
+     encodes nesting, and body sizes are deliberately excluded so a
+     split loop body keeps its shape. *)
+  let shape_of_block b =
+    hash_tokens (List.map (fun l -> "L" ^ l.lp_step) (chain b))
+  in
+  let loads = ref [] in
+  Array.iteri
+    (fun b (blk : Ir.block) ->
+      Array.iteri
+        (fun i (ins : Ir.instr) ->
+          match ins.Ir.kind with
+          | Ir.Load addr ->
+            let slice, len, inner_loads = slice_tokens f defs depth_of_block addr in
+            loads :=
+              {
+                lf_pc = Layout.pc_of_instr b i;
+                lf_depth = depth_of_block b;
+                lf_shape = shape_of_block b;
+                lf_slice = slice;
+                lf_len = len;
+                lf_loads = inner_loads;
+              }
+              :: !loads
+          | _ -> ())
+        blk.Ir.instrs)
+    f.Ir.blocks;
+  { program = program_hash f; loads = List.rev !loads }
+
+let similarity a b =
+  let s = ref 0. in
+  if a.lf_slice = b.lf_slice then s := !s +. 0.55
+  else begin
+    (* Different slice: partial credit for comparable size, so an edit
+       inside the slice degrades confidence instead of zeroing it. *)
+    let d = abs (a.lf_len - b.lf_len) in
+    let m = max 1 (max a.lf_len b.lf_len) in
+    s := !s +. (0.25 *. (1. -. (float_of_int d /. float_of_int m)))
+  end;
+  if a.lf_shape = b.lf_shape then s := !s +. 0.20;
+  if a.lf_depth = b.lf_depth then s := !s +. 0.15
+  else
+    s :=
+      !s +. (0.075 /. (1. +. float_of_int (abs (a.lf_depth - b.lf_depth))));
+  if a.lf_loads = b.lf_loads then s := !s +. 0.10;
+  !s
+
+let best_match t fp =
+  List.fold_left
+    (fun best cand ->
+      let score = similarity fp cand in
+      match best with
+      | None -> Some (cand, score)
+      | Some (_, s) when score > s -> Some (cand, score)
+      | Some _ -> best)
+    None t.loads

@@ -1,0 +1,61 @@
+(** Structural fingerprints for programs, loops and delinquent loads.
+
+    A profile's hints are keyed by layout PCs, and PCs are the first
+    thing a recompile invalidates: inserting one instruction slides
+    every later PC in the block, adding a block renumbers every PC in
+    the function. The Go PGO design (PAPERS.md) treats surviving such
+    drift as a first-class requirement; this module is the mechanism.
+    Each load gets a fingerprint derived from {e structure} rather than
+    position — the opcode skeleton of its backward address slice, the
+    nesting depth and induction pattern of the loops around it — so a
+    stale hint can be re-keyed onto the structurally-equivalent load of
+    a changed binary ({!Aptget_profile.Remap}).
+
+    Everything here is self-contained (its own loop detection and
+    use-def walk) so fingerprints never depend on the analysis passes
+    they are meant to outlive. Hashes are computed with a fixed
+    polynomial rolling hash — stable across runs, OCaml versions and
+    architectures, which matters because they are persisted in hints
+    files. *)
+
+type load_fp = {
+  lf_pc : int;
+      (** layout PC of the load in the fingerprinted function (for a
+          hint loaded from a file, the hint's recorded PC) *)
+  lf_depth : int;  (** loop nesting depth; 0 = not inside any loop *)
+  lf_shape : int;
+      (** hash of the surrounding loop chain, innermost to outermost:
+          depth and induction-variable step pattern per level *)
+  lf_slice : int;
+      (** hash of the backward address-slice opcode skeleton (operators,
+          immediates, parameter positions, phi nesting depths) *)
+  lf_len : int;  (** number of skeleton tokens in the slice *)
+  lf_loads : int;
+      (** intermediate loads inside the slice — the indirection count
+          that makes the access hardware-prefetcher-proof *)
+}
+
+type t = {
+  program : int;
+      (** whole-function structural hash: per-block opcode skeletons,
+          phi counts and terminator kinds, in layout order *)
+  loads : load_fp list;  (** every load of the function, in layout order *)
+}
+
+val fingerprint : Ir.func -> t
+(** Fingerprint a function. Pure; deterministic for equal input. *)
+
+val hex : int -> string
+(** Lower-case hex rendering used by the hints-file format. *)
+
+val similarity : load_fp -> load_fp -> float
+(** Structural similarity in [0, 1]. Exactly 1.0 when slice hash, loop
+    shape, depth and indirection count all agree; partial credit for
+    near-misses (close slice lengths, adjacent depths) so a split or
+    peeled loop still scores above the remapper's floor. [lf_pc] does
+    not participate — position is what fingerprints exist to ignore. *)
+
+val best_match : t -> load_fp -> (load_fp * float) option
+(** The load of the fingerprinted program most similar to [fp], with
+    its score. Ties resolve to the lowest PC. [None] only when the
+    program has no loads. *)

@@ -22,7 +22,8 @@ let dedup hints =
       end)
     hints
 
-let run ?(fallback_distance = Aj.default_distance) (f : Ir.func) ~hints =
+let run ?(fallback_distance = Aj.default_distance) ?(veto = fun _ -> None)
+    (f : Ir.func) ~hints =
   match hints with
   | [] ->
     let r = Aj.run ~distance:fallback_distance f in
@@ -31,8 +32,15 @@ let run ?(fallback_distance = Aj.default_distance) (f : Ir.func) ~hints =
     let hints =
       dedup hints |> List.sort (fun a b -> compare b.load_pc a.load_pc)
     in
+    (* A vetoed hint is skipped, and an all-vetoed list does NOT take
+       the empty-hints static fallback: the veto exists so the guard
+       can pin a quarantined hint set to the plain baseline, and a
+       back-door A&J run would re-inject prefetches behind its back. *)
     List.fold_left
       (fun report h ->
+        match veto h with
+        | Some why -> { report with skipped = (h.load_pc, why) :: report.skipped }
+        | None ->
         let spec =
           {
             Inject.load_pc = h.load_pc;

@@ -20,7 +20,20 @@ type report = {
   fellback : bool;  (** true when the static fallback ran instead *)
 }
 
-val run : ?fallback_distance:int -> Ir.func -> hints:hint list -> report
+val run :
+  ?fallback_distance:int ->
+  ?veto:(hint -> string option) ->
+  Ir.func ->
+  hints:hint list ->
+  report
 (** Transform [f] in place according to [hints]. Hints are deduplicated
     by PC (first wins) and applied in descending PC order so that each
-    splice leaves remaining targets' PCs intact. *)
+    splice leaves remaining targets' PCs intact.
+
+    [veto] (default: veto nothing) is consulted per hint before
+    injection; [Some reason] records the hint as skipped with that
+    reason. A non-empty hint list that ends up fully vetoed does {e
+    not} trigger the empty-list static fallback — vetoing exists so
+    the regression guard ({!Aptget_core.Pipeline}) can hold a
+    quarantined hint set at the plain baseline, which an implicit
+    A&J run would defeat. *)

@@ -100,3 +100,8 @@ val throttle_admit : t -> cycle:int -> bool
 
 val backoff_factor : t -> float
 (** Current cumulative sampling-period multiplier (>= 1). *)
+
+val max_backoff : float
+(** Upper bound on {!backoff_factor}: however hostile the schedule,
+    the cumulative multiplier never exceeds this, keeping the
+    stretched sampling period representable. *)

@@ -5,14 +5,21 @@
 
     The format is line-oriented text:
     {v
-    # aptget prefetch hints v1
-    pc=2051 distance=12 site=inner sweep=1
+    # aptget prefetch hints v2
+    # provenance: program=3f21c7 schema=2 options=lbr:20000,pebs:64,k:5
+    pc=2051 distance=12 site=inner sweep=1 fp=9a0c1:44d2:2:7:1
     pc=11265 distance=3 site=outer sweep=7
     v}
     Blank lines and [#] comments are ignored, except that a comment
     announcing a hints-file version ([# aptget prefetch hints vN]) is
-    validated: unknown versions are rejected, so a file written by a
-    future format revision fails loudly instead of being half-parsed.
+    validated — v1 (plain hints) and v2 (provenance + fingerprints) are
+    accepted, anything newer is rejected so a file written by a future
+    format revision fails loudly instead of being half-parsed — and a
+    [# provenance:] comment is parsed as the profile's provenance
+    block. The optional [fp=] field carries a load's structural
+    fingerprint ([slice:shape:depth:len:loads], hashes in hex; see
+    {!Aptget_ir.Fingerprint}) so {!Remap} can re-key the hint when its
+    PC goes stale.
 
     Checked-in hint files go stale as the profiled program evolves, so
     there are two parsing modes: the strict one fails on the first
@@ -22,13 +29,67 @@
     both modes rather than silently resolving to the first
     occurrence. *)
 
+(** {2 Provenance and fingerprinted documents (v2)} *)
+
+type provenance = {
+  program : int;
+      (** structural hash of the profiled program
+          ({!Aptget_ir.Fingerprint.t.program}) — when it matches the
+          current program, every PC is still exact and remapping is a
+          no-op *)
+  schema : int;  (** provenance-block schema version (currently 2) *)
+  options : string;
+      (** space-free summary of the profiler options that produced the
+          hints (see {!Profiler.options_summary}) *)
+}
+
+val schema_version : int
+(** Provenance-block schema version this writer emits (2). Files with a
+    larger recorded schema are rejected. *)
+
+type entry = {
+  e_hint : Aptget_passes.Aptget_pass.hint;
+  e_fp : Fingerprint.load_fp option;
+      (** structural fingerprint of the hinted load; [lf_pc] equals the
+          hint's [load_pc] *)
+}
+
+type doc = { prov : provenance option; entries : entry list }
+
+val entries_of_hints : Aptget_passes.Aptget_pass.hint list -> entry list
+(** Wrap bare hints as fingerprint-less entries. *)
+
+val hints_of_doc : doc -> Aptget_passes.Aptget_pass.hint list
+
+val doc_to_string : doc -> string
+(** Serialise with the v2 header; the provenance comment is emitted
+    when present, the [fp=] field per entry that carries one. *)
+
+val doc_of_string : string -> (doc, string) result
+(** Strict parse of either format version; reports the first offending
+    line (with its line number) on error. *)
+
+val doc_of_string_lenient : string -> doc * (int * string) list
+(** Lenient parse: all well-formed entries (plus the provenance block
+    if its line parsed), and a [(line_no, error)] record for every
+    malformed or unsupported line. *)
+
+val save_doc : path:string -> doc -> unit
+val load_doc : path:string -> (doc, string) result
+val load_doc_lenient : path:string -> (doc * (int * string) list, string) result
+
+(** {2 Plain-hint API (v1 files; byte-compatible with earlier releases)} *)
+
 val to_string : Aptget_passes.Aptget_pass.hint list -> string
-(** Serialise, one hint per line, with the version header. *)
+(** Serialise, one hint per line, with the v1 version header (no
+    provenance, no fingerprints — byte-identical to the historical
+    writer). *)
 
 val of_string : string -> (Aptget_passes.Aptget_pass.hint list, string) result
 (** Strict parse; reports the first offending line (with its line
     number) on error. Accepts fields in any order; [sweep] defaults to
-    1 when omitted. *)
+    1 when omitted. Fingerprints and provenance are accepted and
+    dropped. *)
 
 val of_string_lenient :
   string -> Aptget_passes.Aptget_pass.hint list * (int * string) list

@@ -64,7 +64,15 @@ type t = {
   pebs_samples : int;
   baseline : Machine.outcome;
   fault_stats : Faults.stats option;
+  fingerprint : Fingerprint.t;
 }
+
+(* Space-free so it fits in a [key=value] provenance field. Only the
+   options that shape which hints come out are recorded — the machine
+   model is the simulator's concern, not the profile's identity. *)
+let options_summary o =
+  Printf.sprintf "lbr:%d,pebs:%d,top:%d,k:%d,maxd:%d,maxs:%d" o.lbr_period
+    o.pebs_period o.top_loads o.k o.max_distance o.max_sweep
 
 let in_loop_pred (loop : Loops.loop) pc =
   List.mem (Layout.block_of_pc pc) loop.Loops.blocks
@@ -328,6 +336,28 @@ let profile ?(options = default_options) ?(args = []) ~mem (f : Ir.func) =
     pebs_samples = pebs_total;
     baseline;
     fault_stats = Sampler.fault_stats sampler;
+    fingerprint = Fingerprint.fingerprint f;
+  }
+
+let to_doc ?(options = default_options) t =
+  let fp_at pc =
+    List.find_opt
+      (fun (l : Fingerprint.load_fp) -> l.Fingerprint.lf_pc = pc)
+      t.fingerprint.Fingerprint.loads
+  in
+  {
+    Hints_file.prov =
+      Some
+        {
+          Hints_file.program = t.fingerprint.Fingerprint.program;
+          schema = Hints_file.schema_version;
+          options = options_summary options;
+        };
+    entries =
+      List.map
+        (fun (h : Aptget_pass.hint) ->
+          { Hints_file.e_hint = h; e_fp = fp_at h.Aptget_pass.load_pc })
+        t.hints;
   }
 
 (* Hints may come from a stale checked-in file, or from a profile whose

@@ -69,7 +69,20 @@ type t = {
   fault_stats : Aptget_pmu.Faults.stats option;
       (** fault counters when profiling ran under an active fault
           model; [None] on clean runs *)
+  fingerprint : Fingerprint.t;
+      (** structural fingerprint of the profiled program, taken at
+          profile time so hints can later be re-keyed against a changed
+          binary ({!Remap}) *)
 }
+
+val options_summary : options -> string
+(** Space-free summary of the hint-shaping options (sampling periods,
+    model constants, caps) for the hints-file provenance block. *)
+
+val to_doc : ?options:options -> t -> Hints_file.doc
+(** Package the profile's hints as a v2 hints-file document: provenance
+    (program hash, schema, [options_summary] of the options that
+    produced it) plus each hint's structural fingerprint. *)
 
 val profile :
   ?options:options ->

@@ -3,10 +3,11 @@
    elapsed times; never report a time earlier than one already seen. *)
 let last = ref neg_infinity
 
-let now () =
-  let t = Unix.gettimeofday () in
+let observe t =
   if t > !last then last := t;
   !last
+
+let now () = observe (Unix.gettimeofday ())
 
 let wall f =
   let t0 = now () in

@@ -10,6 +10,12 @@ val now : unit -> float
 (** Monotonic non-decreasing wall-clock seconds (absolute epoch-based
     value; only differences are meaningful). *)
 
+val observe : float -> float
+(** Feed a raw timestamp through the monotonic clamp: returns the
+    maximum of the argument and every previously observed time. [now]
+    is [observe (Unix.gettimeofday ())]; tests drive the clamp
+    directly through this seam. *)
+
 val wall : (unit -> 'a) -> 'a * float
 (** [wall f] runs [f] and returns its result with the elapsed wall
     seconds (>= 0). *)

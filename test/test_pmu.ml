@@ -246,6 +246,34 @@ let test_faults_throttle_backs_off_period () =
   Alcotest.(check bool) "backoff factor grew" true
     ((Faults.stats f).Faults.backoff_factor >= 2.)
 
+let test_faults_backoff_capped_at_extreme_rate () =
+  (* A pathological schedule: one admitted sample per 10-cycle window,
+     aggressive 16x backoff, hammered for 100 windows. Uncapped, the
+     factor would reach 16^100; the model must clamp at
+     [Faults.max_backoff] so the effective period stays representable. *)
+  let cfg =
+    {
+      Faults.none with
+      Faults.throttle_budget = 1;
+      throttle_window = 10;
+      throttle_backoff = 16.0;
+    }
+  in
+  let f = Faults.create cfg in
+  let admitted = ref 0 in
+  for cycle = 0 to 999 do
+    if Faults.throttle_admit f ~cycle then incr admitted
+  done;
+  Alcotest.(check int) "one admit per window" 100 !admitted;
+  Alcotest.(check int) "rest throttled" 900 (Faults.stats f).Faults.throttled;
+  let bf = Faults.backoff_factor f in
+  Alcotest.(check bool) "factor finite" true (Float.is_finite bf);
+  Alcotest.(check (float 1e-9)) "factor capped" Faults.max_backoff bf;
+  (* The capped factor still yields a sane stretched sampler period. *)
+  let s = Sampler.create ~lbr_period:10 ~faults:f () in
+  let p = Sampler.current_lbr_period s in
+  Alcotest.(check int) "period = base * cap" (10 * 4096) p
+
 let () =
   Alcotest.run "pmu"
     [
@@ -276,5 +304,7 @@ let () =
           Alcotest.test_case "skid displaces pc" `Quick test_faults_skid_displaces_pc;
           Alcotest.test_case "throttle budget" `Quick test_faults_throttle_budget;
           Alcotest.test_case "throttle backoff" `Quick test_faults_throttle_backs_off_period;
+          Alcotest.test_case "backoff capped at extreme rate" `Quick
+            test_faults_backoff_capped_at_extreme_rate;
         ] );
     ]

@@ -191,7 +191,7 @@ let contains ~sub s =
   n = 0 || go 0
 
 let test_hints_bad_header_version () =
-  let text = "# aptget prefetch hints v2\npc=1 distance=2 site=inner\n" in
+  let text = "# aptget prefetch hints v3\npc=1 distance=2 site=inner\n" in
   (match Hints_file.of_string text with
   | Error e ->
     Alcotest.(check bool) "mentions the version" true
@@ -299,6 +299,167 @@ let prop_hints_roundtrip =
       in
       Hints_file.of_string (Hints_file.to_string hints) = Ok hints)
 
+(* ---------------- Hints_file v2 documents ---------------- *)
+
+let fp ~pc ~slice ~shape ~depth ~len ~loads =
+  {
+    Fingerprint.lf_pc = pc;
+    lf_depth = depth;
+    lf_shape = shape;
+    lf_slice = slice;
+    lf_len = len;
+    lf_loads = loads;
+  }
+
+let sample_doc =
+  {
+    Hints_file.prov =
+      Some
+        {
+          Hints_file.program = 0x3f21c7;
+          schema = Hints_file.schema_version;
+          options = "lbr:20000,pebs:64,k:5";
+        };
+    entries =
+      [
+        {
+          Hints_file.e_hint =
+            { Aptget_pass.load_pc = 2051; distance = 12; site = Inject.Inner; sweep = 1 };
+          e_fp = Some (fp ~pc:2051 ~slice:0x9a0c1 ~shape:0x44d2 ~depth:2 ~len:7 ~loads:1);
+        };
+        {
+          Hints_file.e_hint =
+            { Aptget_pass.load_pc = 11265; distance = 3; site = Inject.Outer; sweep = 7 };
+          e_fp = None;
+        };
+      ];
+  }
+
+let test_doc_roundtrip () =
+  match Hints_file.doc_of_string (Hints_file.doc_to_string sample_doc) with
+  | Ok parsed -> Alcotest.(check bool) "roundtrip" true (parsed = sample_doc)
+  | Error e -> Alcotest.fail e
+
+let test_doc_reads_v1 () =
+  (* A v1 file parses as a document without provenance/fingerprints,
+     and of_string accepts a v2 document, dropping the extras. *)
+  let hints =
+    [ { Aptget_pass.load_pc = 7; distance = 4; site = Inject.Inner; sweep = 2 } ]
+  in
+  (match Hints_file.doc_of_string (Hints_file.to_string hints) with
+  | Ok doc ->
+    Alcotest.(check bool) "no provenance" true (doc.Hints_file.prov = None);
+    Alcotest.(check bool) "hints preserved" true
+      (Hints_file.hints_of_doc doc = hints)
+  | Error e -> Alcotest.fail e);
+  match Hints_file.of_string (Hints_file.doc_to_string sample_doc) with
+  | Ok hints ->
+    Alcotest.(check (list int)) "v1 view of a v2 file" [ 2051; 11265 ]
+      (List.map (fun h -> h.Aptget_pass.load_pc) hints)
+  | Error e -> Alcotest.fail e
+
+let test_doc_bad_fingerprints_rejected () =
+  List.iter
+    (fun bad ->
+      match Hints_file.doc_of_string ("pc=1 distance=2 site=inner " ^ bad) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted: " ^ bad))
+    [
+      "fp=1:2:3:4";          (* too few components *)
+      "fp=1:2:3:4:5:6";      (* too many *)
+      "fp=xyz:2:3:4:5";      (* not hex *)
+      "fp=1:2:-3:4:5";       (* negative depth *)
+      "fp=1:2:3:4:5 fp=1:2:3:4:5"; (* duplicated *)
+    ]
+
+let test_doc_bad_provenance_rejected () =
+  List.iter
+    (fun bad ->
+      match Hints_file.doc_of_string (bad ^ "\npc=1 distance=2 site=inner\n") with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted: " ^ bad))
+    [
+      "# provenance: program=zz schema=2 options=x";
+      "# provenance: program=1f options=x";
+      "# provenance: program=1f schema=99 options=x"; (* future schema *)
+      "# provenance: program=1f schema=2 options=x\n\
+       # provenance: program=1f schema=2 options=x"; (* duplicated *)
+    ]
+
+let test_doc_lenient_line_numbers () =
+  let text =
+    String.concat "\n"
+      [
+        "# aptget prefetch hints v2";                      (* 1: ok *)
+        "# provenance: program=zz schema=2 options=x";     (* 2: bad *)
+        "pc=5 distance=9 site=outer fp=a:b:0:3:1";         (* 3: ok *)
+        "pc=6 distance=9 site=outer fp=a:b";               (* 4: bad fp *)
+        "# provenance: program=1f schema=2 options=x";     (* 5: ok *)
+        "pc=x distance=2 site=inner";                      (* 6: bad int *)
+      ]
+  in
+  let doc, errors = Hints_file.doc_of_string_lenient text in
+  Alcotest.(check (list int)) "error lines" [ 2; 4; 6 ] (List.map fst errors);
+  Alcotest.(check (list int)) "entries kept" [ 5 ]
+    (List.map
+       (fun e -> e.Hints_file.e_hint.Aptget_pass.load_pc)
+       doc.Hints_file.entries);
+  match doc.Hints_file.prov with
+  | Some p -> Alcotest.(check int) "provenance from the good line" 0x1f p.Hints_file.program
+  | None -> Alcotest.fail "expected the well-formed provenance block"
+
+let prop_doc_roundtrip =
+  (* Print -> parse identity for arbitrary valid documents, provenance
+     block and per-hint fingerprints included. *)
+  let entry_gen =
+    QCheck.Gen.(
+      map
+        (fun ((pc, d, outer, sw), fp_opt) ->
+          {
+            Hints_file.e_hint =
+              {
+                Aptget_pass.load_pc = pc;
+                distance = d;
+                site = (if outer then Inject.Outer else Inject.Inner);
+                sweep = sw;
+              };
+            e_fp =
+              Option.map
+                (fun ((slice, shape), (depth, len, loads)) ->
+                  fp ~pc ~slice ~shape ~depth ~len ~loads)
+                fp_opt;
+          })
+        (pair
+           (quad (int_bound 100_000) (int_range 1 128) bool (int_range 1 8))
+           (opt
+              (pair
+                 (pair (int_bound 0x3FFFFFFF) (int_bound 0x3FFFFFFF))
+                 (triple (int_bound 9) (int_bound 64) (int_bound 8))))))
+  in
+  let doc_gen =
+    QCheck.Gen.(
+      map
+        (fun (prov_opt, entries) ->
+          {
+            Hints_file.prov =
+              Option.map
+                (fun (program, opt_tag) ->
+                  {
+                    Hints_file.program;
+                    schema = Hints_file.schema_version;
+                    options = Printf.sprintf "opt:%d" opt_tag;
+                  })
+                prov_opt;
+            entries;
+          })
+        (pair
+           (opt (pair (int_bound 0x3FFFFFFF) (int_bound 1000)))
+           (list_size (0 -- 20) entry_gen)))
+  in
+  QCheck.Test.make ~name:"hints v2 document roundtrips" ~count:100
+    (QCheck.make doc_gen) (fun doc ->
+      Hints_file.doc_of_string (Hints_file.doc_to_string doc) = Ok doc)
+
 (* ---------------- Profiler end-to-end ---------------- *)
 
 let micro_instance () =
@@ -364,6 +525,37 @@ let test_profiler_low_trip_chooses_outer () =
     Alcotest.(check bool) "outer site" true (h.Aptget_pass.site = Inject.Outer)
   | [] -> Alcotest.fail "expected a hint"
 
+let test_profiler_to_doc () =
+  let inst, _ = micro_instance () in
+  let func = inst.Aptget_workloads.Workload.func in
+  let prof =
+    Profiler.profile ~args:inst.Aptget_workloads.Workload.args
+      ~mem:inst.Aptget_workloads.Workload.mem func
+  in
+  let doc = Profiler.to_doc prof in
+  (match doc.Hints_file.prov with
+  | Some p ->
+    Alcotest.(check int) "program hash is the function's"
+      (Fingerprint.fingerprint func).Fingerprint.program p.Hints_file.program;
+    Alcotest.(check int) "schema" Hints_file.schema_version p.Hints_file.schema;
+    Alcotest.(check bool) "options recorded" true
+      (String.length p.Hints_file.options > 0)
+  | None -> Alcotest.fail "expected a provenance block");
+  Alcotest.(check int) "one entry per hint"
+    (List.length prof.Profiler.hints)
+    (List.length doc.Hints_file.entries);
+  List.iter
+    (fun (e : Hints_file.entry) ->
+      match e.Hints_file.e_fp with
+      | Some lf ->
+        Alcotest.(check int) "fingerprint keyed by the hint's pc"
+          e.Hints_file.e_hint.Aptget_pass.load_pc lf.Fingerprint.lf_pc
+      | None -> Alcotest.fail "profiled hint without a fingerprint")
+    doc.Hints_file.entries;
+  (* And the document survives the file format. *)
+  Alcotest.(check bool) "document roundtrips" true
+    (Hints_file.doc_of_string (Hints_file.doc_to_string doc) = Ok doc)
+
 let test_profiler_baseline_outcome_sane () =
   let inst, p = micro_instance () in
   let prof =
@@ -411,11 +603,21 @@ let () =
           Alcotest.test_case "roundtrip stable" `Quick test_hints_roundtrip_stable;
           QCheck_alcotest.to_alcotest prop_hints_roundtrip;
         ] );
+      ( "hints_file_v2",
+        [
+          Alcotest.test_case "doc roundtrip" `Quick test_doc_roundtrip;
+          Alcotest.test_case "reads v1, degrades v2" `Quick test_doc_reads_v1;
+          Alcotest.test_case "bad fingerprints" `Quick test_doc_bad_fingerprints_rejected;
+          Alcotest.test_case "bad provenance" `Quick test_doc_bad_provenance_rejected;
+          Alcotest.test_case "lenient line numbers" `Quick test_doc_lenient_line_numbers;
+          QCheck_alcotest.to_alcotest prop_doc_roundtrip;
+        ] );
       ( "profiler",
         [
           Alcotest.test_case "finds delinquent load" `Quick test_profiler_finds_delinquent_load;
           Alcotest.test_case "skips direct loads" `Quick test_profiler_skips_direct_loads;
           Alcotest.test_case "low trip -> outer" `Quick test_profiler_low_trip_chooses_outer;
+          Alcotest.test_case "to_doc provenance" `Quick test_profiler_to_doc;
           Alcotest.test_case "baseline sane" `Quick test_profiler_baseline_outcome_sane;
         ] );
     ]

@@ -2,6 +2,7 @@ module Rng = Aptget_util.Rng
 module Stats = Aptget_util.Stats
 module Histogram = Aptget_util.Histogram
 module Table = Aptget_util.Table
+module Clock = Aptget_util.Clock
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -171,6 +172,35 @@ let prop_histogram_total =
       let h = Histogram.of_samples (Array.of_list l) in
       Histogram.total h = List.length l)
 
+(* ---------------- Clock ---------------- *)
+
+(* The clamp is global mutable state shared with [Clock.now], so these
+   tests only feed timestamps at or above the current high-water mark
+   and assert relative behaviour, never absolute values. *)
+
+let test_clock_monotonic_clamp () =
+  let base = Clock.now () +. 1000. in
+  check_float "advances to base" base (Clock.observe base);
+  (* System clock steps backwards: reported time holds at the mark. *)
+  check_float "backwards step clamped" base (Clock.observe (base -. 500.));
+  check_float "still clamped" base (Clock.observe (base -. 0.001));
+  (* Deltas across the step are never negative. *)
+  let t1 = Clock.observe (base -. 250.) in
+  Alcotest.(check bool) "delta >= 0" true (t1 -. base >= 0.);
+  (* Once real time passes the mark, the clock moves again. *)
+  check_float "resumes past mark" (base +. 1.) (Clock.observe (base +. 1.))
+
+let test_clock_observe_max_of_history () =
+  let base = Clock.now () +. 2000. in
+  ignore (Clock.observe base);
+  ignore (Clock.observe (base +. 5.));
+  check_float "max of all observed" (base +. 5.) (Clock.observe (base +. 2.))
+
+let test_clock_wall_non_negative () =
+  let x, dt = Clock.wall (fun () -> 42) in
+  Alcotest.(check int) "result passed through" 42 x;
+  Alcotest.(check bool) "elapsed >= 0" true (dt >= 0.)
+
 (* ---------------- Table ---------------- *)
 
 let test_table_render () =
@@ -227,6 +257,12 @@ let () =
           Alcotest.test_case "centers" `Quick test_histogram_centers;
           Alcotest.test_case "of_samples" `Quick test_histogram_of_samples;
           Alcotest.test_case "bad args" `Quick test_histogram_bad_args;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic clamp" `Quick test_clock_monotonic_clamp;
+          Alcotest.test_case "observe max" `Quick test_clock_observe_max_of_history;
+          Alcotest.test_case "wall non-negative" `Quick test_clock_wall_non_negative;
         ] );
       ( "table",
         [
