@@ -5,6 +5,7 @@
    aptget profile HJ8-NPO            delinquent loads, models, hints
    aptget show-ir HJ2-NPO            kernel IR before/after injection
    aptget experiments fig6 fig8      regenerate paper tables/figures
+   aptget campaign --store c.journal supervised checkpoint/resume campaign
 *)
 
 module Machine = Aptget_machine.Machine
@@ -24,6 +25,10 @@ module Faults = Aptget_pmu.Faults
 module Remap = Aptget_profile.Remap
 module Hints_file = Aptget_profile.Hints_file
 module Quarantine = Aptget_core.Quarantine
+module Campaign = Aptget_core.Campaign
+module Watchdog = Aptget_core.Watchdog
+module Crash = Aptget_store.Crash
+module Journal = Aptget_store.Journal
 
 open Cmdliner
 
@@ -501,12 +506,224 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
     Term.(const run $ ids $ quick)
 
+let campaign_cmd =
+  let run workloads store trials retries threshold cooldown backoff_base
+      max_cycles max_steps crash_after_write crash_torn crash_at_cycle =
+    if trials < 1 then die "bad --trials value: %d (need >= 1)" trials;
+    if retries < 0 then die "bad --retries value: %d (need >= 0)" retries;
+    if threshold < 1 then
+      die "bad --breaker-threshold value: %d (need >= 1)" threshold;
+    if cooldown < 0 then
+      die "bad --breaker-cooldown value: %d (need >= 0)" cooldown;
+    if backoff_base < 1.0 then
+      die "bad --backoff-base value: %g (need >= 1.0)" backoff_base;
+    if max_cycles < 0 then die "bad --max-cycles value: %d" max_cycles;
+    if max_steps < 0 then die "bad --max-steps value: %d" max_steps;
+    (match crash_after_write with
+    | Some k when k < 1 -> die "bad --crash-after-write value: %d" k
+    | _ -> ());
+    (match crash_at_cycle with
+    | Some c when c < 1 -> die "bad --crash-at-cycle value: %d" c
+    | _ -> ());
+    if crash_torn && crash_after_write = None then
+      die "--crash-torn requires --crash-after-write";
+    let crash =
+      match (crash_after_write, crash_at_cycle) with
+      | Some _, Some _ ->
+        die "--crash-after-write and --crash-at-cycle are mutually exclusive"
+      | Some k, None ->
+        Some
+          (Crash.after_writes
+             ~mode:(if crash_torn then Crash.Torn else Crash.Clean)
+             k)
+      | None, Some c -> Some (Crash.at_cycle c)
+      | None, None -> None
+    in
+    let watchdog =
+      (* The flags tighten every stage uniformly; 0 keeps that
+         dimension at its default. *)
+      let tighten (b : Watchdog.budget) =
+        {
+          Watchdog.max_cycles =
+            (if max_cycles > 0 then max_cycles else b.Watchdog.max_cycles);
+          max_steps =
+            (if max_steps > 0 then max_steps else b.Watchdog.max_steps);
+        }
+      in
+      {
+        Watchdog.profile_budget = tighten Watchdog.default.Watchdog.profile_budget;
+        inject_budget = Watchdog.default.Watchdog.inject_budget;
+        measure_budget = tighten Watchdog.default.Watchdog.measure_budget;
+      }
+    in
+    let config =
+      {
+        Campaign.default_config with
+        Campaign.max_retries = retries;
+        breaker_threshold = threshold;
+        breaker_cooldown = cooldown;
+        backoff_base;
+        watchdog;
+      }
+    in
+    let ws = match workloads with [] -> Suite.default | ws -> ws in
+    let plan = Campaign.plan ~trials_per_workload:trials ws in
+    Printf.printf "campaign: %d trial(s) over %d workload(s), store %s\n\n"
+      (List.length plan) (List.length ws) store;
+    match Campaign.run ~config ?crash ~store plan with
+    | exception Crash.Crashed why ->
+      Printf.eprintf
+        "campaign killed by the injected crash plan (%s); the journal at %s \
+         is resumable\n"
+        why store;
+      exit 1
+    | report ->
+      let rec_ = report.Campaign.c_store_recovery in
+      if rec_.Journal.dropped > 0 then
+        Printf.printf
+          "store recovery: salvaged %d checkpoint(s), dropped %d corrupt \
+           line(s)%s\n"
+          (List.length rec_.Journal.records)
+          rec_.Journal.dropped
+          (match rec_.Journal.first_error with
+          | Some (lineno, why) ->
+            Printf.sprintf " (first at line %d: %s)" lineno why
+          | None -> "")
+      else if rec_.Journal.records <> [] then
+        Printf.printf "store recovery: %d clean checkpoint(s) found\n"
+          (List.length rec_.Journal.records);
+      let t =
+        Table.create ~title:"campaign trials"
+          ~header:[ "trial"; "status"; "attempts"; "backoff" ]
+      in
+      List.iter
+        (fun (r : Campaign.trial_result) ->
+          Table.add_row t
+            [
+              r.Campaign.tr_id;
+              Campaign.status_to_string r.Campaign.tr_status;
+              string_of_int r.Campaign.tr_attempts;
+              Printf.sprintf "%.1f" r.Campaign.tr_backoff;
+            ])
+        report.Campaign.c_results;
+      Table.print t;
+      Printf.printf
+        "summary: %d completed, %d resumed, %d retried, %d failed, %d \
+         skipped\n"
+        report.Campaign.c_completed report.Campaign.c_resumed
+        report.Campaign.c_retried report.Campaign.c_failed
+        report.Campaign.c_skipped;
+      List.iter
+        (fun (w, n) ->
+          Printf.printf "circuit breaker for %s opened %d time(s)\n" w n)
+        report.Campaign.c_breakers_opened;
+      exit (if Campaign.ok report then 0 else 3)
+  in
+  let workloads_arg =
+    Arg.(value & pos_all workload_conv [] & info [] ~docv:"WORKLOAD")
+  in
+  let store_flag =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint journal. Created if missing; a campaign re-run \
+             against an existing journal resumes, skipping trials already \
+             checkpointed as ok.")
+  in
+  let int_flag name default doc =
+    Arg.(value & opt int default & info [ name ] ~docv:"N" ~doc)
+  in
+  let trials_flag = int_flag "trials" 1 "Trials per workload." in
+  let retries_flag =
+    int_flag "retries" Campaign.default_config.Campaign.max_retries
+      "Extra attempts per failing trial."
+  in
+  let threshold_flag =
+    int_flag "breaker-threshold"
+      Campaign.default_config.Campaign.breaker_threshold
+      "Consecutive failures that open a workload's circuit breaker."
+  in
+  let cooldown_flag =
+    int_flag "breaker-cooldown"
+      Campaign.default_config.Campaign.breaker_cooldown
+      "Trials skipped while a breaker is open, before the half-open probe."
+  in
+  let backoff_flag =
+    Arg.(
+      value
+      & opt float Campaign.default_config.Campaign.backoff_base
+      & info [ "backoff-base" ] ~docv:"BASE"
+          ~doc:
+            "Retry backoff base: attempt n accrues BASE^(n-1), capped at \
+             the PMU ladder's maximum.")
+  in
+  let max_cycles_flag =
+    int_flag "max-cycles" 0
+      "Watchdog deadline in simulated cycles for the profile and measure \
+       stages (0 = default budget)."
+  in
+  let max_steps_flag =
+    int_flag "max-steps" 0
+      "Watchdog kernel-step budget for the profile and measure stages (0 = \
+       default budget)."
+  in
+  let crash_write_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-after-write" ] ~docv:"K"
+          ~doc:
+            "Deterministic crash injection: kill the process at the K-th \
+             checkpoint store write (testing only).")
+  in
+  let crash_torn_flag =
+    Arg.(
+      value & flag
+      & info [ "crash-torn" ]
+          ~doc:
+            "With $(b,--crash-after-write), tear the fatal write so only a \
+             prefix of its bytes lands.")
+  in
+  let crash_cycle_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-at-cycle" ] ~docv:"C"
+          ~doc:
+            "Deterministic crash injection: kill the process when a \
+             supervised simulation reaches cycle C (testing only).")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a supervised, crash-safe profiling campaign with \
+          checkpoint/resume"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P "0 — every trial completed (or resumed as completed).";
+           `P
+             "1 — the injected crash plan fired; the journal is resumable \
+              with the same command.";
+           `P "2 — bad command-line flags.";
+           `P
+             "3 — partial: at least one trial failed, was skipped by an \
+              open circuit breaker, or a breaker opened.";
+         ])
+    Term.(
+      const run $ workloads_arg $ store_flag $ trials_flag $ retries_flag
+      $ threshold_flag $ cooldown_flag $ backoff_flag $ max_cycles_flag
+      $ max_steps_flag $ crash_write_flag $ crash_torn_flag
+      $ crash_cycle_flag)
+
 let main =
   Cmd.group
     (Cmd.info "aptget" ~version:"1.0.0"
        ~doc:
          "Profile-guided timely software prefetching (EuroSys'22 \
           reproduction)")
-    [ run_cmd; profile_cmd; show_ir_cmd; list_cmd; experiments_cmd ]
+    [ run_cmd; profile_cmd; show_ir_cmd; list_cmd; experiments_cmd; campaign_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,342 @@
+module Machine = Aptget_machine.Machine
+module Workload = Aptget_workloads.Workload
+module Faults = Aptget_pmu.Faults
+module Crash = Aptget_store.Crash
+module Journal = Aptget_store.Journal
+
+(* ------------------------------------------------------------------ *)
+(* Plans *)
+
+type trial = { t_id : string; t_workload : Workload.t }
+
+let plan ?(trials_per_workload = 1) workloads =
+  if trials_per_workload < 1 then
+    invalid_arg "Campaign.plan: trials_per_workload < 1";
+  List.concat_map
+    (fun (w : Workload.t) ->
+      List.init trials_per_workload (fun i ->
+          { t_id = Printf.sprintf "%s#%d" w.Workload.name (i + 1);
+            t_workload = w }))
+    workloads
+
+type config = {
+  max_retries : int;
+  backoff_base : float;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  watchdog : Watchdog.config;
+  faults : Faults.config;
+}
+
+let default_config =
+  {
+    max_retries = 2;
+    backoff_base = 2.0;
+    breaker_threshold = 3;
+    breaker_cooldown = 2;
+    watchdog = Watchdog.default;
+    faults = Faults.none;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breakers: one per workload name. A workload that keeps
+   failing trial after trial is probably broken in a way retries cannot
+   fix (bad build, pathological config), so after [breaker_threshold]
+   consecutive trial failures the breaker opens and the next
+   [breaker_cooldown] trials of that workload are skipped outright.
+   The first trial after the cooldown runs as a half-open probe (one
+   attempt, no retries): success re-closes the breaker, failure
+   re-opens it for another cooldown. *)
+
+type breaker_state = Closed | Open of int  (** trials left to skip *) | Half_open
+
+type breaker = {
+  mutable state : breaker_state;
+  mutable consecutive : int;  (* consecutive trial failures while closed *)
+  mutable opened : int;  (* times this breaker has opened *)
+}
+
+let breaker_state_to_string = function
+  | Closed -> "closed"
+  | Open n -> Printf.sprintf "open (%d skips left)" n
+  | Half_open -> "half-open"
+
+(* ------------------------------------------------------------------ *)
+(* Results *)
+
+type status =
+  | Completed of { speedup : float }
+  | Resumed of { speedup : float option }
+  | Failed of string
+  | Skipped of string
+
+type trial_result = {
+  tr_id : string;
+  tr_workload : string;
+  tr_status : status;
+  tr_attempts : int;  (** 0 for resumed/skipped trials *)
+  tr_backoff : float;
+      (** total capped backoff factor accrued across retries *)
+}
+
+let status_to_string = function
+  | Completed { speedup } -> Printf.sprintf "ok (%.3fx)" speedup
+  | Resumed { speedup = Some s } ->
+    Printf.sprintf "resumed from checkpoint (%.3fx)" s
+  | Resumed { speedup = None } -> "resumed from checkpoint"
+  | Failed why -> Printf.sprintf "failed: %s" why
+  | Skipped why -> Printf.sprintf "skipped: %s" why
+
+type report = {
+  c_results : trial_result list;  (** in plan order *)
+  c_completed : int;
+  c_resumed : int;
+  c_retried : int;
+  c_failed : int;
+  c_skipped : int;
+  c_breakers_opened : (string * int) list;
+  c_breaker_final : (string * string) list;
+  c_store_recovery : Journal.recovery;
+}
+
+let ok r =
+  r.c_failed = 0 && r.c_skipped = 0 && r.c_breakers_opened = []
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint records. One journal record per executed trial:
+
+     trial=<id> workload=<name> status=ok|failed attempts=<n> [speedup=<f>]
+
+   Workload (and hence trial) names are space-free by construction, so
+   the payload splits on single spaces. Resume replays the journal and
+   skips exactly the trials whose latest record says ok — a failed
+   record documents the attempt but leaves the trial eligible, so a
+   resumed campaign retries past failures rather than fossilising
+   them. *)
+
+let record_of_trial ~id ~workload ~ok ~attempts ~speedup =
+  let base =
+    Printf.sprintf "trial=%s workload=%s status=%s attempts=%d" id workload
+      (if ok then "ok" else "failed")
+      attempts
+  in
+  match speedup with
+  | None -> base
+  | Some s -> Printf.sprintf "%s speedup=%.6f" base s
+
+let parse_record payload =
+  let kvs =
+    String.split_on_char ' ' payload
+    |> List.filter_map (fun tok ->
+           match String.index_opt tok '=' with
+           | Some i ->
+             Some
+               ( String.sub tok 0 i,
+                 String.sub tok (i + 1) (String.length tok - i - 1) )
+           | None -> None)
+  in
+  match (List.assoc_opt "trial" kvs, List.assoc_opt "status" kvs) with
+  | Some id, Some status ->
+    Some
+      ( id,
+        status,
+        Option.bind (List.assoc_opt "speedup" kvs) float_of_string_opt )
+  | _ -> None
+
+let completed_of_journal records =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun payload ->
+      match parse_record payload with
+      | Some (id, "ok", speedup) -> Hashtbl.replace tbl id speedup
+      | Some (id, _, _) -> Hashtbl.remove tbl id
+      | None -> ())
+    records;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Trial execution *)
+
+let failure_reason (r : Pipeline.robust) =
+  match r.Pipeline.r_measurement with
+  | Some m -> (
+    match m.Pipeline.verified with
+    | Ok () -> assert false
+    | Error e -> "verification failed: " ^ e)
+  | None -> (
+    match List.rev r.Pipeline.r_degradations with
+    | d :: _ -> d.Pipeline.cause
+    | [] -> "no measurement produced")
+
+let run ?(config = default_config) ?mconfig ?crash ~store trials =
+  let journal, recovery = Journal.open_ ?crash ~path:store () in
+  Fun.protect ~finally:(fun () -> Journal.close journal) @@ fun () ->
+  let done_tbl = completed_of_journal recovery.Journal.records in
+  let breakers : (string, breaker) Hashtbl.t = Hashtbl.create 8 in
+  let breaker w =
+    match Hashtbl.find_opt breakers w with
+    | Some b -> b
+    | None ->
+      let b = { state = Closed; consecutive = 0; opened = 0 } in
+      Hashtbl.add breakers w b;
+      b
+  in
+  (* Baselines are memoized per workload: a campaign re-visits each
+     workload trials_per_workload times and the baseline is identical
+     every time (the simulator is deterministic). Only successes are
+     memoized — a transient baseline failure (flaky build) must be
+     retryable on the trial's next attempt, not fossilised. *)
+  let baselines = Hashtbl.create 8 in
+  let baseline_of (w : Workload.t) =
+    match Hashtbl.find_opt baselines w.Workload.name with
+    | Some b -> Ok b
+    | None -> (
+      match
+        Watchdog.run ~config:config.watchdog ?crash
+          ~machine:(Option.value mconfig ~default:Machine.default_config)
+          Watchdog.Measure
+          (fun capped -> Pipeline.baseline ~config:capped w)
+      with
+      | m ->
+        Hashtbl.add baselines w.Workload.name m;
+        Ok m
+      | exception Watchdog.Timed_out t ->
+        Error ("baseline " ^ Watchdog.timeout_to_string t)
+      | exception e when not (Crash.is_crashed e) ->
+        Error ("baseline failed: " ^ Printexc.to_string e))
+  in
+  let run_once (w : Workload.t) =
+    match baseline_of w with
+    | Error why -> Error why
+    | Ok base -> (
+      let r =
+        Pipeline.run_robust ?config:mconfig ~faults:config.faults
+          ~watchdog:config.watchdog ?crash w
+      in
+      match r.Pipeline.r_measurement with
+      | Some m when m.Pipeline.verified = Ok () ->
+        Ok (Pipeline.speedup ~baseline:base m)
+      | _ -> Error (failure_reason r))
+  in
+  (* Retry with capped exponential backoff. The simulator has no
+     wall-clock to sleep on, so the backoff factor is recorded rather
+     than slept: attempt n waits base^(n-1), capped at
+     Faults.max_backoff like the PMU-retry ladder. *)
+  let with_retries ~max_retries w =
+    let rec go attempt backoff =
+      match run_once w with
+      | Ok s -> (attempt, backoff, Ok s)
+      | Error why ->
+        if attempt > max_retries then (attempt, backoff, Error why)
+        else
+          let factor =
+            Float.min
+              (config.backoff_base ** float_of_int (attempt - 1))
+              Faults.max_backoff
+          in
+          go (attempt + 1) (backoff +. factor)
+    in
+    go 1 0.
+  in
+  let opened = ref [] in
+  let note_opened w =
+    let b = breaker w in
+    b.opened <- b.opened + 1;
+    if not (List.mem_assoc w !opened) then opened := (w, 0) :: !opened;
+    opened :=
+      List.map (fun (w', n) -> if w' = w then (w', n + 1) else (w', n)) !opened
+  in
+  let results =
+    List.map
+      (fun t ->
+        let wname = t.t_workload.Workload.name in
+        let b = breaker wname in
+        match Hashtbl.find_opt done_tbl t.t_id with
+        | Some speedup ->
+          {
+            tr_id = t.t_id;
+            tr_workload = wname;
+            tr_status = Resumed { speedup };
+            tr_attempts = 0;
+            tr_backoff = 0.;
+          }
+        | None -> (
+          match b.state with
+          | Open n ->
+            b.state <- (if n <= 1 then Half_open else Open (n - 1));
+            {
+              tr_id = t.t_id;
+              tr_workload = wname;
+              tr_status =
+                Skipped
+                  (Printf.sprintf "circuit breaker open for %s" wname);
+              tr_attempts = 0;
+              tr_backoff = 0.;
+            }
+          | (Closed | Half_open) as state ->
+            let max_retries =
+              (* a half-open probe gets exactly one attempt *)
+              match state with
+              | Half_open -> 0
+              | _ -> config.max_retries
+            in
+            let attempts, backoff, outcome =
+              with_retries ~max_retries t.t_workload
+            in
+            let status =
+              match outcome with
+              | Ok speedup ->
+                b.consecutive <- 0;
+                if state = Half_open then b.state <- Closed;
+                Journal.append journal
+                  (record_of_trial ~id:t.t_id ~workload:wname ~ok:true
+                     ~attempts ~speedup:(Some speedup));
+                Completed { speedup }
+              | Error why ->
+                (match state with
+                | Half_open ->
+                  b.state <- Open config.breaker_cooldown;
+                  note_opened wname
+                | _ ->
+                  b.consecutive <- b.consecutive + 1;
+                  if b.consecutive >= config.breaker_threshold then begin
+                    b.state <- Open config.breaker_cooldown;
+                    b.consecutive <- 0;
+                    note_opened wname
+                  end);
+                Journal.append journal
+                  (record_of_trial ~id:t.t_id ~workload:wname ~ok:false
+                     ~attempts ~speedup:None);
+                Failed why
+            in
+            {
+              tr_id = t.t_id;
+              tr_workload = wname;
+              tr_status = status;
+              tr_attempts = attempts;
+              tr_backoff = backoff;
+            }))
+      trials
+  in
+  let count p = List.length (List.filter p results) in
+  {
+    c_results = results;
+    c_completed =
+      count (fun r -> match r.tr_status with Completed _ -> true | _ -> false);
+    c_resumed =
+      count (fun r -> match r.tr_status with Resumed _ -> true | _ -> false);
+    c_retried =
+      count (fun r ->
+          match r.tr_status with Completed _ -> r.tr_attempts > 1 | _ -> false);
+    c_failed =
+      count (fun r -> match r.tr_status with Failed _ -> true | _ -> false);
+    c_skipped =
+      count (fun r -> match r.tr_status with Skipped _ -> true | _ -> false);
+    c_breakers_opened = List.rev !opened;
+    c_breaker_final =
+      Hashtbl.fold
+        (fun w b acc -> (w, breaker_state_to_string b.state) :: acc)
+        breakers []
+      |> List.sort compare;
+    c_store_recovery = recovery;
+  }

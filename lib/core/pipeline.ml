@@ -6,6 +6,7 @@ module Aptget_pass = Aptget_passes.Aptget_pass
 module Inject = Aptget_passes.Inject
 module Faults = Aptget_pmu.Faults
 module Clock = Aptget_util.Clock
+module Crash = Aptget_store.Crash
 
 type measurement = {
   workload : string;
@@ -108,19 +109,31 @@ let profile_too_thin (p : Profiler.t) =
        p.Profiler.profiles
 
 let run_robust ?(options = Profiler.default_options) ?config
-    ?(faults = Faults.none) ?hints (w : Workload.t) =
+    ?(faults = Faults.none) ?hints ?watchdog ?crash (w : Workload.t) =
   let degradations = ref [] in
   let add stage cause fallback =
     degradations := { stage; cause; fallback } :: !degradations
   in
+  (* Watchdog expirations degrade with their structured cause; anything
+     else keeps the exception printer's text. A simulated crash
+     (Crash.Crashed) is never degraded — a dead process does not fall
+     back, so every handler below re-raises it. *)
+  let cause_of = function
+    | Watchdog.Timed_out t -> Watchdog.timeout_to_string t
+    | e -> Printexc.to_string e
+  in
   let go () =
         let options = { options with Profiler.faults } in
         let try_profile opts =
-          match profile ~options:opts w with
+          match
+            Watchdog.run ?config:watchdog ?crash
+              ~machine:opts.Profiler.machine Watchdog.Profile
+              (fun capped ->
+                profile ~options:{ opts with Profiler.machine = capped } w)
+          with
           | p -> Some p
-          | exception e ->
-            add "profile" (Printexc.to_string e)
-              "continuing without a fresh profile";
+          | exception e when not (Crash.is_crashed e) ->
+            add "profile" (cause_of e) "continuing without a fresh profile";
             None
         in
         (* 1. Profile (unless hints were supplied), retrying once with
@@ -176,8 +189,8 @@ let run_robust ?(options = Profiler.default_options) ?config
            the rewritten IR, run, verify semantics — each stage falling
            back instead of raising. *)
         match w.Workload.build () with
-        | exception e ->
-          add "build" (Printexc.to_string e) "no measurement for this workload";
+        | exception e when not (Crash.is_crashed e) ->
+          add "build" (cause_of e) "no measurement for this workload";
           (prof, retried, candidate, [], None)
         | inst ->
           let hints_used, hints_dropped =
@@ -188,9 +201,16 @@ let run_robust ?(options = Profiler.default_options) ?config
               add "hints" why "hint skipped")
             hints_dropped;
           let inst, injected, skipped =
-            match Aptget_pass.run inst.Workload.func ~hints:hints_used with
-            | exception e ->
-              add "inject" (Printexc.to_string e)
+            match
+              (* The injection pass is pure rewriting (no simulated
+                 cycles), so its budget is counted in kernel steps: one
+                 per hint it will process. *)
+              Watchdog.check_steps ?config:watchdog Watchdog.Inject
+                ~steps:(List.length hints_used);
+              Aptget_pass.run inst.Workload.func ~hints:hints_used
+            with
+            | exception e when not (Crash.is_crashed e) ->
+              add "inject" (cause_of e)
                 "discarding injections; rebuilding the unmodified kernel";
               (w.Workload.build (), [], [])
             | r -> (
@@ -212,8 +232,12 @@ let run_robust ?(options = Profiler.default_options) ?config
           in
           let run_inst inst injected skipped =
             let outcome =
-              Machine.execute ?config ~args:inst.Workload.args
-                ~mem:inst.Workload.mem inst.Workload.func
+              Watchdog.run ?config:watchdog ?crash
+                ~machine:(Option.value config ~default:Machine.default_config)
+                Watchdog.Measure
+                (fun capped ->
+                  Machine.execute ~config:capped ~args:inst.Workload.args
+                    ~mem:inst.Workload.mem inst.Workload.func)
             in
             let verified =
               inst.Workload.verify inst.Workload.mem outcome.Machine.ret
@@ -234,25 +258,27 @@ let run_robust ?(options = Profiler.default_options) ?config
           let measurement =
             match run_inst inst injected skipped with
             | m -> Some m
-            | exception e -> (
-              add "run" (Printexc.to_string e)
+            | exception e when not (Crash.is_crashed e) -> (
+              add "run" (cause_of e)
                 "rebuilding and running the unmodified kernel";
               match run_inst (w.Workload.build ()) [] [] with
               | m -> Some m
-              | exception e2 ->
-                add "run" (Printexc.to_string e2)
+              | exception e2 when not (Crash.is_crashed e2) ->
+                add "run" (cause_of e2)
                   "no measurement for this workload";
                 None)
           in
           (prof, retried, hints_used, hints_dropped, measurement)
   in
   (* Last-resort catch: run_robust must never raise, even on failures
-     in stages the per-stage handlers above do not anticipate. *)
+     in stages the per-stage handlers above do not anticipate. The one
+     exception is a simulated crash, which models the process dying and
+     therefore must propagate. *)
   let result, wall_seconds =
     wall (fun () ->
         try go ()
-        with e ->
-          add "pipeline" (Printexc.to_string e)
+        with e when not (Crash.is_crashed e) ->
+          add "pipeline" (cause_of e)
             "no measurement for this workload";
           (None, false, [], [], None))
   in
@@ -317,8 +343,8 @@ let pinned ?config w hints reason =
   | [] -> baseline ?config w
   | _ :: _ -> with_hints ?config ~veto:(fun _ -> Some reason) ~hints w
 
-let run_guarded ?config ?(guard = default_guard) ?quarantine ?remap
-    ~(doc : Hints_file.doc) (w : Workload.t) =
+let run_guarded ?config ?(guard = default_guard) ?quarantine ?remap ?watchdog
+    ?crash ~(doc : Hints_file.doc) (w : Workload.t) =
   let current =
     Aptget_ir.Fingerprint.fingerprint (w.Workload.build ()).Workload.func
   in
@@ -330,17 +356,30 @@ let run_guarded ?config ?(guard = default_guard) ?quarantine ?remap
     | Some r -> r.Remap.hints
     | None -> Hints_file.hints_of_doc doc
   in
-  let base = baseline ?config w in
+  (* Every simulator run below is supervised: the watchdog caps the
+     machine's cycle fuse, and the crash plan (if armed) can kill the
+     process mid-measurement. A baseline or fallback that blows its
+     budget has nothing to degrade to, so its Timed_out propagates; a
+     candidate that blows its budget is quarantined at 0.0x. *)
+  let mconfig = Option.value config ~default:Machine.default_config in
+  let measure f =
+    Watchdog.run ?config:watchdog ?crash ~machine:mconfig Watchdog.Measure f
+  in
+  let base = measure (fun capped -> baseline ~config:capped w) in
   let program = current.Aptget_ir.Fingerprint.program in
   let hkey = Quarantine.hints_key hints in
   let fall_back ~reason =
+    let pinned_m () =
+      measure (fun capped -> pinned ~config:capped w hints reason)
+    in
     if guard.try_aj then begin
-      let m = aj ?config w in
-      if speedup ~baseline:base m >= guard.floor then
+      match measure (fun capped -> aj ~config:capped w) with
+      | m when speedup ~baseline:base m >= guard.floor ->
         (m, "static Ainsworth & Jones injection")
-      else (pinned ?config w hints reason, "baseline (hints vetoed)")
+      | _ -> (pinned_m (), "baseline (hints vetoed)")
+      | exception Watchdog.Timed_out _ -> (pinned_m (), "baseline (hints vetoed)")
     end
-    else (pinned ?config w hints reason, "baseline (hints vetoed)")
+    else (pinned_m (), "baseline (hints vetoed)")
   in
   let known =
     Option.bind quarantine (fun q ->
@@ -358,11 +397,8 @@ let run_guarded ?config ?(guard = default_guard) ?quarantine ?remap
       ( None,
         final,
         Known_bad { prior_speedup = e.Quarantine.q_speedup; fallback } )
-    | None ->
-      let m = with_hints ?config ~hints w in
-      let s = speedup ~baseline:base m in
-      if s >= guard.floor then (Some m, m, Admitted)
-      else begin
+    | None -> (
+      let quarantine_at s =
         Option.iter
           (fun q ->
             Quarantine.add q
@@ -372,15 +408,34 @@ let run_guarded ?config ?(guard = default_guard) ?quarantine ?remap
                 q_hints = hkey;
                 q_speedup = s;
               })
-          quarantine;
+          quarantine
+      in
+      match measure (fun capped -> with_hints ~config:capped ~hints w) with
+      | m ->
+        let s = speedup ~baseline:base m in
+        if s >= guard.floor then (Some m, m, Admitted)
+        else begin
+          quarantine_at s;
+          let final, fallback =
+            fall_back
+              ~reason:
+                (Printf.sprintf "hint set quarantined (measured %.3fx < %.3fx)"
+                   s guard.floor)
+          in
+          (Some m, final, Quarantined { speedup = s; fallback })
+        end
+      | exception Watchdog.Timed_out t ->
+        (* A candidate that never finishes is worse than one that merely
+           regresses: record it at 0.0x so future runs skip it without
+           re-spending the budget. *)
+        quarantine_at 0.;
         let final, fallback =
           fall_back
             ~reason:
-              (Printf.sprintf "hint set quarantined (measured %.3fx < %.3fx)"
-                 s guard.floor)
+              (Printf.sprintf "hint set quarantined (%s)"
+                 (Watchdog.timeout_to_string t))
         in
-        (Some m, final, Quarantined { speedup = s; fallback })
-      end
+        (None, final, Quarantined { speedup = 0.; fallback }))
   in
   {
     g_workload = w.Workload.name;

@@ -108,15 +108,24 @@ val run_robust :
   ?config:Aptget_machine.Machine.config ->
   ?faults:Aptget_pmu.Faults.config ->
   ?hints:Aptget_passes.Aptget_pass.hint list ->
+  ?watchdog:Watchdog.config ->
+  ?crash:Aptget_store.Crash.t ->
   Aptget_workloads.Workload.t ->
   robust
-(** Full pipeline that never raises. [faults] (default
-    {!Aptget_pmu.Faults.none}) injects PMU faults into the profiling
-    run; with the default config the measured outcome is bit-identical
-    to {!aptget}'s. Supplying [hints] skips profiling and exercises the
-    stale-hint validation path (e.g. hints loaded leniently from a
-    checked-in file). When profiling collects too few iteration
-    samples, it is retried once with a 4x denser LBR period. *)
+(** Full pipeline that never raises — with one deliberate exception:
+    an armed [crash] plan that fires raises
+    {!Aptget_store.Crash.Crashed} through every handler, modelling the
+    process dying mid-run (a dead process cannot degrade). [faults]
+    (default {!Aptget_pmu.Faults.none}) injects PMU faults into the
+    profiling run; with the default config the measured outcome is
+    bit-identical to {!aptget}'s. Supplying [hints] skips profiling and
+    exercises the stale-hint validation path (e.g. hints loaded
+    leniently from a checked-in file). When profiling collects too few
+    iteration samples, it is retried once with a 4x denser LBR period.
+    [watchdog] (default {!Watchdog.default}) deadlines each stage:
+    profile and measure in simulated cycles, inject in kernel steps
+    (hints processed); an expiry degrades that stage with the
+    structured {!Watchdog.timeout_to_string} cause. *)
 
 (** {2 Guarded pipeline}
 
@@ -175,6 +184,8 @@ val run_guarded :
   ?guard:guard_config ->
   ?quarantine:Quarantine.t ->
   ?remap:Aptget_profile.Remap.config ->
+  ?watchdog:Watchdog.config ->
+  ?crash:Aptget_store.Crash.t ->
   doc:Aptget_profile.Hints_file.doc ->
   Aptget_workloads.Workload.t ->
   guarded
@@ -182,7 +193,13 @@ val run_guarded :
     fingerprint remapping with that configuration; omitting it applies
     the document's hints as-is (the historical blind behaviour, but
     still guarded). [quarantine] both consults and records; omitting it
-    makes every verdict run-local. *)
+    makes every verdict run-local. Every simulator run is supervised by
+    [watchdog]: a candidate that blows its measure budget is
+    quarantined at 0.0x speedup (so later runs skip it), while a
+    baseline or final fallback that does so raises
+    {!Watchdog.Timed_out} — there is nothing left to stand behind. An
+    armed [crash] plan raises {!Aptget_store.Crash.Crashed} when it
+    fires. *)
 
 val force_distance :
   int -> Aptget_passes.Aptget_pass.hint list -> Aptget_passes.Aptget_pass.hint list

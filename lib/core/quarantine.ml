@@ -11,6 +11,8 @@ type entry = {
 type t = {
   table : (string * int * int, entry) Hashtbl.t;
   file : string option;
+  crash : Aptget_store.Crash.t option;
+  mutable load_errors : (int * string) list;
 }
 
 (* Same stable polynomial as Fingerprint — persisted hashes must not
@@ -63,44 +65,54 @@ let entry_of_line line =
     | _ -> None)
   | _ -> None
 
+(* Lenient load: well-formed lines are kept even past a corrupt one (a
+   torn rewrite cannot invalidate unrelated entries), but every
+   rejected line is counted with its line number instead of vanishing
+   silently. *)
 let load_file table path =
-  match open_in path with
-  | exception Sys_error _ -> ()
-  | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        try
-          while true do
-            let line = String.trim (input_line ic) in
-            if line <> "" && line.[0] <> '#' then
-              match entry_of_line line with
-              | Some e -> Hashtbl.replace table (key e) e
-              | None -> ()
-          done
-        with End_of_file -> ())
+  match Aptget_store.Atomic_file.read ~path with
+  | Error _ -> []
+  | Ok contents ->
+    let errors = ref [] in
+    List.iteri
+      (fun i raw ->
+        let line = String.trim raw in
+        if line <> "" && line.[0] <> '#' then
+          match entry_of_line line with
+          | Some e -> Hashtbl.replace table (key e) e
+          | None ->
+            errors := (i + 1, Printf.sprintf "unparseable entry %S" line) :: !errors)
+      (String.split_on_char '\n' contents);
+    List.rev !errors
 
 let entries t =
   Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
   |> List.sort (fun a b -> compare (key a) (key b))
 
+(* [entries] sorts by key, so the emitted file is deterministic across
+   runs regardless of insertion order — stable under last-writer-wins
+   duplicate handling in the loader, and diffable in tests. The write
+   is atomic (temp + rename in the store's directory): a crash
+   mid-persist leaves the previous file intact, never a torn one. *)
 let persist t =
   match t.file with
   | None -> ()
   | Some path ->
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        output_string oc "# aptget quarantined hint sets\n";
-        List.iter
-          (fun e -> output_string oc (entry_to_line e ^ "\n"))
-          (entries t))
+    let body =
+      String.concat "\n"
+        (("# aptget quarantined hint sets" :: List.map entry_to_line (entries t))
+        @ [ "" ])
+    in
+    Aptget_store.Atomic_file.write ?crash:t.crash ~path body
 
-let create ?path () =
+let create ?path ?crash () =
   let table = Hashtbl.create 8 in
-  (match path with None -> () | Some p -> load_file table p);
-  { table; file = path }
+  let load_errors =
+    match path with None -> [] | Some p -> load_file table p
+  in
+  { table; file = path; crash; load_errors }
+
+let load_errors t = t.load_errors
 
 let find t ~workload ~program ~hints_key =
   Hashtbl.find_opt t.table (workload, program, hints_key)

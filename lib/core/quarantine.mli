@@ -10,8 +10,11 @@
 
     The store is an in-memory table, optionally backed by a
     line-oriented text file (one entry per line, loaded leniently —
-    unparseable lines are dropped, not fatal) so decisions persist
-    across processes. *)
+    unparseable lines are skipped and counted via {!load_errors}, not
+    fatal) so decisions persist across processes. Writes go through
+    {!Aptget_store.Atomic_file} (temp file + rename, sorted by key),
+    so the file survives a crash mid-persist and is byte-stable across
+    runs that hold the same entries. *)
 
 type entry = {
   q_workload : string;
@@ -26,9 +29,16 @@ val hints_key : Aptget_passes.Aptget_pass.hint list -> int
 (** Order-insensitive stable hash of a hint set (same polynomial hash
     family as {!Fingerprint}, so it is safe to persist). *)
 
-val create : ?path:string -> unit -> t
+val create : ?path:string -> ?crash:Aptget_store.Crash.t -> unit -> t
 (** Empty store; with [path], pre-loaded from that file when it exists
-    (missing file = empty store) and persisted back on every {!add}. *)
+    (missing file = empty store) and persisted back on every {!add}.
+    [crash] routes every persist through a crash-injection plan
+    (durability tests only). *)
+
+val load_errors : t -> (int * string) list
+(** Lines of the backing file that did not parse at {!create} time,
+    as [(line_number, reason)] — corrupt trailing lines are skipped
+    and counted, never silently dropped. *)
 
 val find : t -> workload:string -> program:int -> hints_key:int -> entry option
 val mem : t -> workload:string -> program:int -> hints_key:int -> bool

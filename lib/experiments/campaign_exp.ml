@@ -1,0 +1,200 @@
+module Table = Aptget_util.Table
+module Pipeline = Aptget_core.Pipeline
+module Campaign = Aptget_core.Campaign
+module Watchdog = Aptget_core.Watchdog
+module Workload = Aptget_workloads.Workload
+module Micro = Aptget_workloads.Micro
+module Crash = Aptget_store.Crash
+module Journal = Aptget_store.Journal
+
+let micro_w lab ~name =
+  Micro.workload ~params:(Lab.micro_params lab) ~name ()
+
+(* A workload whose build fails transiently: the first [fail_first]
+   builds raise, later ones succeed. Exercises the retry ladder — the
+   failure is gone by the second attempt. *)
+let flaky (w : Workload.t) ~fail_first =
+  let calls = ref 0 in
+  {
+    w with
+    Workload.name = w.Workload.name ^ "-flaky";
+    build =
+      (fun () ->
+        incr calls;
+        if !calls <= fail_first then
+          failwith "transient build failure (injected)"
+        else w.Workload.build ());
+  }
+
+(* A workload whose semantic verifier always rejects: no retry can fix
+   it, so its trials grind down the circuit breaker. *)
+let broken (w : Workload.t) =
+  {
+    w with
+    Workload.name = w.Workload.name ^ "-broken";
+    build =
+      (fun () ->
+        let inst = w.Workload.build () in
+        {
+          inst with
+          Workload.verify =
+            (fun _ _ -> Error "injected verification failure");
+        });
+  }
+
+let with_temp_store f =
+  let path = Filename.temp_file "aptget-campaign" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* Tight enough that the broken workload trips its breaker inside a
+   short plan, loose enough that one retry saves the flaky one. *)
+let demo_config =
+  {
+    Campaign.default_config with
+    Campaign.max_retries = 1;
+    breaker_threshold = 2;
+    breaker_cooldown = 2;
+  }
+
+let supervised lab =
+  let ws =
+    [
+      micro_w lab ~name:"micro-camp";
+      flaky (micro_w lab ~name:"micro-camp") ~fail_first:1;
+      broken (micro_w lab ~name:"micro-camp");
+    ]
+  in
+  let trials = Campaign.plan ~trials_per_workload:6 ws in
+  let report =
+    with_temp_store (fun store -> Campaign.run ~config:demo_config ~store trials)
+  in
+  let t =
+    Table.create
+      ~title:
+        "Supervised campaign: retries save transient failures, the circuit \
+         breaker contains persistent ones (max_retries=1, threshold=2, \
+         cooldown=2)"
+      ~header:[ "trial"; "status"; "attempts"; "backoff" ]
+  in
+  List.iter
+    (fun (r : Campaign.trial_result) ->
+      Table.add_row t
+        [
+          r.Campaign.tr_id;
+          Campaign.status_to_string r.Campaign.tr_status;
+          string_of_int r.Campaign.tr_attempts;
+          Printf.sprintf "%.1f" r.Campaign.tr_backoff;
+        ])
+    report.Campaign.c_results;
+  let s =
+    Table.create ~title:"Campaign summary"
+      ~header:
+        [
+          "completed"; "resumed"; "retried"; "failed"; "skipped";
+          "breakers opened"; "exit";
+        ]
+  in
+  Table.add_row s
+    [
+      string_of_int report.Campaign.c_completed;
+      string_of_int report.Campaign.c_resumed;
+      string_of_int report.Campaign.c_retried;
+      string_of_int report.Campaign.c_failed;
+      string_of_int report.Campaign.c_skipped;
+      String.concat ", "
+        (List.map
+           (fun (w, n) -> Printf.sprintf "%s x%d" w n)
+           report.Campaign.c_breakers_opened);
+      (if Campaign.ok report then "0 (ok)" else "3 (partial)");
+    ];
+  [ t; s ]
+
+(* Kill the campaign at a fixed checkpoint write, resume it on the
+   same store, and compare against an uninterrupted run of the same
+   plan: the resumed run must re-execute only the unjournaled trials
+   and end with the same completed set, with zero corrupt records. *)
+let crash_resume lab =
+  let ws = [ micro_w lab ~name:"micro-crash" ] in
+  let trials = Campaign.plan ~trials_per_workload:4 ws in
+  let t =
+    Table.create
+      ~title:
+        "Crash/resume: kill -9 after the 2nd checkpoint write, reopen the \
+         journal, resume the same plan"
+      ~header:
+        [ "phase"; "completed"; "resumed"; "journal records"; "dropped" ]
+  in
+  let add phase (r : Campaign.report option) ~records ~dropped =
+    Table.add_row t
+      [
+        phase;
+        (match r with
+        | Some r -> string_of_int r.Campaign.c_completed
+        | None -> "killed");
+        (match r with
+        | Some r -> string_of_int r.Campaign.c_resumed
+        | None -> "-");
+        string_of_int records;
+        string_of_int dropped;
+      ]
+  in
+  with_temp_store (fun store ->
+      let crash = Crash.after_writes 2 in
+      (match Campaign.run ~store ~crash trials with
+      | (_ : Campaign.report) ->
+        failwith "campaign_exp: crash plan never fired"
+      | exception Crash.Crashed _ -> ());
+      let salvage = Journal.recover ~path:store in
+      add "interrupted" None
+        ~records:(List.length salvage.Journal.records)
+        ~dropped:salvage.Journal.dropped;
+      let resumed = Campaign.run ~store trials in
+      add "resumed" (Some resumed)
+        ~records:
+          (List.length resumed.Campaign.c_store_recovery.Journal.records)
+        ~dropped:resumed.Campaign.c_store_recovery.Journal.dropped;
+      let uninterrupted =
+        with_temp_store (fun store2 -> Campaign.run ~store:store2 trials)
+      in
+      add "uninterrupted" (Some uninterrupted) ~records:0 ~dropped:0;
+      [ t ])
+
+(* A starved watchdog: the profile stage gets a budget no real profile
+   fits in, so the pipeline degrades to a hint-less run instead of
+   hanging the campaign. *)
+let watchdog_degradation lab =
+  let w = micro_w lab ~name:"micro-wdog" in
+  let starved =
+    {
+      Watchdog.default with
+      Watchdog.profile_budget =
+        { Watchdog.max_cycles = 1_000; max_steps = 0 };
+    }
+  in
+  let r = Pipeline.run_robust ~watchdog:starved w in
+  let t =
+    Table.create
+      ~title:
+        "Watchdog: a 1k-cycle profile deadline degrades the stage (the run \
+         continues unprofiled)"
+      ~header:[ "workload"; "degradation"; "measured" ]
+  in
+  (match r.Pipeline.r_degradations with
+  | [] -> Table.add_row t [ w.Workload.name; "(none)"; "-" ]
+  | ds ->
+    List.iter
+      (fun d ->
+        Table.add_row t
+          [
+            w.Workload.name;
+            Pipeline.degradation_to_string d;
+            (match r.Pipeline.r_measurement with
+            | Some _ -> "yes"
+            | None -> "no");
+          ])
+      ds);
+  [ t ]
+
+let all lab = supervised lab @ crash_resume lab @ watchdog_degradation lab

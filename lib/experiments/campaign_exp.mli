@@ -1,0 +1,5 @@
+(** Crash-safe campaign studies: supervised trials (retry ladder +
+    circuit breakers), deterministic kill/resume against the journaled
+    checkpoint store, and watchdog degradation of a starved stage. *)
+
+val all : Lab.t -> Aptget_util.Table.t list

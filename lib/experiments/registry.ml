@@ -29,6 +29,7 @@ let all =
     { id = "robustness"; title = "Speedup vs PMU fault rate (profile corruption tolerance)"; run = Robustness.all };
     { id = "staleness"; title = "Stale profiles: fingerprint remapping and the regression guard"; run = Staleness.all };
     { id = "extensions"; title = "Extension studies (cost model, conditional injection, HW/SW interplay)"; run = Extensions.all };
+    { id = "campaign"; title = "Crash-safe campaigns: checkpoint/resume, watchdog and circuit breakers"; run = Campaign_exp.all };
   ]
 
 let find id =

@@ -7,6 +7,7 @@ type core_model = Blocking | Stall_on_use of { window : int }
 type config = {
   hierarchy : Hierarchy.config;
   max_instructions : int;
+  max_cycles : int;
   core : core_model;
 }
 
@@ -14,6 +15,7 @@ let default_config =
   {
     hierarchy = Hierarchy.default_config;
     max_instructions = 2_000_000_000;
+    max_cycles = 0;
     core = Blocking;
   }
 
@@ -47,6 +49,11 @@ let memory_stall_fraction o =
     /. float_of_int o.cycles
 
 exception Fuse_blown of int
+exception Deadline_blown of { cycles : int; limit : int }
+
+let check_deadline config cycle =
+  if config.max_cycles > 0 && cycle > config.max_cycles then
+    raise (Deadline_blown { cycles = cycle; limit = config.max_cycles })
 
 (* Shared value semantics. *)
 let eval_binop op a b =
@@ -122,6 +129,7 @@ let execute_blocking ~config ~hier ~sampler ~mem ~regs (f : Ir.func) =
     st.instrs <- st.instrs + n_instr;
     st.cycle <- st.cycle + n_cycles;
     if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
+    check_deadline config st.cycle;
     tick_sampler ()
   in
   let run_block cur prev =
@@ -218,6 +226,7 @@ let execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window (f : Ir.func)
     st.instrs <- st.instrs + n;
     st.cycle <- max (st.cycle + n) rob.(!rob_idx);
     if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
+    check_deadline config st.cycle;
     tick_sampler ()
   in
   let retire completion =

@@ -42,6 +42,10 @@ type core_model =
 type config = {
   hierarchy : Aptget_cache.Hierarchy.config;
   max_instructions : int;  (** fuse against runaway kernels *)
+  max_cycles : int;
+      (** simulated-cycle deadline; 0 (the default) disables it. Used
+          by {!Aptget_core}'s watchdog to bound a stage in simulated
+          time rather than instruction count. *)
   core : core_model;
 }
 
@@ -72,6 +76,9 @@ val memory_stall_fraction : outcome -> float
 
 exception Fuse_blown of int
 (** Raised when [max_instructions] is exceeded. *)
+
+exception Deadline_blown of { cycles : int; limit : int }
+(** Raised when [max_cycles] is exceeded (only when it is positive). *)
 
 val execute :
   ?config:config ->

@@ -263,11 +263,11 @@ let of_string_lenient s =
   let doc, errors = parse s in
   (hints_of_doc doc, errors)
 
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+(* Atomic replace (temp + rename): [open_out] would truncate in place,
+   so a crash mid-write could destroy the only copy of a hints file.
+   After the rename the file is either the old version or the new one,
+   never a torn mixture. *)
+let write_file path contents = Aptget_store.Atomic_file.write ~path contents
 
 let save ~path hints = write_file path (to_string hints)
 let save_doc ~path doc = write_file path (doc_to_string doc)

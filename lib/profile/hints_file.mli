@@ -98,7 +98,9 @@ val of_string_lenient :
     [of_string] composed with [Ok] when the error list is empty. *)
 
 val save : path:string -> Aptget_passes.Aptget_pass.hint list -> unit
-(** Write to a file (truncating). *)
+(** Write to a file, atomically (write-to-temp + rename in the same
+    directory, like {!save_doc}): a crash mid-save leaves the previous
+    file contents intact. *)
 
 val load : path:string -> (Aptget_passes.Aptget_pass.hint list, string) result
 (** Read and strictly parse a file; I/O problems are reported as

@@ -1,0 +1,27 @@
+let write ?crash ~path contents =
+  let tmp = path ^ ".tmp" in
+  (* A simulated crash must not run cleanup — the dying process gets no
+     chance to unlink its temp file; recovery ignores it instead. *)
+  (match
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> Crash.guard_write crash ~write:(output_string oc) contents)
+   with
+  | () -> ()
+  | exception e ->
+    if not (Crash.is_crashed e) then (
+      try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path
+
+let read ~path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | s -> Ok s
+        | exception Sys_error e -> Error e)

@@ -1,0 +1,19 @@
+(** Atomic whole-file persistence: write-to-temp + rename.
+
+    [open_out path] truncates in place, so a crash between the
+    truncation and the final flush leaves a half-written (or empty)
+    file where valid state used to be. Writing to a temporary file in
+    the {e same directory} and [Sys.rename]-ing it over the target
+    makes the update all-or-nothing at the filesystem level: readers
+    see either the old contents or the new, never a tear. *)
+
+val write : ?crash:Crash.t -> path:string -> string -> unit
+(** Replace [path]'s contents atomically. The temporary file is
+    [path ^ ".tmp"] (same directory, so the rename cannot cross a
+    filesystem boundary). One guarded store write ({!Crash.guard_write});
+    a crash during it leaves the destination untouched, with at most a
+    stale [.tmp] beside it. On non-crash failures the temporary is
+    removed. *)
+
+val read : path:string -> (string, string) result
+(** Whole-file read; I/O errors as [Error]. *)

@@ -1,0 +1,29 @@
+(* Table-driven CRC-32 (reflected, polynomial 0xEDB88320). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let string s =
+  let t = Lazy.force table in
+  let crc = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> crc := t.((!crc lxor Char.code ch) land 0xFF) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xFFFFFFFF
+
+let hex v = Printf.sprintf "%08x" (v land 0xFFFFFFFF)
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else if
+    String.exists
+      (fun c -> not (('0' <= c && c <= '9') || ('a' <= c && c <= 'f')))
+      s
+  then None
+  else int_of_string_opt ("0x" ^ s)

@@ -1,0 +1,17 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over strings.
+
+    The store's record checksum: stable across OCaml versions and
+    processes (unlike [Hashtbl.hash]), cheap to compute, and strong
+    enough to catch the failure mode it is aimed at — a record torn by
+    a crash mid-write. Values are non-negative and fit in 32 bits, so
+    they round-trip through the 8-hex-digit text form used in store
+    files. *)
+
+val string : string -> int
+(** Checksum of the whole string (in [0, 2^32)). *)
+
+val hex : int -> string
+(** Fixed-width lower-case hex rendering ([%08x]). *)
+
+val of_hex : string -> int option
+(** Parse exactly eight lower-case hex digits; [None] otherwise. *)

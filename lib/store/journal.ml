@@ -1,0 +1,108 @@
+let header = "# aptget journal v1"
+
+type recovery = {
+  records : string list;
+  dropped : int;
+  first_error : (int * string) option;
+}
+
+(* A record line is "<crc32-hex> <len> <payload>"; [payload] is exactly
+   [len] bytes, which lets a payload contain spaces (and protects
+   against a tear that happens to end on a hex-looking prefix). *)
+let record_to_line payload =
+  Printf.sprintf "%s %d %s" (Crc32.hex (Crc32.string payload))
+    (String.length payload) payload
+
+let record_of_line line =
+  match String.index_opt line ' ' with
+  | None -> Error "expected '<crc> <len> <payload>'"
+  | Some i -> (
+    let crc_field = String.sub line 0 i in
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    match (Crc32.of_hex crc_field, String.index_opt rest ' ') with
+    | None, _ -> Error (Printf.sprintf "bad checksum field %S" crc_field)
+    | Some _, None -> Error "expected '<crc> <len> <payload>'"
+    | Some crc, Some j -> (
+      let len_field = String.sub rest 0 j in
+      let payload = String.sub rest (j + 1) (String.length rest - j - 1) in
+      match int_of_string_opt len_field with
+      | None -> Error (Printf.sprintf "bad length field %S" len_field)
+      | Some len when len <> String.length payload ->
+        Error
+          (Printf.sprintf "length mismatch (declared %d, got %d)" len
+             (String.length payload))
+      | Some _ ->
+        if Crc32.string payload = crc then Ok payload
+        else Error "checksum mismatch"))
+
+let recover ~path =
+  match Atomic_file.read ~path with
+  | Error _ -> { records = []; dropped = 0; first_error = None }
+  | Ok contents ->
+    let lines = String.split_on_char '\n' contents in
+    (* A file that does not end in '\n' has a torn final line; the
+       split keeps that fragment as a last element, and a complete file
+       yields a trailing "" we must not count as a line. *)
+    let rec walk lineno acc = function
+      | [] | [ "" ] -> { records = List.rev acc; dropped = 0; first_error = None }
+      | line :: rest ->
+        if line = "" || line.[0] = '#' then walk (lineno + 1) acc rest
+        else (
+          match record_of_line line with
+          | Ok payload -> walk (lineno + 1) (payload :: acc) rest
+          | Error why ->
+            (* Drop this line and the whole suffix: after a tear there
+               is no trustworthy framing. *)
+            let remaining =
+              List.length (List.filter (fun l -> l <> "") rest)
+            in
+            {
+              records = List.rev acc;
+              dropped = 1 + remaining;
+              first_error = Some (lineno, why);
+            })
+    in
+    walk 1 [] lines
+
+type t = {
+  j_path : string;
+  mutable oc : out_channel option;
+  mutable all : string list;  (* reverse order *)
+  crash : Crash.t option;
+}
+
+let serialize records =
+  String.concat "\n" ((header :: List.map record_to_line records) @ [ "" ])
+
+let open_ ?crash ~path () =
+  let r = recover ~path in
+  (* Rewrite to the salvaged prefix when the tail was damaged (or the
+     file is new), so subsequent appends extend a clean file. *)
+  if r.dropped > 0 || not (Sys.file_exists path) then
+    Atomic_file.write ~path (serialize r.records);
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  ({ j_path = path; oc = Some oc; all = List.rev r.records; crash }, r)
+
+let append t payload =
+  if String.contains payload '\n' then
+    invalid_arg "Journal.append: payload contains a newline";
+  match t.oc with
+  | None -> invalid_arg "Journal.append: journal is closed"
+  | Some oc ->
+    let line = record_to_line payload ^ "\n" in
+    Crash.guard_write t.crash
+      ~write:(fun bytes ->
+        output_string oc bytes;
+        flush oc)
+      line;
+    t.all <- payload :: t.all
+
+let records t = List.rev t.all
+let path t = t.j_path
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    t.oc <- None;
+    close_out oc

@@ -1,0 +1,51 @@
+(** Append-only, checksummed journal with crash recovery.
+
+    The campaign runner's checkpoint log: one flushed record per
+    completed trial, so a crash loses at most the record being written.
+    On-disk format is line-oriented text:
+
+    {v
+    # aptget journal v1
+    9ae1c204 23 trial=micro#1 status=ok
+    5b00f1d7 17 trial=micro#2 ...
+    v}
+
+    Each record line is [<crc32> <length> <payload>]: the CRC and
+    explicit byte length make a torn tail (the classic crash artifact
+    of an append) detectable instead of silently parseable-as-garbage.
+    Recovery salvages every valid {e prefix} record — the first
+    invalid line and everything after it are dropped and counted, on
+    the grounds that bytes after a tear have unknown provenance. *)
+
+type recovery = {
+  records : string list;  (** the valid prefix, in append order *)
+  dropped : int;  (** lines discarded (first bad line and the rest) *)
+  first_error : (int * string) option;
+      (** 1-based line number and reason for the first rejected line *)
+}
+
+val recover : path:string -> recovery
+(** Read-only salvage of [path] (a missing file is an empty journal —
+    first boot and post-crash-before-first-write look identical). *)
+
+type t
+
+val open_ : ?crash:Crash.t -> path:string -> unit -> t * recovery
+(** Open (creating if needed) for appending. Recovery runs first; when
+    it dropped anything, the file is rewritten to the salvaged prefix
+    via {!Atomic_file.write} so the tear cannot shadow later appends.
+    The returned {!recovery} reports what was salvaged and dropped. *)
+
+val append : t -> string -> unit
+(** Append one record and flush, as a single guarded store write
+    ({!Crash.guard_write}), so the crash-after-k-writes plans count
+    exactly the records. The payload must be newline-free.
+    @raise Invalid_argument on a payload containing ['\n']. *)
+
+val records : t -> string list
+(** Every record this handle knows of: salvaged at open plus appended
+    since, in order. *)
+
+val path : t -> string
+
+val close : t -> unit
