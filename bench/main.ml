@@ -5,6 +5,9 @@
      dune exec bench/main.exe                 -- all experiments, full size
      dune exec bench/main.exe -- --quick      -- reduced sizes (<1 min)
      dune exec bench/main.exe -- fig6 fig8    -- selected experiments
+     dune exec bench/main.exe -- --jobs 4     -- fan simulations over 4 domains
+                                                 (default: APTGET_JOBS, then
+                                                 the machine's domain count)
      dune exec bench/main.exe -- --bechamel   -- Bechamel micro-timings
                                                  (one Test.make per table)
 *)
@@ -106,6 +109,19 @@ let write_bench_json lab (e : Registry.experiment) ~wall_seconds =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let args = List.filter (fun a -> a <> "--") args in
+  (* --jobs consumes its operand too, so it must be stripped before the
+     remaining non-dash arguments are read as experiment ids. *)
+  let rec extract_jobs = function
+    | [] -> ([], None)
+    | "--jobs" :: n :: rest ->
+      let rest, _ = extract_jobs rest in
+      (rest, int_of_string_opt n)
+    | a :: rest ->
+      let rest, j = extract_jobs rest in
+      (a :: rest, j)
+  in
+  let args, jobs = extract_jobs args in
+  Option.iter (fun j -> Aptget_util.Pool.set_default_jobs (Some j)) jobs;
   let quick =
     List.mem "--quick" args || Sys.getenv_opt "APTGET_BENCH_QUICK" <> None
   in

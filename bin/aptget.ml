@@ -41,6 +41,27 @@ let die fmt =
       exit 2)
     fmt
 
+(* --jobs, shared by the commands that fan simulations across domains.
+   The flag overrides APTGET_JOBS, which overrides the machine's domain
+   count (see Aptget_util.Pool.default_jobs). *)
+let jobs_term =
+  let flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Run up to $(docv) simulations in parallel (domains). Defaults \
+             to the $(b,APTGET_JOBS) environment variable, then the \
+             machine's available core count. Results are byte-identical to \
+             a serial run.")
+  in
+  let apply = function
+    | Some j when j < 1 -> die "bad --jobs value: %d (need >= 1)" j
+    | j -> Option.iter (fun j -> Aptget_util.Pool.set_default_jobs (Some j)) j
+  in
+  Term.(const apply $ flag)
+
 (* --fault-* flags, shared by [run] and [profile]: every knob of the
    simulated-PMU fault model. [--fault-defaults] switches the base
    config to the documented default mix; explicit knobs override it. *)
@@ -481,7 +502,7 @@ let list_cmd =
     Term.(const list $ const ())
 
 let experiments_cmd =
-  let run ids quick =
+  let run ids quick () =
     let lab = Lab.create ~quick () in
     let exps =
       match ids with
@@ -504,11 +525,11 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ ids $ quick)
+    Term.(const run $ ids $ quick $ jobs_term)
 
 let campaign_cmd =
   let run workloads store trials retries threshold cooldown backoff_base
-      max_cycles max_steps crash_after_write crash_torn crash_at_cycle =
+      max_cycles max_steps crash_after_write crash_torn crash_at_cycle () =
     if trials < 1 then die "bad --trials value: %d (need >= 1)" trials;
     if retries < 0 then die "bad --retries value: %d (need >= 0)" retries;
     if threshold < 1 then
@@ -716,7 +737,7 @@ let campaign_cmd =
       const run $ workloads_arg $ store_flag $ trials_flag $ retries_flag
       $ threshold_flag $ cooldown_flag $ backoff_flag $ max_cycles_flag
       $ max_steps_flag $ crash_write_flag $ crash_torn_flag
-      $ crash_cycle_flag)
+      $ crash_cycle_flag $ jobs_term)
 
 let main =
   Cmd.group

@@ -48,25 +48,29 @@ type access = {
   late_sw_prefetch : bool;
 }
 
+(* Fields are mutable so the per-access hot path bumps them in place;
+   a functional [{ c with ... }] update allocated a fresh 15-field
+   record on every counter event (several per demand load). External
+   readers get a snapshot copy from [counters]. *)
 type counters = {
-  demand_loads : int;
-  hits_l1 : int;
-  hits_l2 : int;
-  hits_llc : int;
-  dram_fills_demand : int;
-  load_hit_pre_sw_pf : int;
-  offcore_all_data_rd : int;
-  offcore_demand_data_rd : int;
-  sw_prefetch_issued : int;
-  sw_prefetch_useless : int;
-  sw_prefetch_dropped : int;
-  hw_prefetch_issued : int;
-  stall_cycles_l2 : int;
-  stall_cycles_llc : int;
-  stall_cycles_dram : int;
+  mutable demand_loads : int;
+  mutable hits_l1 : int;
+  mutable hits_l2 : int;
+  mutable hits_llc : int;
+  mutable dram_fills_demand : int;
+  mutable load_hit_pre_sw_pf : int;
+  mutable offcore_all_data_rd : int;
+  mutable offcore_demand_data_rd : int;
+  mutable sw_prefetch_issued : int;
+  mutable sw_prefetch_useless : int;
+  mutable sw_prefetch_dropped : int;
+  mutable hw_prefetch_issued : int;
+  mutable stall_cycles_l2 : int;
+  mutable stall_cycles_llc : int;
+  mutable stall_cycles_dram : int;
 }
 
-let zero_counters =
+let zero_counters () =
   {
     demand_loads = 0;
     hits_l1 = 0;
@@ -106,7 +110,7 @@ let create cfg =
       Cache.create ~size_bytes:cfg.llc_size ~assoc:cfg.llc_assoc ~line_bytes:cfg.line_bytes;
     mshr = Mshr.create ~capacity:cfg.mshr_capacity;
     hwpf = (if cfg.hw_prefetch then Hwpf.create () else Hwpf.disabled ());
-    c = zero_counters;
+    c = zero_counters ();
     next_dram_slot = 0;
   }
 
@@ -153,7 +157,7 @@ let start_fill t ~line ~cycle ~origin =
     in
     let ok = Mshr.allocate t.mshr ~line ~ready_at ~origin in
     if ok && from_dram then
-      t.c <- { t.c with offcore_all_data_rd = t.c.offcore_all_data_rd + 1 };
+      t.c.offcore_all_data_rd <- t.c.offcore_all_data_rd + 1;
     ok
   end
 
@@ -162,13 +166,13 @@ let hw_prefetch_lines t ~pc ~addr ~miss ~cycle =
   List.iter
     (fun line ->
       if start_fill t ~line ~cycle ~origin:Mshr.Hw_prefetch then
-        t.c <- { t.c with hw_prefetch_issued = t.c.hw_prefetch_issued + 1 })
+        t.c.hw_prefetch_issued <- t.c.hw_prefetch_issued + 1)
     lines
 
 let demand_load t ~pc ~addr ~cycle =
   drain_fills t ~cycle;
   let line = line_of t addr in
-  t.c <- { t.c with demand_loads = t.c.demand_loads + 1 };
+  t.c.demand_loads <- t.c.demand_loads + 1;
   match Mshr.find t.mshr line with
   | Some entry ->
     (* Fill in flight: wait out the remainder, then it behaves like an
@@ -177,15 +181,10 @@ let demand_load t ~pc ~addr ~cycle =
     let late_sw = entry.origin = Mshr.Sw_prefetch in
     Mshr.remove t.mshr line;
     install_all t line;
-    t.c <-
-      {
-        t.c with
-        load_hit_pre_sw_pf =
-          (t.c.load_hit_pre_sw_pf + if late_sw then 1 else 0);
-        offcore_all_data_rd = t.c.offcore_all_data_rd + 1;
-        offcore_demand_data_rd = t.c.offcore_demand_data_rd + 1;
-        stall_cycles_dram = t.c.stall_cycles_dram + wait;
-      };
+    if late_sw then t.c.load_hit_pre_sw_pf <- t.c.load_hit_pre_sw_pf + 1;
+    t.c.offcore_all_data_rd <- t.c.offcore_all_data_rd + 1;
+    t.c.offcore_demand_data_rd <- t.c.offcore_demand_data_rd + 1;
+    t.c.stall_cycles_dram <- t.c.stall_cycles_dram + wait;
     hw_prefetch_lines t ~pc ~addr ~miss:true ~cycle;
     {
       latency = wait + t.cfg.l1_latency;
@@ -195,7 +194,7 @@ let demand_load t ~pc ~addr ~cycle =
     }
   | None ->
     if Cache.touch t.l1 line then begin
-      t.c <- { t.c with hits_l1 = t.c.hits_l1 + 1 };
+      t.c.hits_l1 <- t.c.hits_l1 + 1;
       hw_prefetch_lines t ~pc ~addr ~miss:false ~cycle;
       {
         latency = t.cfg.l1_latency;
@@ -206,12 +205,9 @@ let demand_load t ~pc ~addr ~cycle =
     end
     else if Cache.touch t.l2 line then begin
       ignore (Cache.insert t.l1 line);
-      t.c <-
-        {
-          t.c with
-          hits_l2 = t.c.hits_l2 + 1;
-          stall_cycles_l2 = t.c.stall_cycles_l2 + t.cfg.l2_latency - t.cfg.l1_latency;
-        };
+      t.c.hits_l2 <- t.c.hits_l2 + 1;
+      t.c.stall_cycles_l2 <-
+        t.c.stall_cycles_l2 + t.cfg.l2_latency - t.cfg.l1_latency;
       hw_prefetch_lines t ~pc ~addr ~miss:true ~cycle;
       {
         latency = t.cfg.l2_latency;
@@ -223,13 +219,9 @@ let demand_load t ~pc ~addr ~cycle =
     else if Cache.touch t.llc line then begin
       ignore (Cache.insert t.l2 line);
       ignore (Cache.insert t.l1 line);
-      t.c <-
-        {
-          t.c with
-          hits_llc = t.c.hits_llc + 1;
-          stall_cycles_llc =
-            t.c.stall_cycles_llc + t.cfg.llc_latency - t.cfg.l1_latency;
-        };
+      t.c.hits_llc <- t.c.hits_llc + 1;
+      t.c.stall_cycles_llc <-
+        t.c.stall_cycles_llc + t.cfg.llc_latency - t.cfg.l1_latency;
       hw_prefetch_lines t ~pc ~addr ~miss:true ~cycle;
       {
         latency = t.cfg.llc_latency;
@@ -242,15 +234,11 @@ let demand_load t ~pc ~addr ~cycle =
       install_all t line;
       let start = dram_start t ~cycle in
       let latency = start - cycle + t.cfg.dram_latency in
-      t.c <-
-        {
-          t.c with
-          dram_fills_demand = t.c.dram_fills_demand + 1;
-          offcore_all_data_rd = t.c.offcore_all_data_rd + 1;
-          offcore_demand_data_rd = t.c.offcore_demand_data_rd + 1;
-          stall_cycles_dram =
-            t.c.stall_cycles_dram + latency - t.cfg.l1_latency;
-        };
+      t.c.dram_fills_demand <- t.c.dram_fills_demand + 1;
+      t.c.offcore_all_data_rd <- t.c.offcore_all_data_rd + 1;
+      t.c.offcore_demand_data_rd <- t.c.offcore_demand_data_rd + 1;
+      t.c.stall_cycles_dram <-
+        t.c.stall_cycles_dram + latency - t.cfg.l1_latency;
       hw_prefetch_lines t ~pc ~addr ~miss:true ~cycle;
       {
         latency;
@@ -264,16 +252,17 @@ let sw_prefetch t ~addr ~cycle =
   drain_fills t ~cycle;
   let line = line_of t addr in
   if Cache.probe t.l1 line || Cache.probe t.l2 line then
-    t.c <- { t.c with sw_prefetch_useless = t.c.sw_prefetch_useless + 1 }
+    t.c.sw_prefetch_useless <- t.c.sw_prefetch_useless + 1
   else if Mshr.find t.mshr line <> None then
     (* Coalesces with the in-flight fill. *)
-    t.c <- { t.c with sw_prefetch_useless = t.c.sw_prefetch_useless + 1 }
+    t.c.sw_prefetch_useless <- t.c.sw_prefetch_useless + 1
   else if start_fill t ~line ~cycle ~origin:Mshr.Sw_prefetch then
-    t.c <- { t.c with sw_prefetch_issued = t.c.sw_prefetch_issued + 1 }
-  else t.c <- { t.c with sw_prefetch_dropped = t.c.sw_prefetch_dropped + 1 }
+    t.c.sw_prefetch_issued <- t.c.sw_prefetch_issued + 1
+  else t.c.sw_prefetch_dropped <- t.c.sw_prefetch_dropped + 1
 
-let counters t = t.c
-let reset_counters t = t.c <- zero_counters
+(* Snapshot copy: the live record keeps mutating after this call. *)
+let counters t = { t.c with demand_loads = t.c.demand_loads }
+let reset_counters t = t.c <- zero_counters ()
 
 let flush t =
   Cache.clear t.l1;

@@ -49,23 +49,28 @@ type access = {
 }
 
 type counters = {
-  demand_loads : int;
-  hits_l1 : int;
-  hits_l2 : int;
-  hits_llc : int;
-  dram_fills_demand : int;
-  load_hit_pre_sw_pf : int;  (** demand loads that hit an in-flight fill
-                                 initiated by a software prefetch *)
-  offcore_all_data_rd : int;
-  offcore_demand_data_rd : int;
-  sw_prefetch_issued : int;   (** prefetches that allocated a fill *)
-  sw_prefetch_useless : int;  (** prefetches that hit in L1/L2 (no-op) *)
-  sw_prefetch_dropped : int;  (** dropped: fill buffers full *)
-  hw_prefetch_issued : int;
-  stall_cycles_l2 : int;
-  stall_cycles_llc : int;
-  stall_cycles_dram : int;   (** includes fill-buffer waits *)
+  mutable demand_loads : int;
+  mutable hits_l1 : int;
+  mutable hits_l2 : int;
+  mutable hits_llc : int;
+  mutable dram_fills_demand : int;
+  mutable load_hit_pre_sw_pf : int;
+      (** demand loads that hit an in-flight fill initiated by a
+          software prefetch *)
+  mutable offcore_all_data_rd : int;
+  mutable offcore_demand_data_rd : int;
+  mutable sw_prefetch_issued : int;  (** prefetches that allocated a fill *)
+  mutable sw_prefetch_useless : int;
+      (** prefetches that hit in L1/L2 (no-op) *)
+  mutable sw_prefetch_dropped : int;  (** dropped: fill buffers full *)
+  mutable hw_prefetch_issued : int;
+  mutable stall_cycles_l2 : int;
+  mutable stall_cycles_llc : int;
+  mutable stall_cycles_dram : int;  (** includes fill-buffer waits *)
 }
+(** Fields are mutable for the simulator's in-place updates;
+    {!counters} returns a private snapshot copy, so treat a returned
+    record as a value. *)
 
 type t
 

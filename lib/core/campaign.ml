@@ -3,6 +3,7 @@ module Workload = Aptget_workloads.Workload
 module Faults = Aptget_pmu.Faults
 module Crash = Aptget_store.Crash
 module Journal = Aptget_store.Journal
+module Pool = Aptget_util.Pool
 
 (* ------------------------------------------------------------------ *)
 (* Plans *)
@@ -168,27 +169,26 @@ let failure_reason (r : Pipeline.robust) =
     | d :: _ -> d.Pipeline.cause
     | [] -> "no measurement produced")
 
-let run ?(config = default_config) ?mconfig ?crash ~store trials =
-  let journal, recovery = Journal.open_ ?crash ~path:store () in
-  Fun.protect ~finally:(fun () -> Journal.close journal) @@ fun () ->
-  let done_tbl = completed_of_journal recovery.Journal.records in
-  let breakers : (string, breaker) Hashtbl.t = Hashtbl.create 8 in
-  let breaker w =
-    match Hashtbl.find_opt breakers w with
-    | Some b -> b
-    | None ->
-      let b = { state = Closed; consecutive = 0; opened = 0 } in
-      Hashtbl.add breakers w b;
-      b
-  in
+(* Everything a workload's trials share — breaker, baseline memo — is
+   local to its group, so independent workloads can run on separate
+   domains with no shared mutable state beyond the journal (whose
+   appends are serialized by the caller-supplied [append]). *)
+type group_outcome = {
+  g_rows : (int * trial_result) list; (* (plan index, result) *)
+  g_opened : int;
+  g_final : breaker_state;
+}
+
+let run_group ~config ~mconfig ~crash ~append ~done_tbl wname indexed_trials =
+  let b = { state = Closed; consecutive = 0; opened = 0 } in
   (* Baselines are memoized per workload: a campaign re-visits each
      workload trials_per_workload times and the baseline is identical
      every time (the simulator is deterministic). Only successes are
      memoized — a transient baseline failure (flaky build) must be
      retryable on the trial's next attempt, not fossilised. *)
-  let baselines = Hashtbl.create 8 in
+  let baseline = ref None in
   let baseline_of (w : Workload.t) =
-    match Hashtbl.find_opt baselines w.Workload.name with
+    match !baseline with
     | Some b -> Ok b
     | None -> (
       match
@@ -198,7 +198,7 @@ let run ?(config = default_config) ?mconfig ?crash ~store trials =
           (fun capped -> Pipeline.baseline ~config:capped w)
       with
       | m ->
-        Hashtbl.add baselines w.Workload.name m;
+        baseline := Some m;
         Ok m
       | exception Watchdog.Timed_out t ->
         Error ("baseline " ^ Watchdog.timeout_to_string t)
@@ -238,85 +238,131 @@ let run ?(config = default_config) ?mconfig ?crash ~store trials =
     in
     go 1 0.
   in
-  let opened = ref [] in
-  let note_opened w =
-    let b = breaker w in
-    b.opened <- b.opened + 1;
-    if not (List.mem_assoc w !opened) then opened := (w, 0) :: !opened;
-    opened :=
-      List.map (fun (w', n) -> if w' = w then (w', n + 1) else (w', n)) !opened
-  in
-  let results =
+  let rows =
     List.map
-      (fun t ->
-        let wname = t.t_workload.Workload.name in
-        let b = breaker wname in
-        match Hashtbl.find_opt done_tbl t.t_id with
-        | Some speedup ->
-          {
-            tr_id = t.t_id;
-            tr_workload = wname;
-            tr_status = Resumed { speedup };
-            tr_attempts = 0;
-            tr_backoff = 0.;
-          }
-        | None -> (
-          match b.state with
-          | Open n ->
-            b.state <- (if n <= 1 then Half_open else Open (n - 1));
+      (fun (idx, t) ->
+        let result =
+          match Hashtbl.find_opt done_tbl t.t_id with
+          | Some speedup ->
             {
               tr_id = t.t_id;
               tr_workload = wname;
-              tr_status =
-                Skipped
-                  (Printf.sprintf "circuit breaker open for %s" wname);
+              tr_status = Resumed { speedup };
               tr_attempts = 0;
               tr_backoff = 0.;
             }
-          | (Closed | Half_open) as state ->
-            let max_retries =
-              (* a half-open probe gets exactly one attempt *)
-              match state with
-              | Half_open -> 0
-              | _ -> config.max_retries
-            in
-            let attempts, backoff, outcome =
-              with_retries ~max_retries t.t_workload
-            in
-            let status =
-              match outcome with
-              | Ok speedup ->
-                b.consecutive <- 0;
-                if state = Half_open then b.state <- Closed;
-                Journal.append journal
-                  (record_of_trial ~id:t.t_id ~workload:wname ~ok:true
-                     ~attempts ~speedup:(Some speedup));
-                Completed { speedup }
-              | Error why ->
-                (match state with
-                | Half_open ->
-                  b.state <- Open config.breaker_cooldown;
-                  note_opened wname
-                | _ ->
-                  b.consecutive <- b.consecutive + 1;
-                  if b.consecutive >= config.breaker_threshold then begin
+          | None -> (
+            match b.state with
+            | Open n ->
+              b.state <- (if n <= 1 then Half_open else Open (n - 1));
+              {
+                tr_id = t.t_id;
+                tr_workload = wname;
+                tr_status =
+                  Skipped
+                    (Printf.sprintf "circuit breaker open for %s" wname);
+                tr_attempts = 0;
+                tr_backoff = 0.;
+              }
+            | (Closed | Half_open) as state ->
+              let max_retries =
+                (* a half-open probe gets exactly one attempt *)
+                match state with
+                | Half_open -> 0
+                | _ -> config.max_retries
+              in
+              let attempts, backoff, outcome =
+                with_retries ~max_retries t.t_workload
+              in
+              let status =
+                match outcome with
+                | Ok speedup ->
+                  b.consecutive <- 0;
+                  if state = Half_open then b.state <- Closed;
+                  append
+                    (record_of_trial ~id:t.t_id ~workload:wname ~ok:true
+                       ~attempts ~speedup:(Some speedup));
+                  Completed { speedup }
+                | Error why ->
+                  (match state with
+                  | Half_open ->
                     b.state <- Open config.breaker_cooldown;
-                    b.consecutive <- 0;
-                    note_opened wname
-                  end);
-                Journal.append journal
-                  (record_of_trial ~id:t.t_id ~workload:wname ~ok:false
-                     ~attempts ~speedup:None);
-                Failed why
-            in
-            {
-              tr_id = t.t_id;
-              tr_workload = wname;
-              tr_status = status;
-              tr_attempts = attempts;
-              tr_backoff = backoff;
-            }))
-      trials
+                    b.opened <- b.opened + 1
+                  | _ ->
+                    b.consecutive <- b.consecutive + 1;
+                    if b.consecutive >= config.breaker_threshold then begin
+                      b.state <- Open config.breaker_cooldown;
+                      b.consecutive <- 0;
+                      b.opened <- b.opened + 1
+                    end);
+                  append
+                    (record_of_trial ~id:t.t_id ~workload:wname ~ok:false
+                       ~attempts ~speedup:None);
+                  Failed why
+              in
+              {
+                tr_id = t.t_id;
+                tr_workload = wname;
+                tr_status = status;
+                tr_attempts = attempts;
+                tr_backoff = backoff;
+              })
+        in
+        (idx, result))
+      indexed_trials
+  in
+  { g_rows = rows; g_opened = b.opened; g_final = b.state }
+
+let run ?(config = default_config) ?mconfig ?crash ?jobs ~store trials =
+  let journal, recovery = Journal.open_ ?crash ~path:store () in
+  Fun.protect ~finally:(fun () -> Journal.close journal) @@ fun () ->
+  let done_tbl = completed_of_journal recovery.Journal.records in
+  let jmutex = Mutex.create () in
+  let append record =
+    Mutex.lock jmutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock jmutex)
+      (fun () -> Journal.append journal record)
+  in
+  (* Group by workload name, keeping trial order within a group and
+     groups in first-appearance order. Breakers and baselines are
+     per-workload, so groups are independent units of work. *)
+  let groups = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iteri
+    (fun idx t ->
+      let wname = t.t_workload.Workload.name in
+      match Hashtbl.find_opt groups wname with
+      | Some acc -> acc := (idx, t) :: !acc
+      | None ->
+        Hashtbl.add groups wname (ref [ (idx, t) ]);
+        order := wname :: !order)
+    trials;
+  let group_list =
+    List.rev_map
+      (fun wname -> (wname, List.rev !(Hashtbl.find groups wname)))
+      !order
+  in
+  let process (wname, its) =
+    run_group ~config ~mconfig ~crash ~append ~done_tbl wname its
+  in
+  (* A crash plan arms a deterministic kill at the k-th store write;
+     that ordering only exists serially, so an armed plan forces the
+     sequential path. *)
+  let outcomes =
+    if crash <> None then List.map process group_list
+    else Pool.run ?jobs process group_list
+  in
+  let results =
+    List.concat_map (fun g -> g.g_rows) outcomes
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  let opened =
+    List.filter_map
+      (fun ((wname, _), g) ->
+        if g.g_opened > 0 then Some (wname, g.g_opened) else None)
+      (List.combine group_list outcomes)
   in
   let count p = List.length (List.filter p results) in
   {
@@ -332,11 +378,11 @@ let run ?(config = default_config) ?mconfig ?crash ~store trials =
       count (fun r -> match r.tr_status with Failed _ -> true | _ -> false);
     c_skipped =
       count (fun r -> match r.tr_status with Skipped _ -> true | _ -> false);
-    c_breakers_opened = List.rev !opened;
+    c_breakers_opened = opened;
     c_breaker_final =
-      Hashtbl.fold
-        (fun w b acc -> (w, breaker_state_to_string b.state) :: acc)
-        breakers []
+      List.map
+        (fun ((wname, _), g) -> (wname, breaker_state_to_string g.g_final))
+        (List.combine group_list outcomes)
       |> List.sort compare;
     c_store_recovery = recovery;
   }

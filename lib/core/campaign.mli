@@ -97,6 +97,7 @@ val run :
   ?config:config ->
   ?mconfig:Aptget_machine.Machine.config ->
   ?crash:Aptget_store.Crash.t ->
+  ?jobs:int ->
   store:string ->
   trial list ->
   report
@@ -105,4 +106,13 @@ val run :
     returned report's [c_store_recovery] says what survived. [crash]
     arms a deterministic kill point threaded through both the store
     writes and the supervised simulations; when it fires,
-    {!Aptget_store.Crash.Crashed} escapes this function by design. *)
+    {!Aptget_store.Crash.Crashed} escapes this function by design.
+
+    [jobs] (default {!Aptget_util.Pool.default_jobs}) fans independent
+    workloads across domains: trials are grouped by workload name —
+    breaker and baseline state are per-workload, so groups share
+    nothing — and journal appends are serialized through one writer.
+    The report is identical to a serial run's (results in plan order,
+    breaker accounting per group). An armed [crash] plan forces serial
+    execution, since its deterministic kill point counts store writes
+    in order. *)

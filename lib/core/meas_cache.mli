@@ -1,0 +1,49 @@
+(** Persistent measurement cache: skip re-simulating a workload whose
+    inputs are bit-identical to a previous run.
+
+    The simulator is deterministic, so a measurement is fully determined
+    by its {!key}: the experiment variant, the workload's program
+    fingerprint ({!Aptget_ir.Fingerprint.program_hash}), the machine
+    configuration, and (for profile-guided variants) the profiler
+    options summary. Any change to kernel IR, machine parameters or
+    profiling setup changes the key and misses the cache — there is no
+    time- or version-based invalidation to get wrong.
+
+    Records are single text files written via
+    {!Aptget_store.Atomic_file} (temp + rename) and protected by a
+    trailing CRC-32 line; a torn, truncated or hand-edited record reads
+    back as a miss, never as a wrong measurement. The full key is stored
+    inside the record and compared on load, so filename collisions also
+    degrade to misses.
+
+    The cache is opt-in: {!dir_from_env} consults [APTGET_CACHE]; when
+    unset nothing is read or written and every run simulates. *)
+
+type key
+
+val key :
+  variant:string ->
+  workload:string ->
+  program:int ->
+  config:Aptget_machine.Machine.config ->
+  ?options:string ->
+  unit ->
+  key
+(** [variant] names the transformation applied (e.g. ["baseline"],
+    ["aj-8"], ["aptget"]); [program] is the fingerprint hash of the
+    {e untransformed} kernel; [options] is the
+    {!Aptget_profile.Profiler.options_summary} when the variant's
+    hints came from a profile (default [""]). *)
+
+val load : dir:string -> key -> Pipeline.measurement option
+(** Look the key up under [dir]. [None] on any miss: absent file,
+    checksum mismatch, unparsable record, or a record whose stored key
+    differs from [key]. Never raises. *)
+
+val store : dir:string -> key -> Pipeline.measurement -> unit
+(** Persist the measurement under [dir] (created if absent), replacing
+    any previous record for the key atomically. I/O failures are
+    swallowed — the cache is an accelerator, not a store of record. *)
+
+val dir_from_env : unit -> string option
+(** [Some dir] when [APTGET_CACHE] is set and non-empty. *)

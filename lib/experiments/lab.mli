@@ -7,10 +7,13 @@
 
 type t
 
-val create : ?quick:bool -> unit -> t
+val create : ?quick:bool -> ?cache_dir:string -> unit -> t
 (** [quick] shrinks the suite and the microbenchmark so the whole
     harness finishes in well under a minute (used by tests and
-    [--quick]). *)
+    [--quick]). [cache_dir] enables the persistent measurement cache
+    ({!Aptget_core.Meas_cache}); when omitted, the [APTGET_CACHE]
+    environment variable is consulted, and when that is unset too the
+    lab memoizes in memory only. *)
 
 val quick : t -> bool
 
@@ -44,3 +47,27 @@ val summary : t -> (string * float * float) list
 val check : Aptget_core.Pipeline.measurement -> Aptget_core.Pipeline.measurement
 (** Assert semantic verification passed (all experiments run through
     this, so a miscompiling pass aborts the harness loudly). *)
+
+(** {2 Batched, parallel prewarming}
+
+    A [job] names one memoized measurement; [run_batch] computes the
+    ones not yet memoized (or loadable from the persistent cache) in
+    parallel across domains and stores them in the memo tables. The
+    experiments prewarm their full job list at entry and then render
+    tables serially through the memoized getters, so parallel and
+    serial runs produce byte-identical output. *)
+
+type job =
+  | Baseline of Aptget_workloads.Workload.t
+  | Aj of { distance : int option; w : Aptget_workloads.Workload.t }
+  | Aptget of Aptget_workloads.Workload.t
+  | Static of { distance : int; w : Aptget_workloads.Workload.t }
+  | Site of { site : Aptget_passes.Inject.site; w : Aptget_workloads.Workload.t }
+
+val run_batch : ?jobs:int -> t -> job list -> unit
+(** Measure every not-yet-cached job, fanning across
+    [jobs] domains (default {!Aptget_util.Pool.default_jobs}).
+    Duplicate jobs are deduplicated; profiles required by
+    profile-guided jobs are computed first (once per workload). The
+    first failing job's exception propagates in deterministic
+    (submission) order. *)

@@ -39,6 +39,9 @@ let late_ratio m =
 
 let table1 lab =
   let w = micro_workload lab ~inner:256 ~complexity:0 in
+  Lab.run_batch lab
+    (Lab.Baseline w
+    :: List.map (fun d -> Lab.Aj { distance = Some d; w }) [ 1; 64; 1024 ]);
   let base = Lab.baseline lab w in
   let t =
     Table.create
@@ -68,6 +71,12 @@ let table1 lab =
   [ t ]
 
 let distance_sweep lab ~title ~configs ~distances =
+  Lab.run_batch lab
+    (List.concat_map
+       (fun (_, w) ->
+         Lab.Baseline w
+         :: List.map (fun d -> Lab.Aj { distance = Some d; w }) distances)
+       configs);
   let t =
     Table.create ~title
       ~header:

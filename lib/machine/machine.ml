@@ -89,52 +89,138 @@ type state = {
 }
 
 let bind_params (f : Ir.func) regs args =
-  List.iteri
-    (fun i r -> if i < List.length args then regs.(r) <- List.nth args i)
-    f.Ir.params
+  (* Walk params and args in lockstep; extra args are ignored, missing
+     ones leave the register at its default, as before. *)
+  let rec go ps vs =
+    match (ps, vs) with
+    | p :: ps', v :: vs' ->
+      regs.(p) <- v;
+      go ps' vs'
+    | _, _ -> ()
+  in
+  go f.Ir.params args
 
-let eval_phis (f : Ir.func) regs eval ~cur ~prev =
-  let blk = f.Ir.blocks.(cur) in
-  match blk.Ir.phis with
-  | [] -> ()
-  | phis ->
-    (* Parallel evaluation: read all incoming values before writing. *)
-    let values =
-      List.map
-        (fun (p : Ir.phi) ->
-          match List.assoc_opt prev p.Ir.incoming with
-          | Some v -> (p.Ir.phi_dst, eval v)
-          | None ->
-            invalid_arg
-              (Printf.sprintf "Machine: phi %%%d in b%d has no edge from b%d"
-                 p.Ir.phi_dst cur prev))
-        phis
-    in
-    List.iter (fun (r, v) -> regs.(r) <- v) values
+(* ------------------------------------------------------------------ *)
+(* Pre-resolved phis. Block entry is the interpreter's second-hottest  *)
+(* point after [charge]; resolving each phi with [List.assoc_opt] and  *)
+(* allocating an intermediate list per entry dominated tight loops.    *)
+(* Instead, [execute] pre-compiles every block's phis into one row of  *)
+(* operands per predecessor; entering a block is then a short scan for *)
+(* the predecessor row plus two array loops through a reusable scratch *)
+(* buffer (values are still read in full before any register is        *)
+(* written — phi semantics are parallel). A predecessor with no row    *)
+(* (an edge missing from some phi) raises the same error the list     *)
+(* walk used to, on arrival from that edge.                            *)
+
+type phi_plan = {
+  pp_dsts : int array;  (* one per phi *)
+  pp_preds : int array;  (* predecessors every phi has an edge from *)
+  pp_ops : Ir.operand array array;  (* row per pred, column per phi *)
+}
+
+let empty_plan = { pp_dsts = [||]; pp_preds = [||]; pp_ops = [||] }
+
+let build_phi_plans (f : Ir.func) =
+  Array.map
+    (fun (blk : Ir.block) ->
+      match blk.Ir.phis with
+      | [] -> empty_plan
+      | phis ->
+        let preds =
+          List.concat_map
+            (fun (p : Ir.phi) -> List.map fst p.Ir.incoming)
+            phis
+          |> List.sort_uniq compare
+        in
+        let rows =
+          List.filter_map
+            (fun pred ->
+              match
+                List.map
+                  (fun (p : Ir.phi) -> List.assoc pred p.Ir.incoming)
+                  phis
+              with
+              | ops -> Some (pred, Array.of_list ops)
+              | exception Not_found -> None)
+            preds
+        in
+        {
+          pp_dsts = Array.of_list (List.map (fun p -> p.Ir.phi_dst) phis);
+          pp_preds = Array.of_list (List.map fst rows);
+          pp_ops = Array.of_list (List.map snd rows);
+        })
+    f.Ir.blocks
+
+let max_phis plans =
+  Array.fold_left (fun m p -> max m (Array.length p.pp_dsts)) 0 plans
+
+(* Cold path: report the first phi (in program order) with no edge from
+   [prev] — byte-identical to the message the per-entry walk raised. *)
+let missing_phi_edge (f : Ir.func) ~cur ~prev =
+  let p =
+    List.find
+      (fun (p : Ir.phi) -> not (List.mem_assoc prev p.Ir.incoming))
+      f.Ir.blocks.(cur).Ir.phis
+  in
+  invalid_arg
+    (Printf.sprintf "Machine: phi %%%d in b%d has no edge from b%d"
+       p.Ir.phi_dst cur prev)
+
+let[@inline] phi_row plan prev =
+  let preds = plan.pp_preds in
+  let n = Array.length preds in
+  let row = ref (-1) in
+  let i = ref 0 in
+  while !row < 0 && !i < n do
+    if Array.unsafe_get preds !i = prev then row := !i;
+    incr i
+  done;
+  !row
 
 (* ------------------------------------------------------------------ *)
 (* Blocking core: a demand load stalls until its data is available.    *)
 (* ------------------------------------------------------------------ *)
 
-let execute_blocking ~config ~hier ~sampler ~mem ~regs (f : Ir.func) =
+let execute_blocking ~config ~hier ~sampler ~mem ~regs ~plans (f : Ir.func) =
   let eval = function Ir.Reg r -> regs.(r) | Ir.Imm i -> i in
   let st = { cycle = 0; instrs = 0; loads = 0; prefetches = 0 } in
   let l1_lat = (Hierarchy.config hier).Hierarchy.l1_latency in
-  let tick_sampler () =
+  let scratch = Array.make (max 1 (max_phis plans)) 0 in
+  (* The sampler test is hoisted out of [charge]: measurement runs
+     (sampler = None) pay nothing per instruction, and profiled runs
+     tick once per charge — a charge of n cycles is one batched tick at
+     the post-advance cycle, exactly as before. *)
+  let charge =
     match sampler with
-    | Some s -> Sampler.on_cycle s ~cycle:st.cycle
-    | None -> ()
-  in
-  let charge n_instr n_cycles =
-    st.instrs <- st.instrs + n_instr;
-    st.cycle <- st.cycle + n_cycles;
-    if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
-    check_deadline config st.cycle;
-    tick_sampler ()
+    | None ->
+      fun n_instr n_cycles ->
+        st.instrs <- st.instrs + n_instr;
+        st.cycle <- st.cycle + n_cycles;
+        if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
+        check_deadline config st.cycle
+    | Some s ->
+      fun n_instr n_cycles ->
+        st.instrs <- st.instrs + n_instr;
+        st.cycle <- st.cycle + n_cycles;
+        if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
+        check_deadline config st.cycle;
+        Sampler.on_cycle s ~cycle:st.cycle
   in
   let run_block cur prev =
     let blk = f.Ir.blocks.(cur) in
-    eval_phis f regs eval ~cur ~prev;
+    let plan = plans.(cur) in
+    let nphi = Array.length plan.pp_dsts in
+    if nphi > 0 then begin
+      let row = phi_row plan prev in
+      if row < 0 then missing_phi_edge f ~cur ~prev;
+      let ops = plan.pp_ops.(row) in
+      for k = 0 to nphi - 1 do
+        scratch.(k) <- eval ops.(k)
+      done;
+      for k = 0 to nphi - 1 do
+        regs.(plan.pp_dsts.(k)) <- scratch.(k)
+      done
+    end;
     let n = Array.length blk.Ir.instrs in
     for ii = 0 to n - 1 do
       let i = blk.Ir.instrs.(ii) in
@@ -207,27 +293,37 @@ let execute_blocking ~config ~hier ~sampler ~mem ~regs (f : Ir.func) =
 (* reorder window.                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window (f : Ir.func) =
+let execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window ~plans
+    (f : Ir.func) =
   let eval = function Ir.Reg r -> regs.(r) | Ir.Imm i -> i in
   let ready = Array.make (Array.length regs) 0 in
   let st = { cycle = 0; instrs = 0; loads = 0; prefetches = 0 } in
   let l1_lat = (Hierarchy.config hier).Hierarchy.l1_latency in
+  let nscratch = max 1 (max_phis plans) in
+  let scratch = Array.make nscratch 0 in
+  let scratch_ready = Array.make nscratch 0 in
   (* Ring of completion times of the last [window] instructions. *)
   let rob = Array.make (max 1 window) 0 in
   let rob_idx = ref 0 in
-  let tick_sampler () =
+  (* Sampler test hoisted out of the per-instruction path, as in the
+     blocking core. *)
+  let issue =
     match sampler with
-    | Some s -> Sampler.on_cycle s ~cycle:st.cycle
-    | None -> ()
-  in
-  let issue ?(n = 1) () =
-    (* In-order issue at one instruction per cycle, gated by the oldest
-       in-flight instruction leaving the window. *)
-    st.instrs <- st.instrs + n;
-    st.cycle <- max (st.cycle + n) rob.(!rob_idx);
-    if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
-    check_deadline config st.cycle;
-    tick_sampler ()
+    | None ->
+      fun ?(n = 1) () ->
+        st.instrs <- st.instrs + n;
+        st.cycle <- max (st.cycle + n) rob.(!rob_idx);
+        if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
+        check_deadline config st.cycle
+    | Some s ->
+      fun ?(n = 1) () ->
+        (* In-order issue at one instruction per cycle, gated by the
+           oldest in-flight instruction leaving the window. *)
+        st.instrs <- st.instrs + n;
+        st.cycle <- max (st.cycle + n) rob.(!rob_idx);
+        if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
+        check_deadline config st.cycle;
+        Sampler.on_cycle s ~cycle:st.cycle
   in
   let retire completion =
     rob.(!rob_idx) <- completion;
@@ -241,25 +337,23 @@ let execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window (f : Ir.func)
     (* Phi values inherit the readiness of the taken edge's source, so
        a loop-carried dependence (e.g. a pointer chase) serialises
        correctly. Parallel evaluation as in the blocking core. *)
-    (match blk.Ir.phis with
-    | [] -> ()
-    | phis ->
-      let values =
-        List.map
-          (fun (p : Ir.phi) ->
-            match List.assoc_opt prev p.Ir.incoming with
-            | Some v -> (p.Ir.phi_dst, eval v, op_ready v)
-            | None ->
-              invalid_arg
-                (Printf.sprintf "Machine: phi %%%d in b%d has no edge from b%d"
-                   p.Ir.phi_dst cur prev))
-          phis
-      in
-      List.iter
-        (fun (r, v, rdy) ->
-          regs.(r) <- v;
-          ready.(r) <- rdy)
-        values);
+    let plan = plans.(cur) in
+    let nphi = Array.length plan.pp_dsts in
+    if nphi > 0 then begin
+      let row = phi_row plan prev in
+      if row < 0 then missing_phi_edge f ~cur ~prev;
+      let ops = plan.pp_ops.(row) in
+      for k = 0 to nphi - 1 do
+        let op = ops.(k) in
+        scratch.(k) <- eval op;
+        scratch_ready.(k) <- op_ready op
+      done;
+      for k = 0 to nphi - 1 do
+        let r = plan.pp_dsts.(k) in
+        regs.(r) <- scratch.(k);
+        ready.(r) <- scratch_ready.(k)
+      done
+    end;
     let n = Array.length blk.Ir.instrs in
     for ii = 0 to n - 1 do
       let i = blk.Ir.instrs.(ii) in
@@ -354,11 +448,12 @@ let execute ?(config = default_config) ?hierarchy ?sampler ?(args = [])
   in
   let regs = Array.make (max 1 f.Ir.next_reg) 0 in
   bind_params f regs args;
+  let plans = build_phi_plans f in
   let st, ret =
     match config.core with
-    | Blocking -> execute_blocking ~config ~hier ~sampler ~mem ~regs f
+    | Blocking -> execute_blocking ~config ~hier ~sampler ~mem ~regs ~plans f
     | Stall_on_use { window } ->
-      execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window f
+      execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window ~plans f
   in
   {
     cycles = st.cycle;

@@ -35,15 +35,19 @@ let alloc t ~name ~words =
 
 let size_words t = t.next
 
+(* The explicit range check already implies the array access is in
+   bounds ([next <= length data] is an [ensure] invariant), so the
+   access itself can skip the second, redundant bounds check — [get]
+   and [set] sit on the interpreter's per-load/store path. *)
 let get t addr =
   if addr < 0 || addr >= t.next then
     invalid_arg (Printf.sprintf "Memory.get: address %d out of bounds" addr);
-  t.data.(addr)
+  Array.unsafe_get t.data addr
 
 let set t addr v =
   if addr < 0 || addr >= t.next then
     invalid_arg (Printf.sprintf "Memory.set: address %d out of bounds" addr);
-  t.data.(addr) <- v
+  Array.unsafe_set t.data addr v
 
 let blit_array t r a =
   if Array.length a > r.words then invalid_arg "Memory.blit_array: too large";
@@ -53,7 +57,10 @@ let read_array t r = Array.sub t.data r.base r.words
 let line_of_addr addr = addr / words_per_line
 let regions t = List.rev t.regions
 
+(* Regions never overlap (bump allocation), so searching the stored
+   reversed list finds the same region as searching allocation order —
+   without rebuilding the list on every lookup. *)
 let find_region t addr =
   List.find_opt
     (fun r -> addr >= r.base && addr < r.base + r.words)
-    (regions t)
+    t.regions

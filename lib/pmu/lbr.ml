@@ -1,29 +1,47 @@
 type entry = { branch_pc : int; target_pc : int; cycle : int }
 
+(* Struct-of-arrays ring: [record] fires on every taken branch of every
+   simulated run, so it must not allocate. Three int arrays take three
+   unboxed stores per branch; the [entry] record is only materialised
+   by [snapshot], which runs once per sampling period. *)
 type t = {
-  ring : entry array;
+  branch_pcs : int array;
+  target_pcs : int array;
+  cycles : int array;
   ring_size : int;
   mutable head : int; (* next slot to write *)
   mutable filled : int;
 }
 
-let dummy = { branch_pc = -1; target_pc = -1; cycle = -1 }
-
 let create ?(size = 32) () =
   if size <= 0 then invalid_arg "Lbr.create: size <= 0";
-  { ring = Array.make size dummy; ring_size = size; head = 0; filled = 0 }
+  {
+    branch_pcs = Array.make size (-1);
+    target_pcs = Array.make size (-1);
+    cycles = Array.make size (-1);
+    ring_size = size;
+    head = 0;
+    filled = 0;
+  }
 
 let size t = t.ring_size
 
 let record t ~branch_pc ~target_pc ~cycle =
-  t.ring.(t.head) <- { branch_pc; target_pc; cycle };
-  t.head <- (t.head + 1) mod t.ring_size;
+  let h = t.head in
+  Array.unsafe_set t.branch_pcs h branch_pc;
+  Array.unsafe_set t.target_pcs h target_pc;
+  Array.unsafe_set t.cycles h cycle;
+  t.head <- (if h + 1 = t.ring_size then 0 else h + 1);
   if t.filled < t.ring_size then t.filled <- t.filled + 1
 
 let snapshot t =
   Array.init t.filled (fun i ->
       let idx = (t.head - t.filled + i + (2 * t.ring_size)) mod t.ring_size in
-      t.ring.(idx))
+      {
+        branch_pc = t.branch_pcs.(idx);
+        target_pc = t.target_pcs.(idx);
+        cycle = t.cycles.(idx);
+      })
 
 let clear t =
   t.head <- 0;

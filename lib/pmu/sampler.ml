@@ -49,26 +49,33 @@ let on_branch t ~branch_pc ~target_pc ~cycle =
   in
   Lbr.record t.lbr ~branch_pc ~target_pc ~cycle
 
-let on_cycle t ~cycle =
-  if cycle >= t.next_lbr_sample then begin
-    (match t.faults with
-    | None ->
-      t.samples <- { at_cycle = cycle; entries = Lbr.snapshot t.lbr } :: t.samples
-    | Some f ->
-      (* The PMI fires either way; the sample can then be rejected by
-         the throttle or lost outright, and a surviving one may only
-         capture a suffix of the ring. *)
-      if Faults.throttle_admit f ~cycle && not (Faults.drop_lbr f) then begin
-        let entries = Faults.truncate_ring f (Lbr.snapshot t.lbr) in
-        t.samples <- { at_cycle = cycle; entries } :: t.samples
-      end);
-    (* Skip forward past [cycle]: long stalls may cross several
-       boundaries but yield a single (unchanged) ring. *)
-    let period = current_lbr_period t in
-    while t.next_lbr_sample <= cycle do
-      t.next_lbr_sample <- t.next_lbr_sample + period
-    done
-  end
+(* Cold half of [on_cycle]: runs once per period boundary. *)
+let take_lbr_sample t ~cycle =
+  (match t.faults with
+  | None ->
+    t.samples <- { at_cycle = cycle; entries = Lbr.snapshot t.lbr } :: t.samples
+  | Some f ->
+    (* The PMI fires either way; the sample can then be rejected by
+       the throttle or lost outright, and a surviving one may only
+       capture a suffix of the ring. *)
+    if Faults.throttle_admit f ~cycle && not (Faults.drop_lbr f) then begin
+      let entries = Faults.truncate_ring f (Lbr.snapshot t.lbr) in
+      t.samples <- { at_cycle = cycle; entries } :: t.samples
+    end);
+  (* Skip forward past [cycle]: long stalls may cross several
+     boundaries but yield a single (unchanged) ring. *)
+  let period = current_lbr_period t in
+  while t.next_lbr_sample <= cycle do
+    t.next_lbr_sample <- t.next_lbr_sample + period
+  done
+
+(* Batch-friendly: the core calls this once per [charge], however many
+   cycles the charge covered; crossing a boundary (or several) yields
+   one sample at the post-advance cycle, so per-instruction and
+   per-batch ticking observe identical sample streams. The not-due
+   fast path is a single compare. *)
+let[@inline] on_cycle t ~cycle =
+  if cycle >= t.next_lbr_sample then take_lbr_sample t ~cycle
 
 let on_llc_miss t ~load_pc ~cycle =
   t.miss_count <- t.miss_count + 1;

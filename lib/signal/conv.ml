@@ -13,19 +13,24 @@ let convolve_same signal kernel =
   done;
   out
 
+(* O(n) via prefix sums: window [lo, hi] sums to
+   [prefix.(hi+1) -. prefix.(lo)]. The profiling signals smoothed here
+   are histogram counts — integer-valued floats — for which prefix
+   sums are exact, so this matches the O(n·w) per-window loop
+   bit-for-bit on those inputs (pinned by the test suite). *)
 let moving_average w xs =
   let n = Array.length xs in
   if w <= 1 || n = 0 then Array.copy xs
   else begin
     let half = w / 2 in
+    let prefix = Array.make (n + 1) 0. in
+    for i = 0 to n - 1 do
+      prefix.(i + 1) <- prefix.(i) +. xs.(i)
+    done;
     Array.init n (fun i ->
         let lo = max 0 (i - half) in
         let hi = min (n - 1) (i + half) in
-        let acc = ref 0. in
-        for j = lo to hi do
-          acc := !acc +. xs.(j)
-        done;
-        !acc /. float_of_int (hi - lo + 1))
+        (prefix.(hi + 1) -. prefix.(lo)) /. float_of_int (hi - lo + 1))
   end
 
 let gaussian_kernel ~sigma =

@@ -270,6 +270,111 @@ let test_static_tables_render () =
         tables)
     [ "table2"; "table3"; "table4" ]
 
+(* ---------------- persistent measurement cache ---------------- *)
+
+module Meas_cache = Aptget_core.Meas_cache
+module Fingerprint = Aptget_ir.Fingerprint
+
+let tmpdir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  d
+
+let meas_equal (a : Pipeline.measurement) (b : Pipeline.measurement) =
+  a.Pipeline.workload = b.Pipeline.workload
+  && a.Pipeline.outcome = b.Pipeline.outcome
+  && a.Pipeline.verified = b.Pipeline.verified
+  && a.Pipeline.injected = b.Pipeline.injected
+  && a.Pipeline.skipped = b.Pipeline.skipped
+  && a.Pipeline.wall_seconds = b.Pipeline.wall_seconds
+
+let test_meas_cache_roundtrip () =
+  let w = micro_w () in
+  let m = Pipeline.aj w in
+  Alcotest.(check bool) "has injections" true (m.Pipeline.injected <> []);
+  let program =
+    (Fingerprint.fingerprint (w.Workload.build ()).Workload.func)
+      .Fingerprint.program
+  in
+  let key =
+    Meas_cache.key ~variant:"aj-8" ~workload:w.Workload.name ~program
+      ~config:Machine.default_config ()
+  in
+  let dir = tmpdir "aptget-meas" in
+  Alcotest.(check bool) "cold miss" true (Meas_cache.load ~dir key = None);
+  Meas_cache.store ~dir key m;
+  (match Meas_cache.load ~dir key with
+  | None -> Alcotest.fail "expected a hit after store"
+  | Some m' -> Alcotest.(check bool) "roundtrips exactly" true (meas_equal m m'));
+  (* A different key must not alias onto the stored record. *)
+  let other =
+    Meas_cache.key ~variant:"baseline" ~workload:w.Workload.name ~program
+      ~config:Machine.default_config ()
+  in
+  Alcotest.(check bool) "other variant misses" true
+    (Meas_cache.load ~dir other = None)
+
+let test_meas_cache_rejects_corruption () =
+  let w = micro_w () in
+  let m = Pipeline.baseline w in
+  let program =
+    (Fingerprint.fingerprint (w.Workload.build ()).Workload.func)
+      .Fingerprint.program
+  in
+  let key =
+    Meas_cache.key ~variant:"baseline" ~workload:w.Workload.name ~program
+      ~config:Machine.default_config ()
+  in
+  let dir = tmpdir "aptget-meas" in
+  Meas_cache.store ~dir key m;
+  let file =
+    match Sys.readdir dir with
+    | [| f |] -> Filename.concat dir f
+    | _ -> Alcotest.fail "expected exactly one cache file"
+  in
+  let text = In_channel.with_open_bin file In_channel.input_all in
+  (* Flip one digit inside the outcome line: the CRC must catch it. *)
+  let corrupted =
+    String.map (fun c -> if c = '1' then '2' else c) text
+  in
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc corrupted);
+  Alcotest.(check bool) "corrupt record is a miss" true
+    (Meas_cache.load ~dir key = None);
+  (* Truncation likewise. *)
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc (String.sub text 0 (String.length text / 2)));
+  Alcotest.(check bool) "truncated record is a miss" true
+    (Meas_cache.load ~dir key = None)
+
+(* The lab with a cache dir must produce the same measurements on a
+   cold run (simulate + store) and a warm run (load), including through
+   run_batch at several parallelism levels. *)
+let test_lab_cache_hit_identical () =
+  let dir = tmpdir "aptget-lab-cache" in
+  let run jobs =
+    let lab = Lab.create ~quick:true ~cache_dir:dir () in
+    let w = micro_w () in
+    Lab.run_batch ~jobs lab
+      [ Lab.Baseline w; Lab.Aj { distance = None; w }; Lab.Aptget w ];
+    let base = Lab.baseline lab w in
+    let aj = Lab.aj lab w in
+    let apt = Lab.aptget lab w in
+    (base, aj, apt)
+  in
+  let b1, a1, p1 = run 1 in
+  let b2, a2, p2 = run 2 in
+  let b3, a3, p3 = run 1 in
+  List.iter
+    (fun (label, x, y) ->
+      Alcotest.(check bool) (label ^ " outcome identical") true
+        (x.Pipeline.outcome = y.Pipeline.outcome
+        && x.Pipeline.injected = y.Pipeline.injected))
+    [
+      ("warm2 baseline", b1, b2); ("warm2 aj", a1, a2); ("warm2 aptget", p1, p2);
+      ("warm3 baseline", b1, b3); ("warm3 aj", a1, a3); ("warm3 aptget", p1, p3);
+    ]
+
 let test_micro_experiments_run () =
   let lab = Lab.create ~quick:true () in
   List.iter
@@ -312,5 +417,13 @@ let () =
           Alcotest.test_case "registry complete" `Quick test_registry_complete;
           Alcotest.test_case "static tables" `Quick test_static_tables_render;
           Alcotest.test_case "micro experiments" `Quick test_micro_experiments_run;
+        ] );
+      ( "meas-cache",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_meas_cache_roundtrip;
+          Alcotest.test_case "rejects corruption" `Quick
+            test_meas_cache_rejects_corruption;
+          Alcotest.test_case "lab cache hit identical" `Quick
+            test_lab_cache_hit_identical;
         ] );
     ]

@@ -1,0 +1,130 @@
+module Pool = Aptget_util.Pool
+
+exception Boom of int
+
+(* A little CPU-bound work whose result depends on the input, so a
+   mis-ordered or dropped result cannot cancel out. *)
+let crunch x =
+  let acc = ref x in
+  for i = 1 to 1000 do
+    acc := (!acc * 1103515245) + 12345 + i
+  done;
+  !acc land 0xFFFFFF
+
+let jobs_levels = [ 1; 2; 8 ]
+
+let test_map_matches_serial () =
+  let xs = List.init 100 (fun i -> i) in
+  let expect = List.map crunch xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expect
+        (Pool.run ~jobs crunch xs))
+    jobs_levels
+
+let test_mapi_indices () =
+  let xs = [ "a"; "b"; "c"; "d"; "e" ] in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "jobs=%d" jobs)
+            [ "0a"; "1b"; "2c"; "3d"; "4e" ]
+            (Pool.mapi p (fun i s -> string_of_int i ^ s) xs)))
+    jobs_levels
+
+let test_empty_and_singleton () =
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int)) "empty" [] (Pool.run ~jobs crunch []);
+      Alcotest.(check (list int))
+        "singleton"
+        [ crunch 7 ]
+        (Pool.run ~jobs crunch [ 7 ]))
+    jobs_levels
+
+(* The lowest-indexed failure wins, deterministically, no matter which
+   worker hit its exception first. *)
+let test_exception_lowest_index () =
+  let xs = List.init 50 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      match
+        Pool.run ~jobs
+          (fun x -> if x mod 7 = 3 then raise (Boom x) else crunch x)
+          xs
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x ->
+        Alcotest.(check int) (Printf.sprintf "jobs=%d" jobs) 3 x)
+    jobs_levels
+
+let test_pool_reuse_and_shutdown () =
+  let p = Pool.create ~jobs:4 () in
+  Alcotest.(check int) "clamped jobs" 4 (Pool.jobs p);
+  let a = Pool.map p crunch [ 1; 2; 3 ] in
+  let b = Pool.map p crunch [ 4; 5 ] in
+  Alcotest.(check (list int)) "first batch" (List.map crunch [ 1; 2; 3 ]) a;
+  Alcotest.(check (list int)) "second batch" (List.map crunch [ 4; 5 ]) b;
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* idempotent *)
+  match Pool.map p crunch [ 1 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
+  | exception Invalid_argument _ -> ()
+
+(* Seeded stress: many batches of varying shapes, every one compared
+   against List.map, at every parallelism level. *)
+let test_seeded_stress () =
+  let rand = Random.State.make [| 2024 |] in
+  for round = 1 to 20 do
+    let n = Random.State.int rand 200 in
+    let xs = List.init n (fun _ -> Random.State.int rand 1_000_000) in
+    let expect = List.map crunch xs in
+    List.iter
+      (fun jobs ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "round=%d jobs=%d n=%d" round jobs n)
+          expect
+          (Pool.run ~jobs crunch xs))
+      jobs_levels
+  done
+
+let test_default_jobs_precedence () =
+  let finish () =
+    Pool.set_default_jobs None;
+    Unix.putenv "APTGET_JOBS" ""
+  in
+  Fun.protect ~finally:finish (fun () ->
+      Unix.putenv "APTGET_JOBS" "5";
+      Alcotest.(check int) "env wins over hardware" 5 (Pool.default_jobs ());
+      Pool.set_default_jobs (Some 3);
+      Alcotest.(check int) "override wins over env" 3 (Pool.default_jobs ());
+      Pool.set_default_jobs None;
+      Unix.putenv "APTGET_JOBS" "not-a-number";
+      Alcotest.(check int) "malformed env falls back to 1" 1
+        (Pool.default_jobs ());
+      Unix.putenv "APTGET_JOBS" "-2";
+      Alcotest.(check int) "non-positive env falls back to 1" 1
+        (Pool.default_jobs ()))
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches serial" `Quick test_map_matches_serial;
+          Alcotest.test_case "mapi indices" `Quick test_mapi_indices;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_empty_and_singleton;
+          Alcotest.test_case "exception lowest index" `Quick
+            test_exception_lowest_index;
+          Alcotest.test_case "reuse and shutdown" `Quick
+            test_pool_reuse_and_shutdown;
+          Alcotest.test_case "seeded stress" `Quick test_seeded_stress;
+          Alcotest.test_case "default jobs precedence" `Quick
+            test_default_jobs_precedence;
+        ] );
+    ]

@@ -29,6 +29,48 @@ let test_moving_average_identity () =
   let xs = [| 1.; 5.; 2. |] in
   Alcotest.(check (array (float 1e-9))) "w<=1 copies" xs (Conv.moving_average 1 xs)
 
+(* Pin the prefix-sum moving average to the O(n*w) per-window loop it
+   replaced: bit-exact on integer-valued inputs (what the pipeline
+   feeds it — histogram counts), within float tolerance on arbitrary
+   values where summation order legitimately perturbs rounding. *)
+let naive_moving_average w xs =
+  let n = Array.length xs in
+  if w <= 1 || n = 0 then Array.copy xs
+  else begin
+    let half = w / 2 in
+    Array.init n (fun i ->
+        let lo = max 0 (i - half) in
+        let hi = min (n - 1) (i + half) in
+        let acc = ref 0. in
+        for j = lo to hi do
+          acc := !acc +. xs.(j)
+        done;
+        !acc /. float_of_int (hi - lo + 1))
+  end
+
+let test_moving_average_matches_naive () =
+  let rand = Random.State.make [| 42 |] in
+  List.iter
+    (fun (n, w) ->
+      let ints =
+        Array.init n (fun _ -> float_of_int (Random.State.int rand 1000))
+      in
+      let expect = naive_moving_average w ints in
+      let got = Conv.moving_average w ints in
+      Array.iteri
+        (fun i e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "int-valued bit-exact n=%d w=%d i=%d" n w i)
+            true
+            (Int64.equal (Int64.bits_of_float e) (Int64.bits_of_float got.(i))))
+        expect;
+      let floats = Array.init n (fun _ -> Random.State.float rand 1e6) in
+      Alcotest.(check (array (float 1e-6)))
+        (Printf.sprintf "floats close n=%d w=%d" n w)
+        (naive_moving_average w floats)
+        (Conv.moving_average w floats))
+    [ (1, 3); (2, 3); (7, 3); (64, 5); (257, 9); (100, 101) ]
+
 let test_gaussian_kernel () =
   let k = Conv.gaussian_kernel ~sigma:1.5 in
   Alcotest.(check bool) "odd length" true (Array.length k mod 2 = 1);
@@ -145,6 +187,8 @@ let () =
           Alcotest.test_case "zero pad" `Quick test_convolve_edges_zero_pad;
           Alcotest.test_case "moving average" `Quick test_moving_average;
           Alcotest.test_case "moving average identity" `Quick test_moving_average_identity;
+          Alcotest.test_case "moving average matches naive" `Quick
+            test_moving_average_matches_naive;
           Alcotest.test_case "gaussian kernel" `Quick test_gaussian_kernel;
         ] );
       ( "wavelet",
