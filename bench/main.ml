@@ -10,6 +10,9 @@
                                                  the machine's domain count)
      dune exec bench/main.exe -- --bechamel   -- Bechamel micro-timings
                                                  (one Test.make per table)
+     dune exec bench/main.exe -- --trace t.ndjson --metrics m.json
+                                              -- observability sidecars
+                                                 (BENCH JSON is unchanged)
 *)
 
 module Experiments = Aptget_experiments
@@ -109,19 +112,25 @@ let write_bench_json lab (e : Registry.experiment) ~wall_seconds =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let args = List.filter (fun a -> a <> "--") args in
-  (* --jobs consumes its operand too, so it must be stripped before the
-     remaining non-dash arguments are read as experiment ids. *)
-  let rec extract_jobs = function
+  (* --jobs/--trace/--metrics consume their operand too, so they must be
+     stripped before the remaining non-dash arguments are read as
+     experiment ids. *)
+  let rec extract_opt name = function
     | [] -> ([], None)
-    | "--jobs" :: n :: rest ->
-      let rest, _ = extract_jobs rest in
-      (rest, int_of_string_opt n)
+    | flag :: v :: rest when flag = name ->
+      let rest, _ = extract_opt name rest in
+      (rest, Some v)
     | a :: rest ->
-      let rest, j = extract_jobs rest in
+      let rest, j = extract_opt name rest in
       (a :: rest, j)
   in
-  let args, jobs = extract_jobs args in
-  Option.iter (fun j -> Aptget_util.Pool.set_default_jobs (Some j)) jobs;
+  let args, jobs = extract_opt "--jobs" args in
+  let args, trace = extract_opt "--trace" args in
+  let args, metrics = extract_opt "--metrics" args in
+  Option.iter
+    (fun j -> Aptget_util.Pool.set_default_jobs (Some j))
+    (Option.bind jobs int_of_string_opt);
+  Aptget_obs.Obs.install ?trace ?metrics ();
   let quick =
     List.mem "--quick" args || Sys.getenv_opt "APTGET_BENCH_QUICK" <> None
   in

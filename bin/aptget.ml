@@ -62,6 +62,33 @@ let jobs_term =
   in
   Term.(const apply $ flag)
 
+(* --trace/--metrics sidecars. Enabling either turns the obs layer on
+   and registers an at_exit exporter, so even the campaign command's
+   explicit [exit] paths still flush the files. *)
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write an NDJSON span trace of the run to $(docv) on exit \
+             (inspect it with $(b,aptget obs-report)). Off by default; all \
+             outputs are byte-identical when off.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the metrics registry (counters, gauges, histograms) to \
+             $(docv) on exit: JSON when $(docv) ends in $(b,.json), sorted \
+             plain text otherwise.")
+  in
+  let apply trace metrics = Aptget_obs.Obs.install ?trace ?metrics () in
+  Term.(const apply $ trace $ metrics)
+
 (* --fault-* flags, shared by [run] and [profile]: every knob of the
    simulated-PMU fault model. [--fault-defaults] switches the base
    config to the documented default mix; explicit knobs override it. *)
@@ -241,7 +268,7 @@ let run_cmd =
     g
   in
   let run w hints_path lenient robust remap guard guard_floor quarantine_path
-      faults =
+      faults () =
     if guard_floor <= 0. || guard_floor > 1.5 then
       die "bad --guard-floor value: %g outside (0, 1.5]" guard_floor;
     if robust && (remap || guard) then
@@ -388,10 +415,10 @@ let run_cmd =
     Term.(
       const run $ workload_arg $ hints_flag $ lenient_flag $ robust_flag
       $ remap_flag $ guard_flag $ guard_floor_flag $ quarantine_flag
-      $ faults_term)
+      $ faults_term $ obs_term)
 
 let profile_cmd =
-  let profile w output faults =
+  let profile w output faults () =
     let options = { Profiler.default_options with Profiler.faults } in
     let prof = Pipeline.profile ~options w in
     Printf.printf
@@ -449,7 +476,7 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Collect and analyse an LBR/PEBS profile for a workload")
-    Term.(const profile $ workload_arg $ output_flag $ faults_term)
+    Term.(const profile $ workload_arg $ output_flag $ faults_term $ obs_term)
 
 let show_ir_cmd =
   let show w inject =
@@ -502,7 +529,7 @@ let list_cmd =
     Term.(const list $ const ())
 
 let experiments_cmd =
-  let run ids quick () =
+  let run ids quick () () =
     let lab = Lab.create ~quick () in
     let exps =
       match ids with
@@ -525,11 +552,11 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ ids $ quick $ jobs_term)
+    Term.(const run $ ids $ quick $ jobs_term $ obs_term)
 
 let campaign_cmd =
   let run workloads store trials retries threshold cooldown backoff_base
-      max_cycles max_steps crash_after_write crash_torn crash_at_cycle () =
+      max_cycles max_steps crash_after_write crash_torn crash_at_cycle () () =
     if trials < 1 then die "bad --trials value: %d (need >= 1)" trials;
     if retries < 0 then die "bad --retries value: %d (need >= 0)" retries;
     if threshold < 1 then
@@ -737,7 +764,25 @@ let campaign_cmd =
       const run $ workloads_arg $ store_flag $ trials_flag $ retries_flag
       $ threshold_flag $ cooldown_flag $ backoff_flag $ max_cycles_flag
       $ max_steps_flag $ crash_write_flag $ crash_torn_flag
-      $ crash_cycle_flag $ jobs_term)
+      $ crash_cycle_flag $ jobs_term $ obs_term)
+
+let obs_report_cmd =
+  let report path =
+    match Aptget_obs.Trace.load ~path with
+    | Error e ->
+      Printf.eprintf "aptget: cannot read trace %s: %s\n" path e;
+      exit 1
+    | Ok spans -> print_string (Aptget_obs.Report.render spans)
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE")
+  in
+  Cmd.v
+    (Cmd.info "obs-report"
+       ~doc:
+         "Render a per-stage time breakdown from an NDJSON trace written by \
+          $(b,--trace)")
+    Term.(const report $ path_arg)
 
 let main =
   Cmd.group
@@ -745,6 +790,14 @@ let main =
        ~doc:
          "Profile-guided timely software prefetching (EuroSys'22 \
           reproduction)")
-    [ run_cmd; profile_cmd; show_ir_cmd; list_cmd; experiments_cmd; campaign_cmd ]
+    [
+      run_cmd;
+      profile_cmd;
+      show_ir_cmd;
+      list_cmd;
+      experiments_cmd;
+      campaign_cmd;
+      obs_report_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -4,6 +4,8 @@ module Faults = Aptget_pmu.Faults
 module Crash = Aptget_store.Crash
 module Journal = Aptget_store.Journal
 module Pool = Aptget_util.Pool
+module Trace = Aptget_obs.Trace
+module Metrics = Aptget_obs.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* Plans *)
@@ -228,13 +230,16 @@ let run_group ~config ~mconfig ~crash ~append ~done_tbl wname indexed_trials =
       | Ok s -> (attempt, backoff, Ok s)
       | Error why ->
         if attempt > max_retries then (attempt, backoff, Error why)
-        else
+        else begin
+          Metrics.incr "campaign.retries";
           let factor =
             Float.min
               (config.backoff_base ** float_of_int (attempt - 1))
               Faults.max_backoff
           in
+          Metrics.observe "campaign.backoff_factor" factor;
           go (attempt + 1) (backoff +. factor)
+        end
     in
     go 1 0.
   in
@@ -242,6 +247,8 @@ let run_group ~config ~mconfig ~crash ~append ~done_tbl wname indexed_trials =
     List.map
       (fun (idx, t) ->
         let result =
+          Trace.with_span ~name:"campaign.trial" ~attrs:[ ("trial", t.t_id) ]
+          @@ fun () ->
           match Hashtbl.find_opt done_tbl t.t_id with
           | Some speedup ->
             {
@@ -254,6 +261,7 @@ let run_group ~config ~mconfig ~crash ~append ~done_tbl wname indexed_trials =
           | None -> (
             match b.state with
             | Open n ->
+              Metrics.incr "campaign.breaker.skips";
               b.state <- (if n <= 1 then Half_open else Open (n - 1));
               {
                 tr_id = t.t_id;
@@ -278,7 +286,10 @@ let run_group ~config ~mconfig ~crash ~append ~done_tbl wname indexed_trials =
                 match outcome with
                 | Ok speedup ->
                   b.consecutive <- 0;
-                  if state = Half_open then b.state <- Closed;
+                  if state = Half_open then begin
+                    Metrics.incr "campaign.breaker.reclosed";
+                    b.state <- Closed
+                  end;
                   append
                     (record_of_trial ~id:t.t_id ~workload:wname ~ok:true
                        ~attempts ~speedup:(Some speedup));
@@ -286,11 +297,13 @@ let run_group ~config ~mconfig ~crash ~append ~done_tbl wname indexed_trials =
                 | Error why ->
                   (match state with
                   | Half_open ->
+                    Metrics.incr "campaign.breaker.opened";
                     b.state <- Open config.breaker_cooldown;
                     b.opened <- b.opened + 1
                   | _ ->
                     b.consecutive <- b.consecutive + 1;
                     if b.consecutive >= config.breaker_threshold then begin
+                      Metrics.incr "campaign.breaker.opened";
                       b.state <- Open config.breaker_cooldown;
                       b.consecutive <- 0;
                       b.opened <- b.opened + 1

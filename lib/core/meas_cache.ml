@@ -225,13 +225,28 @@ let parse (k : key) (text : string) : Pipeline.measurement option =
     | _ -> raise Bad
   with _ -> None
 
+module Metrics = Aptget_obs.Metrics
+
 let load ~dir k =
   match Atomic_file.read ~path:(path_of ~dir k) with
-  | Error _ -> None
-  | Ok text -> parse k text
+  | Error _ ->
+    Metrics.incr "meas_cache.miss";
+    None
+  | Ok text -> (
+    match parse k text with
+    | Some m ->
+      Metrics.incr "meas_cache.hit";
+      Some m
+    | None ->
+      (* Unreadable, checksum-failed or mismatched record: distinguish
+         corruption from a plain absent-file miss in the counters. *)
+      Metrics.incr "meas_cache.corrupt";
+      Metrics.incr "meas_cache.miss";
+      None)
 
 let store ~dir k m =
   try
     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-    Atomic_file.write ~path:(path_of ~dir k) (render k m)
+    Atomic_file.write ~path:(path_of ~dir k) (render k m);
+    Metrics.incr "meas_cache.store"
   with _ -> ()

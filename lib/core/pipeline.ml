@@ -7,6 +7,8 @@ module Inject = Aptget_passes.Inject
 module Faults = Aptget_pmu.Faults
 module Clock = Aptget_util.Clock
 module Crash = Aptget_store.Crash
+module Trace = Aptget_obs.Trace
+module Metrics = Aptget_obs.Metrics
 
 type measurement = {
   workload : string;
@@ -37,17 +39,30 @@ let mpki_reduction ~baseline m =
 let wall = Clock.wall
 
 let run_transformed ?config (w : Workload.t) transform =
+  Trace.with_span ~name:"pipeline.run" ~attrs:[ ("workload", w.Workload.name) ]
+  @@ fun () ->
   let (outcome, verified, injected, skipped), wall_seconds =
     wall (fun () ->
-        let inst = w.Workload.build () in
-        let injected, skipped = transform inst in
-        Verify.check_exn inst.Workload.func;
+        let inst =
+          Trace.with_span ~name:"stage.build" (fun () -> w.Workload.build ())
+        in
+        let injected, skipped =
+          Trace.with_span ~name:"stage.inject" (fun () -> transform inst)
+        in
+        Trace.with_span ~name:"stage.verify-ir" (fun () ->
+            Verify.check_exn inst.Workload.func);
         let outcome =
-          Machine.execute ?config ~args:inst.Workload.args
-            ~mem:inst.Workload.mem inst.Workload.func
+          Trace.with_span ~name:"stage.measure" (fun () ->
+              let o =
+                Machine.execute ?config ~args:inst.Workload.args
+                  ~mem:inst.Workload.mem inst.Workload.func
+              in
+              Trace.set_cycles o.Machine.cycles;
+              o)
         in
         let verified =
-          inst.Workload.verify inst.Workload.mem outcome.Machine.ret
+          Trace.with_span ~name:"stage.semantic-verify" (fun () ->
+              inst.Workload.verify inst.Workload.mem outcome.Machine.ret)
         in
         (outcome, verified, injected, skipped))
   in
@@ -61,7 +76,12 @@ let aj ?config ?distance w =
       (r.Aj.injected, r.Aj.skipped))
 
 let profile ?options (w : Workload.t) =
-  let inst = w.Workload.build () in
+  Trace.with_span ~name:"pipeline.profile"
+    ~attrs:[ ("workload", w.Workload.name) ]
+  @@ fun () ->
+  let inst =
+    Trace.with_span ~name:"stage.build" (fun () -> w.Workload.build ())
+  in
   Profiler.profile ?options ~args:inst.Workload.args ~mem:inst.Workload.mem
     inst.Workload.func
 
@@ -112,6 +132,7 @@ let run_robust ?(options = Profiler.default_options) ?config
     ?(faults = Faults.none) ?hints ?watchdog ?crash (w : Workload.t) =
   let degradations = ref [] in
   let add stage cause fallback =
+    Metrics.incr ("robust.degradation." ^ stage);
     degradations := { stage; cause; fallback } :: !degradations
   in
   (* Watchdog expirations degrade with their structured cause; anything
@@ -207,7 +228,8 @@ let run_robust ?(options = Profiler.default_options) ?config
                  per hint it will process. *)
               Watchdog.check_steps ?config:watchdog Watchdog.Inject
                 ~steps:(List.length hints_used);
-              Aptget_pass.run inst.Workload.func ~hints:hints_used
+              Trace.with_span ~name:"stage.inject" (fun () ->
+                  Aptget_pass.run inst.Workload.func ~hints:hints_used)
             with
             | exception e when not (Crash.is_crashed e) ->
               add "inject" (cause_of e)
@@ -232,12 +254,17 @@ let run_robust ?(options = Profiler.default_options) ?config
           in
           let run_inst inst injected skipped =
             let outcome =
-              Watchdog.run ?config:watchdog ?crash
-                ~machine:(Option.value config ~default:Machine.default_config)
-                Watchdog.Measure
-                (fun capped ->
-                  Machine.execute ~config:capped ~args:inst.Workload.args
-                    ~mem:inst.Workload.mem inst.Workload.func)
+              Trace.with_span ~name:"stage.measure" @@ fun () ->
+              let o =
+                Watchdog.run ?config:watchdog ?crash
+                  ~machine:(Option.value config ~default:Machine.default_config)
+                  Watchdog.Measure
+                  (fun capped ->
+                    Machine.execute ~config:capped ~args:inst.Workload.args
+                      ~mem:inst.Workload.mem inst.Workload.func)
+              in
+              Trace.set_cycles o.Machine.cycles;
+              o
             in
             let verified =
               inst.Workload.verify inst.Workload.mem outcome.Machine.ret
@@ -275,6 +302,9 @@ let run_robust ?(options = Profiler.default_options) ?config
      exception is a simulated crash, which models the process dying and
      therefore must propagate. *)
   let result, wall_seconds =
+    Trace.with_span ~name:"pipeline.run-robust"
+      ~attrs:[ ("workload", w.Workload.name) ]
+    @@ fun () ->
     wall (fun () ->
         try go ()
         with e when not (Crash.is_crashed e) ->
@@ -345,6 +375,9 @@ let pinned ?config w hints reason =
 
 let run_guarded ?config ?(guard = default_guard) ?quarantine ?remap ?watchdog
     ?crash ~(doc : Hints_file.doc) (w : Workload.t) =
+  Trace.with_span ~name:"pipeline.run-guarded"
+    ~attrs:[ ("workload", w.Workload.name) ]
+  @@ fun () ->
   let current =
     Aptget_ir.Fingerprint.fingerprint (w.Workload.build ()).Workload.func
   in
@@ -437,6 +470,11 @@ let run_guarded ?config ?(guard = default_guard) ?quarantine ?remap ?watchdog
         in
         (None, final, Quarantined { speedup = 0.; fallback }))
   in
+  Metrics.incr
+    (match outcome with
+    | Admitted -> "guard.admitted"
+    | Quarantined _ -> "guard.quarantined"
+    | Known_bad _ -> "guard.known_bad");
   {
     g_workload = w.Workload.name;
     g_program = program;

@@ -23,6 +23,22 @@ let micro_workload lab ~inner ~complexity =
 
 let counters (m : Pipeline.measurement) = m.Pipeline.outcome.Machine.counters
 
+(* The median-time snapshot. [Sampler.lbr_samples] happens to return
+   snapshots chronologically, but indexing an unsorted list at [len/2]
+   is only the median by accident — sort by capture cycle first so the
+   choice is the median by construction, whatever the input order. *)
+let median_snapshot (samples : Sampler.lbr_sample list) =
+  match samples with
+  | [] -> invalid_arg "Micro_exps.median_snapshot: no snapshots"
+  | _ ->
+    let sorted =
+      List.sort
+        (fun (a : Sampler.lbr_sample) b ->
+          compare a.Sampler.at_cycle b.Sampler.at_cycle)
+        samples
+    in
+    List.nth sorted (List.length sorted / 2)
+
 let accuracy m =
   let c = counters m in
   if c.Hierarchy.offcore_all_data_rd = 0 then 0.
@@ -137,7 +153,7 @@ let fig3 lab =
     (Machine.execute ~sampler ~args:inst.Workload.args ~mem:inst.Workload.mem
        inst.Workload.func);
   let samples = Sampler.lbr_samples sampler in
-  let sample = List.nth samples (List.length samples / 2) in
+  let sample = median_snapshot samples in
   let t =
     Table.create
       ~title:

@@ -1,0 +1,190 @@
+module Atomic_file = Aptget_store.Atomic_file
+
+type hist = { count : int; sum : float; min : float; max : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  hists : (string * hist) list;
+}
+
+type hist_cell = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type cell = Counter of int ref | Hist of hist_cell
+
+(* Each shard is written only by its owning domain; the registry mutex
+   guards shard creation, the gauge table, and flush-time snapshots
+   (which in practice run after worker domains have joined). *)
+type shard = (string, cell) Hashtbl.t
+
+let on = Atomic.make false
+let lock = Mutex.create ()
+let shards : (int, shard) Hashtbl.t = Hashtbl.create 8
+let gauges : (string, float) Hashtbl.t = Hashtbl.create 16
+
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset shards;
+  Hashtbl.reset gauges;
+  Mutex.unlock lock
+
+let shard () =
+  let id = (Domain.self () :> int) in
+  Mutex.lock lock;
+  let s =
+    match Hashtbl.find_opt shards id with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 16 in
+      Hashtbl.add shards id s;
+      s
+  in
+  Mutex.unlock lock;
+  s
+
+let incr ?(by = 1) name =
+  if Atomic.get on then begin
+    let s = shard () in
+    match Hashtbl.find_opt s name with
+    | Some (Counter r) -> r := !r + by
+    | Some (Hist _) -> ()
+    | None -> Hashtbl.add s name (Counter (ref by))
+  end
+
+let set_gauge name v =
+  if Atomic.get on then begin
+    Mutex.lock lock;
+    Hashtbl.replace gauges name v;
+    Mutex.unlock lock
+  end
+
+let observe name v =
+  if Atomic.get on then begin
+    let s = shard () in
+    match Hashtbl.find_opt s name with
+    | Some (Hist h) ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v
+    | Some (Counter _) -> ()
+    | None ->
+      Hashtbl.add s name
+        (Hist { h_count = 1; h_sum = v; h_min = v; h_max = v })
+  end
+
+let hist_of_value v = { count = 1; sum = v; min = v; max = v }
+
+let merge_hist a b =
+  {
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    min = Float.min a.min b.min;
+    max = Float.max a.max b.max;
+  }
+
+let snapshot () =
+  Mutex.lock lock;
+  let shard_list = Hashtbl.fold (fun _ s acc -> s :: acc) shards [] in
+  let gauge_list = Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauges [] in
+  Mutex.unlock lock;
+  let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let hists : (string, hist) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun name cell ->
+          match cell with
+          | Counter r ->
+            let prev = Option.value ~default:0 (Hashtbl.find_opt counters name) in
+            Hashtbl.replace counters name (prev + !r)
+          | Hist h ->
+            let here =
+              { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max }
+            in
+            let merged =
+              match Hashtbl.find_opt hists name with
+              | Some prev -> merge_hist prev here
+              | None -> here
+            in
+            Hashtbl.replace hists name merged)
+        s)
+    shard_list;
+  let by_name (a, _) (b, _) = String.compare a b in
+  {
+    counters =
+      List.sort by_name (Hashtbl.fold (fun k v a -> (k, v) :: a) counters []);
+    gauges = List.sort by_name gauge_list;
+    hists = List.sort by_name (Hashtbl.fold (fun k v a -> (k, v) :: a) hists []);
+  }
+
+let dump () =
+  let snap = snapshot () in
+  let b = Buffer.create 256 in
+  if snap.counters <> [] then begin
+    Buffer.add_string b "# counters\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s %d\n" k v))
+      snap.counters
+  end;
+  if snap.gauges <> [] then begin
+    Buffer.add_string b "# gauges\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s %.6f\n" k v))
+      snap.gauges
+  end;
+  if snap.hists <> [] then begin
+    Buffer.add_string b "# histograms\n";
+    List.iter
+      (fun (k, h) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s count=%d sum=%.6f min=%.6f max=%.6f mean=%.6f\n"
+             k h.count h.sum h.min h.max
+             (if h.count = 0 then 0. else h.sum /. float_of_int h.count)))
+      snap.hists
+  end;
+  Buffer.contents b
+
+let dump_json () =
+  let snap = snapshot () in
+  let b = Buffer.create 256 in
+  let esc = Trace.json_escape in
+  Buffer.add_string b "{\"counters\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (esc k) v))
+    snap.counters;
+  Buffer.add_string b "},\"gauges\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%.6f" (esc k) v))
+    snap.gauges;
+  Buffer.add_string b "},\"histograms\":{";
+  List.iteri
+    (fun i (k, h) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"%s\":{\"count\":%d,\"sum\":%.6f,\"min\":%.6f,\"max\":%.6f}"
+           (esc k) h.count h.sum h.min h.max))
+    snap.hists;
+  Buffer.add_string b "}}";
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let export ~path =
+  let text =
+    if Filename.check_suffix path ".json" then dump_json () else dump ()
+  in
+  Atomic_file.write ~path text

@@ -1,0 +1,61 @@
+(** Process-wide metrics registry: counters, gauges, histograms.
+
+    Counters and histograms are sharded per domain — each domain writes
+    only its own shard, so [--jobs N] batches record without contention
+    — and the shards are merged at flush time. Counter merge is
+    addition and histogram merge is the pointwise {!merge_hist}, both
+    associative and commutative, so the merged totals are independent
+    of domain scheduling. Gauges are last-write-wins and live in a
+    single mutex-guarded table.
+
+    The registry is {b off by default}: while disabled, {!incr},
+    {!set_gauge} and {!observe} return without registering anything, so
+    untraced runs carry no metric state at all. Dumps are sorted by
+    metric name and therefore stable. *)
+
+type hist = { count : int; sum : float; min : float; max : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  hists : (string * hist) list;
+}
+(** Merged view across all domain shards; each section sorted by
+    name. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop every shard and gauge. *)
+
+val incr : ?by:int -> string -> unit
+(** Add [by] (default 1) to a counter in this domain's shard. No-op
+    while disabled. *)
+
+val set_gauge : string -> float -> unit
+(** Last-write-wins. No-op while disabled. *)
+
+val observe : string -> float -> unit
+(** Record one observation into a histogram in this domain's shard.
+    No-op while disabled. *)
+
+val hist_of_value : float -> hist
+(** A single-observation histogram. *)
+
+val merge_hist : hist -> hist -> hist
+(** Pointwise merge: counts and sums add, bounds widen. Associative and
+    commutative with {!hist_of_value} as generator. *)
+
+val snapshot : unit -> snapshot
+
+val dump : unit -> string
+(** Stable sorted plain-text rendering of {!snapshot}. *)
+
+val dump_json : unit -> string
+(** Stable sorted single-line JSON rendering of {!snapshot}. *)
+
+val export : path:string -> unit
+(** Write atomically to [path]: {!dump_json} when [path] ends in
+    [.json], {!dump} otherwise. *)

@@ -1,0 +1,26 @@
+let enable_tracing () = Trace.enable ()
+
+let enable_metrics () =
+  Metrics.enable ();
+  Aptget_util.Pool.set_monitor
+    (Some
+       {
+         on_task =
+           (fun ~wait_s ~run_s ~helper ->
+             Metrics.incr "pool.tasks";
+             if helper then Metrics.incr "pool.helped";
+             Metrics.observe "pool.queue_wait_s" wait_s;
+             Metrics.observe "pool.run_s" run_s);
+       })
+
+let install ?trace ?metrics () =
+  (match trace with
+  | Some path ->
+    enable_tracing ();
+    at_exit (fun () -> Trace.export ~path)
+  | None -> ());
+  match metrics with
+  | Some path ->
+    enable_metrics ();
+    at_exit (fun () -> Metrics.export ~path)
+  | None -> ()

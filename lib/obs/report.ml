@@ -1,0 +1,102 @@
+module Table = Aptget_util.Table
+
+type row = {
+  r_name : string;
+  r_count : int;
+  r_wall_s : float;
+  r_share : float;
+  r_cycles : int;
+  r_depth : int;
+}
+
+let root_wall spans =
+  List.fold_left
+    (fun acc (s : Trace.span) -> if s.depth = 0 then acc +. s.wall_s else acc)
+    0. spans
+
+let stage_wall spans =
+  List.fold_left
+    (fun acc (s : Trace.span) -> if s.depth = 1 then acc +. s.wall_s else acc)
+    0. spans
+
+let coverage spans =
+  let root = root_wall spans in
+  if root <= 0. then 0. else stage_wall spans /. root
+
+let rows spans =
+  let total = root_wall spans in
+  let acc : (string, row) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Trace.span) ->
+      let prev =
+        match Hashtbl.find_opt acc s.name with
+        | Some r -> r
+        | None ->
+          {
+            r_name = s.name;
+            r_count = 0;
+            r_wall_s = 0.;
+            r_share = 0.;
+            r_cycles = 0;
+            r_depth = s.depth;
+          }
+      in
+      Hashtbl.replace acc s.name
+        {
+          prev with
+          r_count = prev.r_count + 1;
+          r_wall_s = prev.r_wall_s +. s.wall_s;
+          r_cycles = prev.r_cycles + Option.value ~default:0 s.cycles;
+          r_depth = min prev.r_depth s.depth;
+        })
+    spans;
+  let rows = Hashtbl.fold (fun _ r l -> r :: l) acc [] in
+  let rows =
+    List.map
+      (fun r ->
+        { r with r_share = (if total <= 0. then 0. else r.r_wall_s /. total) })
+      rows
+  in
+  List.sort
+    (fun a b ->
+      match Float.compare b.r_wall_s a.r_wall_s with
+      | 0 -> String.compare a.r_name b.r_name
+      | c -> c)
+    rows
+
+let table spans =
+  let t =
+    Table.create ~title:"Trace breakdown (per span name)"
+      ~header:[ "span"; "depth"; "count"; "wall_s"; "share"; "cycles" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.r_name;
+          string_of_int r.r_depth;
+          string_of_int r.r_count;
+          Table.fmt_float ~decimals:6 r.r_wall_s;
+          Table.fmt_pct r.r_share;
+          (if r.r_cycles = 0 then "-" else string_of_int r.r_cycles);
+        ])
+    (rows spans);
+  let n_roots =
+    List.length (List.filter (fun (s : Trace.span) -> s.depth = 0) spans)
+  in
+  Table.add_row t
+    [
+      "total (roots)";
+      "0";
+      string_of_int n_roots;
+      Table.fmt_float ~decimals:6 (root_wall spans);
+      Table.fmt_pct 1.0;
+      "-";
+    ];
+  t
+
+let render spans =
+  Printf.sprintf "%s\nstage coverage: %s of %s s root wall\n"
+    (Table.render (table spans))
+    (Table.fmt_pct (coverage spans))
+    (Table.fmt_float ~decimals:6 (root_wall spans))

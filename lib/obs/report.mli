@@ -1,0 +1,36 @@
+(** Per-stage breakdown of a trace.
+
+    [obs-report] feeds a parsed NDJSON trace through this module to
+    answer "where did the time go": one row per span name, aggregated
+    over every occurrence, with wall totals, share of root wall time,
+    and simulated-cycle totals where stamped. *)
+
+type row = {
+  r_name : string;
+  r_count : int;
+  r_wall_s : float;  (** summed over occurrences *)
+  r_share : float;  (** [r_wall_s] / total root wall, 0 if no root wall *)
+  r_cycles : int;  (** summed stamped cycles, 0 when never stamped *)
+  r_depth : int;  (** minimum depth the name occurs at *)
+}
+
+val rows : Trace.span list -> row list
+(** Aggregate rows sorted by descending wall total, name as
+    tie-break. *)
+
+val root_wall : Trace.span list -> float
+(** Summed wall seconds of root spans (depth 0). *)
+
+val stage_wall : Trace.span list -> float
+(** Summed wall seconds of depth-1 spans — the per-stage total the
+    acceptance bound compares against root wall. *)
+
+val coverage : Trace.span list -> float
+(** [stage_wall / root_wall]; 0 when there is no root wall. A pipeline
+    whose stages are all instrumented covers ~1.0 of its root span. *)
+
+val table : Trace.span list -> Aptget_util.Table.t
+(** Render {!rows} as a table, with a final [total (roots)] row. *)
+
+val render : Trace.span list -> string
+(** {!table} rendered, plus a coverage summary line. *)

@@ -1,0 +1,453 @@
+module Clock = Aptget_util.Clock
+module Atomic_file = Aptget_store.Atomic_file
+
+type span = {
+  id : int;
+  parent : int option;
+  depth : int;
+  name : string;
+  attrs : (string * string) list;
+  wall_start : float;
+  wall_s : float;
+  cycles : int option;
+}
+
+(* Live (unexported) spans. Children are accumulated reversed; the
+   chronological order is recovered at export time. *)
+type node = {
+  n_name : string;
+  mutable n_attrs : (string * string) list;
+  mutable n_cycles : int option;
+  n_start : float;
+  mutable n_stop : float;
+  mutable n_children : node list;
+}
+
+(* One buffer per domain: only the owning domain pushes/pops its stack
+   or appends to its roots, so no lock is needed beyond the registry
+   lookup. Workers from different [--jobs] runs therefore never
+   interleave their spans. *)
+type dstate = { mutable stack : node list; mutable roots : node list }
+
+let on = Atomic.make false
+let lock = Mutex.create ()
+let domains : (int, dstate) Hashtbl.t = Hashtbl.create 8
+
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset domains;
+  Mutex.unlock lock
+
+let state () =
+  let id = (Domain.self () :> int) in
+  Mutex.lock lock;
+  let s =
+    match Hashtbl.find_opt domains id with
+    | Some s -> s
+    | None ->
+      let s = { stack = []; roots = [] } in
+      Hashtbl.add domains id s;
+      s
+  in
+  Mutex.unlock lock;
+  s
+
+let with_span ~name ?(attrs = []) f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let s = state () in
+    let node =
+      {
+        n_name = name;
+        n_attrs = attrs;
+        n_cycles = None;
+        n_start = Clock.now ();
+        n_stop = 0.;
+        n_children = [];
+      }
+    in
+    s.stack <- node :: s.stack;
+    let finish () =
+      node.n_stop <- Clock.now ();
+      match s.stack with
+      | top :: rest when top == node ->
+        s.stack <- rest;
+        (match rest with
+        | parent :: _ -> parent.n_children <- node :: parent.n_children
+        | [] -> s.roots <- node :: s.roots)
+      | _ ->
+        (* Unbalanced close (tracing toggled mid-span): salvage the
+           span as a root rather than corrupting the stack. *)
+        s.stack <- List.filter (fun n -> n != node) s.stack;
+        s.roots <- node :: s.roots
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let current () =
+  if not (Atomic.get on) then None
+  else match (state ()).stack with top :: _ -> Some top | [] -> None
+
+let add_attr k v =
+  match current () with
+  | Some top -> top.n_attrs <- top.n_attrs @ [ (k, v) ]
+  | None -> ()
+
+let set_cycles c =
+  match current () with Some top -> top.n_cycles <- Some c | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic export order                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural key of a subtree: everything but wall times and ids. Two
+   runs of the same deterministic work produce identical keys no matter
+   which domain executed them, so sorting roots by key makes the export
+   order independent of the job count and of scheduling. Roots with
+   equal keys render to identical lines (modulo wall stamps), so ties
+   cannot make the output diverge either. *)
+let rec key_of_node buf n =
+  Buffer.add_string buf n.n_name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf '\x01';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf v)
+    n.n_attrs;
+  (match n.n_cycles with
+  | None -> ()
+  | Some c ->
+    Buffer.add_char buf '\x02';
+    Buffer.add_string buf (string_of_int c));
+  Buffer.add_char buf '[';
+  List.iter
+    (fun c ->
+      key_of_node buf c;
+      Buffer.add_char buf ';')
+    (List.rev n.n_children);
+  Buffer.add_char buf ']'
+
+let snapshot_roots () =
+  Mutex.lock lock;
+  let roots =
+    Hashtbl.fold (fun _ s acc -> List.rev_append s.roots acc) domains []
+  in
+  Mutex.unlock lock;
+  roots
+
+let spans () =
+  let keyed =
+    List.map
+      (fun n ->
+        let b = Buffer.create 128 in
+        key_of_node b n;
+        (Buffer.contents b, n))
+      (snapshot_roots ())
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) keyed in
+  let out = ref [] in
+  let next = ref 0 in
+  let rec emit parent depth n =
+    incr next;
+    let id = !next in
+    out :=
+      {
+        id;
+        parent;
+        depth;
+        name = n.n_name;
+        attrs = n.n_attrs;
+        wall_start = n.n_start;
+        wall_s = n.n_stop -. n.n_start;
+        cycles = n.n_cycles;
+      }
+      :: !out;
+    List.iter (emit (Some id) (depth + 1)) (List.rev n.n_children)
+  in
+  List.iter (fun (_, n) -> emit None 0 n) sorted;
+  List.rev !out
+
+let strip_wall s = { s with wall_start = 0.; wall_s = 0. }
+
+(* ------------------------------------------------------------------ *)
+(* NDJSON rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let span_to_line s =
+  let attrs =
+    String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+         s.attrs)
+  in
+  Printf.sprintf
+    "{\"id\":%d,\"parent\":%s,\"depth\":%d,\"name\":\"%s\",\"wall_start\":%.6f,\"wall_s\":%.6f,\"cycles\":%s,\"attrs\":{%s}}"
+    s.id
+    (match s.parent with None -> "null" | Some p -> string_of_int p)
+    s.depth (json_escape s.name) s.wall_start s.wall_s
+    (match s.cycles with None -> "null" | Some c -> string_of_int c)
+    attrs
+
+let to_ndjson () =
+  match spans () with
+  | [] -> ""
+  | ss -> String.concat "\n" (List.map span_to_line ss) ^ "\n"
+
+let export ~path = Atomic_file.write ~path (to_ndjson ())
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parsing (exactly the subset the renderer emits)        *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jobj of (string * json) list
+  | Jarr of json list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else begin
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents b
+        | '\\' -> (
+          if !pos >= n then fail "dangling escape"
+          else
+            let e = s.[!pos] in
+            advance ();
+            match e with
+            | '"' -> Buffer.add_char b '"'; go ()
+            | '\\' -> Buffer.add_char b '\\'; go ()
+            | '/' -> Buffer.add_char b '/'; go ()
+            | 'n' -> Buffer.add_char b '\n'; go ()
+            | 't' -> Buffer.add_char b '\t'; go ()
+            | 'r' -> Buffer.add_char b '\r'; go ()
+            | 'b' -> Buffer.add_char b '\b'; go ()
+            | 'f' -> Buffer.add_char b '\012'; go ()
+            | 'u' ->
+              if !pos + 4 > n then fail "short \\u escape"
+              else begin
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                (match int_of_string_opt ("0x" ^ hex) with
+                | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+                | Some _ -> Buffer.add_char b '?' (* non-ASCII: not emitted by us *)
+                | None -> fail "bad \\u escape");
+                go ()
+              end
+            | _ -> fail "bad escape")
+        | c -> Buffer.add_char b c; go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected number"
+    else
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Jobj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected , or }"
+        in
+        members ();
+        Jobj (List.rev !fields)
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Jarr []
+      end
+      else begin
+        let items = ref [] in
+        let rec elems () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected , or ]"
+        in
+        elems ();
+        Jarr (List.rev !items)
+      end
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> Jnum (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse_line line =
+  match parse_json line with
+  | exception Bad_json e -> Error e
+  | Jobj fields -> (
+    let field k = List.assoc_opt k fields in
+    let int_field k =
+      match field k with
+      | Some (Jnum f) when Float.is_integer f -> Some (int_of_float f)
+      | _ -> None
+    in
+    let opt_int_field k =
+      match field k with
+      | Some Jnull -> Some None
+      | Some (Jnum f) when Float.is_integer f -> Some (Some (int_of_float f))
+      | _ -> None
+    in
+    let num_field k =
+      match field k with Some (Jnum f) -> Some f | _ -> None
+    in
+    let str_field k =
+      match field k with Some (Jstr s) -> Some s | _ -> None
+    in
+    let attrs_field () =
+      match field "attrs" with
+      | Some (Jobj kvs) ->
+        let rec go acc = function
+          | [] -> Some (List.rev acc)
+          | (k, Jstr v) :: rest -> go ((k, v) :: acc) rest
+          | _ -> None
+        in
+        go [] kvs
+      | _ -> None
+    in
+    match
+      ( int_field "id",
+        opt_int_field "parent",
+        int_field "depth",
+        str_field "name",
+        num_field "wall_start",
+        num_field "wall_s",
+        opt_int_field "cycles",
+        attrs_field () )
+    with
+    | ( Some id,
+        Some parent,
+        Some depth,
+        Some name,
+        Some wall_start,
+        Some wall_s,
+        Some cycles,
+        Some attrs ) ->
+      Ok { id; parent; depth; name; attrs; wall_start; wall_s; cycles }
+    | _ -> Error "missing or ill-typed span field")
+  | _ -> Error "span line is not a JSON object"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go acc (lineno + 1) rest
+      else (
+        match parse_line line with
+        | Ok s -> go (s :: acc) (lineno + 1) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go [] 1 lines
+
+let load ~path =
+  match Atomic_file.read ~path with
+  | Error e -> Error e
+  | Ok text -> parse text

@@ -1,0 +1,78 @@
+(** Deterministic tracing spans.
+
+    A span is a named, attributed interval of work. Spans nest: a span
+    opened while another is live on the same domain becomes its child,
+    so a trace reconstructs the stage structure of a run (profile →
+    peak-fit → distance-solve, inject, measure, …). Wall times come
+    from the {!Aptget_util.Clock} seam; simulated work additionally
+    stamps its span with simulated cycles via {!set_cycles}.
+
+    Tracing is {b off by default} and {!with_span} is a plain function
+    call in that state, so untraced runs are bit-identical to the
+    pre-tracing code. Spans are buffered {e per domain}: concurrent
+    [--jobs N] runs never interleave within a buffer, and the exporter
+    orders root spans by their structural content (name, attributes,
+    cycle stamps, subtree — never wall times), so traces are
+    deterministic across job counts modulo wall timestamps.
+
+    Export is NDJSON: one span object per line, ids pre-order within
+    the deterministic order, children referencing their parent id. *)
+
+type span = {
+  id : int;  (** 1-based, pre-order in the deterministic export order *)
+  parent : int option;  (** [None] for root spans *)
+  depth : int;  (** 0 for roots *)
+  name : string;
+  attrs : (string * string) list;
+  wall_start : float;  (** {!Aptget_util.Clock} stamp at open *)
+  wall_s : float;  (** wall seconds between open and close *)
+  cycles : int option;  (** simulated cycles, when stamped *)
+}
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop every buffered span (all domains). *)
+
+val with_span : name:string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a
+(** [with_span ~name f] runs [f] inside a span. When tracing is
+    disabled this is exactly [f ()]. Exceptions close the span and
+    propagate. *)
+
+val add_attr : string -> string -> unit
+(** Attach [key = value] to the innermost live span on this domain, if
+    any. No-op when tracing is disabled. *)
+
+val set_cycles : int -> unit
+(** Stamp the innermost live span on this domain with a simulated-cycle
+    count. No-op when tracing is disabled. *)
+
+val spans : unit -> span list
+(** Snapshot of all {e closed} root trees, flattened pre-order in the
+    deterministic export order, with ids assigned. *)
+
+val strip_wall : span -> span
+(** The span with its wall fields zeroed — the part of a span that must
+    be identical across [--jobs] counts. *)
+
+val to_ndjson : unit -> string
+(** {!spans} rendered one JSON object per line. *)
+
+val export : path:string -> unit
+(** Write {!to_ndjson} to [path] atomically (temp + rename). *)
+
+val span_to_line : span -> string
+
+val json_escape : string -> string
+(** JSON string-body escaping (quotes, backslash, control chars). *)
+
+val parse_line : string -> (span, string) result
+(** Re-parse one NDJSON line. *)
+
+val parse : string -> (span list, string) result
+(** Re-parse a whole NDJSON document; blank lines are skipped. Fails on
+    the first malformed line with its line number. *)
+
+val load : path:string -> (span list, string) result

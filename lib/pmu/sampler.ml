@@ -100,3 +100,21 @@ let delinquent_loads t =
 let miss_samples t = t.pebs_samples
 
 let fault_stats t = Option.map Faults.stats t.faults
+
+let export_metrics t =
+  let module M = Aptget_obs.Metrics in
+  if M.enabled () then begin
+    M.incr "sampler.runs";
+    M.incr ~by:(List.length t.samples) "sampler.lbr_snapshots";
+    M.incr ~by:t.pebs_samples "sampler.pebs_samples";
+    M.incr ~by:t.miss_count "sampler.llc_misses";
+    match fault_stats t with
+    | None -> ()
+    | Some s ->
+      M.incr ~by:s.Faults.lbr_dropped "sampler.faults.lbr_dropped";
+      M.incr ~by:s.Faults.lbr_truncated "sampler.faults.lbr_truncated";
+      M.incr ~by:s.Faults.stamps_jittered "sampler.faults.stamps_jittered";
+      M.incr ~by:s.Faults.pebs_skidded "sampler.faults.pebs_skidded";
+      M.incr ~by:s.Faults.throttled "sampler.faults.throttled";
+      M.set_gauge "sampler.faults.backoff_factor" s.Faults.backoff_factor
+  end

@@ -67,3 +67,9 @@ val current_pebs_period : t -> int
 
 val fault_stats : t -> Faults.stats option
 (** Fault counters, when a fault model is attached. *)
+
+val export_metrics : t -> unit
+(** Push this sampler's tallies (snapshot/sample/miss counts and, when
+    a fault model is attached, the {!Faults.stats} counters) into the
+    {!Aptget_obs.Metrics} registry. No-op while the registry is
+    disabled. *)

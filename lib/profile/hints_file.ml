@@ -68,15 +68,23 @@ let hex_of_string_opt s =
   then None
   else int_of_string_opt ("0x" ^ s)
 
+(* Decimal fields go through this, never bare [int_of_string_opt]: the
+   latter inherits OCaml literal lenience and silently accepts "+5",
+   "1_0" and radix prefixes like "0x10" — none of which this format
+   ever writes, so none should read back. *)
+let dec_of_string_opt s =
+  if s = "" || String.exists (fun c -> c < '0' || c > '9') s then None
+  else int_of_string_opt s
+
 let parse_fp line value =
   match String.split_on_char ':' value with
   | [ slice; shape; depth; len; loads ] -> (
     match
       ( hex_of_string_opt slice,
         hex_of_string_opt shape,
-        int_of_string_opt depth,
-        int_of_string_opt len,
-        int_of_string_opt loads )
+        dec_of_string_opt depth,
+        dec_of_string_opt len,
+        dec_of_string_opt loads )
     with
     | Some sl, Some sh, Some d, Some l, Some lo
       when d >= 0 && l >= 0 && lo >= 0 ->
@@ -100,8 +108,8 @@ let parse_fp line value =
 let parse_field line (key, value) =
   match key with
   | "pc" | "distance" | "sweep" -> (
-    match int_of_string_opt value with
-    | Some v when v >= 0 -> Ok (key, `Int v)
+    match dec_of_string_opt value with
+    | Some v -> Ok (key, `Int v)
     | _ -> Error (Printf.sprintf "bad integer %S in %S" value line))
   | "site" -> (
     match value with
@@ -204,7 +212,7 @@ let parse_provenance line =
       let field k = List.assoc_opt k kvs in
       match (field "program", field "schema", field "options") with
       | Some program, Some schema, Some options -> (
-        match (hex_of_string_opt program, int_of_string_opt schema) with
+        match (hex_of_string_opt program, dec_of_string_opt schema) with
         | Some program, Some schema when schema >= 1 ->
           if schema > schema_version then
             Error

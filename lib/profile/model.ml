@@ -15,6 +15,9 @@ let distance_of_times ?(finder = Cwt) ?(bins = 96) ?(max_distance = 128)
     ?(min_samples = 8) times =
   if Array.length times < min_samples then None
   else begin
+    Aptget_obs.Trace.with_span ~name:"stage.distance-solve"
+      ~attrs:[ ("samples", string_of_int (Array.length times)) ]
+    @@ fun () ->
     let hist = Histogram.of_samples ~bins times in
     let counts = Histogram.counts hist in
     let idxs =
@@ -23,7 +26,8 @@ let distance_of_times ?(finder = Cwt) ?(bins = 96) ?(max_distance = 128)
       | Naive -> Peaks.find_peaks_naive counts
     in
     let peak_values =
-      List.map (fun i -> Histogram.bin_center hist i) idxs |> List.sort compare
+      List.map (fun i -> Histogram.bin_center hist i) idxs
+      |> List.sort Float.compare
     in
     let ic, mc, peaks =
       match peak_values with

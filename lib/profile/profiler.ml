@@ -7,6 +7,7 @@ module Aptget_pass = Aptget_passes.Aptget_pass
 module Inject = Aptget_passes.Inject
 module Stats = Aptget_util.Stats
 module Slice = Aptget_passes.Slice
+module Trace = Aptget_obs.Trace
 
 type options = {
   machine : Machine.config;
@@ -308,8 +309,12 @@ let profile ?(options = default_options) ?(args = []) ~mem (f : Ir.func) =
       ~pebs_period:options.pebs_period ?faults ()
   in
   let baseline =
-    Machine.execute ~config:options.machine ~sampler ~args ~mem f
+    Trace.with_span ~name:"stage.profile" (fun () ->
+        let o = Machine.execute ~config:options.machine ~sampler ~args ~mem f in
+        Trace.set_cycles o.Machine.cycles;
+        o)
   in
+  Sampler.export_metrics sampler;
   let samples = Sampler.lbr_samples sampler in
   let pebs_total = Sampler.miss_samples sampler in
   let loops = Loops.analyze f in
@@ -324,7 +329,9 @@ let profile ?(options = default_options) ?(args = []) ~mem (f : Ir.func) =
   let profiles =
     List.map
       (fun (load_pc, pebs_count) ->
-        analyze_load f loops options samples ~load_pc ~pebs_count)
+        Trace.with_span ~name:"stage.peak-fit"
+          ~attrs:[ ("load_pc", string_of_int load_pc) ]
+          (fun () -> analyze_load f loops options samples ~load_pc ~pebs_count))
       delinquents
     |> overhead_filter options f
   in

@@ -87,7 +87,7 @@ let find_peaks_cwt ?widths ?(min_snr = 1.0) ?(min_length_frac = 0.25)
       let lo = max 0 (pos - window) in
       let hi = min (n - 1) (pos + window) in
       let seg = Array.sub row0 lo (hi - lo + 1) in
-      Array.sort compare seg;
+      Array.sort Float.compare seg;
       let idx = int_of_float (0.10 *. float_of_int (Array.length seg - 1)) in
       Float.max seg.(idx) 1e-12
     in

@@ -20,6 +20,15 @@ let override = Atomic.make None
 
 let set_default_jobs j = Atomic.set override j
 
+type monitor = { on_task : wait_s:float -> run_s:float -> helper:bool -> unit }
+
+(* Observation hook installed by the obs layer (which sits above this
+   library in the dependency graph, hence the indirection). [None] by
+   default: the queued path then takes no timestamps at all. *)
+let monitor : monitor option Atomic.t = Atomic.make None
+
+let set_monitor m = Atomic.set monitor m
+
 let clamp_jobs j = if j < 1 then 1 else if j > 64 then 64 else j
 
 let default_jobs () =
@@ -103,10 +112,23 @@ let mapi t f xs =
       let done_mutex = Mutex.create () in
       let done_cond = Condition.create () in
       let remaining = ref n in
-      let task i () =
-        (match f i arr.(i) with
+      let mon = Atomic.get monitor in
+      let caller = (Domain.self () :> int) in
+      let submitted = match mon with Some _ -> Clock.now () | None -> 0. in
+      let body i =
+        match f i arr.(i) with
         | v -> results.(i) <- Some v
-        | exception e -> errors.(i) <- Some e);
+        | exception e -> errors.(i) <- Some e
+      in
+      let task i () =
+        (match mon with
+        | None -> body i
+        | Some m ->
+          let start = Clock.now () in
+          body i;
+          let stop = Clock.now () in
+          m.on_task ~wait_s:(start -. submitted) ~run_s:(stop -. start)
+            ~helper:((Domain.self () :> int) = caller));
         Mutex.lock done_mutex;
         decr remaining;
         if !remaining = 0 then Condition.broadcast done_cond;

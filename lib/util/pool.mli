@@ -51,3 +51,17 @@ val default_jobs : unit -> int
 val set_default_jobs : int option -> unit
 (** Process-wide override installed by the [--jobs] CLI flags;
     [None] restores env/hardware detection. *)
+
+type monitor = {
+  on_task : wait_s:float -> run_s:float -> helper:bool -> unit;
+      (** Called once per {e queued} task when it finishes: queue wait
+          (submit to start), run time, and whether the calling domain
+          (rather than a worker) drained it. *)
+}
+
+val set_monitor : monitor option -> unit
+(** Process-wide observation hook, [None] by default (the queued path
+    then takes no timestamps at all). Serial batches — [jobs = 1] or
+    at most one item — bypass the queue and are not reported. The obs
+    layer installs this; it lives here only because this library sits
+    below it in the dependency graph. *)

@@ -1,9 +1,17 @@
-(** Small statistics helpers shared by the profiler and experiments. *)
+(** Small statistics helpers shared by the profiler and experiments.
+
+    NaN handling: {!summarize} and {!percentile} (hence {!median})
+    reject samples containing a NaN with [Invalid_argument]. A NaN
+    would otherwise poison the order statistics silently — polymorphic
+    comparison is inconsistent on NaN, and even a correct sort puts it
+    at an arbitrary rank. Float sorts use [Float.compare]. *)
 
 type summary = {
   count : int;
   mean : float;
-  stddev : float;
+  stddev : float;  (** population: divides the squared deviations by n *)
+  stddev_sample : float;
+      (** sample (Bessel-corrected): divides by n-1; 0 when count < 2 *)
   min : float;
   max : float;
 }
@@ -11,7 +19,7 @@ type summary = {
 
 val summarize : float array -> summary
 (** [summarize xs] computes count/mean/stddev/min/max. Returns a zeroed
-    summary for the empty array. *)
+    summary for the empty array; raises [Invalid_argument] on NaN. *)
 
 val mean : float array -> float
 (** Arithmetic mean; 0 for the empty array. *)
@@ -22,7 +30,8 @@ val geomean : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] for p in [0,100], linear interpolation between
-    order statistics. The input need not be sorted. *)
+    order statistics. The input need not be sorted. Raises
+    [Invalid_argument] on the empty array or NaN entries. *)
 
 val median : float array -> float
 (** 50th percentile. *)
@@ -34,4 +43,12 @@ val running_create : unit -> running
 val running_add : running -> float -> unit
 val running_count : running -> int
 val running_mean : running -> float
+
 val running_stddev : running -> float
+(** {b Population} standard deviation (divides by n), matching
+    {!summary.stddev}; 0 when fewer than two values were added. *)
+
+val running_stddev_sample : running -> float
+(** {b Sample} (Bessel-corrected, divides by n-1) standard deviation,
+    matching {!summary.stddev_sample}; 0 when fewer than two values
+    were added. *)

@@ -159,6 +159,27 @@ let test_overhead_filter_drops_expensive_hints () =
          h.Aptget_passes.Aptget_pass.load_pc)
        prof.Aptget_profile.Profiler.hints)
 
+let test_median_snapshot_sorts_first () =
+  (* Regression: the fig3 median snapshot used to be [List.nth samples
+     (len/2)] on the unsorted list, i.e. "whatever arrived in the
+     middle", not the median. Pin that the choice is by capture cycle
+     and independent of input order. *)
+  let module Sampler = Aptget_pmu.Sampler in
+  let snap at_cycle = { Sampler.at_cycle; entries = [||] } in
+  let shuffled = List.map snap [ 500; 10; 900; 300; 700 ] in
+  let m = Micro_exps.median_snapshot shuffled in
+  Alcotest.(check int) "median by cycle, not position" 500
+    m.Sampler.at_cycle;
+  let rev = Micro_exps.median_snapshot (List.rev shuffled) in
+  Alcotest.(check int) "order-independent" 500 rev.Sampler.at_cycle;
+  (* Even length: upper median, matching len/2 on the sorted list. *)
+  let m4 = Micro_exps.median_snapshot (List.map snap [ 40; 10; 30; 20 ]) in
+  Alcotest.(check int) "even length takes upper median" 30
+    m4.Sampler.at_cycle;
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Micro_exps.median_snapshot: no snapshots")
+    (fun () -> ignore (Micro_exps.median_snapshot []))
+
 let test_run_and_print_does_not_raise () =
   (* Smoke over the print path (output discarded via a pipe-less call;
      run_and_print writes to stdout, which alcotest captures). *)
@@ -178,6 +199,8 @@ let () =
           Alcotest.test_case "table1 renders" `Quick test_table1_shape;
           Alcotest.test_case "fig1/fig2 render" `Quick test_fig1_fig2_render;
           Alcotest.test_case "fig12 renders" `Quick test_fig12_train_test_close;
+          Alcotest.test_case "fig3 median snapshot" `Quick
+            test_median_snapshot_sorts_first;
         ] );
       ( "extensions",
         [

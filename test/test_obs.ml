@@ -1,0 +1,315 @@
+(* The observability layer: deterministic spans, mergeable metrics,
+   NDJSON round-trips, and the zero-cost disabled path. *)
+
+module Trace = Aptget_obs.Trace
+module Metrics = Aptget_obs.Metrics
+module Report = Aptget_obs.Report
+module Pool = Aptget_util.Pool
+
+(* Every test owns the process-wide obs state: start clean, end clean. *)
+let with_clean_obs f =
+  Trace.disable ();
+  Trace.reset ();
+  Metrics.disable ();
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ();
+      Metrics.disable ();
+      Metrics.reset ())
+    f
+
+(* ---------------- spans ---------------- *)
+
+let test_span_nesting () =
+  with_clean_obs @@ fun () ->
+  Trace.enable ();
+  let r =
+    Trace.with_span ~name:"outer" ~attrs:[ ("k", "v") ] (fun () ->
+        Trace.with_span ~name:"inner-a" (fun () -> Trace.set_cycles 42);
+        Trace.with_span ~name:"inner-b" (fun () -> ());
+        17)
+  in
+  Alcotest.(check int) "with_span returns f's value" 17 r;
+  match Trace.spans () with
+  | [ outer; a; b ] ->
+    Alcotest.(check string) "root name" "outer" outer.Trace.name;
+    Alcotest.(check int) "root depth" 0 outer.Trace.depth;
+    Alcotest.(check bool) "root has no parent" true
+      (outer.Trace.parent = None);
+    Alcotest.(check (list (pair string string)))
+      "root attrs" [ ("k", "v") ] outer.Trace.attrs;
+    Alcotest.(check string) "first child chronological" "inner-a"
+      a.Trace.name;
+    Alcotest.(check string) "second child chronological" "inner-b"
+      b.Trace.name;
+    Alcotest.(check bool) "children point at root" true
+      (a.Trace.parent = Some outer.Trace.id
+      && b.Trace.parent = Some outer.Trace.id);
+    Alcotest.(check bool) "cycles stamped on the innermost span" true
+      (a.Trace.cycles = Some 42 && outer.Trace.cycles = None);
+    Alcotest.(check bool) "ids are pre-order" true
+      (outer.Trace.id < a.Trace.id && a.Trace.id < b.Trace.id)
+  | spans ->
+    Alcotest.fail
+      (Printf.sprintf "expected 3 spans, got %d" (List.length spans))
+
+let test_span_exception_closes () =
+  with_clean_obs @@ fun () ->
+  Trace.enable ();
+  (try
+     Trace.with_span ~name:"boom" (fun () -> failwith "expected")
+   with Failure _ -> ());
+  Trace.with_span ~name:"after" (fun () -> ());
+  let names = List.map (fun s -> s.Trace.name) (Trace.spans ()) in
+  Alcotest.(check bool) "both spans closed as roots" true
+    (List.sort compare names = [ "after"; "boom" ]);
+  List.iter
+    (fun s -> Alcotest.(check int) "both are roots" 0 s.Trace.depth)
+    (Trace.spans ())
+
+(* The acceptance property: the structural part of a trace is identical
+   whatever the job count. Wall times differ; nothing else may. *)
+let traced_batch ~jobs =
+  Trace.reset ();
+  let results =
+    Pool.run ~jobs
+      (fun i ->
+        Trace.with_span ~name:"task" ~attrs:[ ("i", string_of_int i) ]
+          (fun () ->
+            Trace.with_span ~name:"step"
+              ~attrs:[ ("half", string_of_int (i mod 2)) ]
+              (fun () -> Trace.set_cycles (1000 + i));
+            i * i))
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  (results, List.map Trace.strip_wall (Trace.spans ()))
+
+let test_span_jobs_determinism () =
+  with_clean_obs @@ fun () ->
+  Trace.enable ();
+  let r1, s1 = traced_batch ~jobs:1 in
+  let r2, s2 = traced_batch ~jobs:2 in
+  let r8, s8 = traced_batch ~jobs:8 in
+  Alcotest.(check (list int)) "results jobs 1 = 2" r1 r2;
+  Alcotest.(check (list int)) "results jobs 1 = 8" r1 r8;
+  Alcotest.(check int) "span count" 16 (List.length s1);
+  Alcotest.(check bool) "stripped spans jobs 1 = 2" true (s1 = s2);
+  Alcotest.(check bool) "stripped spans jobs 1 = 8" true (s1 = s8)
+
+let test_disabled_is_identity () =
+  with_clean_obs @@ fun () ->
+  (* Disabled with_span is f () — no state accumulates anywhere. *)
+  let r = Trace.with_span ~name:"ignored" (fun () -> 99) in
+  Trace.add_attr "k" "v";
+  Trace.set_cycles 7;
+  Metrics.incr "ignored";
+  Metrics.observe "ignored" 1.0;
+  Metrics.set_gauge "ignored" 1.0;
+  Alcotest.(check int) "value passes through" 99 r;
+  Alcotest.(check (list string)) "no spans recorded" []
+    (List.map (fun s -> s.Trace.name) (Trace.spans ()));
+  Alcotest.(check string) "ndjson empty" "" (Trace.to_ndjson ());
+  let snap = Metrics.snapshot () in
+  Alcotest.(check bool) "no metrics recorded" true
+    (snap.Metrics.counters = [] && snap.Metrics.gauges = []
+    && snap.Metrics.hists = [])
+
+(* ---------------- NDJSON ---------------- *)
+
+let fill_sample_trace () =
+  Trace.enable ();
+  Trace.with_span ~name:"root" ~attrs:[ ("w", "a\"b\\c\nd") ] (fun () ->
+      Trace.with_span ~name:"child" (fun () -> Trace.set_cycles 123));
+  Trace.with_span ~name:"second-root" (fun () -> ())
+
+let test_ndjson_roundtrip () =
+  with_clean_obs @@ fun () ->
+  fill_sample_trace ();
+  let spans = Trace.spans () in
+  let text = Trace.to_ndjson () in
+  (match Trace.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    Alcotest.(check int) "span count survives" (List.length spans)
+      (List.length parsed);
+    (* Wall stamps are serialised at fixed precision, so compare the
+       structural part exactly and the wall part to that precision. *)
+    Alcotest.(check bool) "parse inverts render (structure)" true
+      (List.map Trace.strip_wall parsed = List.map Trace.strip_wall spans);
+    List.iter2
+      (fun (p : Trace.span) (s : Trace.span) ->
+        Alcotest.(check (float 1e-6)) "wall_start survives"
+          s.Trace.wall_start p.Trace.wall_start;
+        Alcotest.(check (float 1e-6)) "wall_s survives" s.Trace.wall_s
+          p.Trace.wall_s)
+      parsed spans;
+    (* And the writer is a fixed point of the parser. *)
+    let again =
+      String.concat "" (List.map (fun s -> Trace.span_to_line s ^ "\n") parsed)
+    in
+    Alcotest.(check string) "re-render stable" text again);
+  match Trace.parse "{\"id\":1,\"nope\"" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted malformed NDJSON"
+
+let test_export_load_roundtrip () =
+  with_clean_obs @@ fun () ->
+  fill_sample_trace ();
+  let path = Filename.temp_file "aptget_trace" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.export ~path;
+      match Trace.load ~path with
+      | Error e -> Alcotest.fail e
+      | Ok spans ->
+        Alcotest.(check bool) "load inverts export (structure)" true
+          (List.map Trace.strip_wall spans
+          = List.map Trace.strip_wall (Trace.spans ())))
+
+(* ---------------- metrics ---------------- *)
+
+let hist_eq (a : Metrics.hist) (b : Metrics.hist) =
+  a.Metrics.count = b.Metrics.count
+  && a.Metrics.sum = b.Metrics.sum
+  && a.Metrics.min = b.Metrics.min
+  && a.Metrics.max = b.Metrics.max
+
+let test_merge_hist_associative () =
+  let h x = Metrics.hist_of_value x in
+  let xs = [ 3.5; -1.; 0.; 42.; 7.25 ] in
+  let merge = Metrics.merge_hist in
+  let left =
+    List.fold_left (fun acc x -> merge acc (h x)) (h 10.) xs
+  in
+  let right =
+    merge (h 10.) (List.fold_left (fun acc x -> merge acc (h x)) (h 3.5)
+                     (List.tl xs))
+  in
+  Alcotest.(check bool) "fold order irrelevant" true (hist_eq left right);
+  Alcotest.(check bool) "commutative" true
+    (hist_eq (merge (h 1.) (h 2.)) (merge (h 2.) (h 1.)));
+  let m = merge (h 2.) (merge (h 4.) (h 9.)) in
+  Alcotest.(check int) "count adds" 3 m.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum adds" 15. m.Metrics.sum;
+  Alcotest.(check (float 1e-9)) "min widens" 2. m.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max widens" 9. m.Metrics.max
+
+let test_metrics_multi_domain_merge () =
+  with_clean_obs @@ fun () ->
+  Metrics.enable ();
+  (* Every pool task bumps shared counters from whatever domain runs
+     it; the merged snapshot must see exactly the serial totals. *)
+  ignore
+    (Pool.run ~jobs:4
+       (fun i ->
+         Metrics.incr "tasks";
+         Metrics.incr ~by:i "weighted";
+         Metrics.observe "size" (float_of_int i))
+       [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+  Metrics.set_gauge "last" 3.25;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (list (pair string int)))
+    "counters merged and sorted"
+    [ ("tasks", 8); ("weighted", 36) ]
+    snap.Metrics.counters;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "gauge recorded" [ ("last", 3.25) ] snap.Metrics.gauges;
+  (match snap.Metrics.hists with
+  | [ ("size", h) ] ->
+    Alcotest.(check int) "hist count" 8 h.Metrics.count;
+    Alcotest.(check (float 1e-9)) "hist sum" 36. h.Metrics.sum;
+    Alcotest.(check (float 1e-9)) "hist min" 1. h.Metrics.min;
+    Alcotest.(check (float 1e-9)) "hist max" 8. h.Metrics.max
+  | _ -> Alcotest.fail "expected exactly the size histogram");
+  (* The dump is a pure function of the snapshot: stable across calls. *)
+  Alcotest.(check string) "dump stable" (Metrics.dump ()) (Metrics.dump ())
+
+let test_metrics_export_format () =
+  with_clean_obs @@ fun () ->
+  Metrics.enable ();
+  Metrics.incr ~by:3 "c.b";
+  Metrics.incr "c.a";
+  let txt = Filename.temp_file "aptget_metrics" ".txt" in
+  let json = Filename.temp_file "aptget_metrics" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove txt; Sys.remove json)
+    (fun () ->
+      Metrics.export ~path:txt;
+      Metrics.export ~path:json;
+      let read p = In_channel.with_open_text p In_channel.input_all in
+      Alcotest.(check string) "text export = dump" (Metrics.dump ())
+        (read txt);
+      Alcotest.(check string) "json export = dump_json" (Metrics.dump_json ())
+        (read json);
+      let index_of hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i =
+          if i + nl > hl then -1
+          else if String.sub hay i nl = needle then i
+          else go (i + 1)
+        in
+        go 0
+      in
+      let d = read txt in
+      Alcotest.(check bool) "counters sorted in dump" true
+        (let a = index_of d "c.a" and b = index_of d "c.b" in
+         a >= 0 && b >= 0 && a < b))
+
+(* ---------------- report ---------------- *)
+
+let test_report_aggregation () =
+  with_clean_obs @@ fun () ->
+  fill_sample_trace ();
+  let spans = Trace.spans () in
+  let rows = Report.rows spans in
+  Alcotest.(check (list string)) "one row per name"
+    [ "child"; "root"; "second-root" ]
+    (List.sort compare (List.map (fun r -> r.Report.r_name) rows));
+  let child = List.find (fun r -> r.Report.r_name = "child") rows in
+  Alcotest.(check int) "child occurrences" 1 child.Report.r_count;
+  Alcotest.(check int) "child cycles summed" 123 child.Report.r_cycles;
+  Alcotest.(check int) "child depth" 1 child.Report.r_depth;
+  let cov = Report.coverage spans in
+  Alcotest.(check bool) "coverage in [0, 1] here" true
+    (cov >= 0. && cov <= 1.0000001);
+  Alcotest.(check bool) "root wall >= stage wall" true
+    (Report.root_wall spans >= Report.stage_wall spans);
+  Alcotest.(check bool) "render mentions coverage" true
+    (String.length (Report.render spans) > 0);
+  (* No spans at all: zeroed, not a division crash. *)
+  Alcotest.(check (float 0.)) "empty coverage" 0. (Report.coverage []);
+  Alcotest.(check (float 0.)) "empty root wall" 0. (Report.root_wall [])
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception closes span" `Quick
+            test_span_exception_closes;
+          Alcotest.test_case "jobs determinism" `Quick
+            test_span_jobs_determinism;
+          Alcotest.test_case "disabled is identity" `Quick
+            test_disabled_is_identity;
+        ] );
+      ( "ndjson",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ndjson_roundtrip;
+          Alcotest.test_case "export/load" `Quick test_export_load_roundtrip;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "merge_hist laws" `Quick
+            test_merge_hist_associative;
+          Alcotest.test_case "multi-domain merge" `Quick
+            test_metrics_multi_domain_merge;
+          Alcotest.test_case "export formats" `Quick
+            test_metrics_export_format;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "aggregation" `Quick test_report_aggregation ] );
+    ]

@@ -217,6 +217,73 @@ let test_hints_negative_and_overflow_ints () =
       "pc=99999999999999999999999999 distance=2 site=inner";
     ]
 
+let test_hints_lenient_int_literals_rejected () =
+  (* Regression: the integer fields used to go through bare
+     [int_of_string_opt], which inherits OCaml literal lenience — a
+     leading '+', '_' separators and radix prefixes all parsed. The
+     writer never emits any of those, so the reader must not accept
+     them. *)
+  List.iter
+    (fun bad ->
+      match Hints_file.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted: " ^ bad))
+    [
+      "pc=+1 distance=2 site=inner";
+      "pc=0x10 distance=2 site=inner";
+      "pc=1 distance=1_0 site=inner";
+      "pc=1 distance=2 site=inner sweep=+5";
+      "pc=1 distance=0b11 site=inner";
+      "pc=1 distance=2 site=inner sweep=0o7";
+      (* fp decimal components are held to the same standard... *)
+      "pc=1 distance=2 site=inner fp=ab:cd:+1:4:2";
+      "pc=1 distance=2 site=inner fp=ab:cd:1:4_0:2";
+      "pc=1 distance=2 site=inner fp=ab:cd:1:4:0x2";
+    ];
+  (* ...and so is the provenance schema field. *)
+  List.iter
+    (fun prov ->
+      let text =
+        String.concat "\n"
+          [
+            "# aptget prefetch hints v2";
+            prov;
+            "pc=1 distance=2 site=inner";
+            "";
+          ]
+      in
+      match Hints_file.doc_of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted: " ^ prov))
+    [
+      "# provenance: program=ab schema=+2 options=defaults";
+      "# provenance: program=ab schema=0x2 options=defaults";
+    ]
+
+let prop_hints_lenient_literals_rejected =
+  QCheck.Test.make
+    ~name:"lenient integer spellings never parse" ~count:100
+    QCheck.(int_bound 100_000)
+    (fun pc ->
+      let rejected line =
+        match Hints_file.of_string line with Error _ -> true | Ok _ -> false
+      in
+      rejected (Printf.sprintf "pc=+%d distance=2 site=inner" pc)
+      && rejected (Printf.sprintf "pc=0x%x distance=2 site=inner" pc)
+      && rejected (Printf.sprintf "pc=%d distance=2_0 site=inner" pc)
+      (* and the canonical spelling of the same values still parses *)
+      && Hints_file.of_string
+           (Printf.sprintf "pc=%d distance=20 site=inner" pc)
+         = Ok
+             [
+               {
+                 Aptget_pass.load_pc = pc;
+                 distance = 20;
+                 site = Inject.Inner;
+                 sweep = 1;
+               };
+             ])
+
 let test_hints_duplicate_fields () =
   match Hints_file.of_string "pc=1 pc=2 distance=3 site=inner" with
   | Error e ->
@@ -596,12 +663,15 @@ let () =
           Alcotest.test_case "file io" `Quick test_hints_file_io;
           Alcotest.test_case "bad header version" `Quick test_hints_bad_header_version;
           Alcotest.test_case "negative/overflow ints" `Quick test_hints_negative_and_overflow_ints;
+          Alcotest.test_case "lenient int literals rejected" `Quick
+            test_hints_lenient_int_literals_rejected;
           Alcotest.test_case "duplicate fields" `Quick test_hints_duplicate_fields;
           Alcotest.test_case "truncated file" `Quick test_hints_truncated_file;
           Alcotest.test_case "lenient collects errors" `Quick test_hints_lenient_collects_all_errors;
           Alcotest.test_case "lenient agrees with strict" `Quick test_hints_lenient_agrees_with_strict;
           Alcotest.test_case "roundtrip stable" `Quick test_hints_roundtrip_stable;
           QCheck_alcotest.to_alcotest prop_hints_roundtrip;
+          QCheck_alcotest.to_alcotest prop_hints_lenient_literals_rejected;
         ] );
       ( "hints_file_v2",
         [

@@ -111,6 +111,48 @@ let test_running () =
   Alcotest.(check int) "count" 3 (Stats.running_count r);
   check_float "mean" 4. (Stats.running_mean r)
 
+(* A single NaN must fail loudly: under polymorphic compare it would
+   silently mis-sort and corrupt every order statistic downstream. *)
+let test_nan_rejected () =
+  Alcotest.check_raises "percentile NaN"
+    (Invalid_argument "Stats.percentile: NaN sample") (fun () ->
+      ignore (Stats.percentile [| 1.; Float.nan; 3. |] 50.));
+  Alcotest.check_raises "median NaN"
+    (Invalid_argument "Stats.percentile: NaN sample") (fun () ->
+      ignore (Stats.median [| Float.nan |]));
+  Alcotest.check_raises "summarize NaN"
+    (Invalid_argument "Stats.summarize: NaN sample") (fun () ->
+      ignore (Stats.summarize [| 0.; 0. /. 0. |]))
+
+(* Known-answer pins for population vs sample stddev: for [2;4;6],
+   population = sqrt(8/3), sample = sqrt(8/2) = 2. *)
+let test_stddev_population_vs_sample () =
+  let s = Stats.summarize [| 2.; 4.; 6. |] in
+  check_float "population" (sqrt (8. /. 3.)) s.Stats.stddev;
+  check_float "sample" 2. s.Stats.stddev_sample;
+  let s1 = Stats.summarize [| 7. |] in
+  check_float "singleton population" 0. s1.Stats.stddev;
+  check_float "singleton sample" 0. s1.Stats.stddev_sample
+
+(* summarize and the Welford accumulator must agree on both estimators
+   for the same data (the cross-check the divide-by-n bug hid). *)
+let test_running_stddev_agrees_with_summarize () =
+  let xs = [| 2.; 4.; 6.; 9.; 12.5; 0.25 |] in
+  let r = Stats.running_create () in
+  Array.iter (Stats.running_add r) xs;
+  let s = Stats.summarize xs in
+  Alcotest.(check (float 1e-9))
+    "population agrees" s.Stats.stddev (Stats.running_stddev r);
+  Alcotest.(check (float 1e-9))
+    "sample agrees" s.Stats.stddev_sample
+    (Stats.running_stddev_sample r);
+  Alcotest.(check bool) "sample > population for n > 1" true
+    (Stats.running_stddev_sample r > Stats.running_stddev r);
+  let one = Stats.running_create () in
+  Stats.running_add one 3.;
+  check_float "n=1 population" 0. (Stats.running_stddev one);
+  check_float "n=1 sample" 0. (Stats.running_stddev_sample one)
+
 let prop_percentile_bounds =
   QCheck.Test.make ~name:"percentile within min/max" ~count:200
     QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_inclusive 1000.)) (float_bound_inclusive 100.))
@@ -249,6 +291,11 @@ let () =
           Alcotest.test_case "geomean non-positive" `Quick test_geomean_nonpositive;
           Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "running" `Quick test_running;
+          Alcotest.test_case "NaN rejected" `Quick test_nan_rejected;
+          Alcotest.test_case "stddev population vs sample" `Quick
+            test_stddev_population_vs_sample;
+          Alcotest.test_case "running stddev agrees with summarize" `Quick
+            test_running_stddev_agrees_with_summarize;
         ] );
       ( "histogram",
         [
