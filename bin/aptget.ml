@@ -6,6 +6,11 @@
    aptget show-ir HJ2-NPO            kernel IR before/after injection
    aptget experiments fig6 fig8      regenerate paper tables/figures
    aptget campaign --store c.journal supervised checkpoint/resume campaign
+   aptget serve --spool DIR          prefetch-advisory daemon (file-spool queue)
+   aptget quarantine FILE            inspect/compact a quarantine store
+
+   Exit codes are uniform across commands: 0 ok, 1 degraded, 2 usage,
+   3 crashed/supervision, 4 shed/overloaded.
 *)
 
 module Machine = Aptget_machine.Machine
@@ -29,6 +34,13 @@ module Campaign = Aptget_core.Campaign
 module Watchdog = Aptget_core.Watchdog
 module Crash = Aptget_store.Crash
 module Journal = Aptget_store.Journal
+module Breaker = Aptget_core.Breaker
+module Server = Aptget_serve.Server
+module Wire = Aptget_serve.Wire
+module Handler = Aptget_serve.Handler
+module Tenant = Aptget_serve.Tenant
+module Health = Aptget_serve.Health
+module Exit_code = Aptget_serve.Exit_code
 
 open Cmdliner
 
@@ -279,80 +291,93 @@ let run_cmd =
     print_outcome "baseline" base;
     let aj = Pipeline.aj w in
     print_outcome "A&J" aj;
-    if remap || guard then begin
-      let doc =
-        match hints_path with
-        | Some path -> load_doc ~lenient path
+    (* Unified exit codes: 0 = ok, 1 = degraded (the command completed
+       but the final measurement is missing or unverified). *)
+    let degraded =
+      if remap || guard then begin
+        let doc =
+          match hints_path with
+          | Some path -> load_doc ~lenient path
+          | None ->
+            let options = { Profiler.default_options with Profiler.faults } in
+            let prof = Pipeline.profile ~options w in
+            print_fault_stats prof.Profiler.fault_stats;
+            Profiler.to_doc ~options prof
+        in
+        let speedup_final, n_hints, final_verified =
+          if guard then begin
+            let g = run_guarded w ~doc ~remap ~guard_floor ~quarantine_path in
+            ( g.Pipeline.g_speedup,
+              List.length g.Pipeline.g_hints,
+              g.Pipeline.g_final.Pipeline.verified )
+          end
+          else begin
+            (* --remap without --guard: re-key the hints, then apply them
+               unguarded (the historical pipeline, just with fresh PCs). *)
+            let current =
+              Aptget_ir.Fingerprint.fingerprint (w.Workload.build ()).Workload.func
+            in
+            let r = Remap.run ~current doc in
+            print_remap r;
+            let apt = Pipeline.with_hints ~hints:r.Remap.hints w in
+            print_outcome "APT-GET" apt;
+            ( Pipeline.speedup ~baseline:base apt,
+              List.length r.Remap.hints,
+              apt.Pipeline.verified )
+          end
+        in
+        Printf.printf "\nspeedup: A&J %s, APT-GET %s (%d hint(s)%s)\n"
+          (Table.fmt_speedup (Pipeline.speedup ~baseline:base aj))
+          (Table.fmt_speedup speedup_final) n_hints
+          (match hints_path with
+          | Some p -> " from " ^ p
+          | None -> " from a fresh profile");
+        Result.is_error final_verified
+      end
+      else
+      let file_hints = Option.map (load_hints ~lenient) hints_path in
+      if robust then begin
+        let r = Pipeline.run_robust ~faults ?hints:file_hints w in
+        match r.Pipeline.r_measurement with
         | None ->
-          let options = { Profiler.default_options with Profiler.faults } in
-          let prof = Pipeline.profile ~options w in
-          print_fault_stats prof.Profiler.fault_stats;
-          Profiler.to_doc ~options prof
-      in
-      let speedup_final, n_hints =
-        if guard then begin
-          let g = run_guarded w ~doc ~remap ~guard_floor ~quarantine_path in
-          (g.Pipeline.g_speedup, List.length g.Pipeline.g_hints)
-        end
-        else begin
-          (* --remap without --guard: re-key the hints, then apply them
-             unguarded (the historical pipeline, just with fresh PCs). *)
-          let current =
-            Aptget_ir.Fingerprint.fingerprint (w.Workload.build ()).Workload.func
-          in
-          let r = Remap.run ~current doc in
-          print_remap r;
-          let apt = Pipeline.with_hints ~hints:r.Remap.hints w in
+          Printf.printf "APT-GET (robust): no measurement\n";
+          print_degradations r;
+          true
+        | Some apt ->
           print_outcome "APT-GET" apt;
-          (Pipeline.speedup ~baseline:base apt, List.length r.Remap.hints)
-        end
-      in
-      Printf.printf "\nspeedup: A&J %s, APT-GET %s (%d hint(s)%s)\n"
-        (Table.fmt_speedup (Pipeline.speedup ~baseline:base aj))
-        (Table.fmt_speedup speedup_final) n_hints
-        (match hints_path with
-        | Some p -> " from " ^ p
-        | None -> " from a fresh profile")
-    end
-    else
-    let file_hints = Option.map (load_hints ~lenient) hints_path in
-    if robust then begin
-      let r = Pipeline.run_robust ~faults ?hints:file_hints w in
-      match r.Pipeline.r_measurement with
-      | None ->
-        Printf.printf "APT-GET (robust): no measurement\n";
-        print_degradations r
-      | Some apt ->
+          Option.iter
+            (fun (p : Profiler.t) -> print_fault_stats p.Profiler.fault_stats)
+            r.Pipeline.r_profile;
+          print_degradations r;
+          Printf.printf "\nspeedup: A&J %s, APT-GET %s (%d hints used, %d dropped)\n"
+            (Table.fmt_speedup (Pipeline.speedup ~baseline:base aj))
+            (Table.fmt_speedup (Pipeline.speedup ~baseline:base apt))
+            (List.length r.Pipeline.r_hints_used)
+            (List.length r.Pipeline.r_hints_dropped);
+          Result.is_error apt.Pipeline.verified
+      end
+      else begin
+        let apt, hint_count =
+          match file_hints with
+          | Some hints -> (Pipeline.with_hints ~hints w, List.length hints)
+          | None ->
+            let options = { Profiler.default_options with Profiler.faults } in
+            let apt, prof = Pipeline.aptget ~options w in
+            print_fault_stats prof.Profiler.fault_stats;
+            (apt, List.length prof.Profiler.hints)
+        in
         print_outcome "APT-GET" apt;
-        Option.iter
-          (fun (p : Profiler.t) -> print_fault_stats p.Profiler.fault_stats)
-          r.Pipeline.r_profile;
-        print_degradations r;
-        Printf.printf "\nspeedup: A&J %s, APT-GET %s (%d hints used, %d dropped)\n"
+        Printf.printf "\nspeedup: A&J %s, APT-GET %s (%d hints%s)\n"
           (Table.fmt_speedup (Pipeline.speedup ~baseline:base aj))
           (Table.fmt_speedup (Pipeline.speedup ~baseline:base apt))
-          (List.length r.Pipeline.r_hints_used)
-          (List.length r.Pipeline.r_hints_dropped)
-    end
-    else begin
-      let apt, hint_count =
-        match file_hints with
-        | Some hints -> (Pipeline.with_hints ~hints w, List.length hints)
-        | None ->
-          let options = { Profiler.default_options with Profiler.faults } in
-          let apt, prof = Pipeline.aptget ~options w in
-          print_fault_stats prof.Profiler.fault_stats;
-          (apt, List.length prof.Profiler.hints)
-      in
-      print_outcome "APT-GET" apt;
-      Printf.printf "\nspeedup: A&J %s, APT-GET %s (%d hints%s)\n"
-        (Table.fmt_speedup (Pipeline.speedup ~baseline:base aj))
-        (Table.fmt_speedup (Pipeline.speedup ~baseline:base apt))
-        hint_count
-        (match hints_path with
-        | Some p -> " from " ^ p
-        | None -> " from a fresh profile")
-    end
+          hint_count
+          (match hints_path with
+          | Some p -> " from " ^ p
+          | None -> " from a fresh profile");
+        Result.is_error apt.Pipeline.verified
+      end
+    in
+    if degraded then exit 1
   in
   let hints_flag =
     Arg.(
@@ -624,7 +649,7 @@ let campaign_cmd =
         "campaign killed by the injected crash plan (%s); the journal at %s \
          is resumable\n"
         why store;
-      exit 1
+      exit 3
     | report ->
       let rec_ = report.Campaign.c_store_recovery in
       if rec_.Journal.dropped > 0 then
@@ -665,7 +690,7 @@ let campaign_cmd =
         (fun (w, n) ->
           Printf.printf "circuit breaker for %s opened %d time(s)\n" w n)
         report.Campaign.c_breakers_opened;
-      exit (if Campaign.ok report then 0 else 3)
+      exit (if Campaign.ok report then 0 else 1)
   in
   let workloads_arg =
     Arg.(value & pos_all workload_conv [] & info [] ~docv:"WORKLOAD")
@@ -753,18 +778,432 @@ let campaign_cmd =
            `S Manpage.s_exit_status;
            `P "0 — every trial completed (or resumed as completed).";
            `P
-             "1 — the injected crash plan fired; the journal is resumable \
-              with the same command.";
+             "1 — degraded: at least one trial failed, was skipped by an \
+              open circuit breaker, or a breaker opened.";
            `P "2 — bad command-line flags.";
            `P
-             "3 — partial: at least one trial failed, was skipped by an \
-              open circuit breaker, or a breaker opened.";
+             "3 — crashed: the injected crash plan fired; the journal is \
+              resumable with the same command.";
          ])
     Term.(
       const run $ workloads_arg $ store_flag $ trials_flag $ retries_flag
       $ threshold_flag $ cooldown_flag $ backoff_flag $ max_cycles_flag
       $ max_steps_flag $ crash_write_flag $ crash_torn_flag
       $ crash_cycle_flag $ jobs_term $ obs_term)
+
+let read_file_or_stdin path =
+  if path = "-" then In_channel.input_all stdin
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | text -> text
+    | exception Sys_error e -> die "cannot read %s: %s" path e
+
+(* Map a single response's status onto the process exit vocabulary. *)
+let exit_of_status = function
+  | Wire.Ok_ -> Exit_code.Ok_
+  | Wire.Overloaded -> Exit_code.Overloaded
+  | Wire.Timed_out | Wire.Malformed | Wire.Rejected | Wire.Failed
+  | Wire.Aborted ->
+    Exit_code.Degraded
+
+let serve_cmd =
+  let serve spool capacity deadline threshold cooldown no_cache submits
+      shutdown watch health once response_id show poll max_drains
+      crash_after_write crash_torn () () =
+    if capacity < 1 then die "bad --capacity value: %d (need >= 1)" capacity;
+    if threshold < 1 then
+      die "bad --breaker-threshold value: %d (need >= 1)" threshold;
+    if cooldown < 0 then
+      die "bad --breaker-cooldown value: %d (need >= 0)" cooldown;
+    (match deadline with
+    | Some d when d < 1 -> die "bad --deadline-cycles value: %d" d
+    | _ -> ());
+    (match crash_after_write with
+    | Some k when k < 1 -> die "bad --crash-after-write value: %d" k
+    | _ -> ());
+    if crash_torn && crash_after_write = None then
+      die "--crash-torn requires --crash-after-write";
+    if poll <= 0. then die "bad --poll value: %g (need > 0)" poll;
+    let config =
+      {
+        (Server.default_config ~spool) with
+        Server.capacity;
+        default_deadline = deadline;
+        breaker = { Breaker.threshold; cooldown };
+        cache = not no_cache;
+      }
+    in
+    let with_deadline (req : Wire.request) =
+      match req.Wire.deadline_cycles with
+      | None -> { req with Wire.deadline_cycles = deadline }
+      | Some _ -> req
+    in
+    if health then begin
+      (match Health.read ~spool with
+      | Ok (st, processed) ->
+        Printf.printf "state=%s processed=%d\n" (Health.state_to_string st)
+          processed
+      | Error e -> Printf.eprintf "aptget: %s\n" e);
+      Exit_code.exit (Health.probe ~spool)
+    end
+    else if submits <> [] || shutdown then begin
+      (* Client mode: frame and append request payloads to the spool. *)
+      List.iter
+        (fun file ->
+          let text = read_file_or_stdin file in
+          match Wire.body_of_string text with
+          | Error e -> die "bad request in %s: %s" file e
+          | Ok body -> Server.submit ~spool body)
+        submits;
+      if shutdown then Server.submit ~spool Wire.Shutdown;
+      exit 0
+    end
+    else
+      match once with
+      | Some file -> begin
+        (* One-shot reference path: same handler, same tenant stores,
+           no daemon — the byte-identity oracle for the CI smoke. *)
+        let text = read_file_or_stdin file in
+        match Wire.body_of_string text with
+        | Error e -> die "bad request in %s: %s" file e
+        | Ok Wire.Shutdown -> die "--once expects a run request"
+        | Ok (Wire.Run req) -> (
+          let registry =
+            Tenant.registry ~root:spool ~breaker:config.Server.breaker
+              ~cache:config.Server.cache ()
+          in
+          match Tenant.find_or_create registry req.Wire.tenant with
+          | Error e -> die "%s" e
+          | Ok tenant ->
+            let o =
+              Handler.run config.Server.handler ~tenant (with_deadline req)
+            in
+            print_string o.Handler.h_body;
+            if o.Handler.h_reason <> "" then
+              Printf.eprintf "aptget: %s: %s\n"
+                (Wire.status_to_string o.Handler.h_status)
+                o.Handler.h_reason;
+            Exit_code.exit (exit_of_status o.Handler.h_status))
+      end
+      | None ->
+        if show || response_id <> None then begin
+          match Server.responses ~spool with
+          | Error e ->
+            Printf.eprintf "aptget: cannot read responses: %s\n" e;
+            exit 1
+          | Ok rs -> (
+            match response_id with
+            | Some id -> (
+              let matching =
+                List.filter_map
+                  (function
+                    | Ok r when r.Wire.rsp_id = id -> Some r
+                    | Ok _ | Error _ -> None)
+                  rs
+              in
+              match List.rev matching with
+              | [] ->
+                Printf.eprintf "aptget: no response for id %s\n" id;
+                exit 1
+              | r :: _ ->
+                print_string r.Wire.rsp_body;
+                if r.Wire.rsp_reason <> "" then
+                  Printf.eprintf "aptget: %s: %s\n"
+                    (Wire.status_to_string r.Wire.rsp_status)
+                    r.Wire.rsp_reason;
+                Exit_code.exit (exit_of_status r.Wire.rsp_status))
+            | None ->
+              List.iter
+                (function
+                  | Ok r ->
+                    Printf.printf "%s %s %s%s\n" r.Wire.rsp_id
+                      r.Wire.rsp_tenant
+                      (Wire.status_to_string r.Wire.rsp_status)
+                      (if r.Wire.rsp_reason <> "" then
+                         " (" ^ r.Wire.rsp_reason ^ ")"
+                       else "")
+                  | Error e -> Printf.printf "? ? unparseable (%s)\n" e)
+                rs;
+              exit 0)
+        end
+        else begin
+          (* Daemon mode: one drain batch, or --watch until shutdown. *)
+          let crash =
+            Option.map
+              (fun k ->
+                Crash.after_writes
+                  ~mode:(if crash_torn then Crash.Torn else Crash.Clean)
+                  k)
+              crash_after_write
+          in
+          let srv = Server.create config in
+          match
+            if watch then Server.serve ?crash ~poll ?max_drains srv
+            else Server.drain ?crash srv
+          with
+          | exception Crash.Crashed why ->
+            (* The supervisor's record of the death: health says
+               stopped/crashed, the journal stays recoverable. *)
+            Server.stop srv ~code:Exit_code.Crashed;
+            Printf.eprintf
+              "aptget: serve killed by the injected crash plan (%s); \
+               restart to recover the journal\n"
+              why;
+            Exit_code.exit Exit_code.Crashed
+          | report ->
+            let code = Server.exit_code report in
+            if not watch then Server.stop srv ~code;
+            Printf.printf
+              "serve: %d frame(s): %d ok, %d shed, %d timed-out, %d \
+               rejected, %d failed, %d malformed, %d aborted, %d resumed%s%s\n"
+              report.Server.s_frames report.Server.s_ok report.Server.s_shed
+              report.Server.s_timed_out report.Server.s_rejected
+              report.Server.s_failed report.Server.s_malformed
+              report.Server.s_aborted report.Server.s_resumed
+              (if report.Server.s_torn > 0 then ", torn tail" else "")
+              (if report.Server.s_drained then ", drained" else "");
+            Exit_code.exit code
+        end
+  in
+  let spool_flag =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:
+            "Spool directory: the daemon's request/response queues, \
+             in-flight journal, health file and per-tenant stores all live \
+             here.")
+  in
+  let capacity_flag =
+    Arg.(
+      value & opt int 64
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:
+            "Admission bound per drain batch: the first $(docv) requests \
+             are admitted in arrival order, the rest are shed with the \
+             $(b,overloaded) status.")
+  in
+  let deadline_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-cycles" ] ~docv:"C"
+          ~doc:
+            "Default per-request deadline in simulated cycles, applied to \
+             requests that do not carry their own.")
+  in
+  let threshold_flag =
+    Arg.(
+      value
+      & opt int Breaker.default_config.Breaker.threshold
+      & info [ "breaker-threshold" ] ~docv:"N"
+          ~doc:"Consecutive failures that open a tenant's circuit breaker.")
+  in
+  let cooldown_flag =
+    Arg.(
+      value
+      & opt int Breaker.default_config.Breaker.cooldown
+      & info [ "breaker-cooldown" ] ~docv:"N"
+          ~doc:
+            "Requests refused while a tenant's breaker is open, before the \
+             half-open probe.")
+  in
+  let no_cache_flag =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the per-tenant measurement caches.")
+  in
+  let submit_flag =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "submit" ] ~docv:"FILE"
+          ~doc:
+            "Client mode: frame the request document in $(docv) ($(b,-) = \
+             stdin) and append it to the spool's request queue. Repeatable; \
+             order is preserved.")
+  in
+  let shutdown_flag =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:
+            "Client mode: append a shutdown marker; the daemon finishes \
+             the batch up to the marker, rejects anything after it, and \
+             exits its watch loop.")
+  in
+  let watch_flag =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Daemon mode: keep draining (polling the queue) until a \
+             shutdown marker is processed. Without it, one drain batch \
+             runs and the command exits.")
+  in
+  let health_flag =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Probe the daemon's published health state: exit 0 when ready, \
+             draining or stopped clean; non-zero otherwise.")
+  in
+  let once_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "once" ] ~docv:"FILE"
+          ~doc:
+            "Run the request document in $(docv) ($(b,-) = stdin) directly \
+             — no daemon, no queue — and print the canonical response body. \
+             The daemon's $(b,ok) responses are byte-identical to this.")
+  in
+  let response_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "response" ] ~docv:"ID"
+          ~doc:
+            "Print the response body recorded for request $(docv) and exit \
+             with its status code.")
+  in
+  let show_responses_flag =
+    Arg.(
+      value & flag
+      & info [ "show-responses" ]
+          ~doc:"List every recorded response as $(i,id tenant status).")
+  in
+  let poll_flag =
+    Arg.(
+      value & opt float 0.05
+      & info [ "poll" ] ~docv:"SECONDS"
+          ~doc:"Queue poll interval for $(b,--watch).")
+  in
+  let max_drains_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-drains" ] ~docv:"N"
+          ~doc:"Stop $(b,--watch) after $(docv) drain batches (testing).")
+  in
+  let crash_write_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-after-write" ] ~docv:"K"
+          ~doc:
+            "Deterministic crash injection: kill the daemon at the K-th \
+             in-flight journal write (testing only; forces serial \
+             execution).")
+  in
+  let crash_torn_flag =
+    Arg.(
+      value & flag
+      & info [ "crash-torn" ]
+          ~doc:
+            "With $(b,--crash-after-write), tear the fatal write so only a \
+             prefix of its bytes lands.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Prefetch-advisory daemon: admission control, deadlines, tenant \
+          isolation"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "A supervised batch daemon over a file-spool queue. Clients \
+              append framed request documents with $(b,--submit); the \
+              daemon drains the queue (one batch per drain, admission \
+              capped at $(b,--capacity)), runs each request's guarded \
+              pipeline inside its tenant's namespace — private quarantine \
+              store, measurement cache and circuit breaker — under a \
+              per-request watchdog deadline, and appends framed responses. \
+              In-flight requests are journaled: after a crash, finished \
+              work is re-served from the tenant stores and half-done work \
+              is cleanly aborted.";
+           `S Manpage.s_exit_status;
+           `P "0 — every request in the batch succeeded.";
+           `P
+             "1 — degraded: some request failed, timed out, was rejected, \
+              malformed or aborted.";
+           `P "2 — bad command-line flags.";
+           `P "3 — crashed: the injected crash plan fired.";
+           `P "4 — overloaded: admission control shed at least one request.";
+         ])
+    Term.(
+      const serve $ spool_flag $ capacity_flag $ deadline_flag
+      $ threshold_flag $ cooldown_flag $ no_cache_flag $ submit_flag
+      $ shutdown_flag $ watch_flag $ health_flag $ once_flag $ response_flag
+      $ show_responses_flag $ poll_flag $ max_drains_flag $ crash_write_flag
+      $ crash_torn_flag $ jobs_term $ obs_term)
+
+let quarantine_cmd =
+  let quarantine path compact () =
+    let q = Quarantine.create ~path () in
+    let entries = Quarantine.entries q in
+    if compact then begin
+      (* Keep an entry only if its workload is still in the suite AND
+         its program hash matches the workload's current kernel — a
+         stale fingerprint means the quarantined verdict is about a
+         program that no longer exists. *)
+      let fp_cache = Hashtbl.create 8 in
+      let current_fp name =
+        match Hashtbl.find_opt fp_cache name with
+        | Some fp -> fp
+        | None ->
+          let fp =
+            Option.map
+              (fun w ->
+                (Aptget_ir.Fingerprint.fingerprint
+                   (w.Workload.build ()).Workload.func)
+                  .Aptget_ir.Fingerprint.program)
+              (Suite.find name)
+          in
+          Hashtbl.add fp_cache name fp;
+          fp
+      in
+      let keep (e : Quarantine.entry) =
+        match current_fp e.Quarantine.q_workload with
+        | Some fp -> fp = e.Quarantine.q_program
+        | None -> false
+      in
+      let dropped = Quarantine.compact q ~keep in
+      Printf.printf "quarantine %s: %d entry(ies), dropped %d stale\n" path
+        (List.length entries - dropped)
+        dropped
+    end
+    else begin
+      Printf.printf "quarantine %s: %d entry(ies)\n" path (List.length entries);
+      List.iter
+        (fun (e : Quarantine.entry) ->
+          Printf.printf "  %s program=%s hints=%s measured %s\n"
+            e.Quarantine.q_workload
+            (Aptget_ir.Fingerprint.hex e.Quarantine.q_program)
+            (Aptget_ir.Fingerprint.hex e.Quarantine.q_hints)
+            (Table.fmt_speedup e.Quarantine.q_speedup))
+        entries
+    end
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let compact_flag =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:
+            "Drop entries whose program fingerprint no longer matches any \
+             suite workload's current kernel. Atomic (temp file + rename) \
+             and idempotent.")
+  in
+  Cmd.v
+    (Cmd.info "quarantine" ~doc:"Inspect or compact a quarantine store")
+    Term.(const quarantine $ path_arg $ compact_flag $ obs_term)
 
 let obs_report_cmd =
   let report path =
@@ -797,7 +1236,13 @@ let main =
       list_cmd;
       experiments_cmd;
       campaign_cmd;
+      serve_cmd;
+      quarantine_cmd;
       obs_report_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  let code = Cmd.eval main in
+  (* Fold cmdliner's own cli-error code into the unified vocabulary:
+     2 = usage, everywhere. *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -1,0 +1,56 @@
+type state = Closed | Open of int | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open n -> Printf.sprintf "open (%d skips left)" n
+  | Half_open -> "half-open"
+
+type config = { threshold : int; cooldown : int }
+
+let default_config = { threshold = 3; cooldown = 2 }
+
+type t = {
+  config : config;
+  mutable state : state;
+  mutable consecutive : int;  (* consecutive failures while closed *)
+  mutable opened : int;  (* times this breaker has opened *)
+}
+
+let create ?(config = default_config) () =
+  if config.threshold < 1 then invalid_arg "Breaker.create: threshold < 1";
+  if config.cooldown < 0 then invalid_arg "Breaker.create: cooldown < 0";
+  { config; state = Closed; consecutive = 0; opened = 0 }
+
+let state t = t.state
+let opened_count t = t.opened
+
+type admission = Run | Probe | Refuse of int
+
+let open_ t =
+  t.state <- Open t.config.cooldown;
+  t.consecutive <- 0;
+  t.opened <- t.opened + 1
+
+let acquire t =
+  match t.state with
+  | Closed -> Run
+  | Half_open -> Probe
+  | Open n ->
+    (* A zero-cooldown breaker opens straight into half-open, so the
+       probe follows immediately; otherwise each refusal burns one
+       slot. *)
+    let left = n - 1 in
+    t.state <- (if left <= 0 then Half_open else Open left);
+    Refuse (max 0 left)
+
+let record t ~ok =
+  if ok then begin
+    t.consecutive <- 0;
+    if t.state = Half_open then t.state <- Closed
+  end
+  else
+    match t.state with
+    | Half_open -> open_ t
+    | _ ->
+      t.consecutive <- t.consecutive + 1;
+      if t.consecutive >= t.config.threshold then open_ t

@@ -1,0 +1,52 @@
+(** Circuit breaker: contain a unit of work that keeps failing.
+
+    The policy is the one the campaign runner has used per workload
+    since PR 3, extracted so the serve daemon can hold one per tenant:
+    after [threshold] consecutive failures the breaker opens and the
+    next [cooldown] acquisitions are refused outright; the first
+    acquisition after the cooldown runs as a {e half-open} probe whose
+    success re-closes the breaker and whose failure re-opens it for
+    another cooldown. The value is deliberately mutable and
+    single-owner: callers that share one across domains must serialize
+    access themselves (the campaign and the serve daemon both process
+    a breaker's unit of work serially within its group). *)
+
+type state = Closed | Open of int  (** acquisitions left to refuse *) | Half_open
+
+val state_to_string : state -> string
+
+type config = {
+  threshold : int;  (** consecutive failures that open the breaker *)
+  cooldown : int;  (** acquisitions refused while open *)
+}
+
+val default_config : config
+(** threshold 3, cooldown 2 — the campaign defaults. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** A closed breaker.
+    @raise Invalid_argument when [threshold < 1] or [cooldown < 0]. *)
+
+val state : t -> state
+val opened_count : t -> int
+(** Times this breaker has transitioned to [Open]. *)
+
+type admission =
+  | Run  (** closed: run normally *)
+  | Probe  (** half-open: run exactly once, no retries *)
+  | Refuse of int  (** open: refused, with cooldown slots left {e after}
+          this refusal *)
+
+val acquire : t -> admission
+(** Ask to run one unit of work. An open breaker consumes one cooldown
+    slot and refuses; consuming the last slot moves it to half-open for
+    the next acquisition. The caller must follow a [Run]/[Probe] with
+    exactly one {!record} of the outcome. *)
+
+val record : t -> ok:bool -> unit
+(** Report the outcome of an admitted unit of work. Success resets the
+    failure streak (and re-closes a half-open breaker); failure extends
+    it, opening the breaker at [threshold] consecutive failures — and a
+    failed half-open probe re-opens immediately. *)

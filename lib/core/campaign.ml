@@ -49,20 +49,13 @@ let default_config =
    [breaker_cooldown] trials of that workload are skipped outright.
    The first trial after the cooldown runs as a half-open probe (one
    attempt, no retries): success re-closes the breaker, failure
-   re-opens it for another cooldown. *)
+   re-opens it for another cooldown. The state machine itself lives in
+   {!Breaker} (the serve daemon reuses it per tenant); the campaign
+   keeps one per workload group. *)
 
-type breaker_state = Closed | Open of int  (** trials left to skip *) | Half_open
+type breaker_state = Breaker.state = Closed | Open of int | Half_open
 
-type breaker = {
-  mutable state : breaker_state;
-  mutable consecutive : int;  (* consecutive trial failures while closed *)
-  mutable opened : int;  (* times this breaker has opened *)
-}
-
-let breaker_state_to_string = function
-  | Closed -> "closed"
-  | Open n -> Printf.sprintf "open (%d skips left)" n
-  | Half_open -> "half-open"
+let breaker_state_to_string = Breaker.state_to_string
 
 (* ------------------------------------------------------------------ *)
 (* Results *)
@@ -182,7 +175,15 @@ type group_outcome = {
 }
 
 let run_group ~config ~mconfig ~crash ~append ~done_tbl wname indexed_trials =
-  let b = { state = Closed; consecutive = 0; opened = 0 } in
+  let b =
+    Breaker.create
+      ~config:
+        {
+          Breaker.threshold = config.breaker_threshold;
+          cooldown = config.breaker_cooldown;
+        }
+      ()
+  in
   (* Baselines are memoized per workload: a campaign re-visits each
      workload trials_per_workload times and the baseline is identical
      every time (the simulator is deterministic). Only successes are
@@ -259,10 +260,9 @@ let run_group ~config ~mconfig ~crash ~append ~done_tbl wname indexed_trials =
               tr_backoff = 0.;
             }
           | None -> (
-            match b.state with
-            | Open n ->
+            match Breaker.acquire b with
+            | Breaker.Refuse _ ->
               Metrics.incr "campaign.breaker.skips";
-              b.state <- (if n <= 1 then Half_open else Open (n - 1));
               {
                 tr_id = t.t_id;
                 tr_workload = wname;
@@ -272,11 +272,11 @@ let run_group ~config ~mconfig ~crash ~append ~done_tbl wname indexed_trials =
                 tr_attempts = 0;
                 tr_backoff = 0.;
               }
-            | (Closed | Half_open) as state ->
+            | (Breaker.Run | Breaker.Probe) as admission ->
               let max_retries =
                 (* a half-open probe gets exactly one attempt *)
-                match state with
-                | Half_open -> 0
+                match admission with
+                | Breaker.Probe -> 0
                 | _ -> config.max_retries
               in
               let attempts, backoff, outcome =
@@ -285,29 +285,18 @@ let run_group ~config ~mconfig ~crash ~append ~done_tbl wname indexed_trials =
               let status =
                 match outcome with
                 | Ok speedup ->
-                  b.consecutive <- 0;
-                  if state = Half_open then begin
+                  if admission = Breaker.Probe then
                     Metrics.incr "campaign.breaker.reclosed";
-                    b.state <- Closed
-                  end;
+                  Breaker.record b ~ok:true;
                   append
                     (record_of_trial ~id:t.t_id ~workload:wname ~ok:true
                        ~attempts ~speedup:(Some speedup));
                   Completed { speedup }
                 | Error why ->
-                  (match state with
-                  | Half_open ->
+                  let opened_before = Breaker.opened_count b in
+                  Breaker.record b ~ok:false;
+                  if Breaker.opened_count b > opened_before then
                     Metrics.incr "campaign.breaker.opened";
-                    b.state <- Open config.breaker_cooldown;
-                    b.opened <- b.opened + 1
-                  | _ ->
-                    b.consecutive <- b.consecutive + 1;
-                    if b.consecutive >= config.breaker_threshold then begin
-                      Metrics.incr "campaign.breaker.opened";
-                      b.state <- Open config.breaker_cooldown;
-                      b.consecutive <- 0;
-                      b.opened <- b.opened + 1
-                    end);
                   append
                     (record_of_trial ~id:t.t_id ~workload:wname ~ok:false
                        ~attempts ~speedup:None);
@@ -324,10 +313,12 @@ let run_group ~config ~mconfig ~crash ~append ~done_tbl wname indexed_trials =
         (idx, result))
       indexed_trials
   in
-  { g_rows = rows; g_opened = b.opened; g_final = b.state }
+  { g_rows = rows; g_opened = Breaker.opened_count b; g_final = Breaker.state b }
 
 let run ?(config = default_config) ?mconfig ?crash ?jobs ~store trials =
   let journal, recovery = Journal.open_ ?crash ~path:store () in
+  if recovery.Journal.dropped > 0 then
+    Metrics.incr ~by:recovery.Journal.dropped "store.salvage.journal";
   Fun.protect ~finally:(fun () -> Journal.close journal) @@ fun () ->
   let done_tbl = completed_of_journal recovery.Journal.records in
   let jmutex = Mutex.create () in

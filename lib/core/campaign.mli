@@ -50,7 +50,10 @@ type config = {
 
 val default_config : config
 
-type breaker_state = Closed | Open of int | Half_open
+type breaker_state = Breaker.state = Closed | Open of int | Half_open
+(** Alias of {!Breaker.state}: the campaign keeps one {!Breaker} per
+    workload group; the serve daemon reuses the same policy per
+    tenant. *)
 
 val breaker_state_to_string : breaker_state -> string
 

@@ -28,10 +28,11 @@ let render_config (c : Machine.config) =
     (render_hierarchy c.Machine.hierarchy)
     c.Machine.max_instructions c.Machine.max_cycles core
 
-let key ~variant ~workload ~program ~config ?(options = "") () =
+let key ?(namespace = "") ~variant ~workload ~program ~config ?(options = "") () =
   String.concat "|"
     [
-      "v1";
+      "v2";
+      namespace;
       variant;
       workload;
       Fingerprint.hex program;
@@ -250,3 +251,23 @@ let store ~dir k m =
     Atomic_file.write ~path:(path_of ~dir k) (render k m);
     Metrics.incr "meas_cache.store"
   with _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Scoped front door: a (directory, namespace) pair. The serve daemon  *)
+(* holds one scope per tenant, so two tenants never share a record     *)
+(* even when their requests are bit-identical.                         *)
+(* ------------------------------------------------------------------ *)
+
+type scope = { dir : string; namespace : string }
+
+let cached scope ~variant ~workload ~program ~config ?options f =
+  let k =
+    key ~namespace:scope.namespace ~variant ~workload ~program ~config
+      ?options ()
+  in
+  match load ~dir:scope.dir k with
+  | Some m -> m
+  | None ->
+    let m = f () in
+    store ~dir:scope.dir k m;
+    m

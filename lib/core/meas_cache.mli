@@ -22,6 +22,7 @@
 type key
 
 val key :
+  ?namespace:string ->
   variant:string ->
   workload:string ->
   program:int ->
@@ -33,7 +34,10 @@ val key :
     ["aj-8"], ["aptget"]); [program] is the fingerprint hash of the
     {e untransformed} kernel; [options] is the
     {!Aptget_profile.Profiler.options_summary} when the variant's
-    hints came from a profile (default [""]). *)
+    hints came from a profile (default [""]). [namespace] (default
+    [""]) isolates otherwise-identical keys — the serve daemon passes
+    the tenant id, so one tenant's records are invisible to another's
+    even inside a shared cache directory. *)
 
 val load : dir:string -> key -> Pipeline.measurement option
 (** Look the key up under [dir]. [None] on any miss: absent file,
@@ -47,3 +51,24 @@ val store : dir:string -> key -> Pipeline.measurement -> unit
 
 val dir_from_env : unit -> string option
 (** [Some dir] when [APTGET_CACHE] is set and non-empty. *)
+
+(** {2 Scoped front door} *)
+
+type scope = { dir : string; namespace : string }
+(** A cache directory plus a key namespace. The serve daemon holds one
+    scope per tenant ([dir] under the tenant's spool subtree,
+    [namespace] the tenant id), so tenants share nothing — not even
+    records for bit-identical requests. *)
+
+val cached :
+  scope ->
+  variant:string ->
+  workload:string ->
+  program:int ->
+  config:Aptget_machine.Machine.config ->
+  ?options:string ->
+  (unit -> Pipeline.measurement) ->
+  Pipeline.measurement
+(** [cached scope ~variant ... f] loads the scoped key, or runs [f]
+    and stores its result. Exceptions from [f] propagate unrecorded
+    (a timed-out or crashed measurement must not poison the cache). *)

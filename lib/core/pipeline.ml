@@ -373,8 +373,13 @@ let pinned ?config w hints reason =
   | [] -> baseline ?config w
   | _ :: _ -> with_hints ?config ~veto:(fun _ -> Some reason) ~hints w
 
+let no_measure_cache ~variant f =
+  ignore (variant : string);
+  f ()
+
 let run_guarded ?config ?(guard = default_guard) ?quarantine ?remap ?watchdog
-    ?crash ~(doc : Hints_file.doc) (w : Workload.t) =
+    ?crash ?(measure_cache = no_measure_cache) ~(doc : Hints_file.doc)
+    (w : Workload.t) =
   Trace.with_span ~name:"pipeline.run-guarded"
     ~attrs:[ ("workload", w.Workload.name) ]
   @@ fun () ->
@@ -398,15 +403,23 @@ let run_guarded ?config ?(guard = default_guard) ?quarantine ?remap ?watchdog
   let measure f =
     Watchdog.run ?config:watchdog ?crash ~machine:mconfig Watchdog.Measure f
   in
-  let base = measure (fun capped -> baseline ~config:capped w) in
+  let base =
+    measure_cache ~variant:"guard-baseline" (fun () ->
+        measure (fun capped -> baseline ~config:capped w))
+  in
   let program = current.Aptget_ir.Fingerprint.program in
   let hkey = Quarantine.hints_key hints in
   let fall_back ~reason =
+    (* The pinned fallback embeds [reason] in its per-hint skip records,
+       so it is never cached — two different reasons must not alias. *)
     let pinned_m () =
       measure (fun capped -> pinned ~config:capped w hints reason)
     in
     if guard.try_aj then begin
-      match measure (fun capped -> aj ~config:capped w) with
+      match
+        measure_cache ~variant:"guard-aj" (fun () ->
+            measure (fun capped -> aj ~config:capped w))
+      with
       | m when speedup ~baseline:base m >= guard.floor ->
         (m, "static Ainsworth & Jones injection")
       | _ -> (pinned_m (), "baseline (hints vetoed)")
@@ -443,7 +456,11 @@ let run_guarded ?config ?(guard = default_guard) ?quarantine ?remap ?watchdog
               })
           quarantine
       in
-      match measure (fun capped -> with_hints ~config:capped ~hints w) with
+      match
+        measure_cache
+          ~variant:("guard-candidate:" ^ Aptget_ir.Fingerprint.hex hkey)
+          (fun () -> measure (fun capped -> with_hints ~config:capped ~hints w))
+      with
       | m ->
         let s = speedup ~baseline:base m in
         if s >= guard.floor then (Some m, m, Admitted)

@@ -186,6 +186,7 @@ val run_guarded :
   ?remap:Aptget_profile.Remap.config ->
   ?watchdog:Watchdog.config ->
   ?crash:Aptget_store.Crash.t ->
+  ?measure_cache:(variant:string -> (unit -> measurement) -> measurement) ->
   doc:Aptget_profile.Hints_file.doc ->
   Aptget_workloads.Workload.t ->
   guarded
@@ -199,7 +200,18 @@ val run_guarded :
     baseline or final fallback that does so raises
     {!Watchdog.Timed_out} — there is nothing left to stand behind. An
     armed [crash] plan raises {!Aptget_store.Crash.Crashed} when it
-    fires. *)
+    fires.
+
+    [measure_cache] (default: run everything) is a memoization seam
+    around the deterministic simulator runs: it is called with a
+    variant label (["guard-baseline"], ["guard-aj"],
+    ["guard-candidate:<hints-key>"]) and a thunk, and may return a
+    previously stored measurement instead of running the thunk. The
+    serve daemon plugs a tenant-scoped {!Meas_cache} in here (the
+    module dependency runs that way, Meas_cache on Pipeline, hence the
+    callback). Exceptions from the thunk must propagate. The pinned
+    baseline fallback is never routed through it, because its skip
+    records embed the run-specific veto reason. *)
 
 val force_distance :
   int -> Aptget_passes.Aptget_pass.hint list -> Aptget_passes.Aptget_pass.hint list

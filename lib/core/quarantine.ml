@@ -110,6 +110,11 @@ let create ?path ?crash () =
   let load_errors =
     match path with None -> [] | Some p -> load_file table p
   in
+  (* Salvaged (skipped) lines are bit-rot the operator should see, not
+     just a list a caller may forget to print. *)
+  (match List.length load_errors with
+  | 0 -> ()
+  | n -> Aptget_obs.Metrics.incr ~by:n "store.salvage.quarantine");
   { table; file = path; crash; load_errors }
 
 let load_errors t = t.load_errors
@@ -123,5 +128,22 @@ let mem t ~workload ~program ~hints_key =
 let add t e =
   Hashtbl.replace t.table (key e) e;
   persist t
+
+(* Compaction drops every entry the predicate rejects, then persists
+   once. Removing from a hash table while folding it is unspecified, so
+   the doomed keys are collected first. The single [persist] at the end
+   goes through Atomic_file (temp + rename), so a crash mid-compaction
+   leaves the previous file intact — and re-running the same compaction
+   removes nothing further (idempotent by construction: the survivors
+   already satisfy [keep]). *)
+let compact t ~keep =
+  let doomed =
+    Hashtbl.fold
+      (fun k e acc -> if keep e then acc else k :: acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) doomed;
+  if doomed <> [] then persist t;
+  List.length doomed
 
 let path t = t.file

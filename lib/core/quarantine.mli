@@ -47,6 +47,14 @@ val add : t -> entry -> unit
 (** Record (replacing any entry under the same key) and, when the store
     is file-backed, rewrite the file. *)
 
+val compact : t -> keep:(entry -> bool) -> int
+(** Drop every entry [keep] rejects and persist the survivors in one
+    atomic rewrite (temp + rename — a crash mid-compaction leaves the
+    previous file intact). Returns the number of entries removed.
+    Idempotent: re-running the same compaction removes nothing.
+    [aptget quarantine --compact] uses it to drop entries whose
+    program fingerprint no longer matches any known workload. *)
+
 val entries : t -> entry list
 (** All entries, sorted by (workload, program, hints) for stable
     output. *)

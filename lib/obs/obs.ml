@@ -11,6 +11,11 @@ let enable_metrics () =
              if helper then Metrics.incr "pool.helped";
              Metrics.observe "pool.queue_wait_s" wait_s;
              Metrics.observe "pool.run_s" run_s);
+         on_batch =
+           (fun ~queued ~jobs ->
+             Metrics.incr "pool.batches";
+             Metrics.set_gauge "pool.queue_depth" (float_of_int queued);
+             Metrics.set_gauge "pool.jobs" (float_of_int jobs));
        })
 
 let install ?trace ?metrics () =

@@ -291,9 +291,20 @@ let load ~path =
   | contents -> of_string contents
   | exception Sys_error e -> Error e
 
+(* Lenient loads salvage what they can; the lines they drop are bit-rot
+   an operator should be able to see, so the count also lands on the
+   obs registry (a no-op when metrics are off). *)
+let count_salvage errors =
+  match List.length errors with
+  | 0 -> ()
+  | n -> Aptget_obs.Metrics.incr ~by:n "store.salvage.hints_file"
+
 let load_lenient ~path =
   match read_file path with
-  | contents -> Ok (of_string_lenient contents)
+  | contents ->
+    let hints, errors = of_string_lenient contents in
+    count_salvage errors;
+    Ok (hints, errors)
   | exception Sys_error e -> Error e
 
 let load_doc ~path =
@@ -303,5 +314,8 @@ let load_doc ~path =
 
 let load_doc_lenient ~path =
   match read_file path with
-  | contents -> Ok (doc_of_string_lenient contents)
+  | contents ->
+    let doc, errors = doc_of_string_lenient contents in
+    count_salvage errors;
+    Ok (doc, errors)
   | exception Sys_error e -> Error e

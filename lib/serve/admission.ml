@@ -1,0 +1,43 @@
+module Metrics = Aptget_obs.Metrics
+
+type 'a t = {
+  queue : 'a Queue.t;
+  cap : int;
+  mutable admitted : int;
+  mutable shed : int;
+}
+
+type verdict = Admitted | Shed
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Admission.create: capacity < 1";
+  { queue = Queue.create (); cap = capacity; admitted = 0; shed = 0 }
+
+let depth t = Queue.length t.queue
+
+let capacity t = t.cap
+
+let gauge t = Metrics.set_gauge "serve.queue_depth" (float_of_int (depth t))
+
+let offer t x =
+  if Queue.length t.queue >= t.cap then begin
+    t.shed <- t.shed + 1;
+    Metrics.incr "serve.shed";
+    Shed
+  end
+  else begin
+    Queue.push x t.queue;
+    t.admitted <- t.admitted + 1;
+    Metrics.incr "serve.admitted";
+    gauge t;
+    Admitted
+  end
+
+let take t =
+  let x = Queue.take_opt t.queue in
+  if Option.is_some x then gauge t;
+  x
+
+let admitted t = t.admitted
+
+let shed t = t.shed

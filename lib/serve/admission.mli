@@ -1,0 +1,34 @@
+(** Bounded admission queue with explicit, deterministic shedding.
+
+    The daemon's overload policy is decided here and nowhere else: a
+    drain offers requests in arrival order, the first [capacity] fit,
+    and every later offer is {!Shed} — a deterministic function of the
+    arrival sequence, never of worker timing. A shed request gets a
+    distinct [overloaded] response (and exit code) so clients can tell
+    "try again later" from "your input is bad".
+
+    Counters [serve.admitted] / [serve.shed] and the
+    [serve.queue_depth] gauge are emitted from {!offer}/{!take} when
+    metrics are enabled. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+type verdict = Admitted | Shed
+
+val offer : 'a t -> 'a -> verdict
+(** Enqueue if there is room, shed otherwise. *)
+
+val take : 'a t -> 'a option
+(** Dequeue in FIFO order. *)
+
+val depth : 'a t -> int
+val capacity : 'a t -> int
+
+val admitted : 'a t -> int
+(** Total offers accepted over the queue's lifetime. *)
+
+val shed : 'a t -> int
+(** Total offers refused over the queue's lifetime. *)

@@ -1,0 +1,36 @@
+type t = Ok_ | Degraded | Usage | Crashed | Overloaded
+
+let to_int = function
+  | Ok_ -> 0
+  | Degraded -> 1
+  | Usage -> 2
+  | Crashed -> 3
+  | Overloaded -> 4
+
+let of_int = function
+  | 0 -> Some Ok_
+  | 1 -> Some Degraded
+  | 2 -> Some Usage
+  | 3 -> Some Crashed
+  | 4 -> Some Overloaded
+  | _ -> None
+
+let to_string = function
+  | Ok_ -> "ok"
+  | Degraded -> "degraded"
+  | Usage -> "usage"
+  | Crashed -> "crashed"
+  | Overloaded -> "overloaded"
+
+(* Severity for [worst]: overload must win even over a crash — the
+   supervisor's first question is "do I need to move traffic?". *)
+let rank = function
+  | Ok_ -> 0
+  | Degraded -> 1
+  | Usage -> 2
+  | Crashed -> 3
+  | Overloaded -> 4
+
+let worst a b = if rank a >= rank b then a else b
+
+let exit t = Stdlib.exit (to_int t)

@@ -1,0 +1,31 @@
+(** The one process-exit vocabulary every aptget subcommand speaks.
+
+    Before this module each command improvised its own codes, which
+    made the CLI unusable from supervisors ("is 3 a crash or a partial
+    campaign?"). The contract, pinned by tests and documented in the
+    README:
+
+    - [0] ok — the command did everything it was asked.
+    - [1] degraded — it ran to completion but some work failed,
+      timed out, was quarantined or was rejected; results are partial
+      yet trustworthy about their own status.
+    - [2] usage — bad flags or malformed invocation; nothing ran.
+    - [3] crashed — a simulated crash plan fired or supervision gave
+      up; on-disk state is whatever the journal says.
+    - [4] overloaded — admission control shed work. Distinct from
+      [1] so a load balancer can tell "retry elsewhere" from "this
+      input is bad". *)
+
+type t = Ok_ | Degraded | Usage | Crashed | Overloaded
+
+val to_int : t -> int
+val of_int : int -> t option
+val to_string : t -> string
+
+val worst : t -> t -> t
+(** Combine two outcomes into the one the process should report:
+    [Overloaded] dominates, then [Crashed], [Usage], [Degraded],
+    [Ok_]. *)
+
+val exit : t -> 'a
+(** [Stdlib.exit (to_int t)]. *)

@@ -1,0 +1,65 @@
+(* Framing. The header is fixed-width ASCII so a human can read a
+   spool file with [xxd] (or plain [less]), and so decode needs no
+   state beyond an offset. *)
+
+module Crc32 = Aptget_store.Crc32
+
+let magic = "APTG"
+
+let header_len = 20 (* 4 magic + 8 crc + 8 len *)
+
+let max_payload = 16 * 1024 * 1024
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_payload then invalid_arg "Frame.encode: payload too large";
+  String.concat ""
+    [ magic; Crc32.hex (Crc32.string payload); Printf.sprintf "%08x" n; payload ]
+
+type error =
+  | Incomplete of { have : int; need : int }
+  | Malformed of string
+
+let error_to_string = function
+  | Incomplete { have; need } ->
+    Printf.sprintf "incomplete frame: %d of %d bytes" have need
+  | Malformed why -> "malformed frame: " ^ why
+
+let decode ~buf ~pos =
+  let len = String.length buf in
+  let avail = if pos >= len then 0 else len - pos in
+  if avail < header_len then Error (Incomplete { have = avail; need = header_len })
+  else if String.sub buf pos 4 <> magic then Error (Malformed "bad magic")
+  else
+    match
+      ( Crc32.of_hex (String.sub buf (pos + 4) 8),
+        Crc32.of_hex (String.sub buf (pos + 12) 8) )
+    with
+    | None, _ -> Error (Malformed "bad checksum field")
+    | _, None -> Error (Malformed "bad length field")
+    | Some crc, Some n ->
+      if n > max_payload then Error (Malformed "oversized payload")
+      else if avail < header_len + n then
+        Error (Incomplete { have = avail; need = header_len + n })
+      else
+        let payload = String.sub buf (pos + header_len) n in
+        if Crc32.string payload <> crc then Error (Malformed "checksum mismatch")
+        else Ok (payload, pos + header_len + n)
+
+type stream = {
+  frames : string list;
+  consumed : int;
+  trailing : (int * error) option;
+}
+
+let decode_stream buf =
+  let len = String.length buf in
+  let rec go acc pos =
+    if pos = len then { frames = List.rev acc; consumed = pos; trailing = None }
+    else
+      match decode ~buf ~pos with
+      | Ok (payload, next) -> go (payload :: acc) next
+      | Error e ->
+        { frames = List.rev acc; consumed = pos; trailing = Some (pos, e) }
+  in
+  go [] 0

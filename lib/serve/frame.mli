@@ -1,0 +1,53 @@
+(** Length-prefixed, checksummed frames for the serve wire protocol.
+
+    A frame is a 20-byte ASCII header followed by the raw payload:
+
+    {v
+    APTG <8 hex chars: CRC-32 of payload> <8 hex chars: payload length>
+    v}
+
+    (no separators — ["APTG" ^ crc ^ len ^ payload]). The explicit
+    length makes the stream self-delimiting without any payload
+    escaping, and the CRC makes a torn or bit-rotted frame detectable
+    instead of silently parseable as garbage. Decoding never raises:
+    a frame cut short by a torn append comes back as {!Incomplete}
+    (the clean "stop here, the tail is unusable" signal) and a frame
+    whose header or checksum is wrong comes back as {!Malformed}. *)
+
+val max_payload : int
+(** Upper bound on a payload's length (16 MiB). A length field above
+    it is treated as {!Malformed} rather than as an instruction to
+    wait for gigabytes that will never come. *)
+
+val encode : string -> string
+(** Frame one payload.
+    @raise Invalid_argument when the payload exceeds {!max_payload}. *)
+
+type error =
+  | Incomplete of { have : int; need : int }
+      (** The buffer ends mid-frame: only [have] of the [need] bytes
+          this frame requires are present. At the end of a stream this
+          is the torn-append artifact. *)
+  | Malformed of string  (** bad magic, bad hex field, oversized
+          length, or checksum mismatch *)
+
+val error_to_string : error -> string
+
+val decode : buf:string -> pos:int -> (string * int, error) result
+(** Decode the frame starting at byte [pos] of [buf]: the payload and
+    the offset of the next frame. Never raises (a [pos] outside the
+    buffer is simply an empty suffix, i.e. [Incomplete]). *)
+
+type stream = {
+  frames : string list;  (** decoded payloads, in stream order *)
+  consumed : int;  (** bytes covered by the decoded frames *)
+  trailing : (int * error) option;
+      (** when the stream did not end exactly on a frame boundary: the
+          offset where decoding stopped and why. The bytes from there
+          on are dropped — after a tear there is no trustworthy
+          framing. *)
+}
+
+val decode_stream : string -> stream
+(** Decode every whole frame from the front of the buffer. Never
+    raises. *)

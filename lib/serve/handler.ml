@@ -1,0 +1,195 @@
+module Machine = Aptget_machine.Machine
+module Workload = Aptget_workloads.Workload
+module Suite = Aptget_workloads.Suite
+module Profiler = Aptget_profile.Profiler
+module Hints_file = Aptget_profile.Hints_file
+module Remap = Aptget_profile.Remap
+module Pipeline = Aptget_core.Pipeline
+module Watchdog = Aptget_core.Watchdog
+module Breaker = Aptget_core.Breaker
+module Meas_cache = Aptget_core.Meas_cache
+module Crash = Aptget_store.Crash
+module Metrics = Aptget_obs.Metrics
+module Table = Aptget_util.Table
+
+type outcome = { h_status : Wire.status; h_reason : string; h_body : string }
+
+type config = {
+  machine : Machine.config;
+  watchdog : Watchdog.config;
+  guard : Pipeline.guard_config;
+  resolve : string -> Workload.t option;
+}
+
+let default_config =
+  {
+    machine = Machine.default_config;
+    watchdog = Watchdog.default;
+    guard = Pipeline.default_guard;
+    resolve = Suite.find;
+  }
+
+let rejected reason = { h_status = Wire.Rejected; h_reason = reason; h_body = "" }
+
+let failed reason = { h_status = Wire.Failed; h_reason = reason; h_body = "" }
+
+let timed_out reason = { h_status = Wire.Timed_out; h_reason = reason; h_body = "" }
+
+(* A client-shipped program re-parses on every build: injection passes
+   mutate the IR in place, so handing out one shared [Ir.func] would
+   leak one run's prefetches into the next. *)
+let prepare w = function
+  | None -> Ok w
+  | Some ir_text -> (
+    match Parser.func ir_text with
+    | Error e -> Error e
+    | Ok _ ->
+      Ok
+        {
+          w with
+          Workload.build =
+            (fun () ->
+              let inst = w.Workload.build () in
+              { inst with Workload.func = Parser.func_exn ir_text });
+        })
+
+(* The request deadline caps the simulated stages' cycle budgets (a
+   tighter base budget still wins). *)
+let tighten (wd : Watchdog.config) = function
+  | None -> wd
+  | Some deadline ->
+    let cap (b : Watchdog.budget) =
+      {
+        b with
+        Watchdog.max_cycles =
+          (if b.Watchdog.max_cycles = 0 then deadline
+           else min b.Watchdog.max_cycles deadline);
+      }
+    in
+    {
+      wd with
+      Watchdog.profile_budget = cap wd.Watchdog.profile_budget;
+      measure_budget = cap wd.Watchdog.measure_budget;
+    }
+
+let render_measurement label (m : Pipeline.measurement) =
+  (* Same shape as the one-shot CLI's outcome lines; wall time is
+     deliberately absent, it is the one nondeterministic field. *)
+  Printf.sprintf
+    "%-10s cycles=%-12d instrs=%-10d IPC=%.3f MPKI=%.2f mem-stall=%s \
+     prefetches=%d verified=%s\n"
+    label m.Pipeline.outcome.Machine.cycles
+    m.Pipeline.outcome.Machine.instructions
+    (Machine.ipc m.Pipeline.outcome)
+    (Machine.mpki m.Pipeline.outcome)
+    (Table.fmt_pct (Machine.memory_stall_fraction m.Pipeline.outcome))
+    m.Pipeline.outcome.Machine.dyn_prefetches
+    (match m.Pipeline.verified with Ok () -> "ok" | Error e -> "FAILED: " ^ e)
+
+let render_guarded ~tenant ~guard (g : Pipeline.guarded) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "workload=%s tenant=%s program=%s\n" g.Pipeline.g_workload
+       tenant
+       (Fingerprint.hex g.Pipeline.g_program));
+  Buffer.add_string b (render_measurement "baseline" g.Pipeline.g_baseline);
+  Buffer.add_string b (render_measurement "APT-GET" g.Pipeline.g_final);
+  (match g.Pipeline.g_remap with
+  | Some r ->
+    Buffer.add_string b
+      (Printf.sprintf "remap: %d kept, %d remapped, %d rescaled, %d dropped\n"
+         r.Remap.kept r.Remap.remapped r.Remap.rescaled r.Remap.dropped)
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf "guard: %s (floor %.2fx)\n"
+       (Pipeline.guard_outcome_to_string g.Pipeline.g_outcome)
+       guard.Pipeline.floor);
+  Buffer.add_string b
+    (Printf.sprintf "speedup: %s (%d hint(s))\n"
+       (Table.fmt_speedup g.Pipeline.g_speedup)
+       (List.length g.Pipeline.g_hints));
+  Buffer.add_string b (Hints_file.to_string g.Pipeline.g_hints);
+  Buffer.contents b
+
+let execute ?crash config ~(tenant : Tenant.t) (req : Wire.request) =
+  match config.resolve req.Wire.workload with
+  | None -> rejected (Printf.sprintf "unknown workload %S" req.Wire.workload)
+  | Some w -> (
+    match prepare w req.Wire.program with
+    | Error e -> rejected ("program: " ^ e)
+    | Ok w -> (
+      let watchdog = tighten config.watchdog req.Wire.deadline_cycles in
+      let guard =
+        match req.Wire.guard_floor with
+        | Some floor -> { config.guard with Pipeline.floor = floor }
+        | None -> config.guard
+      in
+      try
+        let doc =
+          match req.Wire.hints with
+          | Some doc -> doc
+          | None ->
+            let options =
+              { Profiler.default_options with Profiler.machine = config.machine }
+            in
+            let prof =
+              Watchdog.run ~config:watchdog ?crash ~machine:config.machine
+                Watchdog.Profile (fun capped ->
+                  Pipeline.profile
+                    ~options:{ options with Profiler.machine = capped }
+                    w)
+            in
+            Profiler.to_doc ~options prof
+        in
+        let measure_cache =
+          match tenant.Tenant.cache with
+          | None -> None
+          | Some scope ->
+            let program = (Fingerprint.fingerprint (w.Workload.build ()).Workload.func).Fingerprint.program in
+            (* The deadline is part of the key: a measurement taken
+               under a loose deadline must not answer for a request
+               whose tighter one would have fired. *)
+            let options =
+              match req.Wire.deadline_cycles with
+              | Some d -> Printf.sprintf "deadline=%d" d
+              | None -> ""
+            in
+            Some
+              (fun ~variant f ->
+                Meas_cache.cached scope ~variant ~workload:w.Workload.name
+                  ~program ~config:config.machine ~options f)
+        in
+        let g =
+          Pipeline.run_guarded ~config:config.machine ~guard
+            ~quarantine:tenant.Tenant.quarantine
+            ?remap:(if req.Wire.remap then Some Remap.default_config else None)
+            ~watchdog ?crash ?measure_cache ~doc w
+        in
+        match g.Pipeline.g_final.Pipeline.verified with
+        | Error e ->
+          failed ("semantic verification failed: " ^ e)
+        | Ok () ->
+          {
+            h_status = Wire.Ok_;
+            h_reason = "";
+            h_body = render_guarded ~tenant:tenant.Tenant.id ~guard g;
+          }
+      with
+      | Watchdog.Timed_out t -> timed_out (Watchdog.timeout_to_string t)
+      | e when Crash.is_crashed e -> raise e
+      | e -> failed (Printexc.to_string e)))
+
+let run ?crash config ~tenant (req : Wire.request) =
+  let breaker = tenant.Tenant.breaker in
+  match Breaker.acquire breaker with
+  | Breaker.Refuse left ->
+    Metrics.incr "serve.breaker.refused";
+    rejected
+      (Printf.sprintf "tenant circuit breaker open (%d refusal(s) left)" left)
+  | Breaker.Run | Breaker.Probe ->
+    let before = Breaker.opened_count breaker in
+    let outcome = execute ?crash config ~tenant req in
+    Breaker.record breaker ~ok:(outcome.h_status = Wire.Ok_);
+    if Breaker.opened_count breaker > before then
+      Metrics.incr "serve.breaker.opened";
+    outcome

@@ -1,0 +1,55 @@
+(** Execute one admitted request inside its tenant's namespace.
+
+    This is the serve daemon's unit of work: resolve the workload
+    (optionally substituting client-shipped program IR), obtain a
+    hints document (the request's stale hints, or a fresh profiling
+    run), and run the guarded pipeline under the request's deadline —
+    with the tenant's quarantine store, measurement-cache scope and
+    circuit breaker plugged in.
+
+    The result is a total {!outcome}: pipeline failures, blown
+    deadlines and bad inputs all come back as structured statuses.
+    The only exception allowed to escape is
+    {!Aptget_store.Crash.Crashed} from an armed crash plan — a dead
+    process cannot respond.
+
+    Success bodies are rendered by {!render_guarded} with {e no}
+    wall-clock content, so the same request yields byte-identical
+    bytes from the daemon at any [--jobs] and from the one-shot
+    [aptget serve --once] path. *)
+
+type outcome = {
+  h_status : Wire.status;
+      (** [Ok_], [Timed_out], [Rejected] or [Failed] (admission-level
+          statuses are decided by the server, not here) *)
+  h_reason : string;
+  h_body : string;
+}
+
+type config = {
+  machine : Aptget_machine.Machine.config;
+  watchdog : Aptget_core.Watchdog.config;
+      (** base per-stage budgets; a request deadline tightens the
+          cycle budgets of the simulated stages *)
+  guard : Aptget_core.Pipeline.guard_config;
+  resolve : string -> Aptget_workloads.Workload.t option;
+      (** workload lookup, {!Aptget_workloads.Suite.find} by default
+          (tests inject synthetic workloads here) *)
+}
+
+val default_config : config
+
+val run :
+  ?crash:Aptget_store.Crash.t -> config -> tenant:Tenant.t -> Wire.request -> outcome
+(** Acquires the tenant breaker first: an open breaker refuses with
+    [Rejected] (and [serve.breaker.refused]) without running anything.
+    Every executed request records its outcome with the breaker, so a
+    tenant whose requests keep failing trips only its own breaker
+    ([serve.breaker.opened]). *)
+
+val render_guarded :
+  tenant:string ->
+  guard:Aptget_core.Pipeline.guard_config ->
+  Aptget_core.Pipeline.guarded ->
+  string
+(** The canonical response body (exposed for the one-shot CLI path). *)

@@ -1,0 +1,56 @@
+module Atomic_file = Aptget_store.Atomic_file
+
+type state = Ready | Draining | Stopped of int
+
+let state_to_string = function
+  | Ready -> "ready"
+  | Draining -> "draining"
+  | Stopped _ -> "stopped"
+
+let magic = "# aptget serve health v1"
+
+let path ~spool = Filename.concat spool "health"
+
+let write ~spool ?(processed = 0) state =
+  let code = match state with Stopped c -> c | Ready | Draining -> 0 in
+  Atomic_file.write ~path:(path ~spool)
+    (Printf.sprintf "%s\nstate=%s\ncode=%d\nprocessed=%d\n" magic
+       (state_to_string state) code processed)
+
+let read ~spool =
+  match Atomic_file.read ~path:(path ~spool) with
+  | Error e -> Error ("no health file: " ^ e)
+  | Ok text -> (
+    let kvs =
+      List.filter_map
+        (fun line ->
+          match String.index_opt line '=' with
+          | Some i ->
+            Some
+              ( String.sub line 0 i,
+                String.sub line (i + 1) (String.length line - i - 1) )
+          | None -> None)
+        (String.split_on_char '\n' text)
+    in
+    let field k = List.assoc_opt k kvs in
+    match (field "state", field "code", field "processed") with
+    | Some state_s, Some code_s, Some processed_s -> (
+      match (int_of_string_opt code_s, int_of_string_opt processed_s) with
+      | Some code, Some processed -> (
+        match state_s with
+        | "ready" -> Ok (Ready, processed)
+        | "draining" -> Ok (Draining, processed)
+        | "stopped" -> Ok (Stopped code, processed)
+        | _ -> Error ("unknown state " ^ state_s))
+      | _ -> Error "bad code/processed field")
+    | _ -> Error "missing health fields")
+
+let probe ~spool =
+  match read ~spool with
+  | Error _ -> Exit_code.Crashed
+  | Ok ((Ready | Draining), _) -> Exit_code.Ok_
+  | Ok (Stopped code, _) -> (
+    match Exit_code.of_int code with
+    | Some Exit_code.Ok_ -> Exit_code.Ok_
+    | Some (Exit_code.Degraded | Exit_code.Overloaded) -> Exit_code.Degraded
+    | Some (Exit_code.Usage | Exit_code.Crashed) | None -> Exit_code.Crashed)

@@ -1,0 +1,29 @@
+(** Liveness/readiness state file for the serve daemon.
+
+    The daemon publishes its state to [<spool>/health] (atomically,
+    temp + rename) at every transition: [ready] when it starts a
+    drain, [draining] when a shutdown marker is seen, and
+    [stopped] (with its exit code) when it exits. A supervisor — or
+    [aptget serve --health] — probes by reading the file: no daemon
+    process introspection, no signals, works across restarts. *)
+
+type state =
+  | Ready
+  | Draining
+  | Stopped of int  (** exit code the daemon stopped with *)
+
+val state_to_string : state -> string
+
+val write : spool:string -> ?processed:int -> state -> unit
+(** Atomic publish; [processed] is the cumulative request count, a
+    cheap progress signal for "is it live or wedged". *)
+
+val read : spool:string -> (state * int, string) result
+(** The published state and processed count. [Error] for a missing or
+    unparseable file (a supervisor treats both as unhealthy). *)
+
+val probe : spool:string -> Exit_code.t
+(** The [--health] verdict: [Ok_] when the daemon is [Ready] or
+    [Draining], or [Stopped] with code 0; [Degraded] when it stopped
+    degraded ([1]/[4]); [Crashed] for a crashed stop, a missing spool
+    or a corrupt health file. *)

@@ -1,0 +1,69 @@
+module Journal = Aptget_store.Journal
+module Metrics = Aptget_obs.Metrics
+
+type t = {
+  journal : Journal.t;
+  mutex : Mutex.t;
+  finished : (string, string) Hashtbl.t;
+}
+
+type orphan = { o_id : string; o_tenant : string }
+
+let strip prefix s =
+  let n = String.length prefix in
+  if String.length s >= n && String.sub s 0 n = prefix then
+    Some (String.sub s n (String.length s - n))
+  else None
+
+type record =
+  | Admit of { id : string; tenant : string }
+  | Done of { id : string; status : string }
+
+let parse_record r =
+  match String.split_on_char ' ' r with
+  | [ "admit"; id_f; tenant_f ] -> (
+    match (strip "id=" id_f, strip "tenant=" tenant_f) with
+    | Some id, Some tenant -> Some (Admit { id; tenant })
+    | _ -> None)
+  | [ "done"; id_f; status_f ] -> (
+    match (strip "id=" id_f, strip "status=" status_f) with
+    | Some id, Some status -> Some (Done { id; status })
+    | _ -> None)
+  | _ -> None
+
+let replay records =
+  let finished = Hashtbl.create 16 in
+  let pending = ref [] in
+  List.iter
+    (fun r ->
+      match parse_record r with
+      | Some (Admit { id; tenant }) ->
+        if not (List.exists (fun o -> o.o_id = id) !pending) then
+          pending := !pending @ [ { o_id = id; o_tenant = tenant } ]
+      | Some (Done { id; status }) ->
+        Hashtbl.replace finished id status;
+        pending := List.filter (fun o -> o.o_id <> id) !pending
+      | None -> ())
+    records;
+  (!pending, finished)
+
+let open_ ?crash ~path () =
+  let journal, recovery = Journal.open_ ?crash ~path () in
+  if recovery.Journal.dropped > 0 then
+    Metrics.incr ~by:recovery.Journal.dropped "store.salvage.journal";
+  let orphans, finished = replay recovery.Journal.records in
+  ({ journal; mutex = Mutex.create (); finished }, orphans, recovery)
+
+let append t record =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () -> Journal.append t.journal record)
+
+let admit t ~id ~tenant = append t (Printf.sprintf "admit id=%s tenant=%s" id tenant)
+
+let finish t ~id ~status = append t (Printf.sprintf "done id=%s status=%s" id status)
+
+let finished t ~id = Hashtbl.find_opt t.finished id
+
+let close t = Journal.close t.journal

@@ -1,0 +1,43 @@
+(** Journaled in-flight request tracking for crash recovery.
+
+    Every admitted request writes an [admit] record before it runs and
+    a [done] record when it finishes, both to the spool's CRC'd
+    {!Aptget_store.Journal}. On restart after a crash the journal
+    replays to three facts per request id: never seen, finished (with
+    its status), or {e orphaned} — admitted with no [done]. The server
+    answers every orphan with a clean [aborted] response (and writes
+    its [done aborted] record so the answer is not repeated on the
+    next restart), which is the "recover or cleanly reject, never
+    hang, never double-run" contract.
+
+    Record grammar (one journal record each):
+    {v
+    admit id=<id> tenant=<tenant>
+    done id=<id> status=<status>
+    v} *)
+
+type t
+
+type orphan = { o_id : string; o_tenant : string }
+
+val open_ :
+  ?crash:Aptget_store.Crash.t ->
+  path:string ->
+  unit ->
+  t * orphan list * Aptget_store.Journal.recovery
+(** Open (or create) the journal and replay it. Orphans are returned
+    in admit order. Salvaged-away corrupt records are counted into the
+    [store.salvage.journal] metric. *)
+
+val admit : t -> id:string -> tenant:string -> unit
+
+val finish : t -> id:string -> status:string -> unit
+(** Thread-safe: workers finishing on different domains serialise on
+    an internal mutex (journal append order between tenants is not
+    part of the deterministic surface; the response file order is). *)
+
+val finished : t -> id:string -> string option
+(** Status recorded for [id] by a {e previous} incarnation, if any —
+    the resume-skip check. *)
+
+val close : t -> unit

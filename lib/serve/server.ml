@@ -1,0 +1,390 @@
+module Pool = Aptget_util.Pool
+module Atomic_file = Aptget_store.Atomic_file
+module Crash = Aptget_store.Crash
+module Journal = Aptget_store.Journal
+module Breaker = Aptget_core.Breaker
+module Metrics = Aptget_obs.Metrics
+module Trace = Aptget_obs.Trace
+
+type config = {
+  spool : string;
+  capacity : int;
+  jobs : int option;
+  default_deadline : int option;
+  handler : Handler.config;
+  breaker : Breaker.config;
+  cache : bool;
+}
+
+let default_config ~spool =
+  {
+    spool;
+    capacity = 64;
+    jobs = None;
+    default_deadline = None;
+    handler = Handler.default_config;
+    breaker = Breaker.default_config;
+    cache = true;
+  }
+
+type report = {
+  s_frames : int;
+  s_torn : int;
+  s_ok : int;
+  s_shed : int;
+  s_timed_out : int;
+  s_rejected : int;
+  s_failed : int;
+  s_malformed : int;
+  s_aborted : int;
+  s_resumed : int;
+  s_drained : bool;
+  s_salvaged : int;
+}
+
+let empty_report =
+  {
+    s_frames = 0;
+    s_torn = 0;
+    s_ok = 0;
+    s_shed = 0;
+    s_timed_out = 0;
+    s_rejected = 0;
+    s_failed = 0;
+    s_malformed = 0;
+    s_aborted = 0;
+    s_resumed = 0;
+    s_drained = false;
+    s_salvaged = 0;
+  }
+
+let combine a b =
+  {
+    s_frames = a.s_frames + b.s_frames;
+    s_torn = a.s_torn + b.s_torn;
+    s_ok = a.s_ok + b.s_ok;
+    s_shed = a.s_shed + b.s_shed;
+    s_timed_out = a.s_timed_out + b.s_timed_out;
+    s_rejected = a.s_rejected + b.s_rejected;
+    s_failed = a.s_failed + b.s_failed;
+    s_malformed = a.s_malformed + b.s_malformed;
+    s_aborted = a.s_aborted + b.s_aborted;
+    s_resumed = a.s_resumed + b.s_resumed;
+    s_drained = a.s_drained || b.s_drained;
+    s_salvaged = a.s_salvaged + b.s_salvaged;
+  }
+
+let exit_code r =
+  if r.s_shed > 0 then Exit_code.Overloaded
+  else if
+    r.s_failed + r.s_timed_out + r.s_rejected + r.s_malformed + r.s_aborted
+    + r.s_torn
+    > 0
+  then Exit_code.Degraded
+  else Exit_code.Ok_
+
+type t = {
+  config : config;
+  registry : Tenant.registry;
+  mutable processed : int;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let requests_path spool = Filename.concat spool "requests.q"
+
+let responses_path spool = Filename.concat spool "responses.q"
+
+let journal_path spool = Filename.concat spool "serve.journal"
+
+let create config =
+  {
+    config;
+    registry =
+      Tenant.registry ~root:config.spool ~breaker:config.breaker
+        ~cache:config.cache ();
+    processed = 0;
+  }
+
+let submit ~spool body =
+  mkdir_p spool;
+  let frame = Frame.encode (Wire.body_to_string body) in
+  let oc =
+    open_out_gen
+      [ Open_append; Open_creat; Open_binary ]
+      0o644 (requests_path spool)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc frame)
+
+let responses ~spool =
+  match Atomic_file.read ~path:(responses_path spool) with
+  | Error e -> Error e
+  | Ok buf ->
+    let s = Frame.decode_stream buf in
+    Ok (List.map Wire.response_of_string s.Frame.frames)
+
+type work = { w_order : int; w_req : Wire.request; w_tenant : Tenant.t }
+
+let response_of_outcome (req : Wire.request) (o : Handler.outcome) =
+  {
+    Wire.rsp_id = req.Wire.req_id;
+    rsp_tenant = req.Wire.tenant;
+    rsp_status = o.Handler.h_status;
+    rsp_reason = o.Handler.h_reason;
+    rsp_body = o.Handler.h_body;
+  }
+
+let reject (req : Wire.request) reason =
+  {
+    Wire.rsp_id = req.Wire.req_id;
+    rsp_tenant = req.Wire.tenant;
+    rsp_status = Wire.Rejected;
+    rsp_reason = reason;
+    rsp_body = "";
+  }
+
+let drain ?crash t =
+  let cfg = t.config in
+  mkdir_p cfg.spool;
+  Health.write ~spool:cfg.spool ~processed:t.processed Health.Ready;
+  Metrics.incr "serve.drains";
+  let inflight, orphans, recovery =
+    Inflight.open_ ?crash ~path:(journal_path cfg.spool) ()
+  in
+  Fun.protect ~finally:(fun () -> Inflight.close inflight) @@ fun () ->
+  let buf =
+    match Atomic_file.read ~path:(requests_path cfg.spool) with
+    | Ok b -> b
+    | Error _ -> ""
+  in
+  let stream = Frame.decode_stream buf in
+  let frames = stream.Frame.frames in
+  let n_frames = List.length frames in
+  if n_frames > 0 then Metrics.incr ~by:n_frames "serve.requests";
+  let torn = match stream.Frame.trailing with Some _ -> 1 | None -> 0 in
+  if torn > 0 then Metrics.incr "serve.frame.torn";
+  (* Recovery first: every orphan gets a clean [aborted] answer, and a
+     [done] record so the answer is not repeated on the next drain. *)
+  let aborted_ids = Hashtbl.create 8 in
+  let aborted_responses =
+    List.map
+      (fun (o : Inflight.orphan) ->
+        Hashtbl.replace aborted_ids o.Inflight.o_id ();
+        Inflight.finish inflight ~id:o.Inflight.o_id ~status:"aborted";
+        {
+          Wire.rsp_id = o.Inflight.o_id;
+          rsp_tenant = o.Inflight.o_tenant;
+          rsp_status = Wire.Aborted;
+          rsp_reason = "in flight when the daemon died; resubmit under a new id";
+          rsp_body = "";
+        })
+      orphans
+  in
+  if aborted_responses <> [] then
+    Metrics.incr ~by:(List.length aborted_responses) "serve.aborted";
+  (* Admission walk, strictly in arrival order: shedding is a function
+     of the request sequence, never of worker timing. *)
+  let admission = Admission.create ~capacity:cfg.capacity in
+  let seen = Hashtbl.create 16 in
+  let immediate = ref [] in
+  let push order rsp = immediate := (order, rsp) :: !immediate in
+  let resumed = ref 0 in
+  let drained = ref false in
+  List.iteri
+    (fun i payload ->
+      match Wire.body_of_string payload with
+      | Error e ->
+        push i
+          {
+            Wire.rsp_id = Printf.sprintf "frame-%d" (i + 1);
+            rsp_tenant = "-";
+            rsp_status = Wire.Malformed;
+            rsp_reason = e;
+            rsp_body = "";
+          }
+      | Ok Wire.Shutdown -> drained := true
+      | Ok (Wire.Run req) ->
+        if Hashtbl.mem aborted_ids req.Wire.req_id then
+          (* the orphan response above already answers this id *)
+          ()
+        else if Hashtbl.mem seen req.Wire.req_id then
+          push i (reject req "duplicate request id in batch")
+        else begin
+          Hashtbl.replace seen req.Wire.req_id ();
+          if !drained then
+            push i (reject req "daemon draining; resubmit to the next incarnation")
+          else begin
+            if Option.is_some (Inflight.finished inflight ~id:req.Wire.req_id)
+            then incr resumed;
+            match Tenant.find_or_create t.registry req.Wire.tenant with
+            | Error e -> push i (reject req e)
+            | Ok tenant -> (
+              let req =
+                match req.Wire.deadline_cycles with
+                | None -> { req with Wire.deadline_cycles = cfg.default_deadline }
+                | Some _ -> req
+              in
+              match
+                Admission.offer admission
+                  { w_order = i; w_req = req; w_tenant = tenant }
+              with
+              | Admission.Admitted -> ()
+              | Admission.Shed ->
+                push i
+                  {
+                    Wire.rsp_id = req.Wire.req_id;
+                    rsp_tenant = req.Wire.tenant;
+                    rsp_status = Wire.Overloaded;
+                    rsp_reason =
+                      Printf.sprintf "admission queue full (capacity %d)"
+                        cfg.capacity;
+                    rsp_body = "";
+                  })
+          end
+        end)
+    frames;
+  let rec collect () =
+    match Admission.take admission with
+    | Some w -> w :: collect ()
+    | None -> []
+  in
+  let admitted = collect () in
+  (* Journal every admission before anything runs, serially, in
+     arrival order — the crash-recovery ground truth. *)
+  List.iter
+    (fun w ->
+      Inflight.admit inflight ~id:w.w_req.Wire.req_id
+        ~tenant:w.w_req.Wire.tenant)
+    admitted;
+  (* Per-tenant serial groups (first-appearance order), parallel across
+     tenants. An armed crash plan forces serial execution so the
+     journal's write ordering — which the plan counts — is exactly the
+     admission order. *)
+  let group_tbl : (string, work list ref) Hashtbl.t = Hashtbl.create 8 in
+  let group_keys = ref [] in
+  List.iter
+    (fun w ->
+      let key = w.w_tenant.Tenant.id in
+      match Hashtbl.find_opt group_tbl key with
+      | Some r -> r := w :: !r
+      | None ->
+        group_keys := key :: !group_keys;
+        Hashtbl.add group_tbl key (ref [ w ]))
+    admitted;
+  let groups =
+    List.rev_map (fun k -> List.rev !(Hashtbl.find group_tbl k)) !group_keys
+  in
+  let jobs =
+    match crash with
+    | Some c when Crash.armed c -> Some 1
+    | _ -> cfg.jobs
+  in
+  let inflight_n = Atomic.make (List.length admitted) in
+  Metrics.set_gauge "serve.inflight" (float_of_int (List.length admitted));
+  let process_group group =
+    List.map
+      (fun w ->
+        let req = w.w_req in
+        let outcome =
+          Trace.with_span ~name:"serve.request"
+            ~attrs:
+              [
+                ("tenant", req.Wire.tenant);
+                ("id", req.Wire.req_id);
+                ("workload", req.Wire.workload);
+              ]
+            (fun () -> Handler.run ?crash cfg.handler ~tenant:w.w_tenant req)
+        in
+        Inflight.finish inflight ~id:req.Wire.req_id
+          ~status:(Wire.status_to_string outcome.Handler.h_status);
+        Metrics.set_gauge "serve.inflight"
+          (float_of_int (Atomic.fetch_and_add inflight_n (-1) - 1));
+        (w.w_order, response_of_outcome req outcome))
+      group
+  in
+  let results = Pool.run ?jobs process_group groups in
+  let ordered =
+    List.sort
+      (fun (a, _) (b, _) -> compare (a : int) b)
+      (List.concat results @ !immediate)
+  in
+  let all_responses = aborted_responses @ List.map snd ordered in
+  let count st =
+    List.length
+      (List.filter (fun r -> r.Wire.rsp_status = st) all_responses)
+  in
+  List.iter
+    (fun st ->
+      let n = count st in
+      if n > 0 then
+        Metrics.incr ~by:n ("serve.responses." ^ Wire.status_to_string st))
+    [
+      Wire.Ok_;
+      Wire.Overloaded;
+      Wire.Timed_out;
+      Wire.Malformed;
+      Wire.Rejected;
+      Wire.Failed;
+      Wire.Aborted;
+    ];
+  (* Responses land with one atomic append-rewrite, and only then is
+     the request queue emptied: a crash between the two duplicates
+     work, never loses it. Neither write is routed through the crash
+     plan — simulated kills target the journal, which is what recovery
+     is tested against. *)
+  if all_responses <> [] then begin
+    let existing =
+      match Atomic_file.read ~path:(responses_path cfg.spool) with
+      | Ok b -> b
+      | Error _ -> ""
+    in
+    let fresh =
+      String.concat ""
+        (List.map
+           (fun r -> Frame.encode (Wire.response_to_string r))
+           all_responses)
+    in
+    Atomic_file.write ~path:(responses_path cfg.spool) (existing ^ fresh)
+  end;
+  if buf <> "" then Atomic_file.write ~path:(requests_path cfg.spool) "";
+  t.processed <- t.processed + List.length all_responses;
+  {
+    s_frames = n_frames;
+    s_torn = torn;
+    s_ok = count Wire.Ok_;
+    s_shed = Admission.shed admission;
+    s_timed_out = count Wire.Timed_out;
+    s_rejected = count Wire.Rejected;
+    s_failed = count Wire.Failed;
+    s_malformed = count Wire.Malformed;
+    s_aborted = List.length aborted_responses;
+    s_resumed = !resumed;
+    s_drained = !drained;
+    s_salvaged = recovery.Journal.dropped;
+  }
+
+let stop t ~code =
+  Health.write ~spool:t.config.spool ~processed:t.processed
+    (Health.Stopped (Exit_code.to_int code))
+
+let serve ?crash ?(poll = 0.05) ?max_drains t =
+  let rec go acc n =
+    let r = drain ?crash t in
+    let acc = combine acc r in
+    let n = n + 1 in
+    if r.s_drained || match max_drains with Some m -> n >= m | None -> false
+    then acc
+    else begin
+      if r.s_frames = 0 then Unix.sleepf poll;
+      go acc n
+    end
+  in
+  let report = go empty_report 0 in
+  stop t ~code:(exit_code report);
+  report

@@ -1,0 +1,101 @@
+(** The serve daemon: a supervised, file-queue-backed batch server.
+
+    Transport is a spool directory rather than a socket — deliberately:
+    every byte of daemon I/O is then a plain file, so tests and CI can
+    drive it deterministically, inspect it with a pager, and crash it
+    mid-flight with the store's simulated kill plans.
+
+    {v
+    <spool>/requests.q     framed Wire.body payloads (clients append)
+    <spool>/responses.q    framed Wire.response payloads (daemon appends)
+    <spool>/serve.journal  in-flight admit/done records (CRC'd)
+    <spool>/health         liveness/readiness state file
+    <spool>/tenants/<id>/  per-tenant quarantine + measurement cache
+    v}
+
+    A {e drain} is the unit of service: decode every whole frame in
+    [requests.q], answer recovery orphans with [aborted], offer the
+    batch to admission control in arrival order (the first [capacity]
+    are admitted, the rest shed with [overloaded]), journal the
+    admissions, run them grouped per tenant — groups in parallel on
+    the domain {!Aptget_util.Pool}, requests within a group serially —
+    and append every response, in arrival order, to [responses.q] with
+    one atomic write. Response bytes are therefore a function of the
+    request sequence alone, identical at any [--jobs].
+
+    Crash safety: an armed {!Aptget_store.Crash} plan (which also
+    forces [jobs:1], like the campaign runner) raises mid-drain before
+    the response write; the next drain replays the journal, aborts the
+    orphans and re-executes the rest against the tenants' persistent
+    stores. [requests.q] is emptied only after the responses land. *)
+
+type config = {
+  spool : string;
+  capacity : int;  (** admission bound per drain (default 64) *)
+  jobs : int option;  (** pool width; [None] = {!Aptget_util.Pool.default_jobs} *)
+  default_deadline : int option;
+      (** deadline-cycles applied to requests that carry none *)
+  handler : Handler.config;
+  breaker : Aptget_core.Breaker.config;  (** per-tenant breaker policy *)
+  cache : bool;  (** give tenants measurement-cache scopes (default true) *)
+}
+
+val default_config : spool:string -> config
+
+type report = {
+  s_frames : int;  (** whole frames decoded this drain *)
+  s_torn : int;  (** trailing bytes that were not a whole frame *)
+  s_ok : int;
+  s_shed : int;
+  s_timed_out : int;
+  s_rejected : int;
+  s_failed : int;
+  s_malformed : int;
+  s_aborted : int;  (** recovery orphans answered [aborted] *)
+  s_resumed : int;
+      (** requests re-executed because a previous incarnation had
+          finished them but crashed before responding *)
+  s_drained : bool;  (** a shutdown marker was processed *)
+  s_salvaged : int;  (** corrupt journal records dropped at recovery *)
+}
+
+val empty_report : report
+val combine : report -> report -> report
+
+val exit_code : report -> Exit_code.t
+(** [Overloaded] if anything was shed; else [Degraded] if any request
+    failed, timed out, was rejected, malformed, torn or aborted; else
+    [Ok_]. (A crash never reaches this: it propagates as
+    {!Aptget_store.Crash.Crashed}.) *)
+
+type t
+(** A daemon instance: config plus the tenant registry (breaker state
+    lives across drains of the same instance, like any resident
+    daemon's; it is rebuilt deterministically after a restart). *)
+
+val create : config -> t
+
+val drain : ?crash:Aptget_store.Crash.t -> t -> report
+(** One batch (see above). Publishes [ready] to the health file on
+    entry. Raises {!Aptget_store.Crash.Crashed} only via an armed
+    [crash] plan. *)
+
+val serve :
+  ?crash:Aptget_store.Crash.t -> ?poll:float -> ?max_drains:int -> t -> report
+(** Drain repeatedly (sleeping [poll] seconds, default 0.05, between
+    empty polls) until a drain processes a shutdown marker — the
+    graceful-drain path — or [max_drains] batches have run. Publishes
+    [stopped] with the combined report's exit code before returning. *)
+
+val stop : t -> code:Exit_code.t -> unit
+(** Publish [stopped] with [code] (used by the CLI when a crash plan
+    fired: the supervisor's record of the death). *)
+
+val submit : spool:string -> Wire.body -> unit
+(** Client side: append one framed payload to [requests.q], creating
+    the spool on first use. *)
+
+val responses :
+  spool:string -> ((Wire.response, string) result list, string) result
+(** Client side: decode [responses.q] — one entry per frame, [Error]
+    for a payload that does not parse as a response. *)

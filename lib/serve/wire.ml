@@ -1,0 +1,321 @@
+module Hints_file = Aptget_profile.Hints_file
+
+type request = {
+  req_id : string;
+  tenant : string;
+  workload : string;
+  deadline_cycles : int option;
+  guard_floor : float option;
+  remap : bool;
+  hints : Hints_file.doc option;
+  program : string option;
+}
+
+type body = Run of request | Shutdown
+
+let request_magic = "# aptget serve request v1"
+
+let shutdown_magic = "# aptget serve shutdown v1"
+
+let response_magic = "# aptget serve response v1"
+
+let id_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '.' || c = '_' || c = '-'
+
+let valid_id s =
+  let n = String.length s in
+  if n = 0 then Error "empty identifier"
+  else if n > 64 then Error "identifier longer than 64 chars"
+  else if s.[0] = '.' then Error "identifier starts with '.'"
+  else if String.for_all id_char s then Ok ()
+  else Error "identifier has chars outside [A-Za-z0-9._-]"
+
+(* Strict decimal: [int_of_string] accepts "0x2a", "1_000" and a sign,
+   none of which belong on the wire. *)
+let strict_int s =
+  if s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s then
+    int_of_string_opt s
+  else None
+
+(* Section payloads are reassembled line-wise, so a line of a nested
+   document must never look like a section marker. Hints docs and IR
+   text never start lines with "--- ", which is all the framing
+   needs. *)
+let section_prefix = "--- "
+
+let is_marker line =
+  String.length line >= String.length section_prefix
+  && String.sub line 0 (String.length section_prefix) = section_prefix
+
+let section name body_lines =
+  if body_lines = [] then section_prefix ^ name ^ "\n"
+  else section_prefix ^ name ^ "\n" ^ String.concat "\n" body_lines ^ "\n"
+
+let split_lines s =
+  match String.split_on_char '\n' s with
+  | [] -> []
+  | lines -> (
+    (* a trailing newline yields one empty trailing element; drop it *)
+    match List.rev lines with
+    | "" :: rest -> List.rev rest
+    | _ -> lines)
+
+let request_to_string r =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "%s" request_magic;
+  line "id=%s" r.req_id;
+  line "tenant=%s" r.tenant;
+  line "workload=%s" r.workload;
+  (match r.deadline_cycles with
+  | Some c -> line "deadline-cycles=%d" c
+  | None -> ());
+  (match r.guard_floor with
+  | Some f -> line "guard-floor=%.17g" f
+  | None -> ());
+  if not r.remap then line "remap=false";
+  (match r.hints with
+  | Some doc ->
+    Buffer.add_string b (section "hints" (split_lines (Hints_file.doc_to_string doc)))
+  | None -> ());
+  (match r.program with
+  | Some ir -> Buffer.add_string b (section "program" (split_lines ir))
+  | None -> ());
+  Buffer.contents b
+
+let body_to_string = function
+  | Run r -> request_to_string r
+  | Shutdown -> shutdown_magic ^ "\n"
+
+(* Split [lines] into header key=value lines and named sections. *)
+let split_sections lines =
+  let rec sections acc name body = function
+    | [] -> Ok (List.rev ((name, List.rev body) :: acc))
+    | line :: rest when is_marker line ->
+      let next = String.sub line 4 (String.length line - 4) in
+      sections ((name, List.rev body) :: acc) next [] rest
+    | line :: rest -> sections acc name (line :: body) rest
+  in
+  let rec header acc = function
+    | [] -> Ok (List.rev acc, [])
+    | line :: rest when is_marker line -> (
+      match sections [] (String.sub line 4 (String.length line - 4)) [] rest with
+      | Ok secs -> Ok (List.rev acc, secs)
+      | Error _ as e -> e)
+    | "" :: _ -> Error "blank line in header"
+    | line :: rest -> header (line :: acc) rest
+  in
+  header [] lines
+
+let parse_header lines =
+  let seen = Hashtbl.create 8 in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match String.index_opt line '=' with
+      | None -> Error (Printf.sprintf "expected key=value, got %S" line)
+      | Some i ->
+        let k = String.sub line 0 i in
+        let v = String.sub line (i + 1) (String.length line - i - 1) in
+        if Hashtbl.mem seen k then Error (Printf.sprintf "duplicate key %S" k)
+        else begin
+          Hashtbl.add seen k ();
+          go ((k, v) :: acc) rest
+        end)
+  in
+  go [] lines
+
+let parse_request lines =
+  let ( let* ) = Result.bind in
+  let* header, secs = split_sections lines in
+  let* kvs = parse_header header in
+  let field k = List.assoc_opt k kvs in
+  let* () =
+    List.fold_left
+      (fun acc (k, _) ->
+        let* () = acc in
+        match k with
+        | "id" | "tenant" | "workload" | "deadline-cycles" | "guard-floor"
+        | "remap" ->
+          Ok ()
+        | _ -> Error (Printf.sprintf "unknown key %S" k))
+      (Ok ()) kvs
+  in
+  let require k =
+    match field k with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing key %S" k)
+  in
+  let* req_id = require "id" in
+  let* () = Result.map_error (fun e -> "id: " ^ e) (valid_id req_id) in
+  let* tenant = require "tenant" in
+  let* () = Result.map_error (fun e -> "tenant: " ^ e) (valid_id tenant) in
+  let* workload = require "workload" in
+  let* () = if workload = "" then Error "empty workload" else Ok () in
+  let* deadline_cycles =
+    match field "deadline-cycles" with
+    | None -> Ok None
+    | Some v -> (
+      match strict_int v with
+      | Some c when c > 0 -> Ok (Some c)
+      | Some _ | None -> Error "deadline-cycles: expected a positive integer")
+  in
+  let* guard_floor =
+    match field "guard-floor" with
+    | None -> Ok None
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f when f > 0. -> Ok (Some f)
+      | Some _ | None -> Error "guard-floor: expected a positive float")
+  in
+  let* remap =
+    match field "remap" with
+    | None -> Ok true
+    | Some "true" -> Ok true
+    | Some "false" -> Ok false
+    | Some _ -> Error "remap: expected true or false"
+  in
+  let* () =
+    List.fold_left
+      (fun acc (name, _) ->
+        let* () = acc in
+        match name with
+        | "hints" | "program" -> Ok ()
+        | _ -> Error (Printf.sprintf "unknown section %S" name))
+      (Ok ()) secs
+  in
+  let* () =
+    if List.length secs = List.length (List.sort_uniq compare (List.map fst secs))
+    then Ok ()
+    else Error "duplicate section"
+  in
+  let sec name =
+    match List.assoc_opt name secs with
+    | None -> None
+    | Some lines -> Some (String.concat "\n" lines ^ "\n")
+  in
+  let* hints =
+    match sec "hints" with
+    | None -> Ok None
+    | Some text -> (
+      match Hints_file.doc_of_string text with
+      | Ok doc -> Ok (Some doc)
+      | Error e -> Error ("hints: " ^ e))
+  in
+  let program = sec "program" in
+  Ok
+    {
+      req_id;
+      tenant;
+      workload;
+      deadline_cycles;
+      guard_floor;
+      remap;
+      hints;
+      program;
+    }
+
+let body_of_string payload =
+  match split_lines payload with
+  | [] -> Error "empty payload"
+  | magic :: rest ->
+    if magic = shutdown_magic then
+      if rest = [] then Ok Shutdown else Error "trailing data after shutdown"
+    else if magic = request_magic then
+      Result.map (fun r -> Run r) (parse_request rest)
+    else Error (Printf.sprintf "unrecognized payload magic %S" magic)
+
+type status =
+  | Ok_
+  | Overloaded
+  | Timed_out
+  | Malformed
+  | Rejected
+  | Failed
+  | Aborted
+
+let status_to_string = function
+  | Ok_ -> "ok"
+  | Overloaded -> "overloaded"
+  | Timed_out -> "timed-out"
+  | Malformed -> "malformed"
+  | Rejected -> "rejected"
+  | Failed -> "failed"
+  | Aborted -> "aborted"
+
+let status_of_string = function
+  | "ok" -> Some Ok_
+  | "overloaded" -> Some Overloaded
+  | "timed-out" -> Some Timed_out
+  | "malformed" -> Some Malformed
+  | "rejected" -> Some Rejected
+  | "failed" -> Some Failed
+  | "aborted" -> Some Aborted
+  | _ -> None
+
+type response = {
+  rsp_id : string;
+  rsp_tenant : string;
+  rsp_status : status;
+  rsp_reason : string;
+  rsp_body : string;
+}
+
+let body_marker = "--- body\n"
+
+let response_to_string r =
+  let header =
+    Printf.sprintf "%s\nid=%s\ntenant=%s\nstatus=%s\nreason=%s\n" response_magic
+      r.rsp_id r.rsp_tenant
+      (status_to_string r.rsp_status)
+      (String.escaped r.rsp_reason)
+  in
+  if r.rsp_body = "" then header else header ^ body_marker ^ r.rsp_body
+
+let response_of_string payload =
+  let ( let* ) = Result.bind in
+  (* The body is raw text (it is the last section), so split it off
+     byte-wise before any line parsing. *)
+  let header, body =
+    let rec find i =
+      if i + String.length body_marker > String.length payload then None
+      else if String.sub payload i (String.length body_marker) = body_marker
+              && (i = 0 || payload.[i - 1] = '\n')
+      then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> (payload, "")
+    | Some i ->
+      ( String.sub payload 0 i,
+        String.sub payload
+          (i + String.length body_marker)
+          (String.length payload - i - String.length body_marker) )
+  in
+  match split_lines header with
+  | magic :: rest when magic = response_magic ->
+    let* kvs = parse_header rest in
+    let require k =
+      match List.assoc_opt k kvs with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing key %S" k)
+    in
+    let* rsp_id = require "id" in
+    let* rsp_tenant = require "tenant" in
+    let* status_s = require "status" in
+    let* rsp_status =
+      match status_of_string status_s with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "unknown status %S" status_s)
+    in
+    let* reason_s = require "reason" in
+    let* rsp_reason =
+      match Scanf.unescaped reason_s with
+      | s -> Ok s
+      | exception Scanf.Scan_failure _ -> Error "unparseable reason escape"
+    in
+    Ok { rsp_id; rsp_tenant; rsp_status; rsp_reason; rsp_body = body }
+  | _ -> Error "unrecognized response payload"

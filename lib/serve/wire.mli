@@ -1,0 +1,77 @@
+(** Request/response payloads carried inside {!Frame}s.
+
+    Both directions are line-oriented text documents in the same
+    family as the hints file: a versioned magic comment, [key=value]
+    header lines, then optional [--- <name>] sections whose raw
+    contents run to the next section marker. Text keeps spool files
+    inspectable with a pager and diffable in CI; the frame layer
+    already guarantees integrity, so the payload does not re-checksum
+    itself.
+
+    Parsing is strict and total: any deviation is an [Error], never an
+    exception, and the server answers it with a [Malformed] response
+    rather than dying. *)
+
+type request = {
+  req_id : string;
+      (** client-chosen identifier, unique per spool; also the journal
+          key for crash recovery *)
+  tenant : string;  (** namespace for quarantine/cache/breaker state *)
+  workload : string;  (** suite name to run *)
+  deadline_cycles : int option;
+      (** per-request budget: caps the watchdog's profile and measure
+          cycle deadlines *)
+  guard_floor : float option;  (** override the guard's speedup floor *)
+  remap : bool;  (** validate-and-remap stale hints (default [true]) *)
+  hints : Aptget_profile.Hints_file.doc option;
+      (** stale hints to reuse; absent = profile from scratch *)
+  program : string option;
+      (** textual IR overriding the workload's kernel (the "client
+          ships its program" path) *)
+}
+
+type body =
+  | Run of request
+  | Shutdown  (** drain marker: requests framed after it are rejected *)
+
+val valid_id : string -> (unit, string) result
+(** Request and tenant identifiers double as path components under the
+    spool, so they are restricted to 1–64 chars of
+    [[A-Za-z0-9._-]], must not start with [.] (which also rules out
+    ["."], [".."] and hidden files). *)
+
+val request_to_string : request -> string
+val body_to_string : body -> string
+
+val body_of_string : string -> (body, string) result
+(** Strict parse: unknown or duplicate keys, a bad magic line, an
+    invalid id, or an unparseable hints section are all [Error]. *)
+
+type status =
+  | Ok_
+  | Overloaded  (** shed by admission control; retry later/elsewhere *)
+  | Timed_out  (** the per-request deadline fired *)
+  | Malformed  (** the payload did not parse *)
+  | Rejected
+      (** well-formed but refused: unknown workload, bad program IR,
+          open tenant breaker, or the daemon was draining *)
+  | Failed  (** ran, but the pipeline errored or verification failed *)
+  | Aborted
+      (** in flight when the daemon crashed; rolled back on recovery,
+          safe to resubmit under a new id *)
+
+val status_to_string : status -> string
+val status_of_string : string -> status option
+
+type response = {
+  rsp_id : string;
+  rsp_tenant : string;
+  rsp_status : status;
+  rsp_reason : string;  (** empty on [Ok_]; single line, why otherwise *)
+  rsp_body : string;
+      (** canonical result text on [Ok_] — byte-identical to the
+          one-shot CLI for the same request, whatever [--jobs] *)
+}
+
+val response_to_string : response -> string
+val response_of_string : string -> (response, string) result

@@ -20,7 +20,10 @@ let override = Atomic.make None
 
 let set_default_jobs j = Atomic.set override j
 
-type monitor = { on_task : wait_s:float -> run_s:float -> helper:bool -> unit }
+type monitor = {
+  on_task : wait_s:float -> run_s:float -> helper:bool -> unit;
+  on_batch : queued:int -> jobs:int -> unit;
+}
 
 (* Observation hook installed by the obs layer (which sits above this
    library in the dependency graph, hence the indirection). [None] by
@@ -140,6 +143,9 @@ let mapi t f xs =
       done;
       Condition.broadcast t.work;
       Mutex.unlock t.mutex;
+      (match mon with
+      | Some m -> m.on_batch ~queued:n ~jobs:t.n_jobs
+      | None -> ());
       (* The calling domain drains the queue alongside the workers. *)
       let rec help () =
         Mutex.lock t.mutex;

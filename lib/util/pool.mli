@@ -57,6 +57,12 @@ type monitor = {
       (** Called once per {e queued} task when it finishes: queue wait
           (submit to start), run time, and whether the calling domain
           (rather than a worker) drained it. *)
+  on_batch : queued:int -> jobs:int -> unit;
+      (** Called once per queued batch, right after its tasks land on
+          the queue: the batch size (= instantaneous queue depth, since
+          batches drain fully before the next submits) and the pool
+          width. The obs layer turns this into the [pool.queue_depth]
+          gauge the serve dashboard reads. *)
 }
 
 val set_monitor : monitor option -> unit

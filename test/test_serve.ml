@@ -1,0 +1,888 @@
+(* The serve daemon: wire protocol totality (framing, request/response
+   round-trips), deterministic admission shedding, per-tenant isolation
+   (breaker, quarantine, cache namespaces), response byte-identity at
+   any --jobs, the seeded mid-flight kill + recovery contract, unified
+   exit codes, quarantine compaction and salvage observability. *)
+
+module Pipeline = Aptget_core.Pipeline
+module Watchdog = Aptget_core.Watchdog
+module Quarantine = Aptget_core.Quarantine
+module Breaker = Aptget_core.Breaker
+module Workload = Aptget_workloads.Workload
+module Micro = Aptget_workloads.Micro
+module Profiler = Aptget_profile.Profiler
+module Hints_file = Aptget_profile.Hints_file
+module Crash = Aptget_store.Crash
+module Journal = Aptget_store.Journal
+module Atomic_file = Aptget_store.Atomic_file
+module Metrics = Aptget_obs.Metrics
+module Frame = Aptget_serve.Frame
+module Wire = Aptget_serve.Wire
+module Exit_code = Aptget_serve.Exit_code
+module Admission = Aptget_serve.Admission
+module Tenant = Aptget_serve.Tenant
+module Inflight = Aptget_serve.Inflight
+module Handler = Aptget_serve.Handler
+module Health = Aptget_serve.Health
+module Server = Aptget_serve.Server
+
+let crash_seed =
+  match Sys.getenv_opt "APTGET_CRASH_SEED" with
+  | Some s -> ( try int_of_string s with Failure _ -> 0)
+  | None -> 0
+
+let crash_mode = if crash_seed land 1 = 0 then Crash.Clean else Crash.Torn
+
+(* ---------------- workloads and spools ---------------- *)
+
+let micro_params =
+  { Micro.default_params with Micro.total = 16_384; table_words = 1 lsl 19 }
+
+let micro_w ?(name = "micro") () = Micro.workload ~params:micro_params ~name ()
+
+(* Same kernel as [micro] (so stale hints remap exactly), but every
+   verification fails — the poisonous workload a tenant breaker must
+   contain. *)
+let broken_micro () =
+  let w = micro_w ~name:"micro-broken" () in
+  {
+    w with
+    Workload.build =
+      (fun () ->
+        let inst = w.Workload.build () in
+        {
+          inst with
+          Workload.verify = (fun _ _ -> Error "always wrong (injected)");
+        });
+  }
+
+let resolve = function
+  | "micro" -> Some (micro_w ())
+  | "micro-alt" -> Some (micro_w ~name:"micro-alt" ())
+  | "micro-broken" -> Some (broken_micro ())
+  | _ -> None
+
+let handler_config = { Handler.default_config with Handler.resolve }
+
+let server_config ?(capacity = 64) ?jobs ?(threshold = 3) ?(cooldown = 2) spool
+    =
+  {
+    (Server.default_config ~spool) with
+    Server.capacity;
+    jobs;
+    handler = handler_config;
+    breaker = { Breaker.threshold; cooldown };
+  }
+
+(* One profiling run shared by every test that ships stale hints. *)
+let micro_doc =
+  lazy
+    (let options = Profiler.default_options in
+     Profiler.to_doc ~options (Pipeline.profile ~options (micro_w ())))
+
+let req ?(tenant = "t-a") ?(workload = "micro") ?deadline ?floor ?(remap = true)
+    ?hints ?program id =
+  {
+    Wire.req_id = id;
+    tenant;
+    workload;
+    deadline_cycles = deadline;
+    guard_floor = floor;
+    remap;
+    hints;
+    program;
+  }
+
+let rec rm_rf p =
+  if Sys.is_directory p then begin
+    Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+    Unix.rmdir p
+  end
+  else Sys.remove p
+
+let with_spool f =
+  let dir = Filename.temp_file "aptget-serve-test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ()) (fun () -> f dir)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  match Atomic_file.read ~path with
+  | Ok b -> b
+  | Error e -> Alcotest.failf "read %s: %s" path e
+
+let responses_exn spool =
+  match Server.responses ~spool with
+  | Error e -> Alcotest.failf "no responses: %s" e
+  | Ok rs ->
+    List.map
+      (function Ok r -> r | Error e -> Alcotest.failf "bad response: %s" e)
+      rs
+
+let response_for spool id =
+  match List.find_opt (fun r -> r.Wire.rsp_id = id) (responses_exn spool) with
+  | Some r -> r
+  | None -> Alcotest.failf "no response for %s" id
+
+(* ---------------- frames ---------------- *)
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"frame: encode/decode round-trips any payload"
+    ~count:200
+    QCheck.(pair string string)
+    (fun (a, b) ->
+      (match Frame.decode ~buf:(Frame.encode a) ~pos:0 with
+      | Ok (p, next) -> p = a && next = String.length (Frame.encode a)
+      | Error _ -> false)
+      &&
+      let s = Frame.decode_stream (Frame.encode a ^ Frame.encode b) in
+      s.Frame.frames = [ a; b ] && s.Frame.trailing = None)
+
+let test_frame_truncation_total () =
+  let payloads = [ "hello"; ""; "multi\nline\x00\xffbin" ] in
+  let buf = String.concat "" (List.map Frame.encode payloads) in
+  for cut = 0 to String.length buf do
+    let s = Frame.decode_stream (String.sub buf 0 cut) in
+    (* never raises (we got here), decodes only whole frames, and
+       claims the whole prefix only when it really ended on a frame
+       boundary *)
+    Alcotest.(check bool)
+      "frames are a prefix of the full list" true
+      (List.length s.Frame.frames <= 3
+      && List.for_all2
+           (fun a b -> a = b)
+           s.Frame.frames
+           (List.filteri
+              (fun i _ -> i < List.length s.Frame.frames)
+              payloads));
+    Alcotest.(check bool) "consumed within the cut" true (s.Frame.consumed <= cut);
+    if s.Frame.trailing = None then
+      Alcotest.(check int) "no trailing => all bytes consumed" cut
+        s.Frame.consumed
+  done;
+  let s = Frame.decode_stream buf in
+  Alcotest.(check bool) "uncut stream decodes fully" true
+    (s.Frame.frames = payloads && s.Frame.trailing = None)
+
+let test_frame_corruption_detected () =
+  let buf = Frame.encode "alpha" ^ Frame.encode "beta" in
+  for i = 0 to String.length buf - 1 do
+    let b = Bytes.of_string buf in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+    let s = Frame.decode_stream (Bytes.to_string b) in
+    Alcotest.(check bool)
+      (Printf.sprintf "flipped byte %d is detected" i)
+      true
+      (s.Frame.trailing <> None && List.length s.Frame.frames < 2)
+  done
+
+let test_frame_oversized () =
+  (match Frame.encode (String.make (Frame.max_payload + 1) 'x') with
+  | _ -> Alcotest.fail "oversized encode should raise"
+  | exception Invalid_argument _ -> ());
+  let huge = Printf.sprintf "APTG%08x%08x" 0 (Frame.max_payload + 1) in
+  match Frame.decode ~buf:huge ~pos:0 with
+  | Error (Frame.Malformed _) -> ()
+  | Error (Frame.Incomplete _) ->
+    Alcotest.fail "oversized length must be Malformed, not a wait-for-more"
+  | Ok _ -> Alcotest.fail "oversized length decoded"
+
+let test_frame_empty_stream () =
+  let s = Frame.decode_stream "" in
+  Alcotest.(check bool) "empty stream" true
+    (s.Frame.frames = [] && s.Frame.consumed = 0 && s.Frame.trailing = None)
+
+(* ---------------- wire ---------------- *)
+
+let sample_doc =
+  lazy
+    (match
+       Hints_file.doc_of_string
+         (String.concat "\n"
+            [
+              "# aptget prefetch hints v2";
+              "# provenance: program=3f21c7 schema=2 options=lbr:20000,k:5";
+              "pc=2051 distance=12 site=inner sweep=1";
+              "pc=11265 distance=3 site=outer sweep=7";
+              "";
+            ])
+     with
+    | Ok d -> d
+    | Error e -> failwith ("sample_doc: " ^ e))
+
+let check_body_roundtrip name body =
+  match Wire.body_of_string (Wire.body_to_string body) with
+  | Ok parsed -> Alcotest.(check bool) name true (parsed = body)
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+let test_wire_request_roundtrip () =
+  check_body_roundtrip "minimal request" (Wire.Run (req "r-1"));
+  check_body_roundtrip "full request"
+    (Wire.Run
+       (req ~tenant:"acme-corp.2" ~workload:"micro-alt" ~deadline:4096
+          ~floor:0.975 ~remap:false
+          ~hints:(Lazy.force sample_doc)
+          ~program:"func f\n\nld r1, [r2]\nret r1\n" "req-1.A_z"));
+  check_body_roundtrip "shutdown" Wire.Shutdown
+
+let test_wire_rejects () =
+  let bad =
+    [
+      ("empty payload", "");
+      ("bad magic", "# not a request\nid=a\n");
+      ("trailing shutdown data", "# aptget serve shutdown v1\nextra\n");
+      ("missing id", "# aptget serve request v1\ntenant=t\nworkload=w\n");
+      ( "path-escape id",
+        "# aptget serve request v1\nid=../evil\ntenant=t\nworkload=w\n" );
+      ( "dot-leading id",
+        "# aptget serve request v1\nid=.hidden\ntenant=t\nworkload=w\n" );
+      ( "oversized tenant",
+        Printf.sprintf "# aptget serve request v1\nid=a\ntenant=%s\nworkload=w\n"
+          (String.make 65 'x') );
+      ("unknown key", "# aptget serve request v1\nid=a\ntenant=t\nworkload=w\nfoo=1\n");
+      ( "duplicate key",
+        "# aptget serve request v1\nid=a\nid=b\ntenant=t\nworkload=w\n" );
+      ( "zero deadline",
+        "# aptget serve request v1\nid=a\ntenant=t\nworkload=w\ndeadline-cycles=0\n" );
+      ( "hex deadline",
+        "# aptget serve request v1\nid=a\ntenant=t\nworkload=w\ndeadline-cycles=0x10\n" );
+      ( "negative floor",
+        "# aptget serve request v1\nid=a\ntenant=t\nworkload=w\nguard-floor=-1\n" );
+      ( "non-boolean remap",
+        "# aptget serve request v1\nid=a\ntenant=t\nworkload=w\nremap=maybe\n" );
+      ("blank header line", "# aptget serve request v1\n\nid=a\ntenant=t\nworkload=w\n");
+      ( "unknown section",
+        "# aptget serve request v1\nid=a\ntenant=t\nworkload=w\n--- extra\n" );
+      ( "duplicate section",
+        "# aptget serve request v1\nid=a\ntenant=t\nworkload=w\n--- program\nx\n--- program\ny\n" );
+      ( "unparseable hints",
+        "# aptget serve request v1\nid=a\ntenant=t\nworkload=w\n--- hints\nnot hints\n" );
+    ]
+  in
+  List.iter
+    (fun (name, payload) ->
+      Alcotest.(check bool) name true
+        (Result.is_error (Wire.body_of_string payload)))
+    bad
+
+let test_wire_response_roundtrip () =
+  let roundtrip name r =
+    match Wire.response_of_string (Wire.response_to_string r) with
+    | Ok parsed -> Alcotest.(check bool) name true (parsed = r)
+    | Error e -> Alcotest.failf "%s: %s" name e
+  in
+  roundtrip "empty reason and body"
+    {
+      Wire.rsp_id = "a";
+      rsp_tenant = "t";
+      rsp_status = Wire.Ok_;
+      rsp_reason = "";
+      rsp_body = "";
+    };
+  roundtrip "nasty reason and marker-bearing body"
+    {
+      Wire.rsp_id = "req-9";
+      rsp_tenant = "acme";
+      rsp_status = Wire.Failed;
+      rsp_reason = "line one\nline \"two\"\twith\\escapes";
+      rsp_body = "result text\n--- body\nnested marker, raw\nno trailing newline";
+    };
+  List.iter
+    (fun st ->
+      Alcotest.(check bool)
+        ("status round-trips: " ^ Wire.status_to_string st)
+        true
+        (Wire.status_of_string (Wire.status_to_string st) = Some st))
+    [
+      Wire.Ok_;
+      Wire.Overloaded;
+      Wire.Timed_out;
+      Wire.Malformed;
+      Wire.Rejected;
+      Wire.Failed;
+      Wire.Aborted;
+    ]
+
+let prop_response_reason_roundtrip =
+  QCheck.Test.make ~name:"wire: any reason string survives the escaping"
+    ~count:200 QCheck.string (fun reason ->
+      let r =
+        {
+          Wire.rsp_id = "a";
+          rsp_tenant = "t";
+          rsp_status = Wire.Rejected;
+          rsp_reason = reason;
+          rsp_body = "";
+        }
+      in
+      Wire.response_of_string (Wire.response_to_string r) = Ok r)
+
+(* ---------------- exit codes ---------------- *)
+
+let test_exit_code_pins () =
+  let pins =
+    [
+      (Exit_code.Ok_, 0, "ok");
+      (Exit_code.Degraded, 1, "degraded");
+      (Exit_code.Usage, 2, "usage");
+      (Exit_code.Crashed, 3, "crashed");
+      (Exit_code.Overloaded, 4, "overloaded");
+    ]
+  in
+  List.iter
+    (fun (t, n, s) ->
+      Alcotest.(check int) ("to_int " ^ s) n (Exit_code.to_int t);
+      Alcotest.(check string) "to_string" s (Exit_code.to_string t);
+      Alcotest.(check bool) "of_int round-trips" true
+        (Exit_code.of_int n = Some t))
+    pins;
+  Alcotest.(check bool) "of_int rejects strangers" true
+    (Exit_code.of_int 5 = None);
+  Alcotest.(check bool) "overloaded dominates" true
+    (Exit_code.worst Exit_code.Overloaded Exit_code.Crashed
+    = Exit_code.Overloaded);
+  Alcotest.(check bool) "crashed beats degraded" true
+    (Exit_code.worst Exit_code.Degraded Exit_code.Crashed = Exit_code.Crashed);
+  Alcotest.(check bool) "ok is neutral" true
+    (Exit_code.worst Exit_code.Ok_ Exit_code.Degraded = Exit_code.Degraded)
+
+(* ---------------- admission ---------------- *)
+
+let test_admission_sheds_deterministically () =
+  (match Admission.create ~capacity:0 with
+  | _ -> Alcotest.fail "capacity 0 should be rejected"
+  | exception Invalid_argument _ -> ());
+  let q = Admission.create ~capacity:3 in
+  let verdicts = List.init 10 (fun i -> Admission.offer q i) in
+  let expected =
+    List.init 10 (fun i ->
+        if i < 3 then Admission.Admitted else Admission.Shed)
+  in
+  Alcotest.(check bool) "first capacity offers admitted, rest shed" true
+    (verdicts = expected);
+  Alcotest.(check int) "admitted count" 3 (Admission.admitted q);
+  Alcotest.(check int) "shed count" 7 (Admission.shed q);
+  let rec drain acc =
+    match Admission.take q with Some x -> drain (x :: acc) | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "FIFO order" [ 0; 1; 2 ] (drain []);
+  Alcotest.(check int) "drained" 0 (Admission.depth q)
+
+(* ---------------- breaker ---------------- *)
+
+let test_breaker_policy () =
+  let b = Breaker.create ~config:{ Breaker.threshold = 2; cooldown = 2 } () in
+  let run_fail () =
+    match Breaker.acquire b with
+    | Breaker.Run | Breaker.Probe -> Breaker.record b ~ok:false
+    | Breaker.Refuse _ -> Alcotest.fail "unexpected refusal"
+  in
+  run_fail ();
+  run_fail ();
+  (match Breaker.state b with
+  | Breaker.Open 2 -> ()
+  | s ->
+    Alcotest.failf "expected Open 2 at threshold, got %s"
+      (Breaker.state_to_string s));
+  (match Breaker.acquire b with
+  | Breaker.Refuse n -> Alcotest.(check int) "one cooldown slot left" 1 n
+  | _ -> Alcotest.fail "open breaker must refuse");
+  (match Breaker.acquire b with
+  | Breaker.Refuse n -> Alcotest.(check int) "last refusal" 0 n
+  | _ -> Alcotest.fail "open breaker must refuse");
+  (match Breaker.acquire b with
+  | Breaker.Probe -> Breaker.record b ~ok:true
+  | _ -> Alcotest.fail "cooldown spent: expected a half-open probe");
+  (match Breaker.state b with
+  | Breaker.Closed -> ()
+  | s ->
+    Alcotest.failf "probe success should re-close, got %s"
+      (Breaker.state_to_string s));
+  Alcotest.(check int) "opened once" 1 (Breaker.opened_count b)
+
+(* ---------------- tenants ---------------- *)
+
+let test_tenant_registry () =
+  with_spool @@ fun root ->
+  let reg = Tenant.registry ~root () in
+  (match Tenant.find_or_create reg "../evil" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "path-escaping tenant id accepted");
+  let a =
+    match Tenant.find_or_create reg "acme" with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let a' =
+    match Tenant.find_or_create reg "acme" with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "same tenant instance (breaker state shared)" true
+    (a == a');
+  let b =
+    match Tenant.find_or_create reg "globex" with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "disjoint namespaces" true (a.Tenant.dir <> b.Tenant.dir);
+  Alcotest.(check bool) "quarantines are per-tenant files" true
+    (Quarantine.path a.Tenant.quarantine <> Quarantine.path b.Tenant.quarantine);
+  Alcotest.(check bool) "cache scopes namespace by tenant id" true
+    (match (a.Tenant.cache, b.Tenant.cache) with
+    | Some ca, Some cb ->
+      ca.Aptget_core.Meas_cache.namespace = "acme"
+      && cb.Aptget_core.Meas_cache.namespace = "globex"
+    | _ -> false);
+  Alcotest.(check (list string)) "known, sorted" [ "acme"; "globex" ]
+    (List.map (fun t -> t.Tenant.id) (Tenant.known reg));
+  let no_cache = Tenant.registry ~root ~cache:false () in
+  match Tenant.find_or_create no_cache "acme" with
+  | Ok t ->
+    Alcotest.(check bool) "cache disabled => no scope" true
+      (t.Tenant.cache = None)
+  | Error e -> Alcotest.fail e
+
+(* ---------------- inflight journal ---------------- *)
+
+let test_inflight_replay () =
+  with_spool @@ fun dir ->
+  let path = Filename.concat dir "serve.journal" in
+  let t, orphans, _ = Inflight.open_ ~path () in
+  Alcotest.(check int) "fresh journal: no orphans" 0 (List.length orphans);
+  Inflight.admit t ~id:"a" ~tenant:"t1";
+  Inflight.admit t ~id:"b" ~tenant:"t2";
+  Inflight.finish t ~id:"a" ~status:"ok";
+  Inflight.close t;
+  let t2, orphans, recovery = Inflight.open_ ~path () in
+  Alcotest.(check int) "nothing salvaged" 0 recovery.Journal.dropped;
+  Alcotest.(check bool) "b is the orphan" true
+    (List.map (fun o -> (o.Inflight.o_id, o.Inflight.o_tenant)) orphans
+    = [ ("b", "t2") ]);
+  Alcotest.(check bool) "a finished ok" true
+    (Inflight.finished t2 ~id:"a" = Some "ok");
+  Alcotest.(check bool) "b not finished" true
+    (Inflight.finished t2 ~id:"b" = None);
+  Inflight.close t2
+
+let test_inflight_torn_admit_salvaged () =
+  with_spool @@ fun dir ->
+  let path = Filename.concat dir "serve.journal" in
+  let crash = Crash.after_writes ~mode:Crash.Torn 2 in
+  let t, _, _ = Inflight.open_ ~crash ~path () in
+  Inflight.admit t ~id:"a" ~tenant:"t1";
+  (match Inflight.admit t ~id:"b" ~tenant:"t1" with
+  | () -> Alcotest.fail "crash plan did not fire"
+  | exception Crash.Crashed _ -> ());
+  let t2, orphans, recovery = Inflight.open_ ~path () in
+  Alcotest.(check int) "torn admit dropped" 1 recovery.Journal.dropped;
+  Alcotest.(check bool) "only the intact admit is an orphan" true
+    (List.map (fun o -> o.Inflight.o_id) orphans = [ "a" ]);
+  Inflight.close t2
+
+(* ---------------- server: happy path + determinism ---------------- *)
+
+let submit_batch spool =
+  let doc = Lazy.force micro_doc in
+  List.iter
+    (fun (id, tenant, workload) ->
+      Server.submit ~spool (Wire.Run (req ~tenant ~workload ~hints:doc id)))
+    [
+      ("a1", "t-a", "micro");
+      ("a2", "t-a", "micro");
+      ("b1", "t-b", "micro-alt");
+      ("b2", "t-b", "micro");
+    ];
+  Server.submit ~spool Wire.Shutdown
+
+let test_serve_identity_across_jobs () =
+  with_spool @@ fun s1 ->
+  with_spool @@ fun s2 ->
+  with_spool @@ fun oneshot ->
+  submit_batch s1;
+  submit_batch s2;
+  let r1 = Server.serve (Server.create (server_config ~jobs:1 s1)) in
+  let r2 = Server.drain (Server.create (server_config ~jobs:4 s2)) in
+  Alcotest.(check bool) "graceful drain" true
+    (r1.Server.s_drained && r2.Server.s_drained);
+  Alcotest.(check int) "all ok at --jobs 1" 4 r1.Server.s_ok;
+  Alcotest.(check int) "all ok at --jobs 4" 4 r2.Server.s_ok;
+  Alcotest.(check bool) "exit 0" true
+    (Server.exit_code r1 = Exit_code.Ok_ && Server.exit_code r2 = Exit_code.Ok_);
+  Alcotest.(check string) "responses byte-identical at any --jobs"
+    (read_file (Filename.concat s1 "responses.q"))
+    (read_file (Filename.concat s2 "responses.q"));
+  Alcotest.(check (list string)) "responses in arrival order"
+    [ "a1"; "a2"; "b1"; "b2" ]
+    (List.map (fun r -> r.Wire.rsp_id) (responses_exn s1));
+  (* the daemon's body is byte-identical to the one-shot path *)
+  let reg = Tenant.registry ~root:oneshot () in
+  let tenant =
+    match Tenant.find_or_create reg "t-a" with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let o =
+    Handler.run handler_config ~tenant
+      (req ~tenant:"t-a" ~hints:(Lazy.force micro_doc) "a1")
+  in
+  Alcotest.(check bool) "one-shot succeeded" true
+    (o.Handler.h_status = Wire.Ok_);
+  Alcotest.(check string) "daemon body == one-shot body" o.Handler.h_body
+    (response_for s1 "a1").Wire.rsp_body;
+  (* graceful stop left an ok health record *)
+  Alcotest.(check bool) "health probe ok after graceful drain" true
+    (Health.probe ~spool:s1 = Exit_code.Ok_);
+  Alcotest.(check bool) "health probe crashed without a spool" true
+    (Health.probe ~spool:(Filename.concat s1 "no-such-dir") = Exit_code.Crashed)
+
+let test_serve_saturation_sheds_exactly () =
+  with_spool @@ fun spool ->
+  let doc = Lazy.force micro_doc in
+  for i = 1 to 6 do
+    Server.submit ~spool
+      (Wire.Run (req ~hints:doc (Printf.sprintf "r%d" i)))
+  done;
+  Server.submit ~spool Wire.Shutdown;
+  let r = Server.drain (Server.create (server_config ~capacity:2 spool)) in
+  Alcotest.(check int) "exactly capacity admitted" 2 r.Server.s_ok;
+  Alcotest.(check int) "exactly the overflow shed" 4 r.Server.s_shed;
+  Alcotest.(check bool) "overloaded exit" true
+    (Server.exit_code r = Exit_code.Overloaded);
+  let statuses =
+    List.map (fun x -> (x.Wire.rsp_id, x.Wire.rsp_status)) (responses_exn spool)
+  in
+  let expected =
+    List.init 6 (fun i ->
+        ( Printf.sprintf "r%d" (i + 1),
+          if i < 2 then Wire.Ok_ else Wire.Overloaded ))
+  in
+  Alcotest.(check bool) "first-come first-served, in order" true
+    (statuses = expected);
+  List.iter
+    (fun x ->
+      if x.Wire.rsp_status = Wire.Overloaded then
+        Alcotest.(check string) "shed reason names the capacity"
+          "admission queue full (capacity 2)" x.Wire.rsp_reason)
+    (responses_exn spool)
+
+let test_serve_tenant_isolation () =
+  with_spool @@ fun spool ->
+  let doc = Lazy.force micro_doc in
+  List.iter
+    (fun (id, tenant, workload) ->
+      Server.submit ~spool (Wire.Run (req ~tenant ~workload ~hints:doc id)))
+    [
+      ("x1", "t-bad", "micro-broken");
+      ("x2", "t-bad", "micro-broken");
+      ("x3", "t-bad", "micro-broken");
+      ("g1", "t-good", "micro");
+      ("g2", "t-good", "micro");
+    ];
+  let r =
+    Server.drain
+      (Server.create (server_config ~threshold:2 ~cooldown:1 spool))
+  in
+  let status id = (response_for spool id).Wire.rsp_status in
+  Alcotest.(check bool) "failures stay failures" true
+    (status "x1" = Wire.Failed && status "x2" = Wire.Failed);
+  Alcotest.(check bool) "tripped breaker refuses the third" true
+    (status "x3" = Wire.Rejected);
+  Alcotest.(check string) "refusal names the breaker"
+    "tenant circuit breaker open (0 refusal(s) left)"
+    (response_for spool "x3").Wire.rsp_reason;
+  Alcotest.(check bool) "the other tenant is untouched" true
+    (status "g1" = Wire.Ok_ && status "g2" = Wire.Ok_);
+  Alcotest.(check int) "counts" 2 r.Server.s_ok;
+  Alcotest.(check int) "failed counts" 2 r.Server.s_failed;
+  Alcotest.(check int) "rejected counts" 1 r.Server.s_rejected;
+  Alcotest.(check bool) "degraded exit" true
+    (Server.exit_code r = Exit_code.Degraded);
+  Alcotest.(check bool) "tenant subtrees exist" true
+    (Sys.is_directory (Filename.concat spool "tenants/t-bad")
+    && Sys.is_directory (Filename.concat spool "tenants/t-good"))
+
+let test_serve_deadline_times_out () =
+  with_spool @@ fun spool ->
+  (* no hints: the fresh profiling run must blow the 1000-cycle
+     deadline; a later, hinted request in the same batch still runs *)
+  Server.submit ~spool (Wire.Run (req ~deadline:1_000 "slow"));
+  Server.submit ~spool
+    (Wire.Run (req ~hints:(Lazy.force micro_doc) "fast"));
+  let r = Server.drain (Server.create (server_config spool)) in
+  Alcotest.(check bool) "deadline fired" true
+    ((response_for spool "slow").Wire.rsp_status = Wire.Timed_out);
+  Alcotest.(check bool) "daemon survives the timeout" true
+    ((response_for spool "fast").Wire.rsp_status = Wire.Ok_);
+  Alcotest.(check int) "timed out count" 1 r.Server.s_timed_out;
+  Alcotest.(check bool) "degraded exit" true
+    (Server.exit_code r = Exit_code.Degraded)
+
+let test_serve_malformed_duplicate_draining () =
+  with_spool @@ fun spool ->
+  let doc = Lazy.force micro_doc in
+  let append_raw bytes =
+    let oc =
+      open_out_gen
+        [ Open_append; Open_creat; Open_binary ]
+        0o644
+        (Filename.concat spool "requests.q")
+    in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc bytes)
+  in
+  append_raw (Frame.encode "this is not a wire payload");
+  Server.submit ~spool (Wire.Run (req ~hints:doc "r1"));
+  Server.submit ~spool (Wire.Run (req ~hints:doc "r1"));
+  Server.submit ~spool Wire.Shutdown;
+  Server.submit ~spool (Wire.Run (req ~hints:doc "late"));
+  append_raw "APTG\x00torn";
+  let r = Server.drain (Server.create (server_config spool)) in
+  Alcotest.(check int) "whole frames seen" 5 r.Server.s_frames;
+  Alcotest.(check int) "torn tail counted" 1 r.Server.s_torn;
+  Alcotest.(check int) "garbage answered as malformed" 1 r.Server.s_malformed;
+  Alcotest.(check int) "one ran" 1 r.Server.s_ok;
+  Alcotest.(check int) "duplicate id + post-shutdown rejected" 2
+    r.Server.s_rejected;
+  Alcotest.(check bool) "shutdown processed" true r.Server.s_drained;
+  let statuses =
+    List.map (fun x -> (x.Wire.rsp_id, x.Wire.rsp_status)) (responses_exn spool)
+  in
+  Alcotest.(check bool) "responses in arrival order, synthetic id for garbage"
+    true
+    (statuses
+    = [
+        ("frame-1", Wire.Malformed);
+        ("r1", Wire.Ok_);
+        ("r1", Wire.Rejected);
+        ("late", Wire.Rejected);
+      ]);
+  Alcotest.(check string) "queue emptied after the drain" ""
+    (read_file (Filename.concat spool "requests.q"))
+
+(* ---------------- server: kill mid-flight, recover ---------------- *)
+
+let test_serve_crash_recovery () =
+  with_spool @@ fun spool ->
+  submit_batch spool;
+  (* 4 admits + 4 dones = 8 guarded journal writes in the first drain:
+     a kill point in [1, 8] always fires mid-batch *)
+  let crash =
+    Crash.seeded_after_writes ~mode:crash_mode ~seed:crash_seed ~max_writes:8 ()
+  in
+  let srv = Server.create (server_config spool) in
+  (match Server.drain ~crash srv with
+  | _ -> Alcotest.fail "crash plan did not fire"
+  | exception Crash.Crashed _ -> ());
+  Alcotest.(check bool) "plan fired" true (Crash.crashed crash);
+  Server.stop srv ~code:Exit_code.Crashed;
+  Alcotest.(check bool) "health shows the crash" true
+    (Health.probe ~spool = Exit_code.Crashed);
+  (* next incarnation: same spool, fresh process state *)
+  let r = Server.drain (Server.create (server_config spool)) in
+  Alcotest.(check bool) "recovery drain completes" true r.Server.s_drained;
+  let rsps = responses_exn spool in
+  Alcotest.(check (list string)) "every request answered exactly once"
+    [ "a1"; "a2"; "b1"; "b2" ]
+    (List.sort compare (List.map (fun x -> x.Wire.rsp_id) rsps));
+  List.iter
+    (fun x ->
+      Alcotest.(check bool)
+        (x.Wire.rsp_id ^ " recovered or cleanly aborted")
+        true
+        (match x.Wire.rsp_status with
+        | Wire.Ok_ | Wire.Aborted -> true
+        | _ -> false))
+    rsps;
+  let aborted =
+    List.length (List.filter (fun x -> x.Wire.rsp_status = Wire.Aborted) rsps)
+  in
+  Alcotest.(check int) "report counts the aborts" aborted r.Server.s_aborted;
+  (* the journal and both tenants' stores ended parseable *)
+  let t, orphans, recovery =
+    Inflight.open_ ~path:(Filename.concat spool "serve.journal") ()
+  in
+  Inflight.close t;
+  Alcotest.(check int) "no orphans survive recovery" 0 (List.length orphans);
+  Alcotest.(check int) "journal parses clean" 0 recovery.Journal.dropped;
+  List.iter
+    (fun tenant ->
+      let qp = Filename.concat spool ("tenants/" ^ tenant ^ "/quarantine") in
+      if Sys.file_exists qp then
+        let q = Quarantine.create ~path:qp () in
+        Alcotest.(check int)
+          (tenant ^ " quarantine parses clean")
+          0
+          (List.length (Quarantine.load_errors q)))
+    [ "t-a"; "t-b" ];
+  (* a third drain finds nothing left to do *)
+  let r3 = Server.drain (Server.create (server_config spool)) in
+  Alcotest.(check bool) "steady state" true
+    (r3.Server.s_frames = 0 && r3.Server.s_aborted = 0)
+
+(* ---------------- quarantine compaction ---------------- *)
+
+let fp_of (w : Workload.t) =
+  (Fingerprint.fingerprint (w.Workload.build ()).Workload.func)
+    .Fingerprint.program
+
+let test_quarantine_compact_idempotent () =
+  with_spool @@ fun dir ->
+  let path = Filename.concat dir "quarantine" in
+  let fp = fp_of (micro_w ()) in
+  let q = Quarantine.create ~path () in
+  let entry w p =
+    { Quarantine.q_workload = w; q_program = p; q_hints = 42; q_speedup = 0.5 }
+  in
+  Quarantine.add q (entry "micro" fp);
+  Quarantine.add q (entry "micro" (fp + 1));
+  Quarantine.add q (entry "gone-workload" 7);
+  let keep (e : Quarantine.entry) =
+    e.Quarantine.q_workload = "micro" && e.Quarantine.q_program = fp
+  in
+  Alcotest.(check int) "drops the stale entries" 2 (Quarantine.compact q ~keep);
+  Alcotest.(check int) "one entry left" 1 (List.length (Quarantine.entries q));
+  let q2 = Quarantine.create ~path () in
+  Alcotest.(check int) "survivors persisted" 1
+    (List.length (Quarantine.entries q2));
+  Alcotest.(check int) "idempotent: second compact drops nothing" 0
+    (Quarantine.compact q2 ~keep)
+
+let test_quarantine_compact_atomic_under_crash () =
+  with_spool @@ fun dir ->
+  let path = Filename.concat dir "quarantine" in
+  let entry w =
+    { Quarantine.q_workload = w; q_program = 1; q_hints = 2; q_speedup = 0.9 }
+  in
+  let q = Quarantine.create ~path () in
+  Quarantine.add q (entry "w1");
+  Quarantine.add q (entry "w2");
+  let before = read_file path in
+  let crash = Crash.after_writes ~mode:crash_mode 1 in
+  let qc = Quarantine.create ~path ~crash () in
+  (match Quarantine.compact qc ~keep:(fun _ -> false) with
+  | _ -> Alcotest.fail "crash plan did not fire"
+  | exception Crash.Crashed _ -> ());
+  Alcotest.(check string) "crash mid-compact leaves the previous file intact"
+    before (read_file path);
+  let q2 = Quarantine.create ~path () in
+  Alcotest.(check int) "no corrupt lines" 0
+    (List.length (Quarantine.load_errors q2));
+  Alcotest.(check int) "both entries still there" 2
+    (List.length (Quarantine.entries q2))
+
+(* ---------------- salvage observability ---------------- *)
+
+let test_salvage_metrics () =
+  with_spool @@ fun dir ->
+  Metrics.enable ();
+  Metrics.reset ();
+  Fun.protect ~finally:(fun () ->
+      Metrics.disable ();
+      Metrics.reset ())
+  @@ fun () ->
+  let counter name =
+    let snap = Metrics.snapshot () in
+    match List.assoc_opt name snap.Metrics.counters with
+    | Some n -> n
+    | None -> 0
+  in
+  let jp = Filename.concat dir "journal" in
+  write_file jp "# aptget journal v1\nthis line is bit-rot\n";
+  let t, _, recovery = Inflight.open_ ~path:jp () in
+  Inflight.close t;
+  Alcotest.(check int) "journal salvaged one record" 1 recovery.Journal.dropped;
+  Alcotest.(check int) "store.salvage.journal" 1
+    (counter "store.salvage.journal");
+  let qp = Filename.concat dir "quarantine" in
+  write_file qp "total garbage\n";
+  let q = Quarantine.create ~path:qp () in
+  Alcotest.(check int) "quarantine salvaged one line" 1
+    (List.length (Quarantine.load_errors q));
+  Alcotest.(check int) "store.salvage.quarantine" 1
+    (counter "store.salvage.quarantine");
+  let hp = Filename.concat dir "hints" in
+  write_file hp
+    "# aptget prefetch hints v1\npc=1 distance=2 site=inner sweep=1\nnot a hint\n";
+  (match Hints_file.load_lenient ~path:hp with
+  | Ok (hints, errors) ->
+    Alcotest.(check int) "kept the good hint" 1 (List.length hints);
+    Alcotest.(check int) "reported the bad line" 1 (List.length errors)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "store.salvage.hints_file" 1
+    (counter "store.salvage.hints_file")
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "frame",
+        [
+          QCheck_alcotest.to_alcotest prop_frame_roundtrip;
+          Alcotest.test_case "truncation at every byte is total" `Quick
+            test_frame_truncation_total;
+          Alcotest.test_case "single-byte corruption is detected" `Quick
+            test_frame_corruption_detected;
+          Alcotest.test_case "oversized payloads are malformed" `Quick
+            test_frame_oversized;
+          Alcotest.test_case "empty stream" `Quick test_frame_empty_stream;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "request round-trips" `Quick
+            test_wire_request_roundtrip;
+          Alcotest.test_case "strict parser rejects deviations" `Quick
+            test_wire_rejects;
+          Alcotest.test_case "response round-trips" `Quick
+            test_wire_response_roundtrip;
+          QCheck_alcotest.to_alcotest prop_response_reason_roundtrip;
+        ] );
+      ( "exit-codes",
+        [ Alcotest.test_case "pinned contract" `Quick test_exit_code_pins ] );
+      ( "admission",
+        [
+          Alcotest.test_case "deterministic shedding" `Quick
+            test_admission_sheds_deterministically;
+        ] );
+      ( "breaker",
+        [ Alcotest.test_case "open/refuse/probe cycle" `Quick test_breaker_policy ]
+      );
+      ( "tenant",
+        [ Alcotest.test_case "registry and namespaces" `Quick test_tenant_registry ]
+      );
+      ( "inflight",
+        [
+          Alcotest.test_case "replay finds orphans" `Quick test_inflight_replay;
+          Alcotest.test_case "torn admit is salvaged" `Quick
+            test_inflight_torn_admit_salvaged;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "byte-identity across --jobs + one-shot" `Slow
+            test_serve_identity_across_jobs;
+          Alcotest.test_case "saturation sheds exactly" `Slow
+            test_serve_saturation_sheds_exactly;
+          Alcotest.test_case "tenant isolation (breaker)" `Slow
+            test_serve_tenant_isolation;
+          Alcotest.test_case "per-request deadline" `Slow
+            test_serve_deadline_times_out;
+          Alcotest.test_case "malformed/duplicate/draining" `Slow
+            test_serve_malformed_duplicate_draining;
+          Alcotest.test_case "kill mid-flight, recover" `Slow
+            test_serve_crash_recovery;
+        ] );
+      ( "quarantine",
+        [
+          Alcotest.test_case "compaction is idempotent" `Quick
+            test_quarantine_compact_idempotent;
+          Alcotest.test_case "compaction is atomic under crash" `Quick
+            test_quarantine_compact_atomic_under_crash;
+        ] );
+      ( "salvage",
+        [ Alcotest.test_case "salvage counts land on metrics" `Quick
+            test_salvage_metrics ] );
+    ]
