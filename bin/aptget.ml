@@ -955,12 +955,16 @@ let serve_cmd =
             if not watch then Server.stop srv ~code;
             Printf.printf
               "serve: %d frame(s): %d ok, %d shed, %d timed-out, %d \
-               rejected, %d failed, %d malformed, %d aborted, %d resumed%s%s\n"
+               rejected, %d failed, %d malformed, %d aborted, %d resumed%s%s%s\n"
               report.Server.s_frames report.Server.s_ok report.Server.s_shed
               report.Server.s_timed_out report.Server.s_rejected
               report.Server.s_failed report.Server.s_malformed
               report.Server.s_aborted report.Server.s_resumed
               (if report.Server.s_torn > 0 then ", torn tail" else "")
+              (if report.Server.s_resynced > 0 then
+                 Printf.sprintf ", %d corrupt region(s) skipped"
+                   report.Server.s_resynced
+               else "")
               (if report.Server.s_drained then ", drained" else "");
             Exit_code.exit code
         end

@@ -46,20 +46,50 @@ let decode ~buf ~pos =
         if Crc32.string payload <> crc then Error (Malformed "checksum mismatch")
         else Ok (payload, pos + header_len + n)
 
+type skip = { skip_pos : int; skip_len : int; skip_error : error }
+
 type stream = {
   frames : string list;
   consumed : int;
+  skipped : skip list;
   trailing : (int * error) option;
 }
 
+let skipped_bytes s = List.fold_left (fun n k -> n + k.skip_len) 0 s.skipped
+
+(* First occurrence of the magic at or after [pos] (candidate resync
+   point after corruption). *)
+let find_magic buf pos =
+  let last = String.length buf - String.length magic in
+  let rec go i =
+    if i > last then None
+    else if
+      buf.[i] = 'A' && buf.[i + 1] = 'P' && buf.[i + 2] = 'T' && buf.[i + 3] = 'G'
+    then Some i
+    else go (i + 1)
+  in
+  go (max pos 0)
+
 let decode_stream buf =
   let len = String.length buf in
-  let rec go acc pos =
-    if pos = len then { frames = List.rev acc; consumed = pos; trailing = None }
+  let rec go acc skips pos =
+    if pos >= len then
+      { frames = List.rev acc; consumed = len; skipped = List.rev skips;
+        trailing = None }
     else
       match decode ~buf ~pos with
-      | Ok (payload, next) -> go (payload :: acc) next
-      | Error e ->
-        { frames = List.rev acc; consumed = pos; trailing = Some (pos, e) }
+      | Ok (payload, next) -> go (payload :: acc) skips next
+      | Error (Incomplete _ as e) ->
+        (* Only ever at the tail: the bytes may still be an append in
+           progress, so they are left unconsumed for the next look. *)
+        { frames = List.rev acc; consumed = pos; skipped = List.rev skips;
+          trailing = Some (pos, e) }
+      | Error (Malformed _ as e) ->
+        (* Permanent damage (the whole frame is present and wrong, or
+           the header is garbage): resync at the next magic so one
+           corrupted frame cannot swallow every request behind it. *)
+        let next = match find_magic buf (pos + 1) with Some i -> i | None -> len in
+        go acc ({ skip_pos = pos; skip_len = next - pos; skip_error = e } :: skips)
+          next
   in
-  go [] 0
+  go [] [] 0

@@ -38,16 +38,33 @@ val decode : buf:string -> pos:int -> (string * int, error) result
     the offset of the next frame. Never raises (a [pos] outside the
     buffer is simply an empty suffix, i.e. [Incomplete]). *)
 
-type stream = {
-  frames : string list;  (** decoded payloads, in stream order *)
-  consumed : int;  (** bytes covered by the decoded frames *)
-  trailing : (int * error) option;
-      (** when the stream did not end exactly on a frame boundary: the
-          offset where decoding stopped and why. The bytes from there
-          on are dropped — after a tear there is no trustworthy
-          framing. *)
+type skip = {
+  skip_pos : int;  (** offset of the malformed region *)
+  skip_len : int;  (** bytes skipped before the next magic (or end) *)
+  skip_error : error;  (** why decoding failed there (always [Malformed]) *)
 }
 
+type stream = {
+  frames : string list;  (** decoded payloads, in stream order *)
+  consumed : int;
+      (** bytes fully dealt with: decoded frames plus skipped garbage —
+          everything except a trailing [Incomplete] tail *)
+  skipped : skip list;
+      (** malformed regions resynced past, in stream order. Skipped
+          bytes are consumed (they are permanently damaged — the frame
+          is wholly present and wrong, or its header is garbage), but
+          the frames behind them still decode. *)
+  trailing : (int * error) option;
+      (** an [Incomplete] tail: the stream ends mid-frame. Those bytes
+          are {e not} consumed — they may be an append still in
+          progress, so the next decode of a longer buffer picks them
+          up (and if they never complete into a valid frame, a later
+          append turns them into a [Malformed] skip). *)
+}
+
+val skipped_bytes : stream -> int
+(** Total bytes covered by [skipped]. *)
+
 val decode_stream : string -> stream
-(** Decode every whole frame from the front of the buffer. Never
-    raises. *)
+(** Decode every whole frame in the buffer, resyncing at the next
+    ["APTG"] magic after a malformed region. Never raises. *)

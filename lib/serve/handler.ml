@@ -146,13 +146,24 @@ let execute ?crash config ~(tenant : Tenant.t) (req : Wire.request) =
           | None -> None
           | Some scope ->
             let program = (Fingerprint.fingerprint (w.Workload.build ()).Workload.func).Fingerprint.program in
-            (* The deadline is part of the key: a measurement taken
-               under a loose deadline must not answer for a request
-               whose tighter one would have fired. *)
+            (* The effective watchdog budgets — the daemon's base config
+               with the request deadline folded in — are part of the
+               key: a measurement taken under loose budgets must not
+               answer from a persistent tenant cache for a request (or
+               a restarted daemon) whose tighter ones would have
+               fired. *)
             let options =
-              match req.Wire.deadline_cycles with
-              | Some d -> Printf.sprintf "deadline=%d" d
-              | None -> ""
+              let b (x : Watchdog.budget) =
+                Printf.sprintf "%d/%d" x.Watchdog.max_cycles
+                  x.Watchdog.max_steps
+              in
+              Printf.sprintf "wd=%s,%s,%s%s"
+                (b watchdog.Watchdog.profile_budget)
+                (b watchdog.Watchdog.inject_budget)
+                (b watchdog.Watchdog.measure_budget)
+                (match req.Wire.deadline_cycles with
+                | Some d -> Printf.sprintf ";deadline=%d" d
+                | None -> "")
             in
             Some
               (fun ~variant f ->

@@ -30,6 +30,7 @@ let default_config ~spool =
 type report = {
   s_frames : int;
   s_torn : int;
+  s_resynced : int;
   s_ok : int;
   s_shed : int;
   s_timed_out : int;
@@ -46,6 +47,7 @@ let empty_report =
   {
     s_frames = 0;
     s_torn = 0;
+    s_resynced = 0;
     s_ok = 0;
     s_shed = 0;
     s_timed_out = 0;
@@ -62,6 +64,7 @@ let combine a b =
   {
     s_frames = a.s_frames + b.s_frames;
     s_torn = a.s_torn + b.s_torn;
+    s_resynced = a.s_resynced + b.s_resynced;
     s_ok = a.s_ok + b.s_ok;
     s_shed = a.s_shed + b.s_shed;
     s_timed_out = a.s_timed_out + b.s_timed_out;
@@ -78,7 +81,7 @@ let exit_code r =
   if r.s_shed > 0 then Exit_code.Overloaded
   else if
     r.s_failed + r.s_timed_out + r.s_rejected + r.s_malformed + r.s_aborted
-    + r.s_torn
+    + r.s_torn + r.s_resynced
     > 0
   then Exit_code.Degraded
   else Exit_code.Ok_
@@ -87,6 +90,10 @@ type t = {
   config : config;
   registry : Tenant.registry;
   mutable processed : int;
+  mutable last_torn : string option;
+      (* the trailing incomplete tail this instance last saw, so a tear
+         that persists across --watch polls is counted once, not once
+         per poll *)
 }
 
 let rec mkdir_p dir =
@@ -101,6 +108,25 @@ let responses_path spool = Filename.concat spool "responses.q"
 
 let journal_path spool = Filename.concat spool "serve.journal"
 
+let lock_path spool = Filename.concat spool ".lock"
+
+(* The spool lock (fcntl, so it also works across processes)
+   serializes client appends to [requests.q] against the drain's
+   read-then-truncate of it. Without it a frame appended between the
+   drain's snapshot and its truncate — or the half-written state of an
+   append caught mid-write — would be destroyed with no response.
+   The queue file is only ever opened {e after} the lock is held: an
+   fd obtained before the truncate's rename would append to the
+   replaced, unlinked inode. *)
+let with_spool_lock spool f =
+  mkdir_p spool;
+  let fd = Unix.openfile (lock_path spool) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.lockf fd Unix.F_LOCK 0;
+      Fun.protect ~finally:(fun () -> Unix.lockf fd Unix.F_ULOCK 0) f)
+
 let create config =
   {
     config;
@@ -108,11 +134,12 @@ let create config =
       Tenant.registry ~root:config.spool ~breaker:config.breaker
         ~cache:config.cache ();
     processed = 0;
+    last_torn = None;
   }
 
 let submit ~spool body =
-  mkdir_p spool;
   let frame = Frame.encode (Wire.body_to_string body) in
+  with_spool_lock spool @@ fun () ->
   let oc =
     open_out_gen
       [ Open_append; Open_creat; Open_binary ]
@@ -157,18 +184,56 @@ let drain ?crash t =
   let inflight, orphans, recovery =
     Inflight.open_ ?crash ~path:(journal_path cfg.spool) ()
   in
-  Fun.protect ~finally:(fun () -> Inflight.close inflight) @@ fun () ->
+  let journal_records = ref (recovery.Journal.records <> []) in
+  let report =
+    Fun.protect ~finally:(fun () -> Inflight.close inflight) @@ fun () ->
   let buf =
-    match Atomic_file.read ~path:(requests_path cfg.spool) with
-    | Ok b -> b
-    | Error _ -> ""
+    with_spool_lock cfg.spool (fun () ->
+        match Atomic_file.read ~path:(requests_path cfg.spool) with
+        | Ok b -> b
+        | Error _ -> "")
   in
   let stream = Frame.decode_stream buf in
   let frames = stream.Frame.frames in
   let n_frames = List.length frames in
   if n_frames > 0 then Metrics.incr ~by:n_frames "serve.requests";
-  let torn = match stream.Frame.trailing with Some _ -> 1 | None -> 0 in
+  (* A trailing incomplete tail is preserved (it may be an append still
+     in progress), so a tear that persists across --watch polls is
+     counted the first time this instance sees it, not once per poll. *)
+  let torn =
+    match stream.Frame.trailing with
+    | None ->
+      t.last_torn <- None;
+      0
+    | Some (pos, _) ->
+      let tail = String.sub buf pos (String.length buf - pos) in
+      if t.last_torn = Some tail then 0
+      else begin
+        t.last_torn <- Some tail;
+        1
+      end
+  in
   if torn > 0 then Metrics.incr "serve.frame.torn";
+  let resynced = List.length stream.Frame.skipped in
+  if resynced > 0 then begin
+    Metrics.incr ~by:resynced "serve.frame.resync";
+    Metrics.incr ~by:(Frame.skipped_bytes stream) "serve.frame.skipped_bytes"
+  end;
+  (* Ids already answered in responses.q: the duplicate detector that
+     survives restarts and journal compaction. An id the journal says
+     finished but that has no answer is crash recovery (the kill hit
+     between the [done] record and the response write) and is
+     re-executed; an answered id is client id reuse and is rejected. *)
+  let answered = Hashtbl.create 16 in
+  (match Atomic_file.read ~path:(responses_path cfg.spool) with
+  | Error _ -> ()
+  | Ok b ->
+    List.iter
+      (fun payload ->
+        match Wire.response_of_string payload with
+        | Ok r -> Hashtbl.replace answered r.Wire.rsp_id ()
+        | Error _ -> ())
+      (Frame.decode_stream b).Frame.frames);
   (* Recovery first: every orphan gets a clean [aborted] answer, and a
      [done] record so the answer is not repeated on the next drain. *)
   let aborted_ids = Hashtbl.create 8 in
@@ -217,7 +282,12 @@ let drain ?crash t =
           push i (reject req "duplicate request id in batch")
         else begin
           Hashtbl.replace seen req.Wire.req_id ();
-          if !drained then
+          if Hashtbl.mem answered req.Wire.req_id then
+            push i
+              (reject req
+                 "request id already answered in a previous drain; use a \
+                  fresh id")
+          else if !drained then
             push i (reject req "daemon draining; resubmit to the next incarnation")
           else begin
             if Option.is_some (Inflight.finished inflight ~id:req.Wire.req_id)
@@ -257,6 +327,7 @@ let drain ?crash t =
   let admitted = collect () in
   (* Journal every admission before anything runs, serially, in
      arrival order — the crash-recovery ground truth. *)
+  if admitted <> [] then journal_records := true;
   List.iter
     (fun w ->
       Inflight.admit inflight ~id:w.w_req.Wire.req_id
@@ -352,11 +423,30 @@ let drain ?crash t =
     in
     Atomic_file.write ~path:(responses_path cfg.spool) (existing ^ fresh)
   end;
-  if buf <> "" then Atomic_file.write ~path:(requests_path cfg.spool) "";
+  (* Under the spool lock, drop exactly the prefix this drain consumed:
+     frames a client appended after our snapshot — and a torn trailing
+     append that may yet complete — survive to the next drain. If the
+     file no longer extends our snapshot (external tampering), leave it
+     whole: duplicated work beats lost work. *)
+  (match stream.Frame.consumed with
+  | 0 -> ()
+  | consumed ->
+    with_spool_lock cfg.spool (fun () ->
+        let path = requests_path cfg.spool in
+        let current =
+          match Atomic_file.read ~path with Ok b -> b | Error _ -> ""
+        in
+        if
+          String.length current >= consumed
+          && String.sub current 0 consumed = String.sub buf 0 consumed
+        then
+          Atomic_file.write ~path
+            (String.sub current consumed (String.length current - consumed))));
   t.processed <- t.processed + List.length all_responses;
   {
     s_frames = n_frames;
     s_torn = torn;
+    s_resynced = resynced;
     s_ok = count Wire.Ok_;
     s_shed = Admission.shed admission;
     s_timed_out = count Wire.Timed_out;
@@ -368,6 +458,19 @@ let drain ?crash t =
     s_drained = !drained;
     s_salvaged = recovery.Journal.dropped;
   }
+  in
+  (* The drain completed, so every record in the journal is settled:
+     each admit has its done, each orphan was answered and marked done,
+     and the responses have landed. Compact, so a long-running --watch
+     daemon does not replay an ever-growing history on every drain.
+     Duplicate-id detection does not depend on the journal: it reads
+     responses.q. A crash mid-drain raises past this point and leaves
+     the journal for the next incarnation to recover. *)
+  if !journal_records then begin
+    Journal.truncate ~path:(journal_path cfg.spool);
+    Metrics.incr "serve.journal.compactions"
+  end;
+  report
 
 let stop t ~code =
   Health.write ~spool:t.config.spool ~processed:t.processed

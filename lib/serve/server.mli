@@ -10,6 +10,7 @@
     <spool>/responses.q    framed Wire.response payloads (daemon appends)
     <spool>/serve.journal  in-flight admit/done records (CRC'd)
     <spool>/health         liveness/readiness state file
+    <spool>/.lock          fcntl lock serializing appends vs truncation
     <spool>/tenants/<id>/  per-tenant quarantine + measurement cache
     v}
 
@@ -23,11 +24,27 @@
     one atomic write. Response bytes are therefore a function of the
     request sequence alone, identical at any [--jobs].
 
+    Queue truncation is loss-proof: the drain removes exactly the
+    prefix of [requests.q] it consumed, under the spool lock that
+    {!submit} also takes, so frames appended after the drain's
+    snapshot — and a trailing torn append that may still be in
+    progress — survive to the next drain. A corrupted region inside
+    the queue is skipped by resyncing to the next frame magic
+    (counted, degraded exit), so one flipped byte cannot swallow the
+    requests behind it. An id that already has a response in
+    [responses.q] is rejected as a duplicate rather than re-executed;
+    only an id the journal marks finished {e without} an answer (the
+    crash hit between the [done] record and the response write) is
+    resumed.
+
     Crash safety: an armed {!Aptget_store.Crash} plan (which also
     forces [jobs:1], like the campaign runner) raises mid-drain before
     the response write; the next drain replays the journal, aborts the
     orphans and re-executes the rest against the tenants' persistent
-    stores. [requests.q] is emptied only after the responses land. *)
+    stores. [requests.q] is truncated only after the responses land.
+    After a completed drain every journal record is settled, so the
+    journal is compacted to empty — a long-running [--watch] daemon
+    replays a bounded, not ever-growing, history. *)
 
 type config = {
   spool : string;
@@ -44,7 +61,15 @@ val default_config : spool:string -> config
 
 type report = {
   s_frames : int;  (** whole frames decoded this drain *)
-  s_torn : int;  (** trailing bytes that were not a whole frame *)
+  s_torn : int;
+      (** 1 when a trailing incomplete tail was (newly) observed. The
+          tail itself is left in [requests.q] — it may be an append in
+          progress — and is not re-counted by this instance until it
+          changes. *)
+  s_resynced : int;
+      (** corrupted regions inside the queue skipped by resyncing to
+          the next frame magic (their bytes are consumed — they are
+          permanently damaged, unlike a trailing tear) *)
   s_ok : int;
   s_shed : int;
   s_timed_out : int;
@@ -54,7 +79,9 @@ type report = {
   s_aborted : int;  (** recovery orphans answered [aborted] *)
   s_resumed : int;
       (** requests re-executed because a previous incarnation had
-          finished them but crashed before responding *)
+          finished them but crashed before responding (finished in the
+          journal, no answer in [responses.q]; an {e answered} id is
+          rejected as a duplicate instead) *)
   s_drained : bool;  (** a shutdown marker was processed *)
   s_salvaged : int;  (** corrupt journal records dropped at recovery *)
 }
@@ -64,8 +91,8 @@ val combine : report -> report -> report
 
 val exit_code : report -> Exit_code.t
 (** [Overloaded] if anything was shed; else [Degraded] if any request
-    failed, timed out, was rejected, malformed, torn or aborted; else
-    [Ok_]. (A crash never reaches this: it propagates as
+    failed, timed out, was rejected, malformed, torn, resynced-past or
+    aborted; else [Ok_]. (A crash never reaches this: it propagates as
     {!Aptget_store.Crash.Crashed}.) *)
 
 type t
@@ -92,8 +119,10 @@ val stop : t -> code:Exit_code.t -> unit
     fired: the supervisor's record of the death). *)
 
 val submit : spool:string -> Wire.body -> unit
-(** Client side: append one framed payload to [requests.q], creating
-    the spool on first use. *)
+(** Client side: append one framed payload to [requests.q] under the
+    spool lock (so a concurrent drain's truncation cannot observe, or
+    destroy, a half-written frame), creating the spool on first
+    use. *)
 
 val responses :
   spool:string -> ((Wire.response, string) result list, string) result

@@ -74,6 +74,8 @@ type t = {
 let serialize records =
   String.concat "\n" ((header :: List.map record_to_line records) @ [ "" ])
 
+let truncate ~path = Atomic_file.write ~path (serialize [])
+
 let open_ ?crash ~path () =
   let r = recover ~path in
   (* Rewrite to the salvaged prefix when the tail was damaged (or the

@@ -28,6 +28,12 @@ val recover : path:string -> recovery
 (** Read-only salvage of [path] (a missing file is an empty journal —
     first boot and post-crash-before-first-write look identical). *)
 
+val truncate : path:string -> unit
+(** Atomically rewrite [path] to an empty journal (header only) —
+    compaction for a journal every record of which is settled, so a
+    long-running appender does not replay an ever-growing history on
+    each reopen. The caller must not hold the file open for append. *)
+
 type t
 
 val open_ : ?crash:Crash.t -> path:string -> unit -> t * recovery

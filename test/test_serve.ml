@@ -112,6 +112,17 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
+(* Raw bytes straight onto the request queue: garbage, torn halves —
+   the things a well-behaved [Server.submit] never writes. *)
+let append_raw spool bytes =
+  let oc =
+    open_out_gen
+      [ Open_append; Open_creat; Open_binary ]
+      0o644
+      (Filename.concat spool "requests.q")
+  in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc bytes)
+
 let read_file path =
   match Atomic_file.read ~path with
   | Ok b -> b
@@ -142,7 +153,8 @@ let prop_frame_roundtrip =
       | Error _ -> false)
       &&
       let s = Frame.decode_stream (Frame.encode a ^ Frame.encode b) in
-      s.Frame.frames = [ a; b ] && s.Frame.trailing = None)
+      s.Frame.frames = [ a; b ] && s.Frame.trailing = None
+      && s.Frame.skipped = [])
 
 let test_frame_truncation_total () =
   let payloads = [ "hello"; ""; "multi\nline\x00\xffbin" ] in
@@ -162,6 +174,8 @@ let test_frame_truncation_total () =
               (fun i _ -> i < List.length s.Frame.frames)
               payloads));
     Alcotest.(check bool) "consumed within the cut" true (s.Frame.consumed <= cut);
+    Alcotest.(check bool) "truncation is never a resync skip" true
+      (s.Frame.skipped = []);
     if s.Frame.trailing = None then
       Alcotest.(check int) "no trailing => all bytes consumed" cut
         s.Frame.consumed
@@ -176,11 +190,46 @@ let test_frame_corruption_detected () =
     let b = Bytes.of_string buf in
     Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
     let s = Frame.decode_stream (Bytes.to_string b) in
+    (* the corrupted frame never decodes, and the damage is reported —
+       as a resync skip (or, at the tail, an incomplete trailer) — but
+       the *other* frame still comes through *)
     Alcotest.(check bool)
       (Printf.sprintf "flipped byte %d is detected" i)
       true
-      (s.Frame.trailing <> None && List.length s.Frame.frames < 2)
+      (List.length s.Frame.frames < 2
+      && (s.Frame.skipped <> [] || s.Frame.trailing <> None));
+    Alcotest.(check bool)
+      (Printf.sprintf "flipped byte %d surfaces no garbage payload" i)
+      true
+      (List.for_all (fun p -> p = "alpha" || p = "beta") s.Frame.frames)
   done
+
+let test_frame_resync_recovers_suffix () =
+  (* One corrupted region must not swallow the valid frames behind it:
+     decode resyncs at the next magic and the queue loses only the
+     damaged bytes. *)
+  let garbage = String.make 24 '?' in
+  let fake = "APTG" ^ String.make 16 'z' in
+  let buf =
+    garbage ^ Frame.encode "alpha" ^ fake ^ Frame.encode "beta" ^ garbage
+  in
+  let s = Frame.decode_stream buf in
+  Alcotest.(check (list string))
+    "both valid frames decode" [ "alpha"; "beta" ] s.Frame.frames;
+  Alcotest.(check bool) "no trailing tear" true (s.Frame.trailing = None);
+  Alcotest.(check int) "all bytes consumed" (String.length buf) s.Frame.consumed;
+  Alcotest.(check int) "three skips" 3 (List.length s.Frame.skipped);
+  Alcotest.(check int) "skipped exactly the garbage"
+    (2 * String.length garbage + String.length fake)
+    (Frame.skipped_bytes s);
+  (* a short tail that merely *might* be an append in progress is
+     trailing, not skipped *)
+  let s2 = Frame.decode_stream (Frame.encode "alpha" ^ "APTG\x00to") in
+  Alcotest.(check bool) "short tail stays trailing" true
+    (s2.Frame.frames = [ "alpha" ]
+    && s2.Frame.trailing <> None
+    && s2.Frame.skipped = []
+    && s2.Frame.consumed = String.length (Frame.encode "alpha"))
 
 let test_frame_oversized () =
   (match Frame.encode (String.make (Frame.max_payload + 1) 'x') with
@@ -196,7 +245,8 @@ let test_frame_oversized () =
 let test_frame_empty_stream () =
   let s = Frame.decode_stream "" in
   Alcotest.(check bool) "empty stream" true
-    (s.Frame.frames = [] && s.Frame.consumed = 0 && s.Frame.trailing = None)
+    (s.Frame.frames = [] && s.Frame.consumed = 0 && s.Frame.trailing = None
+    && s.Frame.skipped = [])
 
 (* ---------------- wire ---------------- *)
 
@@ -627,21 +677,12 @@ let test_serve_deadline_times_out () =
 let test_serve_malformed_duplicate_draining () =
   with_spool @@ fun spool ->
   let doc = Lazy.force micro_doc in
-  let append_raw bytes =
-    let oc =
-      open_out_gen
-        [ Open_append; Open_creat; Open_binary ]
-        0o644
-        (Filename.concat spool "requests.q")
-    in
-    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc bytes)
-  in
-  append_raw (Frame.encode "this is not a wire payload");
+  append_raw spool (Frame.encode "this is not a wire payload");
   Server.submit ~spool (Wire.Run (req ~hints:doc "r1"));
   Server.submit ~spool (Wire.Run (req ~hints:doc "r1"));
   Server.submit ~spool Wire.Shutdown;
   Server.submit ~spool (Wire.Run (req ~hints:doc "late"));
-  append_raw "APTG\x00torn";
+  append_raw spool "APTG\x00torn";
   let r = Server.drain (Server.create (server_config spool)) in
   Alcotest.(check int) "whole frames seen" 5 r.Server.s_frames;
   Alcotest.(check int) "torn tail counted" 1 r.Server.s_torn;
@@ -662,8 +703,86 @@ let test_serve_malformed_duplicate_draining () =
         ("r1", Wire.Rejected);
         ("late", Wire.Rejected);
       ]);
-  Alcotest.(check string) "queue emptied after the drain" ""
+  (* the torn tail may be an append still in progress: it survives the
+     truncation, only the consumed prefix is dropped *)
+  Alcotest.(check string) "only the torn tail survives the drain" "APTG\x00torn"
     (read_file (Filename.concat spool "requests.q"))
+
+let test_serve_preserves_inflight_append () =
+  with_spool @@ fun spool ->
+  let doc = Lazy.force micro_doc in
+  Server.submit ~spool (Wire.Run (req ~hints:doc "r1"));
+  let f2 = Frame.encode (Wire.body_to_string (Wire.Run (req ~hints:doc "r2"))) in
+  let cut = String.length f2 / 2 in
+  (* a client's append caught halfway: the classic race the old
+     truncate-to-empty destroyed *)
+  append_raw spool (String.sub f2 0 cut);
+  let srv = Server.create (server_config spool) in
+  let r1 = Server.drain srv in
+  Alcotest.(check int) "the whole frame ran" 1 r1.Server.s_ok;
+  Alcotest.(check int) "tail observed as torn" 1 r1.Server.s_torn;
+  Alcotest.(check string) "half-written frame survives the truncation"
+    (String.sub f2 0 cut)
+    (read_file (Filename.concat spool "requests.q"));
+  (* an unchanged tail is not re-counted by the same instance *)
+  let r_idle = Server.drain srv in
+  Alcotest.(check bool) "idle drain: nothing new, tear not re-counted" true
+    (r_idle.Server.s_frames = 0 && r_idle.Server.s_torn = 0);
+  (* the client finishes its append; the request is served *)
+  append_raw spool (String.sub f2 cut (String.length f2 - cut));
+  let r2 = Server.drain srv in
+  Alcotest.(check int) "completed append decodes and runs" 1 r2.Server.s_ok;
+  Alcotest.(check int) "no tear left" 0 r2.Server.s_torn;
+  Alcotest.(check bool) "r2 answered ok" true
+    ((response_for spool "r2").Wire.rsp_status = Wire.Ok_);
+  Alcotest.(check string) "queue empty once the append completed" ""
+    (read_file (Filename.concat spool "requests.q"))
+
+let test_serve_resyncs_past_corruption () =
+  with_spool @@ fun spool ->
+  let doc = Lazy.force micro_doc in
+  (* corruption *ahead* of a valid request: the old stop-at-first-error
+     decode silently dropped r1; resync must answer it *)
+  append_raw spool (String.make 32 '!');
+  Server.submit ~spool (Wire.Run (req ~hints:doc "r1"));
+  let r = Server.drain (Server.create (server_config spool)) in
+  Alcotest.(check int) "request behind the garbage ran" 1 r.Server.s_ok;
+  Alcotest.(check int) "one corrupt region skipped" 1 r.Server.s_resynced;
+  Alcotest.(check bool) "r1 answered ok" true
+    ((response_for spool "r1").Wire.rsp_status = Wire.Ok_);
+  Alcotest.(check bool) "degraded exit (corruption is visible)" true
+    (Server.exit_code r = Exit_code.Degraded);
+  Alcotest.(check string) "garbage consumed, queue empty" ""
+    (read_file (Filename.concat spool "requests.q"))
+
+let test_serve_duplicate_id_across_drains () =
+  with_spool @@ fun spool ->
+  let doc = Lazy.force micro_doc in
+  Server.submit ~spool (Wire.Run (req ~hints:doc "a1"));
+  let r1 = Server.drain (Server.create (server_config spool)) in
+  Alcotest.(check int) "first submission runs" 1 r1.Server.s_ok;
+  (* the clean drain settled every journal record, so the journal was
+     compacted to empty *)
+  let j, orphans, recovery =
+    Inflight.open_ ~path:(Filename.concat spool "serve.journal") ()
+  in
+  Inflight.close j;
+  Alcotest.(check bool) "journal compacted after a clean drain" true
+    (orphans = [] && recovery.Journal.records = []
+    && recovery.Journal.dropped = 0);
+  (* reusing the id is not crash recovery: it must be rejected, not
+     silently re-executed with a second Ok response *)
+  Server.submit ~spool (Wire.Run (req ~hints:doc "a1"));
+  let r2 = Server.drain (Server.create (server_config spool)) in
+  Alcotest.(check bool) "duplicate rejected, not resumed or re-run" true
+    (r2.Server.s_ok = 0 && r2.Server.s_rejected = 1 && r2.Server.s_resumed = 0);
+  let a1 =
+    List.map
+      (fun x -> x.Wire.rsp_status)
+      (List.filter (fun x -> x.Wire.rsp_id = "a1") (responses_exn spool))
+  in
+  Alcotest.(check bool) "one Ok answer, then one rejection" true
+    (a1 = [ Wire.Ok_; Wire.Rejected ])
 
 (* ---------------- server: kill mid-flight, recover ---------------- *)
 
@@ -827,6 +946,8 @@ let () =
             test_frame_truncation_total;
           Alcotest.test_case "single-byte corruption is detected" `Quick
             test_frame_corruption_detected;
+          Alcotest.test_case "resync recovers frames behind corruption" `Quick
+            test_frame_resync_recovers_suffix;
           Alcotest.test_case "oversized payloads are malformed" `Quick
             test_frame_oversized;
           Alcotest.test_case "empty stream" `Quick test_frame_empty_stream;
@@ -872,6 +993,12 @@ let () =
             test_serve_deadline_times_out;
           Alcotest.test_case "malformed/duplicate/draining" `Slow
             test_serve_malformed_duplicate_draining;
+          Alcotest.test_case "in-progress append survives the drain" `Slow
+            test_serve_preserves_inflight_append;
+          Alcotest.test_case "resyncs past mid-queue corruption" `Slow
+            test_serve_resyncs_past_corruption;
+          Alcotest.test_case "id reuse across drains is rejected" `Slow
+            test_serve_duplicate_id_across_drains;
           Alcotest.test_case "kill mid-flight, recover" `Slow
             test_serve_crash_recovery;
         ] );
