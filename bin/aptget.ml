@@ -35,6 +35,9 @@ module Watchdog = Aptget_core.Watchdog
 module Crash = Aptget_store.Crash
 module Journal = Aptget_store.Journal
 module Breaker = Aptget_core.Breaker
+module Adapt = Aptget_adapt.Adapt
+module Drift = Aptget_adapt.Drift
+module Phased = Aptget_workloads.Phased
 module Server = Aptget_serve.Server
 module Wire = Aptget_serve.Wire
 module Handler = Aptget_serve.Handler
@@ -52,6 +55,24 @@ let die fmt =
       Printf.eprintf "aptget: %s\n" msg;
       exit 2)
     fmt
+
+(* Unified numeric-range validation: every range-checked flag value in
+   run/campaign/serve funnels through these, so a bad value always
+   produces the same one-line stderr shape and exit code 2. *)
+let int_min flag min v =
+  if v < min then die "bad --%s value: %d (need >= %d)" flag v min
+
+let int_min_opt flag min v = Option.iter (int_min flag min) v
+
+let float_min ?(exclusive = false) flag min v =
+  if v < min || (exclusive && v = min) then
+    die "bad --%s value: %g (need %s %g)" flag v
+      (if exclusive then ">" else ">=")
+      min
+
+let float_range flag ~gt ~le v =
+  if v <= gt || v > le then
+    die "bad --%s value: %g outside (%g, %g]" flag v gt le
 
 (* --jobs, shared by the commands that fan simulations across domains.
    The flag overrides APTGET_JOBS, which overrides the machine's domain
@@ -173,7 +194,7 @@ let workload_of_name name =
     Error
       (Printf.sprintf "unknown workload %s; try: %s" name
          (String.concat ", "
-            (List.map (fun w -> w.Workload.name) Suite.default)))
+            (List.map (fun w -> w.Workload.name) Suite.extended)))
 
 let workload_conv =
   Arg.conv
@@ -279,14 +300,52 @@ let run_cmd =
     print_quarantine quarantine;
     g
   in
+  (* --online: the self-healing loop. One epoch per segment — natural
+     phases for the phased workload, [--epochs] replicas otherwise —
+     with the drift detector, dwell guard, retune breaker and the
+     guarded degradation ladder between epochs. *)
+  let run_online w ~faults ~guard_floor ~quarantine_path ~epochs ~drift =
+    let config =
+      {
+        Adapt.default_config with
+        Adapt.drift;
+        guard = { Pipeline.default_guard with Pipeline.floor = guard_floor };
+        options = { Profiler.default_options with Profiler.faults };
+      }
+    in
+    let segments =
+      if w.Workload.name = "phased" then
+        List.map snd (Phased.segments ~name:"phased" ())
+      else Adapt.replicate epochs w
+    in
+    let profile = Adapt.prime ~config w in
+    print_fault_stats profile.Profiler.fault_stats;
+    Printf.printf "profiled %s: %d hint(s); online loop over %d segment(s)\n\n"
+      w.Workload.name
+      (List.length profile.Profiler.hints)
+      (List.length segments);
+    let quarantine =
+      Option.map (fun path -> Quarantine.create ~path ()) quarantine_path
+    in
+    match Adapt.run ~config ?quarantine ~profile ~name:w.Workload.name segments with
+    | report -> print_string (Adapt.render report)
+    | exception Failure e ->
+      Printf.eprintf "aptget: online run failed: %s\n" e;
+      exit 1
+  in
   let run w hints_path lenient robust remap guard guard_floor quarantine_path
-      faults () =
-    if guard_floor <= 0. || guard_floor > 1.5 then
-      die "bad --guard-floor value: %g outside (0, 1.5]" guard_floor;
+      online epochs drift faults () =
+    float_range "guard-floor" ~gt:0. ~le:1.5 guard_floor;
+    int_min "epochs" 1 epochs;
     if robust && (remap || guard) then
       die "--robust cannot be combined with --remap/--guard";
+    if online && (robust || remap || guard || hints_path <> None) then
+      die "--online cannot be combined with --hints/--robust/--remap/--guard";
     Printf.printf "workload %s (%s on %s)\n\n" w.Workload.name w.Workload.app
       w.Workload.input;
+    if online then
+      run_online w ~faults ~guard_floor ~quarantine_path ~epochs ~drift
+    else
     let base = Pipeline.baseline w in
     print_outcome "baseline" base;
     let aj = Pipeline.aj w in
@@ -436,11 +495,97 @@ let run_cmd =
             "Persist guard verdicts: hint sets rejected by $(b,--guard) are \
              recorded here and skipped on later runs")
   in
+  let online_flag =
+    Arg.(
+      value & flag
+      & info [ "online" ]
+          ~doc:
+            "Online re-optimization: profile once, then run the workload in \
+             segments while the sampler re-profiles inside the simulator; \
+             drifted segments retune mid-run through the guarded \
+             degradation ladder (retuned, remapped, A&J, pinned baseline). \
+             All $(b,--drift-*) flags and $(b,--guard-floor) apply; the \
+             retune log is byte-identical across $(b,--jobs).")
+  in
+  let epochs_flag =
+    Arg.(
+      value & opt int 4
+      & info [ "epochs" ] ~docv:"N"
+          ~doc:
+            "With $(b,--online), segments to run for workloads without \
+             natural phases (the $(b,phased) workload always uses its own \
+             phase list).")
+  in
+  let drift_term =
+    let d = Drift.default_config in
+    let fopt name dflt doc =
+      Arg.(value & opt float dflt & info [ name ] ~docv:"R" ~doc)
+    in
+    let iopt name dflt doc =
+      Arg.(value & opt int dflt & info [ name ] ~docv:"N" ~doc)
+    in
+    let late =
+      fopt "drift-late" d.Drift.late_threshold
+        "Late-prefetch ratio scored as a full drift vote."
+    in
+    let early =
+      fopt "drift-early" d.Drift.early_threshold
+        "Early-evict ratio scored as a full drift vote."
+    in
+    let useless =
+      fopt "drift-useless" d.Drift.useless_threshold
+        "Useless-prefetch ratio scored as a full drift vote."
+    in
+    let mpki =
+      fopt "drift-mpki-jump" d.Drift.mpki_jump
+        "Relative MPKI jump against the plan's reference scored as a full \
+         drift vote."
+    in
+    let iter =
+      fopt "drift-iter-jump" d.Drift.iter_jump
+        "Relative median iteration-time shift scored as a full drift vote."
+    in
+    let hysteresis =
+      iopt "drift-hysteresis" d.Drift.hysteresis
+        "Consecutive drifted windows required per verdict."
+    in
+    let dwell =
+      iopt "drift-dwell" d.Drift.min_dwell
+        "Verdict-free epochs after each retune (oscillation guard)."
+    in
+    let window =
+      iopt "drift-window" d.Drift.min_window_instructions
+        "Ignore counter windows retiring fewer instructions than $(docv)."
+    in
+    let build late early useless mpki iter hysteresis dwell window =
+      float_min ~exclusive:true "drift-late" 0. late;
+      float_min ~exclusive:true "drift-early" 0. early;
+      float_min ~exclusive:true "drift-useless" 0. useless;
+      float_min ~exclusive:true "drift-mpki-jump" 0. mpki;
+      float_min ~exclusive:true "drift-iter-jump" 0. iter;
+      int_min "drift-hysteresis" 1 hysteresis;
+      int_min "drift-dwell" 0 dwell;
+      int_min "drift-window" 1 window;
+      {
+        Drift.late_threshold = late;
+        early_threshold = early;
+        useless_threshold = useless;
+        mpki_jump = mpki;
+        iter_jump = iter;
+        hysteresis;
+        min_dwell = dwell;
+        min_window_instructions = window;
+      }
+    in
+    Term.(
+      const build $ late $ early $ useless $ mpki $ iter $ hysteresis $ dwell
+      $ window)
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under baseline, A&J and APT-GET")
     Term.(
       const run $ workload_arg $ hints_flag $ lenient_flag $ robust_flag
       $ remap_flag $ guard_flag $ guard_floor_flag $ quarantine_flag
-      $ faults_term $ obs_term)
+      $ online_flag $ epochs_flag $ drift_term $ faults_term $ obs_term)
 
 let profile_cmd =
   let profile w output faults () =
@@ -541,7 +686,7 @@ let list_cmd =
       (fun w ->
         Table.add_row t
           [ w.Workload.name; w.Workload.app; w.Workload.input; w.Workload.description ])
-      Suite.default;
+      Suite.extended;
     Table.print t;
     let e = Table.create ~title:"experiments" ~header:[ "id"; "title" ] in
     List.iter
@@ -582,22 +727,15 @@ let experiments_cmd =
 let campaign_cmd =
   let run workloads store trials retries threshold cooldown backoff_base
       max_cycles max_steps crash_after_write crash_torn crash_at_cycle () () =
-    if trials < 1 then die "bad --trials value: %d (need >= 1)" trials;
-    if retries < 0 then die "bad --retries value: %d (need >= 0)" retries;
-    if threshold < 1 then
-      die "bad --breaker-threshold value: %d (need >= 1)" threshold;
-    if cooldown < 0 then
-      die "bad --breaker-cooldown value: %d (need >= 0)" cooldown;
-    if backoff_base < 1.0 then
-      die "bad --backoff-base value: %g (need >= 1.0)" backoff_base;
-    if max_cycles < 0 then die "bad --max-cycles value: %d" max_cycles;
-    if max_steps < 0 then die "bad --max-steps value: %d" max_steps;
-    (match crash_after_write with
-    | Some k when k < 1 -> die "bad --crash-after-write value: %d" k
-    | _ -> ());
-    (match crash_at_cycle with
-    | Some c when c < 1 -> die "bad --crash-at-cycle value: %d" c
-    | _ -> ());
+    int_min "trials" 1 trials;
+    int_min "retries" 0 retries;
+    int_min "breaker-threshold" 1 threshold;
+    int_min "breaker-cooldown" 0 cooldown;
+    float_min "backoff-base" 1.0 backoff_base;
+    int_min "max-cycles" 0 max_cycles;
+    int_min "max-steps" 0 max_steps;
+    int_min_opt "crash-after-write" 1 crash_after_write;
+    int_min_opt "crash-at-cycle" 1 crash_at_cycle;
     if crash_torn && crash_after_write = None then
       die "--crash-torn requires --crash-after-write";
     let crash =
@@ -810,20 +948,14 @@ let serve_cmd =
   let serve spool capacity deadline threshold cooldown no_cache submits
       shutdown watch health once response_id show poll max_drains
       crash_after_write crash_torn () () =
-    if capacity < 1 then die "bad --capacity value: %d (need >= 1)" capacity;
-    if threshold < 1 then
-      die "bad --breaker-threshold value: %d (need >= 1)" threshold;
-    if cooldown < 0 then
-      die "bad --breaker-cooldown value: %d (need >= 0)" cooldown;
-    (match deadline with
-    | Some d when d < 1 -> die "bad --deadline-cycles value: %d" d
-    | _ -> ());
-    (match crash_after_write with
-    | Some k when k < 1 -> die "bad --crash-after-write value: %d" k
-    | _ -> ());
+    int_min "capacity" 1 capacity;
+    int_min "breaker-threshold" 1 threshold;
+    int_min "breaker-cooldown" 0 cooldown;
+    int_min_opt "deadline-cycles" 1 deadline;
+    int_min_opt "crash-after-write" 1 crash_after_write;
     if crash_torn && crash_after_write = None then
       die "--crash-torn requires --crash-after-write";
-    if poll <= 0. then die "bad --poll value: %g (need > 0)" poll;
+    float_min ~exclusive:true "poll" 0. poll;
     let config =
       {
         (Server.default_config ~spool) with
@@ -840,9 +972,14 @@ let serve_cmd =
     in
     if health then begin
       (match Health.read ~spool with
-      | Ok (st, processed) ->
-        Printf.printf "state=%s processed=%d\n" (Health.state_to_string st)
-          processed
+      | Ok i ->
+        Printf.printf "state=%s processed=%d resynced=%d%s\n"
+          (Health.state_to_string i.Health.i_state)
+          i.Health.i_processed i.Health.i_resynced
+          (String.concat ""
+             (List.map
+                (fun (k, v) -> Printf.sprintf " salvage.%s=%d" k v)
+                i.Health.i_salvage))
       | Error e -> Printf.eprintf "aptget: %s\n" e);
       Exit_code.exit (Health.probe ~spool)
     end

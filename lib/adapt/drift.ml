@@ -1,0 +1,231 @@
+module Machine = Aptget_machine.Machine
+module Hierarchy = Aptget_cache.Hierarchy
+
+type config = {
+  late_threshold : float;
+  early_threshold : float;
+  useless_threshold : float;
+  mpki_jump : float;
+  iter_jump : float;
+  hysteresis : int;
+  min_dwell : int;
+  min_window_instructions : int;
+}
+
+let default_config =
+  {
+    late_threshold = 0.25;
+    early_threshold = 0.25;
+    useless_threshold = 0.85;
+    mpki_jump = 0.5;
+    iter_jump = 0.75;
+    hysteresis = 3;
+    min_dwell = 1;
+    min_window_instructions = 2_000;
+  }
+
+let check_config c =
+  let pos name v =
+    if not (v > 0.0) then
+      invalid_arg (Printf.sprintf "Drift: %s must be positive" name)
+  in
+  pos "late_threshold" c.late_threshold;
+  pos "early_threshold" c.early_threshold;
+  pos "useless_threshold" c.useless_threshold;
+  pos "mpki_jump" c.mpki_jump;
+  pos "iter_jump" c.iter_jump;
+  if c.hysteresis < 1 then invalid_arg "Drift: hysteresis must be >= 1";
+  if c.min_dwell < 0 then invalid_arg "Drift: min_dwell must be >= 0";
+  if c.min_window_instructions < 1 then
+    invalid_arg "Drift: min_window_instructions must be >= 1"
+
+type reference = { ref_mpki : float; ref_iter : float option }
+
+type verdict = Stable | Drifted of { score : float; cause : string }
+
+type epoch_eval = {
+  ev_windows : int;
+  ev_drifted : int;
+  ev_score : float;
+  ev_cause : string;
+  ev_streak : int;
+  ev_suppressed : bool;
+}
+
+type t = {
+  config : config;
+  mutable reference : reference;
+  mutable calibrated : bool;
+  mutable streak : int;
+  mutable dwell_left : int;
+  mutable suppressed_total : int;
+  (* per-epoch accumulators, reset by [begin_epoch] *)
+  mutable e_windows : int;
+  mutable e_drifted : int;
+  mutable e_score : float;
+  mutable e_cause : string;
+  mutable e_instructions : int;
+  mutable e_misses : int;
+}
+
+let create ?(config = default_config) reference =
+  check_config config;
+  {
+    config;
+    reference;
+    calibrated = false;
+    streak = 0;
+    dwell_left = 0;
+    suppressed_total = 0;
+    e_windows = 0;
+    e_drifted = 0;
+    e_score = 0.0;
+    e_cause = "-";
+    e_instructions = 0;
+    e_misses = 0;
+  }
+
+let config t = t.config
+let reference t = t.reference
+let calibrated t = t.calibrated
+let streak t = t.streak
+let suppressed_total t = t.suppressed_total
+
+(* Avoid amplifying noise around a near-zero reference: relative deltas
+   are taken against at least one miss per kilo-instruction (resp. one
+   cycle per iteration). *)
+let rel_delta ~floor ~reference v =
+  Float.abs (v -. reference) /. Float.max reference floor
+
+let window_mpki (w : Machine.window_report) =
+  if w.Machine.w_instructions <= 0 then 0.0
+  else
+    float_of_int w.Machine.w_counters.Hierarchy.offcore_demand_data_rd
+    /. (float_of_int w.Machine.w_instructions /. 1000.0)
+
+let score_components t (w : Machine.window_report) =
+  let c = t.config in
+  let counters = w.Machine.w_counters in
+  let late = Machine.late_prefetch_ratio counters /. c.late_threshold in
+  let early = Machine.early_evict_ratio counters /. c.early_threshold in
+  let useless =
+    Machine.useless_prefetch_ratio counters /. c.useless_threshold
+  in
+  let mpki =
+    rel_delta ~floor:1.0 ~reference:t.reference.ref_mpki (window_mpki w)
+    /. c.mpki_jump
+  in
+  [ ("late", late); ("early", early); ("useless", useless); ("mpki", mpki) ]
+
+let best components =
+  List.fold_left
+    (fun (bc, bs) (cause, s) -> if s > bs then (cause, s) else (bc, bs))
+    ("-", 0.0) components
+
+let vote t components =
+  let cause, score = best components in
+  if score > t.e_score then (
+    t.e_score <- score;
+    t.e_cause <- cause);
+  if score >= 1.0 then (
+    t.e_drifted <- t.e_drifted + 1;
+    t.streak <- t.streak + 1)
+  else t.streak <- 0
+
+let begin_epoch t =
+  t.e_windows <- 0;
+  t.e_drifted <- 0;
+  t.e_score <- 0.0;
+  t.e_cause <- "-";
+  t.e_instructions <- 0;
+  t.e_misses <- 0
+
+let observe_window t (w : Machine.window_report) =
+  if w.Machine.w_instructions >= t.config.min_window_instructions then begin
+    t.e_windows <- t.e_windows + 1;
+    t.e_instructions <- t.e_instructions + w.Machine.w_instructions;
+    t.e_misses <-
+      t.e_misses + w.Machine.w_counters.Hierarchy.offcore_demand_data_rd;
+    (* The first epoch under a fresh plan only calibrates: its windows
+       establish what "normal" looks like under the plan actually
+       running (the priming profile's reference describes the unhinted
+       program, which successful prefetching is supposed to change). *)
+    if t.calibrated then vote t (score_components t w)
+  end
+
+let end_epoch t ?iter_median ?(stale_hints = false) () =
+  if not t.calibrated then begin
+    if t.e_instructions > 0 then
+      t.reference <-
+        {
+          ref_mpki =
+            float_of_int t.e_misses
+            /. (float_of_int t.e_instructions /. 1000.0);
+          ref_iter =
+            (match iter_median with
+            | Some _ -> iter_median
+            | None -> t.reference.ref_iter);
+        };
+    t.calibrated <- true;
+    ( Stable,
+      {
+        ev_windows = t.e_windows;
+        ev_drifted = 0;
+        ev_score = 0.0;
+        ev_cause = "calibrate";
+        ev_streak = 0;
+        ev_suppressed = false;
+      } )
+  end
+  else begin
+    (* Epoch-grained evidence joins as one virtual window vote: weaker
+       than the counter windows (it cannot reset the streak), but it
+       can extend it — iteration-time shifts come from the concurrent
+       sampler's epoch-level re-fit, and stale hints mean the program's
+       structural fingerprints no longer match the profile's. *)
+    let virtual_components =
+      (match (iter_median, t.reference.ref_iter) with
+      | Some m, Some r ->
+          [ ("iter", rel_delta ~floor:1.0 ~reference:r m /. t.config.iter_jump) ]
+      | _ -> [])
+      @ if stale_hints then [ ("stale-hints", 2.0) ] else []
+    in
+    (match virtual_components with
+    | [] -> ()
+    | cs ->
+        let cause, score = best cs in
+        if score > t.e_score then (
+          t.e_score <- score;
+          t.e_cause <- cause);
+        if score >= 1.0 then (
+          t.e_drifted <- t.e_drifted + 1;
+          t.streak <- t.streak + 1));
+    let due = t.streak >= t.config.hysteresis in
+    let suppressed = due && t.dwell_left > 0 in
+    if t.dwell_left > 0 then t.dwell_left <- t.dwell_left - 1;
+    if suppressed then t.suppressed_total <- t.suppressed_total + 1;
+    let verdict =
+      if due && not suppressed then
+        Drifted { score = t.e_score; cause = t.e_cause }
+      else Stable
+    in
+    ( verdict,
+      {
+        ev_windows = t.e_windows;
+        ev_drifted = t.e_drifted;
+        ev_score = t.e_score;
+        ev_cause = t.e_cause;
+        ev_streak = t.streak;
+        ev_suppressed = suppressed;
+      } )
+  end
+
+let note_retune t reference =
+  t.reference <- reference;
+  t.calibrated <- true;
+  t.streak <- 0;
+  t.dwell_left <- t.config.min_dwell
+
+let verdict_to_string = function
+  | Stable -> "stable"
+  | Drifted { cause; _ } -> "drift:" ^ cause

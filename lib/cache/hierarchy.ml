@@ -68,6 +68,7 @@ type counters = {
   mutable stall_cycles_l2 : int;
   mutable stall_cycles_llc : int;
   mutable stall_cycles_dram : int;
+  mutable sw_prefetch_early_evict : int;
 }
 
 let zero_counters () =
@@ -87,6 +88,50 @@ let zero_counters () =
     stall_cycles_l2 = 0;
     stall_cycles_llc = 0;
     stall_cycles_dram = 0;
+    sw_prefetch_early_evict = 0;
+  }
+
+(* Field-wise [a - b]: counter deltas over a window of execution. *)
+let sub_counters (a : counters) (b : counters) =
+  {
+    demand_loads = a.demand_loads - b.demand_loads;
+    hits_l1 = a.hits_l1 - b.hits_l1;
+    hits_l2 = a.hits_l2 - b.hits_l2;
+    hits_llc = a.hits_llc - b.hits_llc;
+    dram_fills_demand = a.dram_fills_demand - b.dram_fills_demand;
+    load_hit_pre_sw_pf = a.load_hit_pre_sw_pf - b.load_hit_pre_sw_pf;
+    offcore_all_data_rd = a.offcore_all_data_rd - b.offcore_all_data_rd;
+    offcore_demand_data_rd = a.offcore_demand_data_rd - b.offcore_demand_data_rd;
+    sw_prefetch_issued = a.sw_prefetch_issued - b.sw_prefetch_issued;
+    sw_prefetch_useless = a.sw_prefetch_useless - b.sw_prefetch_useless;
+    sw_prefetch_dropped = a.sw_prefetch_dropped - b.sw_prefetch_dropped;
+    hw_prefetch_issued = a.hw_prefetch_issued - b.hw_prefetch_issued;
+    stall_cycles_l2 = a.stall_cycles_l2 - b.stall_cycles_l2;
+    stall_cycles_llc = a.stall_cycles_llc - b.stall_cycles_llc;
+    stall_cycles_dram = a.stall_cycles_dram - b.stall_cycles_dram;
+    sw_prefetch_early_evict = a.sw_prefetch_early_evict - b.sw_prefetch_early_evict;
+  }
+
+(* Field-wise [a + b]: aggregating counters across runs (e.g. summing
+   per-segment measurements into a whole-campaign record). *)
+let add_counters (a : counters) (b : counters) =
+  {
+    demand_loads = a.demand_loads + b.demand_loads;
+    hits_l1 = a.hits_l1 + b.hits_l1;
+    hits_l2 = a.hits_l2 + b.hits_l2;
+    hits_llc = a.hits_llc + b.hits_llc;
+    dram_fills_demand = a.dram_fills_demand + b.dram_fills_demand;
+    load_hit_pre_sw_pf = a.load_hit_pre_sw_pf + b.load_hit_pre_sw_pf;
+    offcore_all_data_rd = a.offcore_all_data_rd + b.offcore_all_data_rd;
+    offcore_demand_data_rd = a.offcore_demand_data_rd + b.offcore_demand_data_rd;
+    sw_prefetch_issued = a.sw_prefetch_issued + b.sw_prefetch_issued;
+    sw_prefetch_useless = a.sw_prefetch_useless + b.sw_prefetch_useless;
+    sw_prefetch_dropped = a.sw_prefetch_dropped + b.sw_prefetch_dropped;
+    hw_prefetch_issued = a.hw_prefetch_issued + b.hw_prefetch_issued;
+    stall_cycles_l2 = a.stall_cycles_l2 + b.stall_cycles_l2;
+    stall_cycles_llc = a.stall_cycles_llc + b.stall_cycles_llc;
+    stall_cycles_dram = a.stall_cycles_dram + b.stall_cycles_dram;
+    sw_prefetch_early_evict = a.sw_prefetch_early_evict + b.sw_prefetch_early_evict;
   }
 
 type t = {
@@ -99,6 +144,9 @@ type t = {
   mutable c : counters;
   mutable next_dram_slot : int;
       (* earliest cycle the DRAM channel can start another fill *)
+  pending_sw : (int, unit) Hashtbl.t;
+      (* lines installed by a SW-prefetch fill and not yet demand-used:
+         an LLC eviction of one is a too-early prefetch *)
 }
 
 let create cfg =
@@ -112,6 +160,7 @@ let create cfg =
     hwpf = (if cfg.hw_prefetch then Hwpf.create () else Hwpf.disabled ());
     c = zero_counters ();
     next_dram_slot = 0;
+    pending_sw = Hashtbl.create 64;
   }
 
 let config t = t.cfg
@@ -122,14 +171,20 @@ let install_all t line =
   (match Cache.insert t.llc line with
   | Some victim ->
     Cache.invalidate t.l2 victim;
-    Cache.invalidate t.l1 victim
+    Cache.invalidate t.l1 victim;
+    if Hashtbl.mem t.pending_sw victim then begin
+      Hashtbl.remove t.pending_sw victim;
+      t.c.sw_prefetch_early_evict <- t.c.sw_prefetch_early_evict + 1
+    end
   | None -> ());
   ignore (Cache.insert t.l2 line);
   ignore (Cache.insert t.l1 line)
 
 let drain_fills t ~cycle =
   List.iter
-    (fun (e : Mshr.entry) -> install_all t e.line)
+    (fun (e : Mshr.entry) ->
+      if e.origin = Mshr.Sw_prefetch then Hashtbl.replace t.pending_sw e.line ();
+      install_all t e.line)
     (Mshr.pop_ready t.mshr ~now:cycle)
 
 let line_of t addr = addr * 8 / t.cfg.line_bytes
@@ -172,6 +227,7 @@ let hw_prefetch_lines t ~pc ~addr ~miss ~cycle =
 let demand_load t ~pc ~addr ~cycle =
   drain_fills t ~cycle;
   let line = line_of t addr in
+  if Hashtbl.length t.pending_sw <> 0 then Hashtbl.remove t.pending_sw line;
   t.c.demand_loads <- t.c.demand_loads + 1;
   match Mshr.find t.mshr line with
   | Some entry ->
@@ -270,4 +326,5 @@ let flush t =
   Cache.clear t.llc;
   Mshr.clear t.mshr;
   t.next_dram_slot <- 0;
+  Hashtbl.reset t.pending_sw;
   reset_counters t

@@ -67,10 +67,24 @@ type counters = {
   mutable stall_cycles_l2 : int;
   mutable stall_cycles_llc : int;
   mutable stall_cycles_dram : int;  (** includes fill-buffer waits *)
+  mutable sw_prefetch_early_evict : int;
+      (** SW-prefetched lines evicted from the LLC before any demand
+          load touched them — the prefetch landed too early (or the
+          distance overshot the reuse), polluting the cache for
+          nothing. The dual of [load_hit_pre_sw_pf] (too late). *)
 }
 (** Fields are mutable for the simulator's in-place updates;
     {!counters} returns a private snapshot copy, so treat a returned
     record as a value. *)
+
+val sub_counters : counters -> counters -> counters
+(** [sub_counters a b] is the field-wise difference [a - b]: the
+    counter activity between two snapshots of the same hierarchy,
+    i.e. over one execution window. *)
+
+val add_counters : counters -> counters -> counters
+(** Field-wise sum: aggregate counters across independent runs (e.g.
+    per-segment measurements summed into one record). *)
 
 type t
 

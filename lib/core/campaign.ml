@@ -174,7 +174,8 @@ type group_outcome = {
   g_final : breaker_state;
 }
 
-let run_group ~config ~mconfig ~crash ~append ~done_tbl wname indexed_trials =
+let run_group ~config ~mconfig ~crash ~append ~done_tbl ~runner wname
+    indexed_trials =
   let b =
     Breaker.create
       ~config:
@@ -209,17 +210,28 @@ let run_group ~config ~mconfig ~crash ~append ~done_tbl wname indexed_trials =
         Error ("baseline failed: " ^ Printexc.to_string e))
   in
   let run_once (w : Workload.t) =
-    match baseline_of w with
-    | Error why -> Error why
-    | Ok base -> (
-      let r =
-        Pipeline.run_robust ?config:mconfig ~faults:config.faults
-          ~watchdog:config.watchdog ?crash w
-      in
-      match r.Pipeline.r_measurement with
-      | Some m when m.Pipeline.verified = Ok () ->
-        Ok (Pipeline.speedup ~baseline:base m)
-      | _ -> Error (failure_reason r))
+    match runner with
+    | Some f -> (
+      (* Custom trial runner (e.g. the online-adaptive loop): it owns
+         its own baseline accounting, but stays under the campaign's
+         retry/breaker/journal supervision. A simulated crash must
+         still propagate. *)
+      match f w with
+      | r -> r
+      | exception e when not (Crash.is_crashed e) ->
+        Error (Printexc.to_string e))
+    | None -> (
+      match baseline_of w with
+      | Error why -> Error why
+      | Ok base -> (
+        let r =
+          Pipeline.run_robust ?config:mconfig ~faults:config.faults
+            ~watchdog:config.watchdog ?crash w
+        in
+        match r.Pipeline.r_measurement with
+        | Some m when m.Pipeline.verified = Ok () ->
+          Ok (Pipeline.speedup ~baseline:base m)
+        | _ -> Error (failure_reason r)))
   in
   (* Retry with capped exponential backoff. The simulator has no
      wall-clock to sleep on, so the backoff factor is recorded rather
@@ -315,7 +327,8 @@ let run_group ~config ~mconfig ~crash ~append ~done_tbl wname indexed_trials =
   in
   { g_rows = rows; g_opened = Breaker.opened_count b; g_final = Breaker.state b }
 
-let run ?(config = default_config) ?mconfig ?crash ?jobs ~store trials =
+let run ?(config = default_config) ?mconfig ?crash ?jobs ?runner ~store trials
+    =
   let journal, recovery = Journal.open_ ?crash ~path:store () in
   if recovery.Journal.dropped > 0 then
     Metrics.incr ~by:recovery.Journal.dropped "store.salvage.journal";
@@ -348,7 +361,7 @@ let run ?(config = default_config) ?mconfig ?crash ?jobs ~store trials =
       !order
   in
   let process (wname, its) =
-    run_group ~config ~mconfig ~crash ~append ~done_tbl wname its
+    run_group ~config ~mconfig ~crash ~append ~done_tbl ~runner wname its
   in
   (* A crash plan arms a deterministic kill at the k-th store write;
      that ordering only exists serially, so an armed plan forces the

@@ -101,6 +101,7 @@ val run :
   ?mconfig:Aptget_machine.Machine.config ->
   ?crash:Aptget_store.Crash.t ->
   ?jobs:int ->
+  ?runner:(Aptget_workloads.Workload.t -> (float, string) result) ->
   store:string ->
   trial list ->
   report
@@ -118,4 +119,11 @@ val run :
     The report is identical to a serial run's (results in plan order,
     breaker accounting per group). An armed [crash] plan forces serial
     execution, since its deterministic kill point counts store writes
-    in order. *)
+    in order.
+
+    [runner] replaces the per-trial robust pipeline with a custom
+    execution (e.g. {!Aptget_adapt}'s online loop, which owns its own
+    baseline accounting and returns the online speedup): it runs under
+    the same retry/breaker/checkpoint supervision, [Ok speedup]
+    checkpointing the trial and [Error reason] (or any non-crash
+    exception) counting as a retryable failure. *)

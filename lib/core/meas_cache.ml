@@ -54,7 +54,7 @@ let path_of ~dir k = Filename.concat dir ("m-" ^ Crc32.hex (Crc32.string k) ^ ".
 let magic = "aptget-meas v1"
 
 let render_counters (c : Hierarchy.counters) =
-  Printf.sprintf "%d %d %d %d %d %d %d %d %d %d %d %d %d %d %d"
+  Printf.sprintf "%d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d"
     c.Hierarchy.demand_loads c.Hierarchy.hits_l1 c.Hierarchy.hits_l2
     c.Hierarchy.hits_llc c.Hierarchy.dram_fills_demand
     c.Hierarchy.load_hit_pre_sw_pf c.Hierarchy.offcore_all_data_rd
@@ -62,6 +62,7 @@ let render_counters (c : Hierarchy.counters) =
     c.Hierarchy.sw_prefetch_useless c.Hierarchy.sw_prefetch_dropped
     c.Hierarchy.hw_prefetch_issued c.Hierarchy.stall_cycles_l2
     c.Hierarchy.stall_cycles_llc c.Hierarchy.stall_cycles_dram
+    c.Hierarchy.sw_prefetch_early_evict
 
 let render (k : key) (m : Pipeline.measurement) =
   let b = Buffer.create 512 in
@@ -149,7 +150,9 @@ let parse (k : key) (text : string) : Pipeline.measurement option =
             | _ -> raise Bad)
           | "counters", payload -> (
             match ints payload with
-            | [ a; b; c; d; e; f; g; h; i; j; k; l; m; n; o ] ->
+            (* 16 ints; older 15-int records fail here and become cache
+               misses, which is the safe outcome. *)
+            | [ a; b; c; d; e; f; g; h; i; j; k; l; m; n; o; p ] ->
               counters :=
                 Some
                   {
@@ -168,6 +171,7 @@ let parse (k : key) (text : string) : Pipeline.measurement option =
                     stall_cycles_l2 = m;
                     stall_cycles_llc = n;
                     stall_cycles_dram = o;
+                    sw_prefetch_early_evict = p;
                   }
             | _ -> raise Bad)
           | "verified", "ok" -> verified := Some (Ok ())

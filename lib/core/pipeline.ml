@@ -504,6 +504,85 @@ let run_guarded ?config ?(guard = default_guard) ?quarantine ?remap ?watchdog
     g_remap = remap_result;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive epoch: one supervised hinted run with concurrent           *)
+(* re-sampling and execution windows — the primitive the online loop   *)
+(* (Aptget_adapt) drives once per program phase/segment.               *)
+(* ------------------------------------------------------------------ *)
+
+module Sampler = Aptget_pmu.Sampler
+
+type epoch = {
+  e_measurement : measurement;
+  e_windows : Machine.window_report list;  (** in execution order *)
+  e_refit : Profiler.t option;
+  e_hints_dropped : (Aptget_pass.hint * string) list;
+}
+
+let run_adaptive ?config ?watchdog ?crash ?(options = Profiler.default_options)
+    ?sampler ?window_cycles ?veto ~hints (w : Workload.t) =
+  Trace.with_span ~name:"pipeline.run-adaptive"
+    ~attrs:[ ("workload", w.Workload.name) ]
+  @@ fun () ->
+  let inst = w.Workload.build () in
+  let hints_used, hints_dropped =
+    Profiler.validate_hints inst.Workload.func hints
+  in
+  (* An empty (or fully stale) hint list takes the injection pass's
+     Algorithm-2 static fallback — the bottom rung of the degradation
+     ladder runs A&J's fixed distance, not an unprefetched kernel. *)
+  let r = Aptget_pass.run ?veto inst.Workload.func ~hints:hints_used in
+  Verify.check_exn inst.Workload.func;
+  Option.iter (fun s -> Sampler.reset s) sampler;
+  let windows = ref [] in
+  let on_window =
+    match window_cycles with
+    | Some _ -> Some (fun wr -> windows := wr :: !windows)
+    | None -> None
+  in
+  let mconfig = Option.value config ~default:Machine.default_config in
+  let (outcome, verified), wall_seconds =
+    wall (fun () ->
+        let o =
+          Trace.with_span ~name:"stage.measure" @@ fun () ->
+          let o =
+            Watchdog.run ?config:watchdog ?crash ~machine:mconfig
+              Watchdog.Measure (fun capped ->
+                Machine.execute ~config:capped ?sampler ?window_cycles
+                  ?on_window ~args:inst.Workload.args ~mem:inst.Workload.mem
+                  inst.Workload.func)
+          in
+          Trace.set_cycles o.Machine.cycles;
+          o
+        in
+        (o, inst.Workload.verify inst.Workload.mem o.Machine.ret))
+  in
+  let refit =
+    match sampler with
+    | None -> None
+    | Some s -> (
+      (* The re-fit analyses the *rewritten* kernel the sampler just
+         observed; its hint PCs must travel through the remap path to
+         reach a fresh build. An analysis failure means re-profiling is
+         unavailable this epoch, not that the epoch failed. *)
+      try Some (Profiler.refit ~options ~baseline:outcome s inst.Workload.func)
+      with e when not (Crash.is_crashed e) -> None)
+  in
+  {
+    e_measurement =
+      {
+        workload = w.Workload.name;
+        outcome;
+        verified;
+        injected = r.Aptget_pass.injected;
+        skipped = r.Aptget_pass.skipped;
+        wall_seconds;
+      };
+    e_windows = List.rev !windows;
+    e_refit = refit;
+    e_hints_dropped = hints_dropped;
+  }
+
 let force_distance d hints =
   List.map (fun h -> { h with Aptget_pass.distance = d }) hints
 

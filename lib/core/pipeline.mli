@@ -213,6 +213,54 @@ val run_guarded :
     baseline fallback is never routed through it, because its skip
     records embed the run-specific veto reason. *)
 
+(** {2 Adaptive epoch}
+
+    One supervised hinted run with concurrent re-sampling and periodic
+    execution windows — the primitive the online re-optimization loop
+    ({!Aptget_adapt}) drives once per program phase. The loop itself
+    (drift scoring, hysteresis, the retune ladder) lives above core so
+    it can reuse {!run_guarded} without a dependency cycle. *)
+
+type epoch = {
+  e_measurement : measurement;  (** the hinted run of this segment *)
+  e_windows : Aptget_machine.Machine.window_report list;
+      (** periodic counter-delta windows, in execution order; empty
+          when windowing was off *)
+  e_refit : Aptget_profile.Profiler.t option;
+      (** incremental Eq. 1 re-fit from the concurrent sampler's
+          observations of the {e rewritten} kernel ([None] when no
+          sampler rode along or the analysis failed). Its hint PCs
+          address the rewritten program: route them through the remap
+          path ({!run_guarded} with [remap]) to reach a fresh build. *)
+  e_hints_dropped : (Aptget_passes.Aptget_pass.hint * string) list;
+      (** stale hints rejected before injection, with reasons *)
+}
+
+val run_adaptive :
+  ?config:Aptget_machine.Machine.config ->
+  ?watchdog:Watchdog.config ->
+  ?crash:Aptget_store.Crash.t ->
+  ?options:Aptget_profile.Profiler.options ->
+  ?sampler:Aptget_pmu.Sampler.t ->
+  ?window_cycles:int ->
+  ?veto:(Aptget_passes.Aptget_pass.hint -> string option) ->
+  hints:Aptget_passes.Aptget_pass.hint list ->
+  Aptget_workloads.Workload.t ->
+  epoch
+(** Build a fresh instance, validate and inject [hints] (an empty or
+    fully-stale list falls back to A&J static injection — the bottom
+    rung of the degradation ladder, not an unprefetched run; a
+    non-empty list fully suppressed by [veto] runs unmodified — how the
+    loop's pinned-baseline plan holds a hint set without applying it),
+    then
+    execute under the watchdog's measure budget with [sampler] riding
+    along (it is {!Aptget_pmu.Sampler.reset} first, keeping its fault
+    model's accumulated state) and [window_cycles]-sized counter
+    windows collected. Deterministic: same seed/config in, byte-same
+    epoch out (modulo [wall_seconds]). Raises {!Watchdog.Timed_out}
+    when the measure budget fires and {!Aptget_store.Crash.Crashed}
+    when an armed crash plan does. *)
+
 val force_distance :
   int -> Aptget_passes.Aptget_pass.hint list -> Aptget_passes.Aptget_pass.hint list
 (** Override every hint's distance (static-distance competitors,

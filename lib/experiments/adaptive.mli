@@ -1,0 +1,8 @@
+(** Online re-optimization study: {!Aptget_adapt.Adapt} vs the one-shot
+    pipeline on the phase-change workload, both arms starting from the
+    same aging whole-program profile. Records a synthetic
+    ["phased-online"] baseline/aptget pair via {!Lab.record} (the online
+    arm charged for its retune overhead) so the BENCH output carries the
+    online-vs-one-shot speedup. *)
+
+val all : Lab.t -> Aptget_util.Table.t list

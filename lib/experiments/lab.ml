@@ -187,6 +187,13 @@ let forced_site t site w =
       let prof = profiled t w in
       Pipeline.with_hints ~hints:(Pipeline.force_site site prof.Profiler.hints) w)
 
+(* Externally computed measurements (e.g. the adaptive experiment's
+   summed online/one-shot arms) enter the memo tables here so [summary]
+   can surface them; they stay out of the persistent cache, whose keys
+   describe single pipeline runs. *)
+let record t ~workload ~variant m =
+  ignore (add_memo t (workload ^ "/" ^ variant) (check m))
+
 (* Derived purely from the memo caches: a workload appears once both
    its baseline and its APT-GET runs have been measured, so the bench
    harness can snapshot headline numbers without triggering new

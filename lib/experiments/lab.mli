@@ -38,6 +38,15 @@ val forced_site :
   Aptget_core.Pipeline.measurement
 (** Profiled hints with a forced injection site (Fig. 10). *)
 
+val record :
+  t -> workload:string -> variant:string -> Aptget_core.Pipeline.measurement -> unit
+(** Insert an externally computed measurement under the
+    ["<workload>/<variant>"] memo key (first insertion wins; never
+    persisted to the on-disk cache). The adaptive experiment sums its
+    one-shot and online arms into synthetic ["baseline"]/["aptget"]
+    records so {!summary} carries the online-vs-one-shot speedup into
+    the BENCH output. *)
+
 val summary : t -> (string * float * float) list
 (** [(workload, speedup, mpki_reduction)] for every workload whose
     baseline and APT-GET runs are both already in the cache, sorted by

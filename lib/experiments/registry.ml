@@ -30,6 +30,7 @@ let all =
     { id = "staleness"; title = "Stale profiles: fingerprint remapping and the regression guard"; run = Staleness.all };
     { id = "extensions"; title = "Extension studies (cost model, conditional injection, HW/SW interplay)"; run = Extensions.all };
     { id = "campaign"; title = "Crash-safe campaigns: checkpoint/resume, watchdog and circuit breakers"; run = Campaign_exp.all };
+    { id = "adaptive"; title = "Online drift detection and mid-run re-optimization"; run = Adaptive.all };
   ]
 
 let find id =

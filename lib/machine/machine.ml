@@ -48,6 +48,29 @@ let memory_stall_fraction o =
       (o.counters.Hierarchy.stall_cycles_llc + o.counters.Hierarchy.stall_cycles_dram)
     /. float_of_int o.cycles
 
+(* Distance-error evidence, usable on whole-run counters or window
+   deltas. Zero issued prefetches reads as zero error: an unhinted
+   program is never "late". *)
+let late_prefetch_ratio (c : Hierarchy.counters) =
+  if c.Hierarchy.sw_prefetch_issued = 0 then 0.
+  else
+    float_of_int c.Hierarchy.load_hit_pre_sw_pf
+    /. float_of_int c.Hierarchy.sw_prefetch_issued
+
+let early_evict_ratio (c : Hierarchy.counters) =
+  if c.Hierarchy.sw_prefetch_issued = 0 then 0.
+  else
+    float_of_int c.Hierarchy.sw_prefetch_early_evict
+    /. float_of_int c.Hierarchy.sw_prefetch_issued
+
+let useless_prefetch_ratio (c : Hierarchy.counters) =
+  let attempts =
+    c.Hierarchy.sw_prefetch_issued + c.Hierarchy.sw_prefetch_useless
+    + c.Hierarchy.sw_prefetch_dropped
+  in
+  if attempts = 0 then 0.
+  else float_of_int c.Hierarchy.sw_prefetch_useless /. float_of_int attempts
+
 exception Fuse_blown of int
 exception Deadline_blown of { cycles : int; limit : int }
 
@@ -87,6 +110,55 @@ type state = {
   mutable loads : int;
   mutable prefetches : int;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Execution windows: periodic counter-delta snapshots for online      *)
+(* drift detection. The hook fires from the charge/issue path, so the  *)
+(* window-less variants below stay byte-identical to the pre-window    *)
+(* interpreter.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type window_report = {
+  w_index : int;
+  w_start_cycle : int;
+  w_end_cycle : int;
+  w_instructions : int;
+  w_counters : Hierarchy.counters;
+}
+
+(* Returns [(tick, finish)]: [tick st] fires [on_window] whenever the
+   cycle clock crosses the next window boundary; [finish st] flushes
+   the trailing partial window (if any activity happened since the last
+   boundary). *)
+let make_windowing ~hier ~window_cycles ~on_window =
+  let next = ref window_cycles in
+  let idx = ref 0 in
+  let prev_counters = ref (Hierarchy.counters hier) in
+  let prev_cycle = ref 0 in
+  let prev_instrs = ref 0 in
+  let emit (st : state) =
+    let c = Hierarchy.counters hier in
+    on_window
+      {
+        w_index = !idx;
+        w_start_cycle = !prev_cycle;
+        w_end_cycle = st.cycle;
+        w_instructions = st.instrs - !prev_instrs;
+        w_counters = Hierarchy.sub_counters c !prev_counters;
+      };
+    incr idx;
+    prev_counters := c;
+    prev_cycle := st.cycle;
+    prev_instrs := st.instrs
+  in
+  let tick (st : state) =
+    if st.cycle >= !next then begin
+      emit st;
+      next := st.cycle + window_cycles
+    end
+  in
+  let finish (st : state) = if st.cycle > !prev_cycle then emit st in
+  (tick, finish)
 
 let bind_params (f : Ir.func) regs args =
   (* Walk params and args in lockstep; extra args are ignored, missing
@@ -181,7 +253,8 @@ let[@inline] phi_row plan prev =
 (* Blocking core: a demand load stalls until its data is available.    *)
 (* ------------------------------------------------------------------ *)
 
-let execute_blocking ~config ~hier ~sampler ~mem ~regs ~plans (f : Ir.func) =
+let execute_blocking ~config ~hier ~sampler ~wtick ~mem ~regs ~plans
+    (f : Ir.func) =
   let eval = function Ir.Reg r -> regs.(r) | Ir.Imm i -> i in
   let st = { cycle = 0; instrs = 0; loads = 0; prefetches = 0 } in
   let l1_lat = (Hierarchy.config hier).Hierarchy.l1_latency in
@@ -189,22 +262,33 @@ let execute_blocking ~config ~hier ~sampler ~mem ~regs ~plans (f : Ir.func) =
   (* The sampler test is hoisted out of [charge]: measurement runs
      (sampler = None) pay nothing per instruction, and profiled runs
      tick once per charge — a charge of n cycles is one batched tick at
-     the post-advance cycle, exactly as before. *)
+     the post-advance cycle, exactly as before. Windowed runs take the
+     third variant so the common paths stay untouched. *)
   let charge =
-    match sampler with
-    | None ->
+    match (wtick, sampler) with
+    | None, None ->
       fun n_instr n_cycles ->
         st.instrs <- st.instrs + n_instr;
         st.cycle <- st.cycle + n_cycles;
         if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
         check_deadline config st.cycle
-    | Some s ->
+    | None, Some s ->
       fun n_instr n_cycles ->
         st.instrs <- st.instrs + n_instr;
         st.cycle <- st.cycle + n_cycles;
         if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
         check_deadline config st.cycle;
         Sampler.on_cycle s ~cycle:st.cycle
+    | Some tick, _ ->
+      fun n_instr n_cycles ->
+        st.instrs <- st.instrs + n_instr;
+        st.cycle <- st.cycle + n_cycles;
+        if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
+        check_deadline config st.cycle;
+        (match sampler with
+        | Some s -> Sampler.on_cycle s ~cycle:st.cycle
+        | None -> ());
+        tick st
   in
   let run_block cur prev =
     let blk = f.Ir.blocks.(cur) in
@@ -293,8 +377,8 @@ let execute_blocking ~config ~hier ~sampler ~mem ~regs ~plans (f : Ir.func) =
 (* reorder window.                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window ~plans
-    (f : Ir.func) =
+let execute_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
+    ~plans (f : Ir.func) =
   let eval = function Ir.Reg r -> regs.(r) | Ir.Imm i -> i in
   let ready = Array.make (Array.length regs) 0 in
   let st = { cycle = 0; instrs = 0; loads = 0; prefetches = 0 } in
@@ -306,16 +390,17 @@ let execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window ~plans
   let rob = Array.make (max 1 window) 0 in
   let rob_idx = ref 0 in
   (* Sampler test hoisted out of the per-instruction path, as in the
-     blocking core. *)
+     blocking core; the windowed variant is separate for the same
+     reason. *)
   let issue =
-    match sampler with
-    | None ->
+    match (wtick, sampler) with
+    | None, None ->
       fun ?(n = 1) () ->
         st.instrs <- st.instrs + n;
         st.cycle <- max (st.cycle + n) rob.(!rob_idx);
         if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
         check_deadline config st.cycle
-    | Some s ->
+    | None, Some s ->
       fun ?(n = 1) () ->
         (* In-order issue at one instruction per cycle, gated by the
            oldest in-flight instruction leaving the window. *)
@@ -324,6 +409,16 @@ let execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window ~plans
         if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
         check_deadline config st.cycle;
         Sampler.on_cycle s ~cycle:st.cycle
+    | Some tick, _ ->
+      fun ?(n = 1) () ->
+        st.instrs <- st.instrs + n;
+        st.cycle <- max (st.cycle + n) rob.(!rob_idx);
+        if st.instrs > config.max_instructions then raise (Fuse_blown st.instrs);
+        check_deadline config st.cycle;
+        (match sampler with
+        | Some s -> Sampler.on_cycle s ~cycle:st.cycle
+        | None -> ());
+        tick st
   in
   let retire completion =
     rob.(!rob_idx) <- completion;
@@ -441,20 +536,30 @@ let execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window ~plans
   let ret = loop f.Ir.entry (-1) in
   (st, ret)
 
-let execute ?(config = default_config) ?hierarchy ?sampler ?(args = [])
-    ~mem (f : Ir.func) =
+let execute ?(config = default_config) ?hierarchy ?sampler ?window_cycles
+    ?on_window ?(args = []) ~mem (f : Ir.func) =
   let hier =
     match hierarchy with Some h -> h | None -> Hierarchy.create config.hierarchy
   in
+  let windowing =
+    match (window_cycles, on_window) with
+    | Some w, Some fn when w > 0 ->
+      Some (make_windowing ~hier ~window_cycles:w ~on_window:fn)
+    | _ -> None
+  in
+  let wtick = Option.map fst windowing in
   let regs = Array.make (max 1 f.Ir.next_reg) 0 in
   bind_params f regs args;
   let plans = build_phi_plans f in
   let st, ret =
     match config.core with
-    | Blocking -> execute_blocking ~config ~hier ~sampler ~mem ~regs ~plans f
+    | Blocking ->
+      execute_blocking ~config ~hier ~sampler ~wtick ~mem ~regs ~plans f
     | Stall_on_use { window } ->
-      execute_stall_on_use ~config ~hier ~sampler ~mem ~regs ~window ~plans f
+      execute_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
+        ~plans f
   in
+  (match windowing with Some (_, finish) -> finish st | None -> ());
   {
     cycles = st.cycle;
     instructions = st.instrs;

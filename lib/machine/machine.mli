@@ -74,16 +74,52 @@ val memory_stall_fraction : outcome -> float
     Meaningful for the blocking core; under [Stall_on_use] overlapped
     latencies can push it past 1. *)
 
+val late_prefetch_ratio : Aptget_cache.Hierarchy.counters -> float
+(** [load_hit_pre_sw_pf / sw_prefetch_issued]: the fraction of issued
+    software prefetches whose demand load arrived while the fill was
+    still in flight — the prefetch distance is too short. 0 when no
+    prefetches were issued. Works on whole-run counters or on a
+    {!window_report} delta. *)
+
+val early_evict_ratio : Aptget_cache.Hierarchy.counters -> float
+(** [sw_prefetch_early_evict / sw_prefetch_issued]: the fraction of
+    issued software prefetches whose line was evicted from the LLC
+    before any demand use — the distance is too long (or the working
+    set shifted). 0 when no prefetches were issued. *)
+
+val useless_prefetch_ratio : Aptget_cache.Hierarchy.counters -> float
+(** [sw_prefetch_useless] over all prefetch attempts (issued + useless
+    + dropped): the fraction that probed an already-cached line and did
+    nothing. Near 1.0 the hinted loads stopped missing — the working
+    set shrank into cache and the prefetch slice is pure instruction
+    overhead. 0 when no prefetches were attempted (so an unhinted
+    program never scores). *)
+
 exception Fuse_blown of int
 (** Raised when [max_instructions] is exceeded. *)
 
 exception Deadline_blown of { cycles : int; limit : int }
 (** Raised when [max_cycles] is exceeded (only when it is positive). *)
 
+type window_report = {
+  w_index : int;  (** 0-based window number within this execution *)
+  w_start_cycle : int;
+  w_end_cycle : int;
+  w_instructions : int;  (** instructions retired inside the window *)
+  w_counters : Aptget_cache.Hierarchy.counters;
+      (** counter deltas over the window (not cumulative) *)
+}
+(** One execution window: the slice of activity between two boundary
+    crossings of the window clock. Feed [w_counters] to
+    {!late_prefetch_ratio} / {!early_evict_ratio} for per-phase drift
+    evidence. *)
+
 val execute :
   ?config:config ->
   ?hierarchy:Aptget_cache.Hierarchy.t ->
   ?sampler:Aptget_pmu.Sampler.t ->
+  ?window_cycles:int ->
+  ?on_window:(window_report -> unit) ->
   ?args:int list ->
   mem:Aptget_mem.Memory.t ->
   Ir.func ->
@@ -91,4 +127,13 @@ val execute :
 (** Run [f] to its [Ret]. A supplied [hierarchy] is used as-is (warm
     caches; counters are NOT reset) — otherwise a fresh one is built
     from [config]. [args] bind the function parameters (default all 0).
+
+    When both [window_cycles > 0] and [on_window] are given, the
+    interpreter emits a {!window_report} each time the cycle clock
+    crosses a multiple-of-[window_cycles] boundary, plus one trailing
+    partial window at [Ret]; boundaries are checked on the same
+    deterministic charge path as the sampler tick, so reports are
+    byte-identical across runs. Without them the interpreter takes the
+    exact pre-window code paths.
+
     Raises [Invalid_argument] on malformed IR and memory errors. *)

@@ -41,6 +41,18 @@ let effective t base =
 let current_lbr_period t = effective t t.base_lbr_period
 let current_pebs_period t = effective t t.base_pebs_period
 
+(* Re-arm for a fresh observation epoch: collected samples are cleared
+   but the periods, ring and fault model (with its accumulated backoff
+   and seeds) carry over, so a multi-epoch run draws the same fault
+   stream a single long run would. [epoch_cycle] restarts the LBR
+   period clock relative to the new epoch's cycle origin. *)
+let reset ?(epoch_cycle = 0) t =
+  t.next_lbr_sample <- epoch_cycle + current_lbr_period t;
+  t.samples <- [];
+  t.miss_count <- 0;
+  t.pebs_samples <- 0;
+  Hashtbl.reset t.delinquents
+
 let on_branch t ~branch_pc ~target_pc ~cycle =
   let cycle =
     match t.faults with

@@ -34,6 +34,16 @@ val create :
 val lbr : t -> Lbr.t
 (** The live ring the core records taken branches into. *)
 
+val reset : ?epoch_cycle:int -> t -> unit
+(** Re-arm the sampler for a fresh observation epoch (used by online
+    re-profiling, which samples each execution segment separately):
+    clears collected LBR snapshots, the delinquent-load table and the
+    miss/PEBS tallies, and restarts the LBR period clock at
+    [epoch_cycle] (default 0) plus one period. The fault model — with
+    its accumulated throttle backoff and seed position — is kept, so a
+    sequence of epochs observes the same fault stream one long run
+    would. *)
+
 val on_branch : t -> branch_pc:int -> target_pc:int -> cycle:int -> unit
 (** Called by the core on every taken branch; records into the LBR
     ring, applying cycle-stamp jitter when a fault model is active.

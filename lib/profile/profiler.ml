@@ -297,24 +297,12 @@ let overhead_filter opts (f : Ir.func) profiles =
         | _ -> p)
       profiles
 
-let profile ?(options = default_options) ?(args = []) ~mem (f : Ir.func) =
-  (* An all-zero fault config gets no fault model at all, so the
-     default profile path is bit-identical to the historical one. *)
-  let faults =
-    if Faults.enabled options.faults then Some (Faults.create options.faults)
-    else None
-  in
-  let sampler =
-    Sampler.create ~lbr_period:options.lbr_period
-      ~pebs_period:options.pebs_period ?faults ()
-  in
-  let baseline =
-    Trace.with_span ~name:"stage.profile" (fun () ->
-        let o = Machine.execute ~config:options.machine ~sampler ~args ~mem f in
-        Trace.set_cycles o.Machine.cycles;
-        o)
-  in
-  Sampler.export_metrics sampler;
+(* Analysis half of [profile], reusable on any sampler that has already
+   observed an execution of [f] — the one-shot profile runs the clean
+   kernel; online re-fitting feeds the sampler that rode along a hinted
+   run (the PCs in the resulting hints then address the *observed*
+   program, and travel to a fresh build through the remap path). *)
+let refit ?(options = default_options) ~baseline sampler (f : Ir.func) =
   let samples = Sampler.lbr_samples sampler in
   let pebs_total = Sampler.miss_samples sampler in
   let loops = Loops.analyze f in
@@ -345,6 +333,26 @@ let profile ?(options = default_options) ?(args = []) ~mem (f : Ir.func) =
     fault_stats = Sampler.fault_stats sampler;
     fingerprint = Fingerprint.fingerprint f;
   }
+
+let profile ?(options = default_options) ?(args = []) ~mem (f : Ir.func) =
+  (* An all-zero fault config gets no fault model at all, so the
+     default profile path is bit-identical to the historical one. *)
+  let faults =
+    if Faults.enabled options.faults then Some (Faults.create options.faults)
+    else None
+  in
+  let sampler =
+    Sampler.create ~lbr_period:options.lbr_period
+      ~pebs_period:options.pebs_period ?faults ()
+  in
+  let baseline =
+    Trace.with_span ~name:"stage.profile" (fun () ->
+        let o = Machine.execute ~config:options.machine ~sampler ~args ~mem f in
+        Trace.set_cycles o.Machine.cycles;
+        o)
+  in
+  Sampler.export_metrics sampler;
+  refit ~options ~baseline sampler f
 
 let to_doc ?(options = default_options) t =
   let fp_at pc =

@@ -94,6 +94,21 @@ val profile :
     The memory is mutated by the run (workloads are expected to either
     tolerate re-running or rebuild their data). *)
 
+val refit :
+  ?options:options ->
+  baseline:Aptget_machine.Machine.outcome ->
+  Aptget_pmu.Sampler.t ->
+  Ir.func ->
+  t
+(** Incremental model re-fit: the analysis half of {!profile}, applied
+    to a sampler that already observed an execution of [f]. Online
+    re-optimization feeds the sampler that rode along a *hinted* run,
+    so the Eq. 1 peaks are re-solved from live iteration times without
+    a dedicated profiling run; the resulting hint PCs address the
+    observed (rewritten) program and must travel through {!Remap} to
+    reach a fresh build. [baseline] is recorded as the profile's
+    measurement of record (for re-fits, the observed hinted outcome). *)
+
 val validate_hints :
   Ir.func ->
   Aptget_passes.Aptget_pass.hint list ->

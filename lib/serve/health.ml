@@ -2,6 +2,13 @@ module Atomic_file = Aptget_store.Atomic_file
 
 type state = Ready | Draining | Stopped of int
 
+type info = {
+  i_state : state;
+  i_processed : int;
+  i_resynced : int;
+  i_salvage : (string * int) list;
+}
+
 let state_to_string = function
   | Ready -> "ready"
   | Draining -> "draining"
@@ -11,11 +18,16 @@ let magic = "# aptget serve health v1"
 
 let path ~spool = Filename.concat spool "health"
 
-let write ~spool ?(processed = 0) state =
+let write ~spool ?(processed = 0) ?(resynced = 0) ?(salvage = []) state =
   let code = match state with Stopped c -> c | Ready | Draining -> 0 in
+  let salvage_lines =
+    List.sort compare salvage
+    |> List.map (fun (k, v) -> Printf.sprintf "salvage.%s=%d\n" k v)
+    |> String.concat ""
+  in
   Atomic_file.write ~path:(path ~spool)
-    (Printf.sprintf "%s\nstate=%s\ncode=%d\nprocessed=%d\n" magic
-       (state_to_string state) code processed)
+    (Printf.sprintf "%s\nstate=%s\ncode=%d\nprocessed=%d\nresynced=%d\n%s"
+       magic (state_to_string state) code processed resynced salvage_lines)
 
 let read ~spool =
   match Atomic_file.read ~path:(path ~spool) with
@@ -33,14 +45,42 @@ let read ~spool =
         (String.split_on_char '\n' text)
     in
     let field k = List.assoc_opt k kvs in
+    (* Older files have no resynced/salvage lines; read them as 0 so a
+       probe across a version upgrade keeps working. *)
+    let int_field k dflt =
+      match Option.bind (field k) int_of_string_opt with
+      | Some v -> v
+      | None -> dflt
+    in
+    let salvage =
+      List.filter_map
+        (fun (k, v) ->
+          match String.index_opt k '.' with
+          | Some i when String.sub k 0 i = "salvage" ->
+            Option.map
+              (fun n -> (String.sub k (i + 1) (String.length k - i - 1), n))
+              (int_of_string_opt v)
+          | _ -> None)
+        kvs
+      |> List.sort compare
+    in
     match (field "state", field "code", field "processed") with
     | Some state_s, Some code_s, Some processed_s -> (
       match (int_of_string_opt code_s, int_of_string_opt processed_s) with
       | Some code, Some processed -> (
+        let info st =
+          Ok
+            {
+              i_state = st;
+              i_processed = processed;
+              i_resynced = int_field "resynced" 0;
+              i_salvage = salvage;
+            }
+        in
         match state_s with
-        | "ready" -> Ok (Ready, processed)
-        | "draining" -> Ok (Draining, processed)
-        | "stopped" -> Ok (Stopped code, processed)
+        | "ready" -> info Ready
+        | "draining" -> info Draining
+        | "stopped" -> info (Stopped code)
         | _ -> Error ("unknown state " ^ state_s))
       | _ -> Error "bad code/processed field")
     | _ -> Error "missing health fields")
@@ -48,8 +88,8 @@ let read ~spool =
 let probe ~spool =
   match read ~spool with
   | Error _ -> Exit_code.Crashed
-  | Ok ((Ready | Draining), _) -> Exit_code.Ok_
-  | Ok (Stopped code, _) -> (
+  | Ok { i_state = Ready | Draining; _ } -> Exit_code.Ok_
+  | Ok { i_state = Stopped code; _ } -> (
     match Exit_code.of_int code with
     | Some Exit_code.Ok_ -> Exit_code.Ok_
     | Some (Exit_code.Degraded | Exit_code.Overloaded) -> Exit_code.Degraded

@@ -5,21 +5,48 @@
     drain, [draining] when a shutdown marker is seen, and
     [stopped] (with its exit code) when it exits. A supervisor — or
     [aptget serve --health] — probes by reading the file: no daemon
-    process introspection, no signals, works across restarts. *)
+    process introspection, no signals, works across restarts.
+
+    Besides liveness, the file carries the daemon's cumulative
+    robustness evidence: corrupt queue regions skipped ([resynced=])
+    and per-store salvage counts ([salvage.<store>=], e.g.
+    [salvage.journal]), so a supervisor can tell a clean daemon from
+    one that has been quietly repairing damage. The parser ignores
+    unknown keys, so probes keep working across versions. *)
 
 type state =
   | Ready
   | Draining
   | Stopped of int  (** exit code the daemon stopped with *)
 
+type info = {
+  i_state : state;
+  i_processed : int;  (** cumulative requests answered *)
+  i_resynced : int;
+      (** cumulative corrupt request-queue regions skipped past *)
+  i_salvage : (string * int) list;
+      (** store name -> records salvaged, sorted by name ([journal] is
+          always present in files this version writes; other
+          [store.salvage.*] counters ride along when metrics are on) *)
+}
+
 val state_to_string : state -> string
 
-val write : spool:string -> ?processed:int -> state -> unit
+val write :
+  spool:string ->
+  ?processed:int ->
+  ?resynced:int ->
+  ?salvage:(string * int) list ->
+  state ->
+  unit
 (** Atomic publish; [processed] is the cumulative request count, a
-    cheap progress signal for "is it live or wedged". *)
+    cheap progress signal for "is it live or wedged". [resynced] and
+    [salvage] (written sorted) are the cumulative damage-repair
+    counts. *)
 
-val read : spool:string -> (state * int, string) result
-(** The published state and processed count. [Error] for a missing or
+val read : spool:string -> (info, string) result
+(** The published state and counts. Missing [resynced]/[salvage.*]
+    lines (older files) read as zero/empty. [Error] for a missing or
     unparseable file (a supervisor treats both as unhealthy). *)
 
 val probe : spool:string -> Exit_code.t

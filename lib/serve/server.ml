@@ -90,6 +90,8 @@ type t = {
   config : config;
   registry : Tenant.registry;
   mutable processed : int;
+  mutable resynced : int;  (* cumulative corrupt queue regions skipped *)
+  mutable salvaged : int;  (* cumulative journal records salvaged *)
   mutable last_torn : string option;
       (* the trailing incomplete tail this instance last saw, so a tear
          that persists across --watch polls is counted once, not once
@@ -134,8 +136,32 @@ let create config =
       Tenant.registry ~root:config.spool ~breaker:config.breaker
         ~cache:config.cache ();
     processed = 0;
+    resynced = 0;
+    salvaged = 0;
     last_torn = None;
   }
+
+(* Cumulative damage-repair evidence published with every health
+   write. Journal salvage is tracked directly on [t] (the metrics
+   registry is off by default); any other [store.salvage.*] counters
+   (quarantine, hints_file) ride along when metrics are enabled. *)
+let salvage_counts t =
+  let prefix = "store.salvage." in
+  let plen = String.length prefix in
+  let from_metrics =
+    List.filter_map
+      (fun (k, v) ->
+        if String.length k > plen && String.sub k 0 plen = prefix then
+          let name = String.sub k plen (String.length k - plen) in
+          if name = "journal" then None else Some (name, v)
+        else None)
+      (Metrics.snapshot ()).Metrics.counters
+  in
+  ("journal", t.salvaged) :: from_metrics
+
+let publish t state =
+  Health.write ~spool:t.config.spool ~processed:t.processed
+    ~resynced:t.resynced ~salvage:(salvage_counts t) state
 
 let submit ~spool body =
   let frame = Frame.encode (Wire.body_to_string body) in
@@ -179,7 +205,7 @@ let reject (req : Wire.request) reason =
 let drain ?crash t =
   let cfg = t.config in
   mkdir_p cfg.spool;
-  Health.write ~spool:cfg.spool ~processed:t.processed Health.Ready;
+  publish t Health.Ready;
   Metrics.incr "serve.drains";
   let inflight, orphans, recovery =
     Inflight.open_ ?crash ~path:(journal_path cfg.spool) ()
@@ -470,11 +496,14 @@ let drain ?crash t =
     Journal.truncate ~path:(journal_path cfg.spool);
     Metrics.incr "serve.journal.compactions"
   end;
+  (* Re-publish after the batch so a probe between drains sees the
+     damage this drain found, not just that the daemon is alive. *)
+  t.resynced <- t.resynced + report.s_resynced;
+  t.salvaged <- t.salvaged + report.s_salvaged;
+  publish t Health.Ready;
   report
 
-let stop t ~code =
-  Health.write ~spool:t.config.spool ~processed:t.processed
-    (Health.Stopped (Exit_code.to_int code))
+let stop t ~code = publish t (Health.Stopped (Exit_code.to_int code))
 
 let serve ?crash ?(poll = 0.05) ?max_drains t =
   let rec go acc n =

@@ -23,8 +23,13 @@ val train_test : (Workload.t * Workload.t) list
 (** (train-input, test-input) pairs per application for the input
     -sensitivity study (Fig. 12): same app, different dataset. *)
 
+val extended : Workload.t list
+(** [default] plus workloads reachable by name but excluded from the
+    main evaluation (currently the {!Phased} phase-change kernel), so
+    existing experiment outputs stay byte-identical. *)
+
 val find : string -> Workload.t option
-(** Look up a suite entry by name (case-insensitive). *)
+(** Look up an [extended] entry by name (case-insensitive). *)
 
 val micro : inner:int -> complexity:int -> Workload.t
 (** The §2 microbenchmark at a given trip count and work complexity. *)

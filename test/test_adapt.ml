@@ -1,0 +1,349 @@
+(* Online drift detection and self-healing re-optimization: the Drift
+   detector's scoring/hysteresis/dwell mechanics on synthetic evidence,
+   and the full Adapt loop on real simulations — no false-positive
+   retunes on a stable workload under PR-1 fault rates, the correct
+   degradation-ladder rung when re-profiling is fully faulted, and a
+   byte-identical retune log across repeated runs. *)
+
+module Machine = Aptget_machine.Machine
+module Hierarchy = Aptget_cache.Hierarchy
+module Adapt = Aptget_adapt.Adapt
+module Drift = Aptget_adapt.Drift
+module Faults = Aptget_pmu.Faults
+module Profiler = Aptget_profile.Profiler
+module Workload = Aptget_workloads.Workload
+module Micro = Aptget_workloads.Micro
+module Phased = Aptget_workloads.Phased
+
+(* ---------------- synthetic evidence ---------------- *)
+
+let counters ?(demand = 10_000) ?(misses = 0) ?(issued = 0) ?(late = 0)
+    ?(early = 0) ?(useless = 0) () =
+  {
+    Hierarchy.demand_loads = demand;
+    hits_l1 = demand - misses;
+    hits_l2 = 0;
+    hits_llc = 0;
+    dram_fills_demand = misses;
+    load_hit_pre_sw_pf = late;
+    offcore_all_data_rd = misses;
+    offcore_demand_data_rd = misses;
+    sw_prefetch_issued = issued;
+    sw_prefetch_useless = useless;
+    sw_prefetch_dropped = 0;
+    hw_prefetch_issued = 0;
+    stall_cycles_l2 = 0;
+    stall_cycles_llc = 0;
+    stall_cycles_dram = 0;
+    sw_prefetch_early_evict = early;
+  }
+
+let window ?(instr = 10_000) i c =
+  {
+    Machine.w_index = i;
+    w_start_cycle = i * 100_000;
+    w_end_cycle = (i + 1) * 100_000;
+    w_instructions = instr;
+    w_counters = c;
+  }
+
+(* mpki = misses / (instr/1000); instr 10_000 keeps the arithmetic
+   round: misses=10 -> 1.0 MPKI (the calibrated normal below),
+   misses=100 -> 10.0 MPKI (an unmistakable jump). *)
+let stable_w i = window i (counters ~misses:10 ())
+let jump_w i = window i (counters ~misses:100 ())
+
+let reference = { Drift.ref_mpki = 1.0; ref_iter = None }
+
+let calibrate det =
+  Drift.begin_epoch det;
+  List.iter (Drift.observe_window det) [ stable_w 0; stable_w 1; stable_w 2 ];
+  ignore (Drift.end_epoch det ())
+
+let epoch det ws =
+  Drift.begin_epoch det;
+  List.iter (Drift.observe_window det) ws;
+  Drift.end_epoch det ()
+
+let is_stable = function Drift.Stable -> true | Drift.Drifted _ -> false
+
+(* ---------------- Drift unit tests ---------------- *)
+
+let test_first_epoch_calibrates () =
+  (* A deliberately wrong priming reference must not fire: the first
+     epoch only establishes what "normal" looks like under the plan
+     actually running. *)
+  let det = Drift.create { Drift.ref_mpki = 50.0; ref_iter = None } in
+  Alcotest.(check bool) "uncalibrated" false (Drift.calibrated det);
+  let v, ev = epoch det [ stable_w 0; stable_w 1; stable_w 2 ] in
+  Alcotest.(check bool) "stable" true (is_stable v);
+  Alcotest.(check string) "cause" "calibrate" ev.Drift.ev_cause;
+  Alcotest.(check bool) "calibrated" true (Drift.calibrated det);
+  Alcotest.(check (float 1e-9))
+    "reference re-anchored" 1.0 (Drift.reference det).Drift.ref_mpki;
+  (* The same windows are now scored stable against the new normal. *)
+  let v2, ev2 = epoch det [ stable_w 0; stable_w 1 ] in
+  Alcotest.(check bool) "still stable" true (is_stable v2);
+  Alcotest.(check int) "no drifted windows" 0 ev2.Drift.ev_drifted
+
+let test_hysteresis_streak () =
+  let det = Drift.create reference in
+  calibrate det;
+  (* Two drifted windows < hysteresis(3): no verdict yet. *)
+  let v1, ev1 = epoch det [ jump_w 0; jump_w 1 ] in
+  Alcotest.(check bool) "2 < hysteresis" true (is_stable v1);
+  Alcotest.(check int) "streak carried" 2 ev1.Drift.ev_streak;
+  (* The streak survives the epoch boundary: one more drifted window
+     completes it. *)
+  let v2, ev2 = epoch det [ jump_w 0 ] in
+  Alcotest.(check bool) "verdict due" false (is_stable v2);
+  Alcotest.(check string) "cause" "drift:mpki" (Drift.verdict_to_string v2);
+  Alcotest.(check int) "streak" 3 ev2.Drift.ev_streak
+
+let test_stable_window_resets_streak () =
+  let det = Drift.create reference in
+  calibrate det;
+  let v, ev =
+    epoch det [ jump_w 0; jump_w 1; stable_w 2; jump_w 3; jump_w 4 ]
+  in
+  Alcotest.(check bool) "no verdict" true (is_stable v);
+  Alcotest.(check int) "streak restarted after reset" 2 ev.Drift.ev_streak;
+  Alcotest.(check int) "drifted windows counted" 4 ev.Drift.ev_drifted
+
+let test_dwell_suppression () =
+  let config = { Drift.default_config with Drift.hysteresis = 2 } in
+  let det = Drift.create ~config reference in
+  Drift.note_retune det reference;
+  (* min_dwell = 1: the first due verdict after the retune is held. *)
+  let v1, ev1 = epoch det [ jump_w 0; jump_w 1 ] in
+  Alcotest.(check bool) "suppressed" true (is_stable v1);
+  Alcotest.(check bool) "flagged" true ev1.Drift.ev_suppressed;
+  Alcotest.(check int) "counted" 1 (Drift.suppressed_total det);
+  (* Dwell expired: the persisting drift now fires. *)
+  let v2, _ = epoch det [ jump_w 0 ] in
+  Alcotest.(check bool) "fires after dwell" false (is_stable v2)
+
+let test_stale_hints_virtual_vote () =
+  let det = Drift.create reference in
+  calibrate det;
+  (* Three consecutive stale-hint epochs build the streak without any
+     counter-window evidence. *)
+  Drift.begin_epoch det;
+  ignore (Drift.end_epoch det ~stale_hints:true ());
+  Drift.begin_epoch det;
+  ignore (Drift.end_epoch det ~stale_hints:true ());
+  Drift.begin_epoch det;
+  let v, ev = Drift.end_epoch det ~stale_hints:true () in
+  Alcotest.(check string) "cause" "drift:stale-hints"
+    (Drift.verdict_to_string v);
+  Alcotest.(check (float 1e-9)) "score" 2.0 ev.Drift.ev_score
+
+let test_small_windows_ignored () =
+  let det = Drift.create reference in
+  calibrate det;
+  (* Below the instruction floor a wild window is noise, not evidence. *)
+  let v, ev =
+    epoch det
+      [
+        window ~instr:100 0 (counters ~demand:100 ~misses:90 ());
+        window ~instr:100 1 (counters ~demand:100 ~misses:90 ());
+        window ~instr:100 2 (counters ~demand:100 ~misses:90 ());
+      ]
+  in
+  Alcotest.(check bool) "stable" true (is_stable v);
+  Alcotest.(check int) "no windows scored" 0 ev.Drift.ev_windows
+
+let test_useless_channel () =
+  let det = Drift.create reference in
+  calibrate det;
+  (* All prefetches probing cached lines: the working set shrank into
+     cache and the slice is pure overhead (useless ratio 0.9 over the
+     0.85 threshold), even though MPKI stays at the reference. *)
+  let w i = window i (counters ~misses:10 ~issued:10 ~useless:90 ()) in
+  let v, _ = epoch det [ w 0; w 1; w 2 ] in
+  Alcotest.(check string) "cause" "drift:useless" (Drift.verdict_to_string v)
+
+let test_config_validation () =
+  let bad config =
+    match Drift.create ~config reference with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "hysteresis >= 1" true
+    (bad { Drift.default_config with Drift.hysteresis = 0 });
+  Alcotest.(check bool) "min_dwell >= 0" true
+    (bad { Drift.default_config with Drift.min_dwell = -1 });
+  Alcotest.(check bool) "thresholds positive" true
+    (bad { Drift.default_config with Drift.mpki_jump = 0.0 })
+
+let test_machine_useless_ratio () =
+  Alcotest.(check (float 1e-9))
+    "useless over attempts" 0.9
+    (Machine.useless_prefetch_ratio (counters ~issued:1 ~useless:9 ()));
+  Alcotest.(check (float 1e-9))
+    "no attempts scores 0" 0.0
+    (Machine.useless_prefetch_ratio (counters ()))
+
+(* ---------------- Adapt loop integration ---------------- *)
+
+let micro_params =
+  { Micro.default_params with Micro.total = 16_384; table_words = 1 lsl 19 }
+
+let micro_w () = Micro.workload ~params:micro_params ~name:"micro-adapt" ()
+
+(* PR-1 seeded fault mix (LBR drops, jitter, truncation, PEBS skid). *)
+let faulty_options =
+  { Profiler.default_options with Profiler.faults = Faults.default_faulty }
+
+let run_stable () =
+  let w = micro_w () in
+  let config = { Adapt.default_config with Adapt.options = faulty_options } in
+  let profile = Adapt.prime ~config w in
+  Adapt.run ~config ~profile ~name:w.Workload.name (Adapt.replicate 4 w)
+
+let test_stable_workload_zero_retunes () =
+  (* A stable workload re-profiled under the PR-1 fault rates must not
+     retune: corrupted samples shape the re-fit, never the verdict. *)
+  let r = run_stable () in
+  Alcotest.(check int) "no retunes" 0 r.Adapt.a_retunes;
+  List.iter
+    (fun (s : Adapt.segment_result) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "segment %d stable" s.Adapt.s_index)
+        true
+        (is_stable s.Adapt.s_verdict);
+      Alcotest.(check bool)
+        (Printf.sprintf "segment %d streak below hysteresis" s.Adapt.s_index)
+        true
+        (s.Adapt.s_eval.Drift.ev_streak
+        < Drift.default_config.Drift.hysteresis))
+    r.Adapt.a_segments;
+  (* Pin the drift scores: the whole log — scores included — must be
+     reproducible bit-for-bit under the same seeds. *)
+  let r2 = run_stable () in
+  Alcotest.(check (list string)) "log pinned" r.Adapt.a_log r2.Adapt.a_log
+
+(* Phase-change scenario: cold (table >> LLC, the profiled behaviour),
+   two hot segments (working set inside L1: hints are pure overhead),
+   then cold returns. Small sizes keep each segment to a few hundred
+   thousand cycles. *)
+let phased_params =
+  {
+    Phased.default_params with
+    Phased.table_words = 1 lsl 19;
+    phases =
+      [
+        (Phased.Cold, 8_192);
+        (Phased.Hot, 16_384);
+        (Phased.Hot, 16_384);
+        (Phased.Cold, 8_192);
+        (Phased.Cold, 8_192);
+      ];
+  }
+
+let run_phased ?(faults = Faults.none) () =
+  let fused = Phased.workload ~params:phased_params ~name:"phased-t" () in
+  let segments =
+    List.map snd (Phased.segments ~params:phased_params ~name:"phased-t" ())
+  in
+  (* Prime cleanly; the injected faults apply to the online re-profiling
+     sampler only. *)
+  let profile = Adapt.prime fused in
+  Alcotest.(check bool) "primed with hints" true (profile.Profiler.hints <> []);
+  let config =
+    {
+      Adapt.default_config with
+      Adapt.options = { Profiler.default_options with Profiler.faults };
+    }
+  in
+  Adapt.run ~config ~profile ~name:"phased-t" segments
+
+let rungs (r : Adapt.report) =
+  List.filter_map
+    (fun (s : Adapt.segment_result) ->
+      Option.map snd (Adapt.rung_of_action s.Adapt.s_action))
+    r.Adapt.a_segments
+
+let test_phase_change_recovers () =
+  (* Hot phase: nothing to prefetch, every candidate fails the guard
+     floor, the ladder bottoms out at the pinned baseline. Cold
+     returns: the live re-fit (sampler riding the pinned epoch)
+     re-solves Eq. 1 and is re-admitted at the top rung. *)
+  let r = run_phased () in
+  Alcotest.(check (list string))
+    "ladder rungs in order" [ "pinned"; "retuned" ] (rungs r);
+  Alcotest.(check bool)
+    "ends on a hinted plan" true
+    (String.length r.Adapt.a_final_plan >= 6
+    && String.sub r.Adapt.a_final_plan 0 6 = "hints:");
+  (* The segment after the recovery runs hinted and stays stable. *)
+  let last = List.nth r.Adapt.a_segments 4 in
+  Alcotest.(check bool) "last segment hinted" true
+    (String.length last.Adapt.s_plan >= 6
+    && String.sub last.Adapt.s_plan 0 6 = "hints:");
+  Alcotest.(check bool) "last segment stable" true
+    (is_stable last.Adapt.s_verdict)
+
+let test_ladder_under_total_pmu_failure () =
+  (* Re-profiling fully faulted: every LBR snapshot dropped and the
+     throttle starves PEBS below the 2-sample delinquency floor, so the
+     re-fit yields no candidate. The recovery retune cannot use the top
+     rung — the ladder lands on the last-good document (remapped)
+     instead of a fresh re-fit. *)
+  let faults =
+    {
+      Faults.none with
+      Faults.lbr_drop_rate = 1.0;
+      throttle_budget = 1;
+      throttle_window = 1_000_000_000;
+    }
+  in
+  let r = run_phased ~faults () in
+  Alcotest.(check (list string))
+    "refit unavailable: remapped, not retuned" [ "pinned"; "remapped" ]
+    (rungs r);
+  Alcotest.(check bool)
+    "still ends on a hinted plan" true
+    (String.length r.Adapt.a_final_plan >= 6
+    && String.sub r.Adapt.a_final_plan 0 6 = "hints:")
+
+let test_phased_log_deterministic () =
+  let a = run_phased () in
+  let b = run_phased () in
+  Alcotest.(check (list string)) "retune log identical" a.Adapt.a_log
+    b.Adapt.a_log
+
+let () =
+  Alcotest.run "adapt"
+    [
+      ( "drift",
+        [
+          Alcotest.test_case "first epoch calibrates" `Quick
+            test_first_epoch_calibrates;
+          Alcotest.test_case "hysteresis streak across epochs" `Quick
+            test_hysteresis_streak;
+          Alcotest.test_case "stable window resets streak" `Quick
+            test_stable_window_resets_streak;
+          Alcotest.test_case "dwell suppression" `Quick test_dwell_suppression;
+          Alcotest.test_case "stale hints virtual vote" `Quick
+            test_stale_hints_virtual_vote;
+          Alcotest.test_case "small windows ignored" `Quick
+            test_small_windows_ignored;
+          Alcotest.test_case "useless-prefetch channel" `Quick
+            test_useless_channel;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "machine useless ratio" `Quick
+            test_machine_useless_ratio;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "stable workload: zero retunes under faults"
+            `Quick test_stable_workload_zero_retunes;
+          Alcotest.test_case "phase change: pin then recover" `Quick
+            test_phase_change_recovers;
+          Alcotest.test_case "total PMU failure: ladder rung" `Quick
+            test_ladder_under_total_pmu_failure;
+          Alcotest.test_case "retune log deterministic" `Quick
+            test_phased_log_deterministic;
+        ] );
+    ]
