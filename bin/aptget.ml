@@ -6,7 +6,8 @@
    aptget show-ir HJ2-NPO            kernel IR before/after injection
    aptget experiments fig6 fig8      regenerate paper tables/figures
    aptget campaign --store c.journal supervised checkpoint/resume campaign
-   aptget serve --spool DIR          prefetch-advisory daemon (file-spool queue)
+   aptget serve --spool DIR          prefetch-advisory daemon (spool or socket)
+   aptget loadgen --connect ADDR     sustained-req/s load generator
    aptget quarantine FILE            inspect/compact a quarantine store
 
    Exit codes are uniform across commands: 0 ok, 1 degraded, 2 usage,
@@ -44,6 +45,12 @@ module Handler = Aptget_serve.Handler
 module Tenant = Aptget_serve.Tenant
 module Health = Aptget_serve.Health
 module Exit_code = Aptget_serve.Exit_code
+module Transport = Aptget_serve.Transport
+module Net_faults = Aptget_serve.Net_faults
+module Client = Aptget_serve.Client
+module Stats = Aptget_util.Stats
+module Backoff = Aptget_util.Backoff
+module Metrics = Aptget_obs.Metrics
 
 open Cmdliner
 
@@ -944,10 +951,65 @@ let exit_of_status = function
   | Wire.Aborted ->
     Exit_code.Degraded
 
+(* --net-* flags: every knob of the seeded network-fault layer, shared
+   by the socket daemon (server-side send faults) and loadgen / socket
+   client mode (client-side faults). All rates default to zero — the
+   transport is bit-identical with faults off. *)
+let net_faults_term =
+  let rate name doc =
+    Arg.(value & opt float 0. & info [ name ] ~docv:"RATE" ~doc)
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "net-seed" ] ~docv:"N"
+          ~doc:
+            "Seed for the injected network-fault schedule (per-connection \
+             streams are derived from it deterministically).")
+  in
+  let disconnect =
+    rate "net-disconnect"
+      "Chance a frame's transmission is cut after a uniformly chosen \
+       prefix of its bytes (mid-flight disconnect)."
+  in
+  let short = rate "net-short-write" "Chance a frame is dribbled out in short chunks." in
+  let delay = rate "net-delay" "Chance a frame's delivery is delayed." in
+  let max_delay =
+    Arg.(
+      value & opt float 0.02
+      & info [ "net-max-delay" ] ~docv:"SECONDS"
+          ~doc:"Upper bound on an injected delivery delay.")
+  in
+  let duplicate = rate "net-duplicate" "Chance a frame is transmitted twice." in
+  let build seed disconnect_rate short_write_rate delay_rate max_delay
+      duplicate_rate =
+    let c =
+      {
+        Net_faults.seed;
+        disconnect_rate;
+        short_write_rate;
+        delay_rate;
+        max_delay;
+        duplicate_rate;
+      }
+    in
+    match Net_faults.validate c with
+    | Ok () -> c
+    | Error e -> die "bad --net-* value: %s" e
+  in
+  Term.(
+    const build $ seed $ disconnect $ short $ delay $ max_delay $ duplicate)
+
+let addr_of_flag s =
+  match Transport.addr_of_string s with
+  | Ok a -> a
+  | Error e -> die "%s" e
+
 let serve_cmd =
   let serve spool capacity deadline threshold cooldown no_cache submits
       shutdown watch health once response_id show poll max_drains
-      crash_after_write crash_torn () () =
+      crash_after_write crash_torn listen connect max_conns read_deadline
+      max_batches net_faults () () =
     int_min "capacity" 1 capacity;
     int_min "breaker-threshold" 1 threshold;
     int_min "breaker-cooldown" 0 cooldown;
@@ -956,6 +1018,13 @@ let serve_cmd =
     if crash_torn && crash_after_write = None then
       die "--crash-torn requires --crash-after-write";
     float_min ~exclusive:true "poll" 0. poll;
+    int_min "max-conns" 1 max_conns;
+    int_min_opt "max-batches" 1 max_batches;
+    float_min ~exclusive:true "read-deadline" 0. read_deadline;
+    if listen <> None && connect <> None then
+      die "--listen and --connect are mutually exclusive";
+    if connect <> None && submits = [] && not shutdown then
+      die "--connect needs --submit or --shutdown";
     let config =
       {
         (Server.default_config ~spool) with
@@ -973,27 +1042,77 @@ let serve_cmd =
     if health then begin
       (match Health.read ~spool with
       | Ok i ->
-        Printf.printf "state=%s processed=%d resynced=%d%s\n"
+        Printf.printf "state=%s processed=%d resynced=%d%s%s%s\n"
           (Health.state_to_string i.Health.i_state)
           i.Health.i_processed i.Health.i_resynced
           (String.concat ""
              (List.map
                 (fun (k, v) -> Printf.sprintf " salvage.%s=%d" k v)
                 i.Health.i_salvage))
+          (if i.Health.i_beat > 0 then
+             Printf.sprintf " beat=%d" i.Health.i_beat
+           else "")
+          (match i.Health.i_pid with
+          | Some p -> Printf.sprintf " pid=%d" p
+          | None -> "")
       | Error e -> Printf.eprintf "aptget: %s\n" e);
       Exit_code.exit (Health.probe ~spool)
     end
     else if submits <> [] || shutdown then begin
-      (* Client mode: frame and append request payloads to the spool. *)
-      List.iter
-        (fun file ->
-          let text = read_file_or_stdin file in
-          match Wire.body_of_string text with
-          | Error e -> die "bad request in %s: %s" file e
-          | Ok body -> Server.submit ~spool body)
-        submits;
-      if shutdown then Server.submit ~spool Wire.Shutdown;
-      exit 0
+      match connect with
+      | None ->
+        (* Client mode: frame and append request payloads to the spool. *)
+        List.iter
+          (fun file ->
+            let text = read_file_or_stdin file in
+            match Wire.body_of_string text with
+            | Error e -> die "bad request in %s: %s" file e
+            | Ok body -> Server.submit ~spool body)
+          submits;
+        if shutdown then Server.submit ~spool Wire.Shutdown;
+        exit 0
+      | Some addr_s ->
+        (* Socket client mode: each request is one retrying idempotent
+           call; bodies print in submit order, worst status wins. *)
+        let addr = addr_of_flag addr_s in
+        let cc =
+          {
+            (Client.default_config (Client.Socket addr)) with
+            Client.faults = net_faults;
+            seed = net_faults.Net_faults.seed;
+          }
+        in
+        let worst = ref Exit_code.Ok_ in
+        List.iteri
+          (fun k file ->
+            let text = read_file_or_stdin file in
+            match Wire.body_of_string text with
+            | Error e -> die "bad request in %s: %s" file e
+            | Ok Wire.Shutdown -> die "use --shutdown for the shutdown marker"
+            | Ok (Wire.Run req) -> (
+              let client = Client.create ~stream:k cc in
+              match Client.call client req with
+              | Error e ->
+                Printf.eprintf "aptget: %s: %s\n" req.Wire.req_id e;
+                worst := Exit_code.worst !worst Exit_code.Crashed
+              | Ok o ->
+                print_string o.Client.response.Wire.rsp_body;
+                if o.Client.response.Wire.rsp_reason <> "" then
+                  Printf.eprintf "aptget: %s: %s\n"
+                    (Wire.status_to_string o.Client.response.Wire.rsp_status)
+                    o.Client.response.Wire.rsp_reason;
+                worst :=
+                  Exit_code.worst !worst
+                    (exit_of_status o.Client.response.Wire.rsp_status)))
+          submits;
+        if shutdown then begin
+          match Client.shutdown (Client.create (Client.default_config (Client.Socket addr))) with
+          | Ok () -> ()
+          | Error e ->
+            Printf.eprintf "aptget: shutdown: %s\n" e;
+            worst := Exit_code.worst !worst Exit_code.Degraded
+        end;
+        Exit_code.exit !worst
     end
     else
       match once with
@@ -1075,8 +1194,23 @@ let serve_cmd =
           in
           let srv = Server.create config in
           match
-            if watch then Server.serve ?crash ~poll ?max_drains srv
-            else Server.drain ?crash srv
+            match listen with
+            | Some addr_s ->
+              let sc =
+                {
+                  (Server.default_socket_config (addr_of_flag addr_s)) with
+                  Server.sk_max_conns = max_conns;
+                  sk_read_deadline = read_deadline;
+                  sk_poll = poll;
+                  sk_faults = net_faults;
+                }
+              in
+              (match Server.serve_socket ?crash ?max_batches srv sc with
+              | Ok r -> r
+              | Error e -> die "%s" e)
+            | None ->
+              if watch then Server.serve ?crash ~poll ?max_drains srv
+              else Server.drain ?crash srv
           with
           | exception Crash.Crashed why ->
             (* The supervisor's record of the death: health says
@@ -1092,11 +1226,14 @@ let serve_cmd =
             if not watch then Server.stop srv ~code;
             Printf.printf
               "serve: %d frame(s): %d ok, %d shed, %d timed-out, %d \
-               rejected, %d failed, %d malformed, %d aborted, %d resumed%s%s%s\n"
+               rejected, %d failed, %d malformed, %d aborted, %d resumed%s%s%s%s\n"
               report.Server.s_frames report.Server.s_ok report.Server.s_shed
               report.Server.s_timed_out report.Server.s_rejected
               report.Server.s_failed report.Server.s_malformed
               report.Server.s_aborted report.Server.s_resumed
+              (if report.Server.s_replayed > 0 then
+                 Printf.sprintf ", %d replayed" report.Server.s_replayed
+               else "")
               (if report.Server.s_torn > 0 then ", torn tail" else "")
               (if report.Server.s_resynced > 0 then
                  Printf.sprintf ", %d corrupt region(s) skipped"
@@ -1248,6 +1385,51 @@ let serve_cmd =
             "With $(b,--crash-after-write), tear the fatal write so only a \
              prefix of its bytes lands.")
   in
+  let listen_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Daemon mode over a live socket instead of the spool queue: \
+             listen on $(docv) ($(b,unix:PATH) or $(b,tcp:)[$(i,HOST):]\
+             $(i,PORT)) and serve framed requests until a shutdown request \
+             arrives. The spool directory still holds the journal, the \
+             durable response record and the health file.")
+  in
+  let connect_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Client mode over a socket: send each $(b,--submit) request to \
+             the daemon at $(docv) with idempotent retries and print the \
+             response bodies (the request id is the idempotency key).")
+  in
+  let max_conns_flag =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Connection cap for $(b,--listen): connects over the cap are \
+             shed with an $(b,overloaded) notice and closed.")
+  in
+  let read_deadline_flag =
+    Arg.(
+      value & opt float 2.0
+      & info [ "read-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Seconds a $(b,--listen) connection may sit without completing \
+             a frame before it is shed (the slow-loris guard).")
+  in
+  let max_batches_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-batches" ] ~docv:"N"
+          ~doc:"Stop $(b,--listen) after $(docv) batches (testing).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1281,7 +1463,258 @@ let serve_cmd =
       $ threshold_flag $ cooldown_flag $ no_cache_flag $ submit_flag
       $ shutdown_flag $ watch_flag $ health_flag $ once_flag $ response_flag
       $ show_responses_flag $ poll_flag $ max_drains_flag $ crash_write_flag
-      $ crash_torn_flag $ jobs_term $ obs_term)
+      $ crash_torn_flag $ listen_flag $ connect_flag $ max_conns_flag
+      $ read_deadline_flag $ max_batches_flag $ net_faults_term $ jobs_term
+      $ obs_term)
+
+let loadgen_cmd =
+  let loadgen connect spool rate duration requests tenants workloads attempts
+      timeout prefix dump net_faults () () =
+    float_min ~exclusive:true "rate" 0. rate;
+    float_min "duration" 0. duration;
+    int_min_opt "requests" 1 requests;
+    int_min "attempts" 1 attempts;
+    float_min ~exclusive:true "timeout" 0. timeout;
+    (match Wire.valid_id prefix with
+    | Ok () -> ()
+    | Error e -> die "bad --prefix: %s" e);
+    let target =
+      match (connect, spool) with
+      | Some a, None -> Client.Socket (addr_of_flag a)
+      | None, Some dir -> Client.Spool dir
+      | Some _, Some _ -> die "--connect and --spool are mutually exclusive"
+      | None, None -> die "loadgen needs --connect ADDR or --spool DIR"
+    in
+    let csv flag s =
+      match
+        List.filter (fun x -> x <> "") (String.split_on_char ',' s)
+      with
+      | [] -> die "empty --%s" flag
+      | xs -> Array.of_list xs
+    in
+    let tenants = csv "tenants" tenants in
+    let workloads = csv "workloads" workloads in
+    let n =
+      match requests with
+      | Some n -> n
+      | None -> max 1 (int_of_float (rate *. duration))
+    in
+    Option.iter Transport.mkdir_p dump;
+    let nt = Array.length tenants in
+    let nw = Array.length workloads in
+    let mk_req k =
+      {
+        Wire.req_id = Printf.sprintf "%s-%04d" prefix k;
+        tenant = tenants.(k mod nt);
+        workload = workloads.(k / nt mod nw);
+        deadline_cycles = None;
+        guard_floor = None;
+        remap = true;
+        hints = None;
+        program = None;
+      }
+    in
+    let cc =
+      {
+        (Client.default_config target) with
+        Client.attempts;
+        timeout;
+        faults = net_faults;
+        seed = net_faults.Net_faults.seed;
+      }
+    in
+    (* Open-loop: request k fires at t0 + k/rate regardless of how its
+       predecessors fared, so measured latency includes any queueing
+       the daemon imposes (no coordinated omission). Workers are
+       domains; each request gets its own client with its own fault
+       and jitter streams. *)
+    let t0 = Unix.gettimeofday () +. 0.05 in
+    let run_one k =
+      let sched = t0 +. (float_of_int k /. rate) in
+      Transport.sleep (sched -. Unix.gettimeofday ());
+      let req = mk_req k in
+      let client = Client.create ~stream:k cc in
+      let res = Client.call client req in
+      let latency = Unix.gettimeofday () -. sched in
+      (req, res, latency)
+    in
+    let results = Aptget_util.Pool.run run_one (List.init n Fun.id) in
+    let ok = ref 0 and shed = ref 0 and degraded = ref 0 and lost = ref 0 in
+    let retries = ref 0 in
+    let latencies = ref [] in
+    let write_file path text =
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc text)
+    in
+    List.iter
+      (fun (req, res, latency) ->
+        latencies := (latency *. 1000.) :: !latencies;
+        Metrics.observe "loadgen.latency_ms" (latency *. 1000.);
+        let dump_req status body =
+          match dump with
+          | None -> ()
+          | Some dir ->
+            let base = Filename.concat dir req.Wire.req_id in
+            write_file (base ^ ".req") (Wire.request_to_string req);
+            write_file (base ^ ".status") (status ^ "\n");
+            Option.iter (fun b -> write_file (base ^ ".body") b) body
+        in
+        match res with
+        | Error e ->
+          incr lost;
+          Metrics.incr "loadgen.lost";
+          dump_req "lost" None;
+          Printf.eprintf "aptget: %s: %s\n" req.Wire.req_id e
+        | Ok o ->
+          retries := !retries + o.Client.attempts - 1;
+          if o.Client.attempts > 1 then
+            Metrics.incr ~by:(o.Client.attempts - 1) "loadgen.retries";
+          let st = o.Client.response.Wire.rsp_status in
+          Metrics.incr ("loadgen." ^ Wire.status_to_string st);
+          dump_req
+            (Wire.status_to_string st)
+            (Some o.Client.response.Wire.rsp_body);
+          (match st with
+          | Wire.Ok_ -> incr ok
+          | Wire.Overloaded -> incr shed
+          | Wire.Timed_out | Wire.Malformed | Wire.Rejected | Wire.Failed
+          | Wire.Aborted ->
+            incr degraded))
+      results;
+    Printf.printf
+      "loadgen: %d request(s) at %g req/s: %d ok, %d shed, %d degraded, %d \
+       lost; %d retr%s\n"
+      n rate !ok !shed !degraded !lost !retries
+      (if !retries = 1 then "y" else "ies");
+    (match !latencies with
+    | [] -> ()
+    | ls ->
+      let xs = Array.of_list ls in
+      let p q = Stats.percentile xs q in
+      Printf.printf "loadgen: latency-ms p50=%.1f p90=%.1f p99=%.1f max=%.1f\n"
+        (p 50.) (p 90.) (p 99.) (p 100.));
+    (* Lost requests outrank everything: an unanswered request is the
+       one outcome the robustness contract forbids, so it maps to the
+       crashed rung CI greps for. *)
+    Exit_code.exit
+      (if !lost > 0 then Exit_code.Crashed
+       else if !shed > 0 then Exit_code.Overloaded
+       else if !degraded > 0 then Exit_code.Degraded
+       else Exit_code.Ok_)
+  in
+  let connect_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Generate load against the socket daemon at $(docv) \
+             ($(b,unix:PATH) or $(b,tcp:)[$(i,HOST):]$(i,PORT)).")
+  in
+  let spool_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:"Generate load against the file-spool transport in $(docv).")
+  in
+  let rate_flag =
+    Arg.(
+      value & opt float 50.
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Sustained open-loop request rate (req/s): request $(i,k) \
+             fires at $(i,t0 + k/R) regardless of earlier outcomes.")
+  in
+  let duration_flag =
+    Arg.(
+      value & opt float 2.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Length of the run (total requests = rate x duration).")
+  in
+  let requests_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Send exactly $(docv) requests (overrides --duration).")
+  in
+  let tenants_flag =
+    Arg.(
+      value & opt string "acme,globex"
+      & info [ "tenants" ] ~docv:"CSV"
+          ~doc:"Tenants to round-robin requests across.")
+  in
+  let workloads_flag =
+    Arg.(
+      value
+      & opt string "randAcc,HJ2-NPO,BFS-80K8"
+      & info [ "workloads" ] ~docv:"CSV"
+          ~doc:"Workloads to round-robin requests across.")
+  in
+  let attempts_flag =
+    Arg.(
+      value & opt int 5
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:
+            "Max attempts per request (transport failures retry with \
+             capped exponential backoff + seeded jitter; the request id is \
+             the idempotency key).")
+  in
+  let timeout_flag =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-attempt wait for a response.")
+  in
+  let prefix_flag =
+    Arg.(
+      value & opt string "lg"
+      & info [ "prefix" ] ~docv:"STR"
+          ~doc:"Request-id prefix (ids are $(docv)-0000, $(docv)-0001, ...).")
+  in
+  let dump_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"DIR"
+          ~doc:
+            "Write each request document ($(i,id).req), terminal status \
+             ($(i,id).status) and response body ($(i,id).body) to $(docv) — \
+             the CI soak diffs the bodies against the $(b,serve --once) \
+             oracle.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Sustained open-loop load generator for the serve daemon"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Drives the serve daemon — over the live socket transport or \
+              the file spool — at a sustained open-loop request rate with a \
+              retrying idempotent client per request, optionally under \
+              seeded client-side network faults ($(b,--net-*)). Records \
+              latency, shed, retry and loss counts (exported through \
+              $(b,--metrics)) and exits on the unified ladder.";
+           `S Manpage.s_exit_status;
+           `P "0 — every request was answered $(b,ok).";
+           `P
+             "1 — degraded: some request was answered with a non-ok, \
+              non-overloaded status.";
+           `P "2 — bad command-line flags.";
+           `P
+             "3 — lost: some request was never answered (exhausted its \
+              retry budget) — the outcome the robustness contract forbids.";
+           `P "4 — overloaded: some request was shed by admission control.";
+         ])
+    Term.(
+      const loadgen $ connect_flag $ spool_flag $ rate_flag $ duration_flag
+      $ requests_flag $ tenants_flag $ workloads_flag $ attempts_flag
+      $ timeout_flag $ prefix_flag $ dump_flag $ net_faults_term $ jobs_term
+      $ obs_term)
 
 let quarantine_cmd =
   let quarantine path compact () =
@@ -1378,6 +1811,7 @@ let main =
       experiments_cmd;
       campaign_cmd;
       serve_cmd;
+      loadgen_cmd;
       quarantine_cmd;
       obs_report_cmd;
     ]

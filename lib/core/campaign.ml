@@ -4,6 +4,7 @@ module Faults = Aptget_pmu.Faults
 module Crash = Aptget_store.Crash
 module Journal = Aptget_store.Journal
 module Pool = Aptget_util.Pool
+module Backoff = Aptget_util.Backoff
 module Trace = Aptget_obs.Trace
 module Metrics = Aptget_obs.Metrics
 
@@ -236,7 +237,12 @@ let run_group ~config ~mconfig ~crash ~append ~done_tbl ~runner wname
   (* Retry with capped exponential backoff. The simulator has no
      wall-clock to sleep on, so the backoff factor is recorded rather
      than slept: attempt n waits base^(n-1), capped at
-     Faults.max_backoff like the PMU-retry ladder. *)
+     Faults.max_backoff like the PMU-retry ladder. Jitter-free
+     (Backoff.factor), so recorded factors are byte-identical to the
+     historical inline formula. *)
+  let backoff_config =
+    { Backoff.base = config.backoff_base; cap = Faults.max_backoff; jitter = 0. }
+  in
   let with_retries ~max_retries w =
     let rec go attempt backoff =
       match run_once w with
@@ -245,11 +251,7 @@ let run_group ~config ~mconfig ~crash ~append ~done_tbl ~runner wname
         if attempt > max_retries then (attempt, backoff, Error why)
         else begin
           Metrics.incr "campaign.retries";
-          let factor =
-            Float.min
-              (config.backoff_base ** float_of_int (attempt - 1))
-              Faults.max_backoff
-          in
+          let factor = Backoff.factor backoff_config ~attempt in
           Metrics.observe "campaign.backoff_factor" factor;
           go (attempt + 1) (backoff +. factor)
         end

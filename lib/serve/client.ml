@@ -1,0 +1,187 @@
+module Backoff = Aptget_util.Backoff
+module Atomic_file = Aptget_store.Atomic_file
+
+type target = Spool of string | Socket of Transport.addr
+
+type config = {
+  target : target;
+  attempts : int;
+  timeout : float;
+  retry_unit : float;
+  backoff : Backoff.config;
+  seed : int;
+  faults : Net_faults.config;
+}
+
+let default_config target =
+  {
+    target;
+    attempts = 5;
+    timeout = 5.0;
+    retry_unit = 0.01;
+    backoff = Backoff.default;
+    seed = 0;
+    faults = Net_faults.off;
+  }
+
+let validate c =
+  let ( let* ) = Result.bind in
+  let* () = if c.attempts >= 1 then Ok () else Error "attempts must be >= 1" in
+  let* () = if c.timeout > 0. then Ok () else Error "timeout must be > 0" in
+  let* () =
+    if c.retry_unit >= 0. then Ok () else Error "retry unit must be >= 0"
+  in
+  let* () = Backoff.validate c.backoff in
+  Net_faults.validate c.faults
+
+type t = { config : config; stream : int; backoff : Backoff.t }
+
+let create ?(stream = 0) config =
+  (match validate config with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Client.create: " ^ e));
+  {
+    config;
+    stream;
+    (* distinct clients under one seed draw independent jitter *)
+    backoff = Backoff.create ~seed:((config.seed * 9_176_201) + stream) config.backoff;
+  }
+
+type outcome = { response : Wire.response; attempts : int }
+
+(* Each attempt gets its own fault stream: a retried frame must not
+   replay the fault that killed its predecessor, or no retry could
+   ever land. *)
+let attempt_faults t ~attempt =
+  Net_faults.create t.config.faults ~stream:((t.stream * 131) + attempt)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---------------- socket attempts ---------------- *)
+
+let read_response faults fd ~deadline ~id =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 65_536 in
+  let rec scan () =
+    let s = Frame.decode_stream (Buffer.contents buf) in
+    let hit =
+      List.find_map
+        (fun payload ->
+          match Wire.response_of_string payload with
+          | Ok r when r.Wire.rsp_id = id || r.Wire.rsp_id = "-" -> Some r
+          | Ok _ | Error _ -> None)
+        s.Frame.frames
+    in
+    match hit with Some r -> Ok r | None -> wait ()
+  and wait () =
+    let left = deadline -. Unix.gettimeofday () in
+    if left <= 0. then Error "timed out waiting for response"
+    else begin
+      let readable, _, _ =
+        Transport.retry_intr (fun () -> Unix.select [ fd ] [] [] left)
+      in
+      if readable = [] then Error "timed out waiting for response"
+      else
+        match Net_faults.recv faults fd chunk with
+        | exception Net_faults.Disconnected m -> Error m
+        | 0 -> Error "connection closed before response"
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          scan ()
+    end
+  in
+  wait ()
+
+let socket_attempt t addr req ~attempt =
+  match Transport.connect addr with
+  | Error e -> Error e
+  | Ok fd ->
+    Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+    let faults = attempt_faults t ~attempt in
+    let frame = Frame.encode (Wire.body_to_string (Wire.Run req)) in
+    (match Net_faults.send_frame faults fd frame with
+    | exception Net_faults.Disconnected m -> Error m
+    | () ->
+      read_response faults fd
+        ~deadline:(Unix.gettimeofday () +. t.config.timeout)
+        ~id:req.Wire.req_id)
+
+(* ---------------- spool attempts ---------------- *)
+
+(* The first recorded response for an id is the authoritative one (a
+   later record for the same id can only be the daemon's duplicate
+   reject). *)
+let spool_find spool id =
+  match Atomic_file.read ~path:(Transport.responses_path ~spool) with
+  | Error _ -> None
+  | Ok b ->
+    List.find_map
+      (fun payload ->
+        match Wire.response_of_string payload with
+        | Ok r when r.Wire.rsp_id = id -> Some r
+        | Ok _ | Error _ -> None)
+      (Frame.decode_stream b).Frame.frames
+
+let spool_attempt t spool req ~attempt =
+  let faults = attempt_faults t ~attempt in
+  let frame = Frame.encode (Wire.body_to_string (Wire.Run req)) in
+  let p = Net_faults.plan faults ~len:(String.length frame) in
+  Transport.sleep p.p_delay;
+  match p.p_cut_at with
+  | Some k ->
+    (* a torn append: the daemon sees a malformed region and resyncs
+       past it; the request itself never arrived *)
+    Transport.spool_append ~spool (String.sub frame 0 (min k (String.length frame)));
+    Error (Printf.sprintf "injected cut at byte %d of spool append" k)
+  | None ->
+    Transport.spool_append ~spool frame;
+    if p.p_duplicate then Transport.spool_append ~spool frame;
+    let deadline = Unix.gettimeofday () +. t.config.timeout in
+    let rec wait () =
+      match spool_find spool req.Wire.req_id with
+      | Some r -> Ok r
+      | None ->
+        if Unix.gettimeofday () >= deadline then
+          Error "timed out waiting for response"
+        else begin
+          Transport.sleep 0.01;
+          wait ()
+        end
+    in
+    wait ()
+
+(* ---------------- the retry loop ---------------- *)
+
+let call t req =
+  let attempt_once ~attempt =
+    match t.config.target with
+    | Spool spool -> spool_attempt t spool req ~attempt
+    | Socket addr -> socket_attempt t addr req ~attempt
+  in
+  let rec go attempt =
+    match attempt_once ~attempt with
+    | Ok response -> Ok { response; attempts = attempt }
+    | Error e ->
+      if attempt >= t.config.attempts then
+        Error (Printf.sprintf "gave up after %d attempts: %s" attempt e)
+      else begin
+        Transport.sleep (t.config.retry_unit *. Backoff.next t.backoff ~attempt);
+        go (attempt + 1)
+      end
+  in
+  go 1
+
+let shutdown t =
+  let frame = Frame.encode (Wire.body_to_string Wire.Shutdown) in
+  match t.config.target with
+  | Spool spool ->
+    Transport.spool_append ~spool frame;
+    Ok ()
+  | Socket addr -> (
+    match Transport.connect addr with
+    | Error e -> Error e
+    | Ok fd ->
+      Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+      (match Net_faults.send_frame Net_faults.disabled fd frame with
+      | exception Net_faults.Disconnected m -> Error m
+      | () -> Ok ()))

@@ -1,0 +1,77 @@
+(** A retrying, idempotent serve client for both transports.
+
+    One {!call} is one request answered {e exactly once} no matter how
+    the transport misbehaves underneath: the request id doubles as the
+    idempotency key, so a retry after a mid-flight disconnect either
+    re-submits work the daemon never saw, or — when the first attempt
+    did land — is answered with the daemon's recorded response (socket
+    transport replays it; on the spool the client simply reads the
+    first recorded answer for the id). The daemon never executes the
+    id twice, and the client never returns two answers for it.
+
+    Retries sleep [retry_unit * Backoff.next] between attempts —
+    capped exponential with seeded jitter ({!Aptget_util.Backoff}), so
+    a thundering herd of failed clients decorrelates deterministically
+    under a fixed seed.
+
+    What retries and what does not:
+    - transport failures (connect refused, injected or real
+      disconnect, per-attempt timeout) retry until [attempts] is
+      exhausted — then {!call} returns [Error];
+    - an [overloaded] response — including the id-less ["-"] shed
+      notice a capped listener sends before hanging up — is a
+      {e terminal} answer, not a failure: the daemon told us to go
+      away, and hammering it defeats admission control;
+    - any other response is terminal by definition.
+
+    The client can also inject its own seeded send faults
+    ({!Net_faults}) to exercise the daemon's torn-frame resync and
+    duplicate absorption: a cut spool append leaves a torn frame for
+    the daemon to resync past; a duplicated socket frame must be
+    absorbed by the id ledger. *)
+
+type target =
+  | Spool of string  (** spool directory (file transport) *)
+  | Socket of Transport.addr
+
+type config = {
+  target : target;
+  attempts : int;  (** max attempts per call, >= 1 *)
+  timeout : float;  (** per-attempt seconds to wait for the response *)
+  retry_unit : float;
+      (** seconds multiplied by the backoff factor between attempts *)
+  backoff : Aptget_util.Backoff.config;
+  seed : int;  (** seeds backoff jitter and the client fault streams *)
+  faults : Net_faults.config;  (** client-side injected send faults *)
+}
+
+val default_config : target -> config
+(** 5 attempts, 5 s per-attempt timeout, 10 ms retry unit,
+    {!Aptget_util.Backoff.default}, seed 0, faults off. *)
+
+val validate : config -> (unit, string) result
+
+type t
+
+val create : ?stream:int -> config -> t
+(** A client handle; [stream] (default 0) indexes this client's fault
+    and jitter streams so concurrent clients under one seed draw
+    independent but reproducible schedules.
+    @raise Invalid_argument when the config does not validate. *)
+
+type outcome = {
+  response : Wire.response;
+  attempts : int;  (** attempts consumed, >= 1 (retries = attempts - 1) *)
+}
+
+val call : t -> Wire.request -> (outcome, string) result
+(** Submit [req] and wait for its answer (see above). [Error] only
+    when every attempt failed at the transport layer — the request's
+    fate at the daemon is then unknown, but thanks to the id ledger a
+    later call under the same id cannot make it execute twice. *)
+
+val shutdown : t -> (unit, string) result
+(** Deliver a shutdown marker (graceful drain). Best-effort single
+    attempt on sockets (the daemon closes the listener on its way
+    out, so a response is not guaranteed); a plain append on the
+    spool. *)

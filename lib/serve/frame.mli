@@ -14,6 +14,13 @@
     (the clean "stop here, the tail is unusable" signal) and a frame
     whose header or checksum is wrong comes back as {!Malformed}. *)
 
+val magic : string
+(** ["APTG"] — the 4-byte frame marker (exposed for transports that
+    must recognise a partial magic split across stream reads). *)
+
+val header_len : int
+(** Fixed header size in bytes (20). *)
+
 val max_payload : int
 (** Upper bound on a payload's length (16 MiB). A length field above
     it is treated as {!Malformed} rather than as an instruction to

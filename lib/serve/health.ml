@@ -7,6 +7,8 @@ type info = {
   i_processed : int;
   i_resynced : int;
   i_salvage : (string * int) list;
+  i_beat : int;
+  i_pid : int option;
 }
 
 let state_to_string = function
@@ -18,16 +20,25 @@ let magic = "# aptget serve health v1"
 
 let path ~spool = Filename.concat spool "health"
 
-let write ~spool ?(processed = 0) ?(resynced = 0) ?(salvage = []) state =
+let write ~spool ?(processed = 0) ?(resynced = 0) ?(salvage = []) ?beat ?pid
+    state =
   let code = match state with Stopped c -> c | Ready | Draining -> 0 in
   let salvage_lines =
     List.sort compare salvage
     |> List.map (fun (k, v) -> Printf.sprintf "salvage.%s=%d\n" k v)
     |> String.concat ""
   in
+  let heartbeat_lines =
+    (* beat: bumped on every publish, so a supervisor can tell a live
+       idle daemon (beat advances between probes) from a dead one (it
+       does not). pid lets the probe ask the kernel directly. *)
+    (match beat with Some b -> Printf.sprintf "beat=%d\n" b | None -> "")
+    ^ match pid with Some p -> Printf.sprintf "pid=%d\n" p | None -> ""
+  in
   Atomic_file.write ~path:(path ~spool)
-    (Printf.sprintf "%s\nstate=%s\ncode=%d\nprocessed=%d\nresynced=%d\n%s"
-       magic (state_to_string state) code processed resynced salvage_lines)
+    (Printf.sprintf "%s\nstate=%s\ncode=%d\nprocessed=%d\nresynced=%d\n%s%s"
+       magic (state_to_string state) code processed resynced heartbeat_lines
+       salvage_lines)
 
 let read ~spool =
   match Atomic_file.read ~path:(path ~spool) with
@@ -45,8 +56,8 @@ let read ~spool =
         (String.split_on_char '\n' text)
     in
     let field k = List.assoc_opt k kvs in
-    (* Older files have no resynced/salvage lines; read them as 0 so a
-       probe across a version upgrade keeps working. *)
+    (* Older files have no resynced/salvage/beat/pid lines; read them
+       as absent so a probe across a version upgrade keeps working. *)
     let int_field k dflt =
       match Option.bind (field k) int_of_string_opt with
       | Some v -> v
@@ -75,6 +86,8 @@ let read ~spool =
               i_processed = processed;
               i_resynced = int_field "resynced" 0;
               i_salvage = salvage;
+              i_beat = int_field "beat" 0;
+              i_pid = Option.bind (field "pid") int_of_string_opt;
             }
         in
         match state_s with
@@ -85,10 +98,24 @@ let read ~spool =
       | _ -> Error "bad code/processed field")
     | _ -> Error "missing health fields")
 
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (Unix.EPERM, _, _) ->
+    (* exists, owned by someone else *)
+    true
+  | exception Unix.Unix_error _ -> true
+
 let probe ~spool =
   match read ~spool with
   | Error _ -> Exit_code.Crashed
-  | Ok { i_state = Ready | Draining; _ } -> Exit_code.Ok_
+  | Ok { i_state = Ready | Draining; i_pid; _ } -> (
+    (* A ready-claiming file whose writer is gone is a daemon that died
+       without publishing a stop: distinguish it from a live idle one. *)
+    match i_pid with
+    | Some pid when not (pid_alive pid) -> Exit_code.Crashed
+    | Some _ | None -> Exit_code.Ok_)
   | Ok { i_state = Stopped code; _ } -> (
     match Exit_code.of_int code with
     | Some Exit_code.Ok_ -> Exit_code.Ok_

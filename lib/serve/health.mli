@@ -7,6 +7,13 @@
     [aptget serve --health] — probes by reading the file: no daemon
     process introspection, no signals, works across restarts.
 
+    Two heartbeat fields distinguish a {e live idle} daemon from a
+    dead one whose file still says [ready]: [beat=] is bumped
+    monotonically on every publish (including idle [--watch] polls),
+    and [pid=] names the writer so the probe can ask the kernel
+    whether it still exists. Both are absent from older files and read
+    leniently, like [resynced=]/[salvage.*].
+
     Besides liveness, the file carries the daemon's cumulative
     robustness evidence: corrupt queue regions skipped ([resynced=])
     and per-store salvage counts ([salvage.<store>=], e.g.
@@ -28,6 +35,10 @@ type info = {
       (** store name -> records salvaged, sorted by name ([journal] is
           always present in files this version writes; other
           [store.salvage.*] counters ride along when metrics are on) *)
+  i_beat : int;
+      (** publish counter, monotonic per daemon instance; 0 in older
+          files *)
+  i_pid : int option;  (** writing process, absent in older files *)
 }
 
 val state_to_string : state -> string
@@ -37,20 +48,26 @@ val write :
   ?processed:int ->
   ?resynced:int ->
   ?salvage:(string * int) list ->
+  ?beat:int ->
+  ?pid:int ->
   state ->
   unit
 (** Atomic publish; [processed] is the cumulative request count, a
     cheap progress signal for "is it live or wedged". [resynced] and
     [salvage] (written sorted) are the cumulative damage-repair
-    counts. *)
+    counts; [beat]/[pid] are the heartbeat (omitted = not written,
+    for byte-compatibility in tests that pin older shapes). *)
 
 val read : spool:string -> (info, string) result
-(** The published state and counts. Missing [resynced]/[salvage.*]
-    lines (older files) read as zero/empty. [Error] for a missing or
-    unparseable file (a supervisor treats both as unhealthy). *)
+(** The published state and counts. Missing
+    [resynced]/[salvage.*]/[beat]/[pid] lines (older files) read as
+    zero/empty/absent. [Error] for a missing or unparseable file (a
+    supervisor treats both as unhealthy). *)
 
 val probe : spool:string -> Exit_code.t
 (** The [--health] verdict: [Ok_] when the daemon is [Ready] or
-    [Draining], or [Stopped] with code 0; [Degraded] when it stopped
-    degraded ([1]/[4]); [Crashed] for a crashed stop, a missing spool
-    or a corrupt health file. *)
+    [Draining] {e and}, if the file names a [pid], that process still
+    exists (a ready-claiming file left by a dead daemon probes
+    [Crashed]); [Ok_] for [Stopped] with code 0; [Degraded] when it
+    stopped degraded ([1]/[4]); [Crashed] for a crashed stop, a
+    missing spool or a corrupt health file. *)

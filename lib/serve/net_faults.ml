@@ -1,0 +1,166 @@
+module Rng = Aptget_util.Rng
+
+exception Disconnected of string
+
+type config = {
+  seed : int;
+  disconnect_rate : float;
+  short_write_rate : float;
+  delay_rate : float;
+  max_delay : float;
+  duplicate_rate : float;
+}
+
+let off =
+  {
+    seed = 0;
+    disconnect_rate = 0.;
+    short_write_rate = 0.;
+    delay_rate = 0.;
+    max_delay = 0.;
+    duplicate_rate = 0.;
+  }
+
+let active c =
+  c.disconnect_rate > 0. || c.short_write_rate > 0. || c.delay_rate > 0.
+  || c.duplicate_rate > 0.
+
+let validate c =
+  let rate name v =
+    if v >= 0. && v <= 1. then Ok ()
+    else Error (Printf.sprintf "%s rate %g outside [0, 1]" name v)
+  in
+  let ( let* ) = Result.bind in
+  let* () = rate "disconnect" c.disconnect_rate in
+  let* () = rate "short-write" c.short_write_rate in
+  let* () = rate "delay" c.delay_rate in
+  let* () = rate "duplicate" c.duplicate_rate in
+  if c.max_delay >= 0. then Ok () else Error "max delay must be >= 0"
+
+type t = { config : config; rng : Rng.t option }
+
+let disabled = { config = off; rng = None }
+
+let create config ~stream =
+  (match validate config with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Net_faults.create: " ^ e));
+  if not (active config) then disabled
+  else
+    (* Mix the stream index into the seed the same way the crash plans
+       do: distinct connections draw independent but reproducible
+       schedules. *)
+    { config; rng = Some (Rng.create ((config.seed * 1_000_003) + stream)) }
+
+type plan = {
+  p_delay : float;
+  p_duplicate : bool;
+  p_cut_at : int option;
+  p_short : bool;
+}
+
+let neutral = { p_delay = 0.; p_duplicate = false; p_cut_at = None; p_short = false }
+
+(* Draw order is fixed (delay, duplicate, cut, short) so a schedule is
+   a pure function of (config, stream, frame sequence). Each decision
+   guards on its rate before drawing, so a zero-rate knob neither
+   fires nor perturbs the stream of the others. *)
+let plan t ~len =
+  match t.rng with
+  | None -> neutral
+  | Some rng ->
+    let fires rate = rate > 0. && Rng.float rng 1.0 < rate in
+    let c = t.config in
+    let p_delay =
+      if fires c.delay_rate && c.max_delay > 0. then Rng.float rng c.max_delay
+      else 0.
+    in
+    let p_duplicate = fires c.duplicate_rate in
+    let p_cut_at =
+      if fires c.disconnect_rate && len > 0 then Some (Rng.int rng len)
+      else None
+    in
+    let p_short = fires c.short_write_rate in
+    { p_delay; p_duplicate; p_cut_at; p_short }
+
+let rec retry_intr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
+(* sleepf can be interrupted by a signal; re-sleep the remainder so an
+   injected delay is a delay, not a coin flip. *)
+let sleep seconds =
+  if seconds > 0. then begin
+    let until = Unix.gettimeofday () +. seconds in
+    let rec go () =
+      let left = until -. Unix.gettimeofday () in
+      if left > 0. then begin
+        (try Unix.sleepf left
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go ()
+      end
+    in
+    go ()
+  end
+
+let broken_pipe = function
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN), _, _) ->
+    true
+  | _ -> false
+
+let write_all fd s ~pos ~len =
+  let rec go pos len =
+    if len > 0 then begin
+      let n =
+        try retry_intr (fun () -> Unix.write_substring fd s pos len)
+        with e when broken_pipe e -> raise (Disconnected "peer closed mid-write")
+      in
+      go (pos + n) (len - n)
+    end
+  in
+  go pos len
+
+let write_short rng fd s ~pos ~len =
+  let rec go pos len =
+    if len > 0 then begin
+      let chunk = min len (1 + Rng.int rng 16) in
+      write_all fd s ~pos ~len:chunk;
+      go (pos + chunk) (len - chunk)
+    end
+  in
+  go pos len
+
+let send_once t fd frame p =
+  let len = String.length frame in
+  (match p.p_cut_at with
+  | Some k ->
+    (* transmit only the prefix; the caller's connection is dead *)
+    write_all fd frame ~pos:0 ~len:(min k len);
+    raise (Disconnected (Printf.sprintf "injected disconnect at byte %d" k))
+  | None ->
+    if p.p_short then
+      match t.rng with
+      | Some rng -> write_short rng fd frame ~pos:0 ~len
+      | None -> write_all fd frame ~pos:0 ~len
+    else write_all fd frame ~pos:0 ~len)
+
+let send_frame t fd frame =
+  match t.rng with
+  | None -> write_all fd frame ~pos:0 ~len:(String.length frame)
+  | Some _ ->
+    let p = plan t ~len:(String.length frame) in
+    sleep p.p_delay;
+    send_once t fd frame p;
+    if p.p_duplicate then
+      (* the retransmit travels clean: the duplicate-absorption path is
+         what is under test, not a second fault *)
+      write_all fd frame ~pos:0 ~len:(String.length frame)
+
+let recv t fd buf =
+  (match t.rng with
+  | None -> ()
+  | Some rng ->
+    let c = t.config in
+    if c.delay_rate > 0. && Rng.float rng 1.0 < c.delay_rate && c.max_delay > 0.
+    then sleep (Rng.float rng c.max_delay));
+  try retry_intr (fun () -> Unix.read fd buf 0 (Bytes.length buf))
+  with e when broken_pipe e -> raise (Disconnected "peer reset mid-read")

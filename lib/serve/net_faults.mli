@@ -1,0 +1,82 @@
+(** Seeded network-fault injection for the socket transport.
+
+    The byte stream a real service lives on fails in ways a file spool
+    never shows: a [write(2)] lands fewer bytes than asked, the peer
+    vanishes after byte [k] of a frame, delivery stalls, a retransmit
+    duplicates a frame. This module injects exactly those faults,
+    deterministically from a seed, in the same off-by-default
+    bit-identical-when-off design as the PMU fault layer (PR 1) and
+    the crash plans (PR 3): with every rate at zero the send/recv
+    helpers are plain EINTR-safe syscall loops that never consult the
+    generator.
+
+    A {!t} is one {e stream} of scheduled faults — one per connection
+    (server side) or per attempt (client side) — derived from the
+    config seed and a caller-chosen stream index, so fault schedules
+    are reproducible per connection regardless of interleaving. *)
+
+exception Disconnected of string
+(** The connection died under the caller: an injected cut, or a real
+    [EPIPE]/[ECONNRESET]/EOF-mid-frame surfaced by the helpers.
+    Callers (client retries, the server's per-connection guards) treat
+    it as data, never let it escape as a crash. *)
+
+type config = {
+  seed : int;
+  disconnect_rate : float;
+      (** chance a frame's transmission is cut after a uniformly
+          chosen prefix of its bytes (the mid-flight disconnect) *)
+  short_write_rate : float;
+      (** chance a frame is dribbled out in short chunks instead of
+          one write — exercises every reassembly path downstream *)
+  delay_rate : float;  (** chance delivery of a frame is delayed *)
+  max_delay : float;  (** upper bound (seconds) on an injected delay *)
+  duplicate_rate : float;
+      (** chance a frame is transmitted twice (the retransmit
+          duplicate an idempotent server must absorb) *)
+}
+
+val off : config
+(** All rates (and the seed) zero: the do-nothing layer. *)
+
+val active : config -> bool
+(** True when any rate is positive. *)
+
+val validate : config -> (unit, string) result
+(** Rates in [0, 1], [max_delay >= 0]. *)
+
+type t
+
+val disabled : t
+(** A stream that never fires (what [create off ~stream] builds, kept
+    allocation-free for the common path). *)
+
+val create : config -> stream:int -> t
+(** The fault schedule for stream [stream] (a connection or attempt
+    index). Same config and stream index => same schedule.
+    @raise Invalid_argument when the config does not validate. *)
+
+(** One frame's transmission plan, drawn by {!plan}: *)
+type plan = {
+  p_delay : float;  (** seconds to stall before transmitting (0 = none) *)
+  p_duplicate : bool;  (** transmit the frame twice *)
+  p_cut_at : int option;
+      (** stop (and raise {!Disconnected}) after this many bytes *)
+  p_short : bool;  (** dribble the bytes out in short chunks *)
+}
+
+val plan : t -> len:int -> plan
+(** Draw the plan for one [len]-byte frame. A disabled stream returns
+    the neutral plan without advancing any generator. *)
+
+val send_frame : t -> Unix.file_descr -> string -> unit
+(** Transmit one encoded frame according to its {!plan}: delay, then
+    write all bytes (short-chunked if planned, cut with
+    {!Disconnected} if planned, duplicated if planned). EINTR-safe;
+    real [EPIPE]/[ECONNRESET] also surface as {!Disconnected}. With
+    faults off this is exactly the plain write-all loop. *)
+
+val recv : t -> Unix.file_descr -> bytes -> int
+(** [read(2)] into the buffer with EINTR retry; [0] at EOF. An
+    injected delay may stall first; real [ECONNRESET] surfaces as
+    {!Disconnected}. *)

@@ -1,4 +1,5 @@
 module Pool = Aptget_util.Pool
+module Clock = Aptget_util.Clock
 module Atomic_file = Aptget_store.Atomic_file
 module Crash = Aptget_store.Crash
 module Journal = Aptget_store.Journal
@@ -39,6 +40,7 @@ type report = {
   s_malformed : int;
   s_aborted : int;
   s_resumed : int;
+  s_replayed : int;
   s_drained : bool;
   s_salvaged : int;
 }
@@ -56,6 +58,7 @@ let empty_report =
     s_malformed = 0;
     s_aborted = 0;
     s_resumed = 0;
+    s_replayed = 0;
     s_drained = false;
     s_salvaged = 0;
   }
@@ -73,6 +76,7 @@ let combine a b =
     s_malformed = a.s_malformed + b.s_malformed;
     s_aborted = a.s_aborted + b.s_aborted;
     s_resumed = a.s_resumed + b.s_resumed;
+    s_replayed = a.s_replayed + b.s_replayed;
     s_drained = a.s_drained || b.s_drained;
     s_salvaged = a.s_salvaged + b.s_salvaged;
   }
@@ -92,42 +96,20 @@ type t = {
   mutable processed : int;
   mutable resynced : int;  (* cumulative corrupt queue regions skipped *)
   mutable salvaged : int;  (* cumulative journal records salvaged *)
+  mutable beat : int;  (* health heartbeat: bumped on every publish *)
   mutable last_torn : string option;
       (* the trailing incomplete tail this instance last saw, so a tear
          that persists across --watch polls is counted once, not once
          per poll *)
 }
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
+let requests_path spool = Transport.requests_path ~spool
 
-let requests_path spool = Filename.concat spool "requests.q"
+let responses_path spool = Transport.responses_path ~spool
 
-let responses_path spool = Filename.concat spool "responses.q"
+let journal_path spool = Transport.journal_path ~spool
 
-let journal_path spool = Filename.concat spool "serve.journal"
-
-let lock_path spool = Filename.concat spool ".lock"
-
-(* The spool lock (fcntl, so it also works across processes)
-   serializes client appends to [requests.q] against the drain's
-   read-then-truncate of it. Without it a frame appended between the
-   drain's snapshot and its truncate — or the half-written state of an
-   append caught mid-write — would be destroyed with no response.
-   The queue file is only ever opened {e after} the lock is held: an
-   fd obtained before the truncate's rename would append to the
-   replaced, unlinked inode. *)
-let with_spool_lock spool f =
-  mkdir_p spool;
-  let fd = Unix.openfile (lock_path spool) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      Unix.lockf fd Unix.F_LOCK 0;
-      Fun.protect ~finally:(fun () -> Unix.lockf fd Unix.F_ULOCK 0) f)
+let with_spool_lock = Transport.with_spool_lock
 
 let create config =
   {
@@ -138,6 +120,7 @@ let create config =
     processed = 0;
     resynced = 0;
     salvaged = 0;
+    beat = 0;
     last_torn = None;
   }
 
@@ -160,20 +143,13 @@ let salvage_counts t =
   ("journal", t.salvaged) :: from_metrics
 
 let publish t state =
+  t.beat <- t.beat + 1;
   Health.write ~spool:t.config.spool ~processed:t.processed
-    ~resynced:t.resynced ~salvage:(salvage_counts t) state
+    ~resynced:t.resynced ~salvage:(salvage_counts t) ~beat:t.beat
+    ~pid:(Unix.getpid ()) state
 
 let submit ~spool body =
-  let frame = Frame.encode (Wire.body_to_string body) in
-  with_spool_lock spool @@ fun () ->
-  let oc =
-    open_out_gen
-      [ Open_append; Open_creat; Open_binary ]
-      0o644 (requests_path spool)
-  in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc frame)
+  Transport.spool_append ~spool (Frame.encode (Wire.body_to_string body))
 
 let responses ~spool =
   match Atomic_file.read ~path:(responses_path spool) with
@@ -202,62 +178,56 @@ let reject (req : Wire.request) reason =
     rsp_body = "";
   }
 
-let drain ?crash t =
+type processed = {
+  pr_report : report;
+  pr_deliveries : (int option * Wire.response) list;
+}
+
+(* The transport-agnostic batch core: takes decoded frame payloads (in
+   arrival order) plus the transport's damage accounting, and performs
+   everything both transports share — journal recovery, the
+   duplicate-id ledger, admission in arrival order, per-tenant
+   parallel execution, the atomic response-record append and journal
+   compaction. [ack] runs right after the responses land (the spool
+   transport truncates its consumed queue prefix there). With
+   [replay], an id that already has a durable answer is re-delivered
+   (not re-executed and not re-recorded) instead of rejected — the
+   socket transport's idempotent-retry semantics; the spool transport
+   keeps its historical reject. *)
+let process ?crash ?(replay = false) ?(ack = fun () -> ()) t ~payloads ~torn
+    ~resynced ~skipped_bytes =
   let cfg = t.config in
-  mkdir_p cfg.spool;
-  publish t Health.Ready;
-  Metrics.incr "serve.drains";
   let inflight, orphans, recovery =
     Inflight.open_ ?crash ~path:(journal_path cfg.spool) ()
   in
   let journal_records = ref (recovery.Journal.records <> []) in
-  let report =
+  let report, deliveries =
     Fun.protect ~finally:(fun () -> Inflight.close inflight) @@ fun () ->
-  let buf =
-    with_spool_lock cfg.spool (fun () ->
-        match Atomic_file.read ~path:(requests_path cfg.spool) with
-        | Ok b -> b
-        | Error _ -> "")
-  in
-  let stream = Frame.decode_stream buf in
-  let frames = stream.Frame.frames in
+  let frames = payloads in
   let n_frames = List.length frames in
   if n_frames > 0 then Metrics.incr ~by:n_frames "serve.requests";
-  (* A trailing incomplete tail is preserved (it may be an append still
-     in progress), so a tear that persists across --watch polls is
-     counted the first time this instance sees it, not once per poll. *)
-  let torn =
-    match stream.Frame.trailing with
-    | None ->
-      t.last_torn <- None;
-      0
-    | Some (pos, _) ->
-      let tail = String.sub buf pos (String.length buf - pos) in
-      if t.last_torn = Some tail then 0
-      else begin
-        t.last_torn <- Some tail;
-        1
-      end
-  in
   if torn > 0 then Metrics.incr "serve.frame.torn";
-  let resynced = List.length stream.Frame.skipped in
   if resynced > 0 then begin
     Metrics.incr ~by:resynced "serve.frame.resync";
-    Metrics.incr ~by:(Frame.skipped_bytes stream) "serve.frame.skipped_bytes"
+    Metrics.incr ~by:skipped_bytes "serve.frame.skipped_bytes"
   end;
   (* Ids already answered in responses.q: the duplicate detector that
      survives restarts and journal compaction. An id the journal says
      finished but that has no answer is crash recovery (the kill hit
      between the [done] record and the response write) and is
-     re-executed; an answered id is client id reuse and is rejected. *)
-  let answered = Hashtbl.create 16 in
+     re-executed; an answered id is client id reuse — rejected on the
+     spool path, replayed (idempotent retry) on the socket path. The
+     first recorded response for an id is the authoritative one. *)
+  let answered : (string, Wire.response) Hashtbl.t = Hashtbl.create 16 in
   (match Atomic_file.read ~path:(responses_path cfg.spool) with
   | Error _ -> ()
   | Ok b ->
     List.iter
       (fun payload ->
         match Wire.response_of_string payload with
-        | Ok r -> Hashtbl.replace answered r.Wire.rsp_id ()
+        | Ok r ->
+          if not (Hashtbl.mem answered r.Wire.rsp_id) then
+            Hashtbl.add answered r.Wire.rsp_id r
         | Error _ -> ())
       (Frame.decode_stream b).Frame.frames);
   (* Recovery first: every orphan gets a clean [aborted] answer, and a
@@ -285,6 +255,11 @@ let drain ?crash t =
   let seen = Hashtbl.create 16 in
   let immediate = ref [] in
   let push order rsp = immediate := (order, rsp) :: !immediate in
+  (* Replay-mode deliveries that must NOT be re-recorded: answered ids
+     re-sent to a retrying client, and in-batch duplicates (a
+     retransmitted frame) answered with their sibling's response. *)
+  let replays = ref [] in
+  let dup_pending = ref [] in
   let resumed = ref 0 in
   let drained = ref false in
   List.iteri
@@ -302,47 +277,54 @@ let drain ?crash t =
       | Ok Wire.Shutdown -> drained := true
       | Ok (Wire.Run req) ->
         if Hashtbl.mem aborted_ids req.Wire.req_id then
-          (* the orphan response above already answers this id *)
-          ()
+          (* the orphan response above already answers this id; on the
+             socket path the waiting connection gets a copy *)
+          (if replay then dup_pending := (i, req) :: !dup_pending)
         else if Hashtbl.mem seen req.Wire.req_id then
-          push i (reject req "duplicate request id in batch")
+          if replay then dup_pending := (i, req) :: !dup_pending
+          else push i (reject req "duplicate request id in batch")
         else begin
           Hashtbl.replace seen req.Wire.req_id ();
-          if Hashtbl.mem answered req.Wire.req_id then
+          match Hashtbl.find_opt answered req.Wire.req_id with
+          | Some recorded when replay ->
+            Metrics.incr "serve.replayed";
+            replays := (i, recorded) :: !replays
+          | Some _ ->
             push i
               (reject req
                  "request id already answered in a previous drain; use a \
                   fresh id")
-          else if !drained then
-            push i (reject req "daemon draining; resubmit to the next incarnation")
-          else begin
-            if Option.is_some (Inflight.finished inflight ~id:req.Wire.req_id)
-            then incr resumed;
-            match Tenant.find_or_create t.registry req.Wire.tenant with
-            | Error e -> push i (reject req e)
-            | Ok tenant -> (
-              let req =
-                match req.Wire.deadline_cycles with
-                | None -> { req with Wire.deadline_cycles = cfg.default_deadline }
-                | Some _ -> req
-              in
-              match
-                Admission.offer admission
-                  { w_order = i; w_req = req; w_tenant = tenant }
-              with
-              | Admission.Admitted -> ()
-              | Admission.Shed ->
-                push i
-                  {
-                    Wire.rsp_id = req.Wire.req_id;
-                    rsp_tenant = req.Wire.tenant;
-                    rsp_status = Wire.Overloaded;
-                    rsp_reason =
-                      Printf.sprintf "admission queue full (capacity %d)"
-                        cfg.capacity;
-                    rsp_body = "";
-                  })
-          end
+          | None ->
+            if !drained then
+              push i (reject req "daemon draining; resubmit to the next incarnation")
+            else begin
+              if Option.is_some (Inflight.finished inflight ~id:req.Wire.req_id)
+              then incr resumed;
+              match Tenant.find_or_create t.registry req.Wire.tenant with
+              | Error e -> push i (reject req e)
+              | Ok tenant -> (
+                let req =
+                  match req.Wire.deadline_cycles with
+                  | None -> { req with Wire.deadline_cycles = cfg.default_deadline }
+                  | Some _ -> req
+                in
+                match
+                  Admission.offer admission
+                    { w_order = i; w_req = req; w_tenant = tenant }
+                with
+                | Admission.Admitted -> ()
+                | Admission.Shed ->
+                  push i
+                    {
+                      Wire.rsp_id = req.Wire.req_id;
+                      rsp_tenant = req.Wire.tenant;
+                      rsp_status = Wire.Overloaded;
+                      rsp_reason =
+                        Printf.sprintf "admission queue full (capacity %d)"
+                          cfg.capacity;
+                      rsp_body = "";
+                    })
+            end
         end)
     frames;
   let rec collect () =
@@ -412,6 +394,28 @@ let drain ?crash t =
       (List.concat results @ !immediate)
   in
   let all_responses = aborted_responses @ List.map snd ordered in
+  (* In-batch duplicates (and requests covered by an orphan abort) are
+     answered with the authoritative response for their id — delivered
+     to the waiting connection, never re-recorded. *)
+  let by_id = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if not (Hashtbl.mem by_id r.Wire.rsp_id) then
+        Hashtbl.add by_id r.Wire.rsp_id r)
+    all_responses;
+  List.iter
+    (fun (i, req) ->
+      let rsp =
+        match Hashtbl.find_opt by_id req.Wire.req_id with
+        | Some r -> r
+        | None -> (
+          match Hashtbl.find_opt answered req.Wire.req_id with
+          | Some r -> r
+          | None -> reject req "duplicate request id in batch")
+      in
+      Metrics.incr "serve.replayed";
+      replays := (i, rsp) :: !replays)
+    !dup_pending;
   let count st =
     List.length
       (List.filter (fun r -> r.Wire.rsp_status = st) all_responses)
@@ -430,11 +434,12 @@ let drain ?crash t =
       Wire.Failed;
       Wire.Aborted;
     ];
-  (* Responses land with one atomic append-rewrite, and only then is
-     the request queue emptied: a crash between the two duplicates
-     work, never loses it. Neither write is routed through the crash
-     plan — simulated kills target the journal, which is what recovery
-     is tested against. *)
+  (* Responses land with one atomic append-rewrite, and only then does
+     the transport acknowledge the batch (the spool truncates its
+     consumed queue prefix): a crash between the two duplicates work,
+     never loses it. Neither write is routed through the crash plan —
+     simulated kills target the journal, which is what recovery is
+     tested against. *)
   if all_responses <> [] then begin
     let existing =
       match Atomic_file.read ~path:(responses_path cfg.spool) with
@@ -449,43 +454,35 @@ let drain ?crash t =
     in
     Atomic_file.write ~path:(responses_path cfg.spool) (existing ^ fresh)
   end;
-  (* Under the spool lock, drop exactly the prefix this drain consumed:
-     frames a client appended after our snapshot — and a torn trailing
-     append that may yet complete — survive to the next drain. If the
-     file no longer extends our snapshot (external tampering), leave it
-     whole: duplicated work beats lost work. *)
-  (match stream.Frame.consumed with
-  | 0 -> ()
-  | consumed ->
-    with_spool_lock cfg.spool (fun () ->
-        let path = requests_path cfg.spool in
-        let current =
-          match Atomic_file.read ~path with Ok b -> b | Error _ -> ""
-        in
-        if
-          String.length current >= consumed
-          && String.sub current 0 consumed = String.sub buf 0 consumed
-        then
-          Atomic_file.write ~path
-            (String.sub current consumed (String.length current - consumed))));
+  ack ();
   t.processed <- t.processed + List.length all_responses;
-  {
-    s_frames = n_frames;
-    s_torn = torn;
-    s_resynced = resynced;
-    s_ok = count Wire.Ok_;
-    s_shed = Admission.shed admission;
-    s_timed_out = count Wire.Timed_out;
-    s_rejected = count Wire.Rejected;
-    s_failed = count Wire.Failed;
-    s_malformed = count Wire.Malformed;
-    s_aborted = List.length aborted_responses;
-    s_resumed = !resumed;
-    s_drained = !drained;
-    s_salvaged = recovery.Journal.dropped;
-  }
+  let deliveries =
+    List.map (fun r -> (None, r)) aborted_responses
+    @ List.map
+        (fun (i, r) -> (Some i, r))
+        (List.sort
+           (fun (a, _) (b, _) -> compare (a : int) b)
+           (ordered @ !replays))
   in
-  (* The drain completed, so every record in the journal is settled:
+  ( {
+      s_frames = n_frames;
+      s_torn = torn;
+      s_resynced = resynced;
+      s_ok = count Wire.Ok_;
+      s_shed = Admission.shed admission;
+      s_timed_out = count Wire.Timed_out;
+      s_rejected = count Wire.Rejected;
+      s_failed = count Wire.Failed;
+      s_malformed = count Wire.Malformed;
+      s_aborted = List.length aborted_responses;
+      s_resumed = !resumed;
+      s_replayed = List.length !replays;
+      s_drained = !drained;
+      s_salvaged = recovery.Journal.dropped;
+    },
+    deliveries )
+  in
+  (* The batch completed, so every record in the journal is settled:
      each admit has its done, each orphan was answered and marked done,
      and the responses have landed. Compact, so a long-running --watch
      daemon does not replay an ever-growing history on every drain.
@@ -496,12 +493,70 @@ let drain ?crash t =
     Journal.truncate ~path:(journal_path cfg.spool);
     Metrics.incr "serve.journal.compactions"
   end;
-  (* Re-publish after the batch so a probe between drains sees the
-     damage this drain found, not just that the daemon is alive. *)
   t.resynced <- t.resynced + report.s_resynced;
   t.salvaged <- t.salvaged + report.s_salvaged;
+  { pr_report = report; pr_deliveries = deliveries }
+
+(* ---------------- spool transport ---------------- *)
+
+let drain ?crash t =
+  let cfg = t.config in
+  Transport.mkdir_p cfg.spool;
   publish t Health.Ready;
-  report
+  Metrics.incr "serve.drains";
+  let buf =
+    with_spool_lock cfg.spool (fun () ->
+        match Atomic_file.read ~path:(requests_path cfg.spool) with
+        | Ok b -> b
+        | Error _ -> "")
+  in
+  let stream = Frame.decode_stream buf in
+  (* A trailing incomplete tail is preserved (it may be an append still
+     in progress), so a tear that persists across --watch polls is
+     counted the first time this instance sees it, not once per poll. *)
+  let torn =
+    match stream.Frame.trailing with
+    | None ->
+      t.last_torn <- None;
+      0
+    | Some (pos, _) ->
+      let tail = String.sub buf pos (String.length buf - pos) in
+      if t.last_torn = Some tail then 0
+      else begin
+        t.last_torn <- Some tail;
+        1
+      end
+  in
+  (* Under the spool lock, drop exactly the prefix this drain consumed:
+     frames a client appended after our snapshot — and a torn trailing
+     append that may yet complete — survive to the next drain. If the
+     file no longer extends our snapshot (external tampering), leave it
+     whole: duplicated work beats lost work. *)
+  let ack () =
+    match stream.Frame.consumed with
+    | 0 -> ()
+    | consumed ->
+      with_spool_lock cfg.spool (fun () ->
+          let path = requests_path cfg.spool in
+          let current =
+            match Atomic_file.read ~path with Ok b -> b | Error _ -> ""
+          in
+          if
+            String.length current >= consumed
+            && String.sub current 0 consumed = String.sub buf 0 consumed
+          then
+            Atomic_file.write ~path
+              (String.sub current consumed (String.length current - consumed)))
+  in
+  let p =
+    process ?crash ~replay:false ~ack t ~payloads:stream.Frame.frames ~torn
+      ~resynced:(List.length stream.Frame.skipped)
+      ~skipped_bytes:(Frame.skipped_bytes stream)
+  in
+  (* Re-publish after the batch so a probe between drains sees the
+     damage this drain found, not just that the daemon is alive. *)
+  publish t Health.Ready;
+  p.pr_report
 
 let stop t ~code = publish t (Health.Stopped (Exit_code.to_int code))
 
@@ -513,10 +568,137 @@ let serve ?crash ?(poll = 0.05) ?max_drains t =
     if r.s_drained || match max_drains with Some m -> n >= m | None -> false
     then acc
     else begin
-      if r.s_frames = 0 then Unix.sleepf poll;
+      if r.s_frames = 0 then Transport.sleep poll;
       go acc n
     end
   in
   let report = go empty_report 0 in
   stop t ~code:(exit_code report);
   report
+
+(* ---------------- socket transport ---------------- *)
+
+type socket_config = {
+  sk_addr : Transport.addr;
+  sk_max_conns : int;
+  sk_read_deadline : float;
+  sk_poll : float;
+  sk_heartbeat : float;
+  sk_faults : Net_faults.config;
+}
+
+let default_socket_config addr =
+  {
+    sk_addr = addr;
+    sk_max_conns = 64;
+    sk_read_deadline = 2.0;
+    sk_poll = 0.02;
+    sk_heartbeat = 0.5;
+    sk_faults = Net_faults.off;
+  }
+
+(* A connection refused at the cap (or reaped at the read deadline)
+   never delivered a request id, so the shed notice carries "-": the
+   client treats it as a terminal admission-level shed, exactly like a
+   queue-level [overloaded] response. *)
+let shed_response =
+  {
+    Wire.rsp_id = "-";
+    rsp_tenant = "-";
+    rsp_status = Wire.Overloaded;
+    rsp_reason = "connection shed: cap reached or read deadline blown";
+    rsp_body = "";
+  }
+
+let serve_socket ?crash ?max_batches t sc =
+  let cfg = t.config in
+  Transport.mkdir_p cfg.spool;
+  let tconfig =
+    {
+      Transport.sc_addr = sc.sk_addr;
+      sc_max_conns = sc.sk_max_conns;
+      sc_read_deadline = sc.sk_read_deadline;
+      sc_shed_frame = Frame.encode (Wire.response_to_string shed_response);
+      sc_faults = sc.sk_faults;
+    }
+  in
+  match Transport.listen tconfig with
+  | Error e -> Error e
+  | Ok listener ->
+    Fun.protect ~finally:(fun () -> Transport.close_listener listener)
+    @@ fun () ->
+    publish t Health.Ready;
+    (* Recovery runs up front, not lazily on the first request: orphans
+       of a crashed incarnation get their [aborted] answers (and the
+       journal its compaction) immediately, so a client retrying into
+       the restarted daemon is replayed the abort rather than hanging. *)
+    let r0 =
+      (process ?crash ~replay:true t ~payloads:[] ~torn:0 ~resynced:0
+         ~skipped_bytes:0)
+        .pr_report
+    in
+    let last_beat = ref (Clock.now ()) in
+    let deliver conns p =
+      List.iter
+        (fun (idx, rsp) ->
+          match idx with
+          | None -> () (* orphan abort: durable in responses.q only *)
+          | Some i ->
+            let cid = conns.(i) in
+            Transport.respond listener cid
+              (Frame.encode (Wire.response_to_string rsp));
+            Transport.finish listener cid)
+        p.pr_deliveries
+    in
+    let rec loop acc batches =
+      let pr = Transport.poll listener ~timeout:sc.sk_poll in
+      let conn_shed = pr.Transport.p_conn_shed + pr.Transport.p_expired in
+      if pr.Transport.p_conn_shed > 0 then
+        Metrics.incr ~by:pr.Transport.p_conn_shed "serve.conn.shed";
+      if pr.Transport.p_expired > 0 then
+        Metrics.incr ~by:pr.Transport.p_expired "serve.conn.expired";
+      if pr.Transport.p_payloads <> [] || pr.Transport.p_resynced > 0 then begin
+        Metrics.incr "serve.batches";
+        let conns = Array.of_list (List.map fst pr.Transport.p_payloads) in
+        let p =
+          process ?crash ~replay:true t
+            ~payloads:(List.map snd pr.Transport.p_payloads)
+            ~torn:0 ~resynced:pr.Transport.p_resynced
+            ~skipped_bytes:pr.Transport.p_skipped_bytes
+        in
+        deliver conns p;
+        publish t Health.Ready;
+        last_beat := Clock.now ();
+        let acc =
+          combine acc
+            {
+              p.pr_report with
+              s_shed = p.pr_report.s_shed + conn_shed;
+            }
+        in
+        let batches = batches + 1 in
+        if
+          p.pr_report.s_drained
+          || match max_batches with Some m -> batches >= m | None -> false
+        then acc
+        else loop acc batches
+      end
+      else begin
+        let acc =
+          if conn_shed > 0 then
+            combine acc { empty_report with s_shed = conn_shed }
+          else acc
+        in
+        (* idle heartbeat: a supervisor polling the health file sees the
+           beat advance even when no requests arrive *)
+        let now = Clock.now () in
+        if now -. !last_beat >= sc.sk_heartbeat then begin
+          publish t Health.Ready;
+          last_beat := now
+        end;
+        loop acc batches
+      end
+    in
+    let report = combine r0 (loop empty_report 0) in
+    stop t ~code:(exit_code report);
+    Ok report

@@ -1,0 +1,28 @@
+type config = { base : float; cap : float; jitter : float }
+
+let default = { base = 2.0; cap = 32.0; jitter = 0.5 }
+
+let validate c =
+  if not (c.base >= 1.0) then Error "backoff base must be >= 1.0"
+  else if not (c.cap >= 1.0) then Error "backoff cap must be >= 1.0"
+  else if not (c.jitter >= 0.0 && c.jitter <= 1.0) then
+    Error "backoff jitter must be in [0, 1]"
+  else Ok ()
+
+(* The campaign runner has recorded exactly this expression since PR 3;
+   it must stay byte-identical (float-for-float) at jitter = 0. *)
+let factor c ~attempt =
+  Float.min (c.base ** float_of_int (attempt - 1)) c.cap
+
+type t = { config : config; rng : Rng.t }
+
+let create ?(seed = 0) config =
+  (match validate config with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Backoff.create: " ^ e));
+  { config; rng = Rng.create seed }
+
+let next t ~attempt =
+  let f = factor t.config ~attempt in
+  if t.config.jitter <= 0. then f
+  else f *. (1. -. (t.config.jitter *. Rng.float t.rng 1.0))

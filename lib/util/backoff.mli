@@ -1,0 +1,49 @@
+(** Capped exponential retry backoff with optional seeded jitter.
+
+    Every retry ladder in the repository waits (or records, when there
+    is no wall clock to sleep on) [base^(attempt-1)] units, capped at
+    [cap] — the campaign runner's trial retries, the serve client's
+    reconnects, the load generator. This module is that one formula,
+    extracted so the ladders cannot drift apart, plus the jitter the
+    networked retriers need: a fleet of clients that all lose the same
+    connection must not all reconnect on the same tick.
+
+    Jitter is drawn from the deterministic {!Rng}, so a seeded client
+    retries on a reproducible schedule; with [jitter = 0.] no random
+    number is drawn at all and {!next} equals {!factor} exactly (the
+    campaign runner pins its historical byte-identical factors this
+    way). *)
+
+type config = {
+  base : float;  (** exponential base, >= 1.0 *)
+  cap : float;  (** upper bound on any single factor, >= 1.0 *)
+  jitter : float;
+      (** in [0, 1]: factor [f] becomes uniform in [(1-jitter)*f, f] *)
+}
+
+val default : config
+(** base 2.0, cap 32.0, jitter 0.5 — the networked-client profile.
+    (The campaign runner passes its own cap,
+    {!Aptget_pmu.Faults.max_backoff}.) *)
+
+val validate : config -> (unit, string) result
+
+val factor : config -> attempt:int -> float
+(** [factor config ~attempt] is
+    [Float.min (base ** float (attempt - 1)) cap] — jitter-free, the
+    exact expression the campaign runner has always recorded (attempt
+    numbering starts at 1). *)
+
+type t
+(** A seeded jittering schedule (mutable: each {!next} advances the
+    generator). *)
+
+val create : ?seed:int -> config -> t
+(** [seed] defaults to 0. Two schedules with the same seed and config
+    produce identical factor sequences.
+    @raise Invalid_argument when the config does not validate. *)
+
+val next : t -> attempt:int -> float
+(** The jittered factor for [attempt]: [factor * (1 - jitter * u)]
+    with [u] uniform in [0, 1). With [jitter = 0.] this is exactly
+    {!factor} and the generator is not advanced. *)

@@ -25,6 +25,9 @@ module Inflight = Aptget_serve.Inflight
 module Handler = Aptget_serve.Handler
 module Health = Aptget_serve.Health
 module Server = Aptget_serve.Server
+module Transport = Aptget_serve.Transport
+module Net_faults = Aptget_serve.Net_faults
+module Client = Aptget_serve.Client
 
 let crash_seed =
   match Sys.getenv_opt "APTGET_CRASH_SEED" with
@@ -936,6 +939,442 @@ let test_salvage_metrics () =
   Alcotest.(check int) "store.salvage.hints_file" 1
     (counter "store.salvage.hints_file")
 
+(* ---------------- frame resync pins ---------------- *)
+
+(* Two whole-but-wrong frames back to back: each must become its own
+   skip region, pinned to the byte, with the clean frame behind them
+   still decoding. *)
+let test_frame_resync_back_to_back () =
+  let corrupt f =
+    let b = Bytes.of_string f in
+    Bytes.set b (Frame.header_len + 3) '!';
+    Bytes.to_string b
+  in
+  let f1 = corrupt (Frame.encode (String.make 40 'x')) in
+  let f2 = corrupt (Frame.encode (String.make 25 'y')) in
+  let f3 = Frame.encode "zzz" in
+  let s = Frame.decode_stream (f1 ^ f2 ^ f3) in
+  Alcotest.(check (list string)) "only the clean frame survives" [ "zzz" ]
+    s.Frame.frames;
+  let skips =
+    List.map (fun k -> (k.Frame.skip_pos, k.Frame.skip_len)) s.Frame.skipped
+  in
+  Alcotest.(check (list (pair int int)))
+    "two skip regions, each exactly one corrupt frame"
+    [ (0, String.length f1); (String.length f1, String.length f2) ]
+    skips;
+  Alcotest.(check int) "skipped byte total pinned"
+    (String.length f1 + String.length f2)
+    (Frame.skipped_bytes s);
+  Alcotest.(check int) "everything consumed"
+    (String.length f1 + String.length f2 + String.length f3)
+    s.Frame.consumed
+
+(* A payload embedding the frame magic (followed by non-hex bytes):
+   resync must try the embedded magic, reject it, and resync again —
+   splitting the damaged frame into two pinned skip regions. *)
+let test_frame_resync_embedded_magic () =
+  let f1 =
+    let b =
+      Bytes.of_string
+        (Frame.encode ("aa" ^ Frame.magic ^ String.make 12 'z' ^ "-tail"))
+    in
+    Bytes.set b 0 'X';
+    (* break the outer magic *)
+    Bytes.to_string b
+  in
+  let f2 = Frame.encode "ok" in
+  let s = Frame.decode_stream (f1 ^ f2) in
+  let inner = Frame.header_len + 2 in
+  Alcotest.(check (list string)) "the frame behind decodes" [ "ok" ]
+    s.Frame.frames;
+  let skips =
+    List.map (fun k -> (k.Frame.skip_pos, k.Frame.skip_len)) s.Frame.skipped
+  in
+  Alcotest.(check (list (pair int int)))
+    "skips split exactly at the embedded magic"
+    [ (0, inner); (inner, String.length f1 - inner) ]
+    skips;
+  Alcotest.(check int) "skipped byte total pinned" (String.length f1)
+    (Frame.skipped_bytes s);
+  Alcotest.(check bool) "no trailing tail" true (s.Frame.trailing = None)
+
+(* ---------------- health heartbeat ---------------- *)
+
+let test_health_heartbeat_roundtrip () =
+  with_spool @@ fun spool ->
+  (* older file shape: no beat/pid lines read as zero/absent, and a
+     legacy ready file still probes live *)
+  Health.write ~spool Health.Ready;
+  (match Health.read ~spool with
+  | Error e -> Alcotest.fail e
+  | Ok i ->
+    Alcotest.(check int) "beat absent reads 0" 0 i.Health.i_beat;
+    Alcotest.(check bool) "pid absent" true (i.Health.i_pid = None));
+  Alcotest.(check int) "legacy ready file probes live"
+    (Exit_code.to_int Exit_code.Ok_)
+    (Exit_code.to_int (Health.probe ~spool));
+  Health.write ~spool ~beat:7 ~pid:(Unix.getpid ()) Health.Ready;
+  match Health.read ~spool with
+  | Error e -> Alcotest.fail e
+  | Ok i ->
+    Alcotest.(check int) "beat round-trips" 7 i.Health.i_beat;
+    Alcotest.(check bool) "pid round-trips" true
+      (i.Health.i_pid = Some (Unix.getpid ()))
+
+let test_health_beat_advances () =
+  with_spool @@ fun spool ->
+  let srv = Server.create (server_config spool) in
+  ignore (Server.drain srv);
+  let read () =
+    match Health.read ~spool with
+    | Ok i -> i
+    | Error e -> Alcotest.fail e
+  in
+  let i1 = read () in
+  Alcotest.(check bool) "first drain published heartbeats" true
+    (i1.Health.i_beat > 0);
+  Alcotest.(check bool) "live daemon's pid recorded" true
+    (i1.Health.i_pid = Some (Unix.getpid ()));
+  ignore (Server.drain srv);
+  Alcotest.(check bool) "beat is monotonic across drains" true
+    ((read ()).Health.i_beat > i1.Health.i_beat)
+
+(* The one case the heartbeat exists for: a ready-claiming file left
+   behind by a daemon that died without publishing [Stopped]. *)
+let test_health_dead_pid_probes_crashed () =
+  with_spool @@ fun spool ->
+  (* a pid with no process behind it (forking a child to reap is off
+     the table once domains exist, so hunt for one) *)
+  let alive p =
+    match Unix.kill p 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+    | exception Unix.Unix_error (_, _, _) -> false
+  in
+  let rec dead p = if alive p then dead (p - 7) else p in
+  let pid = dead 99_983 in
+  Health.write ~spool ~beat:5 ~pid Health.Ready;
+  Alcotest.(check int) "ready file from a dead pid probes crashed"
+    (Exit_code.to_int Exit_code.Crashed)
+    (Exit_code.to_int (Health.probe ~spool));
+  Health.write ~spool ~beat:6 ~pid:(Unix.getpid ()) Health.Ready;
+  Alcotest.(check int) "same file under a live pid probes ok"
+    (Exit_code.to_int Exit_code.Ok_)
+    (Exit_code.to_int (Health.probe ~spool))
+
+(* ---------------- socket transport ---------------- *)
+
+let test_transport_addr_parse () =
+  let ok s =
+    match Transport.addr_of_string s with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  (match ok "unix:/tmp/x.sock" with
+  | Transport.Unix_path p -> Alcotest.(check string) "unix path" "/tmp/x.sock" p
+  | Transport.Tcp _ -> Alcotest.fail "expected a unix addr");
+  (match ok "tcp:9181" with
+  | Transport.Tcp (h, p) ->
+    Alcotest.(check string) "default host" "localhost" h;
+    Alcotest.(check int) "port" 9181 p
+  | Transport.Unix_path _ -> Alcotest.fail "expected a tcp addr");
+  (match ok "tcp:127.0.0.1:9182" with
+  | Transport.Tcp (h, p) ->
+    Alcotest.(check string) "host" "127.0.0.1" h;
+    Alcotest.(check int) "port" 9182 p
+  | Transport.Unix_path _ -> Alcotest.fail "expected a tcp addr");
+  Alcotest.(check string) "round-trips" "tcp:127.0.0.1:9182"
+    (Transport.addr_to_string (Transport.Tcp ("127.0.0.1", 9182)));
+  List.iter
+    (fun bad ->
+      match Transport.addr_of_string bad with
+      | Ok _ -> Alcotest.failf "%S should not parse" bad
+      | Error _ -> ())
+    [ ""; "sctp:9181"; "tcp:"; "tcp:notaport"; "tcp::9181"; "unix:" ]
+
+let raw_connect addr =
+  match Transport.connect addr with
+  | Ok fd -> fd
+  | Error e -> Alcotest.failf "connect: %s" e
+
+let raw_send fd s =
+  let n = String.length s in
+  let rec go pos =
+    if pos < n then
+      go
+        (pos
+        + Transport.retry_intr (fun () ->
+              Unix.write_substring fd s pos (n - pos)))
+  in
+  go 0
+
+let raw_read_response ?(timeout = 10.0) fd =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match (Frame.decode_stream (Buffer.contents buf)).Frame.frames with
+    | payload :: _ -> (
+      match Wire.response_of_string payload with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "bad response frame: %s" e)
+    | [] ->
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0. then Alcotest.fail "timed out waiting for a response"
+      else begin
+        match
+          Transport.retry_intr (fun () -> Unix.select [ fd ] [] [] left)
+        with
+        | [], _, _ -> Alcotest.fail "timed out waiting for a response"
+        | _ -> (
+          match Transport.retry_intr (fun () -> Unix.read fd chunk 0 4096) with
+          | 0 -> Alcotest.fail "connection closed before a response"
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ())
+      end
+  in
+  go ()
+
+(* A live daemon on a Unix socket in its own domain; [f addr] runs the
+   client side, then a shutdown frame ends the daemon and its report
+   comes back with [f]'s result. *)
+let with_socket_server ?jobs ?(max_conns = 64) ?(read_deadline = 2.0)
+    ?(faults = Net_faults.off) spool f =
+  let path = Filename.concat spool "sock" in
+  let addr = Transport.Unix_path path in
+  let srv = Server.create (server_config ?jobs spool) in
+  let sc =
+    {
+      (Server.default_socket_config addr) with
+      Server.sk_max_conns = max_conns;
+      sk_read_deadline = read_deadline;
+      sk_poll = 0.01;
+      sk_heartbeat = 0.05;
+      sk_faults = faults;
+    }
+  in
+  let d = Domain.spawn (fun () -> Server.serve_socket srv sc) in
+  let rec wait n =
+    if n = 0 then Alcotest.fail "socket never appeared"
+    else if not (Sys.file_exists path) then begin
+      Unix.sleepf 0.01;
+      wait (n - 1)
+    end
+  in
+  wait 1000;
+  let shutdown () =
+    match
+      Client.shutdown
+        (Client.create (Client.default_config (Client.Socket addr)))
+    with
+    | Ok () | Error _ -> ()
+  in
+  let res =
+    try f addr
+    with e ->
+      shutdown ();
+      ignore (Domain.join d);
+      raise e
+  in
+  shutdown ();
+  match Domain.join d with
+  | Ok report -> (res, report)
+  | Error e -> Alcotest.failf "serve_socket: %s" e
+
+let socket_ids =
+  [
+    ("sock-a1", "t-a", "micro");
+    ("sock-a2", "t-a", "micro-alt");
+    ("sock-b1", "t-b", "micro");
+    ("sock-b2", "t-b", "micro-alt");
+  ]
+
+let run_socket_workloads jobs =
+  with_spool @@ fun spool ->
+  let bodies, report =
+    with_socket_server ~jobs spool (fun addr ->
+        List.map
+          (fun (id, tenant, workload) ->
+            let c =
+              Client.create (Client.default_config (Client.Socket addr))
+            in
+            match Client.call c (req ~tenant ~workload id) with
+            | Error e -> Alcotest.failf "%s: %s" id e
+            | Ok o ->
+              Alcotest.(check string) (id ^ " status")
+                (Wire.status_to_string Wire.Ok_)
+                (Wire.status_to_string o.Client.response.Wire.rsp_status);
+              (id, o.Client.response.Wire.rsp_body))
+          socket_ids)
+  in
+  Alcotest.(check int) "all answered ok" (List.length socket_ids)
+    report.Server.s_ok;
+  Alcotest.(check int) "nothing shed" 0 report.Server.s_shed;
+  bodies
+
+(* The transport must be invisible in the result bytes: same bodies at
+   --jobs 1 and --jobs 4 over the socket, and identical to draining
+   the same requests from the file spool. *)
+let test_socket_identity_across_transports () =
+  let b1 = run_socket_workloads 1 in
+  let b4 = run_socket_workloads 4 in
+  Alcotest.(check (list (pair string string)))
+    "socket bodies byte-identical across --jobs" b1 b4;
+  with_spool @@ fun spool ->
+  List.iter
+    (fun (id, tenant, workload) ->
+      Server.submit ~spool (Wire.Run (req ~tenant ~workload id)))
+    socket_ids;
+  let srv = Server.create (server_config spool) in
+  ignore (Server.drain srv);
+  let by_id =
+    List.map (fun r -> (r.Wire.rsp_id, r.Wire.rsp_body)) (responses_exn spool)
+  in
+  List.iter
+    (fun (id, body) ->
+      match List.assoc_opt id by_id with
+      | None -> Alcotest.failf "spool oracle missing %s" id
+      | Some b ->
+        Alcotest.(check string) (id ^ " spool/socket body identical") body b)
+    b1
+
+(* A client that vanishes mid-flight and retries the same id must get
+   the recorded response — executed once, delivered on the retry. *)
+let test_socket_replay_exactly_once () =
+  with_spool @@ fun spool ->
+  let (), report =
+    with_socket_server spool (fun addr ->
+        let fd = raw_connect addr in
+        raw_send fd
+          (Frame.encode (Wire.body_to_string (Wire.Run (req "dup-sock"))));
+        Unix.close fd;
+        (* gone before the answer *)
+        Unix.sleepf 0.5;
+        let c = Client.create (Client.default_config (Client.Socket addr)) in
+        match Client.call c (req "dup-sock") with
+        | Error e -> Alcotest.failf "retry lost: %s" e
+        | Ok o ->
+          Alcotest.(check string) "retry answered ok"
+            (Wire.status_to_string Wire.Ok_)
+            (Wire.status_to_string o.Client.response.Wire.rsp_status))
+  in
+  Alcotest.(check int) "executed exactly once" 1 report.Server.s_ok;
+  Alcotest.(check bool) "the retry was a replay" true
+    (report.Server.s_replayed >= 1);
+  Alcotest.(check int) "exactly one durable record" 1
+    (List.length
+       (List.filter (fun r -> r.Wire.rsp_id = "dup-sock") (responses_exn spool)))
+
+let test_socket_conn_cap_sheds () =
+  with_spool @@ fun spool ->
+  let (), report =
+    with_socket_server ~max_conns:1 ~read_deadline:30.0 spool (fun addr ->
+        let a = raw_connect addr in
+        Unix.sleepf 0.2;
+        (* let the daemon accept [a] and fill the cap *)
+        let b = raw_connect addr in
+        let r = raw_read_response b in
+        Alcotest.(check string) "over-cap conn is shed"
+          (Wire.status_to_string Wire.Overloaded)
+          (Wire.status_to_string r.Wire.rsp_status);
+        Alcotest.(check string) "shed frame has no id" "-" r.Wire.rsp_id;
+        Unix.close b;
+        Unix.close a;
+        Unix.sleepf 0.2
+        (* the daemon notices [a]'s EOF and frees the cap for the
+           shutdown frame *))
+  in
+  Alcotest.(check bool) "shed counted" true (report.Server.s_shed >= 1)
+
+let test_socket_slow_loris_shed () =
+  with_spool @@ fun spool ->
+  let (), report =
+    with_socket_server ~read_deadline:0.15 spool (fun addr ->
+        let fd = raw_connect addr in
+        raw_send fd "APTG12";
+        (* a header that never completes *)
+        let r = raw_read_response fd in
+        Alcotest.(check string) "blown read deadline is shed as overloaded"
+          (Wire.status_to_string Wire.Overloaded)
+          (Wire.status_to_string r.Wire.rsp_status);
+        Unix.close fd)
+  in
+  Alcotest.(check bool) "shed counted" true (report.Server.s_shed >= 1)
+
+(* Clients under seeded disconnects, short writes, delays and
+   duplicates: every id is answered [Ok_] and executed exactly once —
+   never lost, never run twice. *)
+let test_socket_faulty_clients_exactly_once () =
+  with_spool @@ fun spool ->
+  let faults =
+    {
+      Net_faults.seed = 1;
+      disconnect_rate = 0.3;
+      short_write_rate = 0.5;
+      delay_rate = 0.2;
+      max_delay = 0.02;
+      duplicate_rate = 0.3;
+    }
+  in
+  let ids = List.init 10 (Printf.sprintf "flaky-%d") in
+  let (), report =
+    with_socket_server spool (fun addr ->
+        let cfg =
+          {
+            (Client.default_config (Client.Socket addr)) with
+            Client.faults;
+            seed = 1;
+          }
+        in
+        List.iteri
+          (fun k id ->
+            let c = Client.create ~stream:k cfg in
+            match Client.call c (req id) with
+            | Error e -> Alcotest.failf "%s lost: %s" id e
+            | Ok o ->
+              Alcotest.(check string) (id ^ " answered ok")
+                (Wire.status_to_string Wire.Ok_)
+                (Wire.status_to_string o.Client.response.Wire.rsp_status))
+          ids)
+  in
+  Alcotest.(check int) "each id executed exactly once" (List.length ids)
+    report.Server.s_ok;
+  let rs = responses_exn spool in
+  List.iter
+    (fun id ->
+      Alcotest.(check int)
+        (id ^ " has exactly one durable record")
+        1
+        (List.length (List.filter (fun r -> r.Wire.rsp_id = id) rs)))
+    ids
+
+(* Garbage ending in a partial "APT" magic prefix: the daemon consumes
+   the garbage, holds the prefix back, and reassembles the frame when
+   the rest arrives. *)
+let test_socket_magic_holdback () =
+  with_spool @@ fun spool ->
+  let (), report =
+    with_socket_server spool (fun addr ->
+        let frame =
+          Frame.encode (Wire.body_to_string (Wire.Run (req "holdback-1")))
+        in
+        let fd = raw_connect addr in
+        raw_send fd "XXXXAPT";
+        Unix.sleepf 0.3;
+        raw_send fd ("G" ^ String.sub frame 4 (String.length frame - 4));
+        let r = raw_read_response fd in
+        Alcotest.(check string) "reassembled across the split magic"
+          "holdback-1" r.Wire.rsp_id;
+        Alcotest.(check string) "answered ok"
+          (Wire.status_to_string Wire.Ok_)
+          (Wire.status_to_string r.Wire.rsp_status);
+        Unix.close fd)
+  in
+  Alcotest.(check int) "the garbage was resynced past" 1
+    report.Server.s_resynced
+
 let () =
   Alcotest.run "serve"
     [
@@ -951,6 +1390,10 @@ let () =
           Alcotest.test_case "oversized payloads are malformed" `Quick
             test_frame_oversized;
           Alcotest.test_case "empty stream" `Quick test_frame_empty_stream;
+          Alcotest.test_case "back-to-back corruption skips are pinned" `Quick
+            test_frame_resync_back_to_back;
+          Alcotest.test_case "embedded magic splits the skip exactly" `Quick
+            test_frame_resync_embedded_magic;
         ] );
       ( "wire",
         [
@@ -1012,4 +1455,32 @@ let () =
       ( "salvage",
         [ Alcotest.test_case "salvage counts land on metrics" `Quick
             test_salvage_metrics ] );
+      ( "health",
+        [
+          Alcotest.test_case "heartbeat fields round-trip, legacy reads" `Quick
+            test_health_heartbeat_roundtrip;
+          Alcotest.test_case "beat advances across drains" `Slow
+            test_health_beat_advances;
+          Alcotest.test_case "dead pid behind a ready file probes crashed"
+            `Quick test_health_dead_pid_probes_crashed;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "address parsing" `Quick test_transport_addr_parse;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "byte-identity across --jobs + spool oracle" `Slow
+            test_socket_identity_across_transports;
+          Alcotest.test_case "mid-flight disconnect retries replay exactly once"
+            `Slow test_socket_replay_exactly_once;
+          Alcotest.test_case "connection cap sheds as overloaded" `Slow
+            test_socket_conn_cap_sheds;
+          Alcotest.test_case "slow-loris blows the read deadline" `Slow
+            test_socket_slow_loris_shed;
+          Alcotest.test_case "seeded client faults: exactly once, none lost"
+            `Slow test_socket_faulty_clients_exactly_once;
+          Alcotest.test_case "split magic across reads reassembles" `Slow
+            test_socket_magic_holdback;
+        ] );
     ]

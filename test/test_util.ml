@@ -1,4 +1,5 @@
 module Rng = Aptget_util.Rng
+module Backoff = Aptget_util.Backoff
 module Stats = Aptget_util.Stats
 module Histogram = Aptget_util.Histogram
 module Table = Aptget_util.Table
@@ -270,6 +271,75 @@ let qsuite = List.map QCheck_alcotest.to_alcotest
     [ prop_permutation; prop_shuffle_preserves; prop_percentile_bounds;
       prop_mean_matches_running; prop_histogram_total ]
 
+(* ---------------- Backoff ---------------- *)
+
+(* The factor is pinned byte-identically to the inline formula the
+   campaign runner used before extraction: min(base^(n-1), cap). *)
+let test_backoff_factor_pins () =
+  let c = { Backoff.base = 2.0; cap = 4096.; jitter = 0. } in
+  List.iter
+    (fun (attempt, expected) ->
+      check_float
+        (Printf.sprintf "factor at attempt %d" attempt)
+        expected
+        (Backoff.factor c ~attempt))
+    [ (1, 1.); (2, 2.); (3, 4.); (4, 8.); (12, 2048.); (13, 4096.); (14, 4096.); (30, 4096.) ];
+  (* float-for-float identical to the historical inline expression,
+     fractional bases included *)
+  List.iter
+    (fun base ->
+      let c = { Backoff.base; cap = 4096.; jitter = 0. } in
+      for attempt = 1 to 40 do
+        let inline = Float.min (base ** float_of_int (attempt - 1)) 4096. in
+        Alcotest.(check bool)
+          (Printf.sprintf "base %g attempt %d bit-identical" base attempt)
+          true
+          (Int64.equal
+             (Int64.bits_of_float inline)
+             (Int64.bits_of_float (Backoff.factor c ~attempt)))
+      done)
+    [ 1.3; 1.5; 2.0; 3.0 ]
+
+let test_backoff_jitter_zero_is_factor () =
+  let c = { Backoff.base = 2.0; cap = 32.; jitter = 0. } in
+  let t = Backoff.create ~seed:7 c in
+  for attempt = 1 to 10 do
+    check_float "jitter-free next = factor"
+      (Backoff.factor c ~attempt)
+      (Backoff.next t ~attempt)
+  done
+
+let test_backoff_jitter_bounds_and_determinism () =
+  let c = { Backoff.default with Backoff.jitter = 0.5 } in
+  let a = Backoff.create ~seed:11 c and b = Backoff.create ~seed:11 c in
+  let other = Backoff.create ~seed:12 c in
+  let saw_different = ref false in
+  for attempt = 1 to 50 do
+    let f = Backoff.factor c ~attempt in
+    let v = Backoff.next a ~attempt in
+    Alcotest.(check bool) "within [factor/2, factor]" true
+      (v >= f *. 0.5 -. 1e-12 && v <= f +. 1e-12);
+    check_float "same seed, same jitter" v (Backoff.next b ~attempt);
+    if Backoff.next other ~attempt <> v then saw_different := true
+  done;
+  Alcotest.(check bool) "different seeds decorrelate" true !saw_different
+
+let test_backoff_validate () =
+  let bad c = Result.is_error (Backoff.validate c) in
+  Alcotest.(check bool) "base < 1 rejected" true
+    (bad { Backoff.base = 0.9; cap = 4.; jitter = 0. });
+  Alcotest.(check bool) "cap < 1 rejected" true
+    (bad { Backoff.base = 2.; cap = 0.5; jitter = 0. });
+  Alcotest.(check bool) "jitter > 1 rejected" true
+    (bad { Backoff.base = 2.; cap = 4.; jitter = 1.5 });
+  Alcotest.(check bool) "jitter < 0 rejected" true
+    (bad { Backoff.base = 2.; cap = 4.; jitter = -0.1 });
+  Alcotest.(check bool) "default valid" true
+    (Result.is_ok (Backoff.validate Backoff.default));
+  Alcotest.check_raises "create rejects invalid"
+    (Invalid_argument "Backoff.create: backoff base must be >= 1.0") (fun () ->
+      ignore (Backoff.create { Backoff.base = 0.5; cap = 4.; jitter = 0. }))
+
 let () =
   Alcotest.run "util"
     [
@@ -282,6 +352,16 @@ let () =
           Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
           Alcotest.test_case "split" `Quick test_rng_split_independent;
           Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "campaign factor pins" `Quick
+            test_backoff_factor_pins;
+          Alcotest.test_case "jitter-free next = factor" `Quick
+            test_backoff_jitter_zero_is_factor;
+          Alcotest.test_case "jitter bounds + determinism" `Quick
+            test_backoff_jitter_bounds_and_determinism;
+          Alcotest.test_case "validation" `Quick test_backoff_validate;
         ] );
       ( "stats",
         [
