@@ -13,11 +13,23 @@
      dune exec bench/main.exe -- --trace t.ndjson --metrics m.json
                                               -- observability sidecars
                                                  (BENCH JSON is unchanged)
+     dune exec bench/main.exe -- --engine interp
+                                              -- pick the simulator engine
+                                                 (compiled | interp |
+                                                 compiled-nosb); BENCH JSON
+                                                 is byte-identical across
+                                                 engines modulo wall/
+                                                 throughput fields
+     dune exec bench/main.exe -- --engine-bench
+                                              -- per-engine simulated
+                                                 Mcycles/sec comparison
+                                                 table (quick sizes)
 *)
 
 module Experiments = Aptget_experiments
 module Lab = Experiments.Lab
 module Registry = Experiments.Registry
+module Machine = Aptget_machine.Machine
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel mode: one Test.make per experiment, each running that
@@ -81,7 +93,8 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_bench_json lab (e : Registry.experiment) ~wall_seconds =
+let write_bench_json lab (e : Registry.experiment) ~wall_seconds
+    ~throughput_mcycles_per_sec =
   let path = Printf.sprintf "BENCH_%s.json" e.Registry.id in
   let workloads =
     Lab.summary lab
@@ -100,14 +113,70 @@ let write_bench_json lab (e : Registry.experiment) ~wall_seconds =
         \  \"experiment\": \"%s\",\n\
         \  \"title\": \"%s\",\n\
         \  \"wall_seconds\": %.3f,\n\
+        \  \"throughput_mcycles_per_sec\": %.3f,\n\
         \  \"workloads\": [\n\
          %s\n\
         \  ]\n\
          }\n"
         (json_escape e.Registry.id)
         (json_escape e.Registry.title)
-        wall_seconds
+        wall_seconds throughput_mcycles_per_sec
         (String.concat ",\n" workloads))
+
+(* Simulator throughput over an experiment: simulated cycles per
+   second of time spent inside [Machine.execute], from the process-wide
+   accumulators (deltas, so per-experiment). Like [wall_seconds], this
+   is a measurement of this run's machine and is excluded from BENCH
+   byte-diffs in CI. *)
+let with_throughput f =
+  let c0 = Machine.total_simulated_cycles () in
+  let s0 = Machine.total_execute_seconds () in
+  let r = f () in
+  let dc = Machine.total_simulated_cycles () - c0 in
+  let ds = Machine.total_execute_seconds () -. s0 in
+  let tp = if ds > 0. then float_of_int dc /. 1e6 /. ds else 0. in
+  (r, tp)
+
+(* ------------------------------------------------------------------ *)
+(* Engine microbench (--engine-bench): run each experiment's pipeline
+   once per engine on quick-size inputs and report simulated
+   Mcycles/sec plus the compiled engine's speedup. CI uploads this
+   table as an artifact.                                               *)
+
+let run_engine_bench ids =
+  let engines =
+    [
+      Machine.Interp;
+      Machine.Compiled { superblocks = false };
+      Machine.Compiled { superblocks = true };
+    ]
+  in
+  let experiments =
+    match ids with
+    | [] -> Registry.all
+    | ids -> List.filter_map Registry.find ids
+  in
+  Printf.printf "%-16s %14s %14s %14s %9s\n" "experiment" "interp Mc/s"
+    "compiled Mc/s" "+traces Mc/s" "speedup";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun (e : Registry.experiment) ->
+      let rates =
+        List.map
+          (fun engine ->
+            Machine.set_default_engine engine;
+            let lab = Lab.create ~quick:true () in
+            let (), tp = with_throughput (fun () -> ignore (e.Registry.run lab)) in
+            tp)
+          engines
+      in
+      match rates with
+      | [ interp; compiled; traces ] ->
+        Printf.printf "%-16s %14.1f %14.1f %14.1f %8.2fx\n%!" e.Registry.id
+          interp compiled traces
+          (if interp > 0. then traces /. interp else 0.)
+      | _ -> ())
+    experiments
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -127,16 +196,28 @@ let () =
   let args, jobs = extract_opt "--jobs" args in
   let args, trace = extract_opt "--trace" args in
   let args, metrics = extract_opt "--metrics" args in
+  let args, engine = extract_opt "--engine" args in
   Option.iter
     (fun j -> Aptget_util.Pool.set_default_jobs (Some j))
     (Option.bind jobs int_of_string_opt);
+  Option.iter
+    (fun e ->
+      match Machine.engine_of_string e with
+      | Some e -> Machine.set_default_engine e
+      | None ->
+        Printf.eprintf
+          "unknown engine %s; known: interp, compiled, compiled-nosb\n" e;
+        exit 2)
+    engine;
   Aptget_obs.Obs.install ?trace ?metrics ();
   let quick =
     List.mem "--quick" args || Sys.getenv_opt "APTGET_BENCH_QUICK" <> None
   in
   let bechamel = List.mem "--bechamel" args in
+  let engine_bench = List.mem "--engine-bench" args in
   let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
   if bechamel then run_bechamel ()
+  else if engine_bench then run_engine_bench ids
   else begin
     let lab = Lab.create ~quick () in
     let experiments =
@@ -161,10 +242,12 @@ let () =
     List.iter
       (fun (e : Registry.experiment) ->
         Printf.printf "== %s: %s ==\n%!" e.Registry.id e.Registry.title;
-        let tables, wall_seconds = Registry.run_timed lab e in
+        let (tables, wall_seconds), throughput_mcycles_per_sec =
+          with_throughput (fun () -> Registry.run_timed lab e)
+        in
         List.iter Aptget_util.Table.print tables;
         Printf.printf "(%s finished in %.1fs wall)\n\n%!" e.Registry.id
           wall_seconds;
-        write_bench_json lab e ~wall_seconds)
+        write_bench_json lab e ~wall_seconds ~throughput_mcycles_per_sec)
       experiments
   end

@@ -102,6 +102,35 @@ let jobs_term =
   in
   Term.(const apply $ flag)
 
+(* --engine, shared by every command that runs simulations. The flag
+   overrides APTGET_ENGINE; the default is the compiled engine. All
+   engines produce identical cycles, counters and outcomes — interp is
+   kept as the differential oracle. *)
+let engine_term =
+  let flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Simulator engine: $(b,compiled) (closure-compiled blocks \
+             plus superblock traces; the default), $(b,compiled-nosb) \
+             (compiled blocks, no traces) or $(b,interp) (the reference \
+             interpreter). Engines are byte-identical in every simulated \
+             number; they differ only in wall-clock speed. Overrides the \
+             $(b,APTGET_ENGINE) environment variable.")
+  in
+  let apply = function
+    | None -> ()
+    | Some s -> (
+      match Machine.engine_of_string s with
+      | Some e -> Machine.set_default_engine e
+      | None ->
+        die "bad --engine value: %s (known: compiled, compiled-nosb, interp)"
+          s)
+  in
+  Term.(const apply $ flag)
+
 (* --trace/--metrics sidecars. Enabling either turns the obs layer on
    and registers an at_exit exporter, so even the campaign command's
    explicit [exit] paths still flush the files. *)
@@ -341,7 +370,7 @@ let run_cmd =
       exit 1
   in
   let run w hints_path lenient robust remap guard guard_floor quarantine_path
-      online epochs drift faults () =
+      online epochs drift faults () () =
     float_range "guard-floor" ~gt:0. ~le:1.5 guard_floor;
     int_min "epochs" 1 epochs;
     if robust && (remap || guard) then
@@ -592,10 +621,11 @@ let run_cmd =
     Term.(
       const run $ workload_arg $ hints_flag $ lenient_flag $ robust_flag
       $ remap_flag $ guard_flag $ guard_floor_flag $ quarantine_flag
-      $ online_flag $ epochs_flag $ drift_term $ faults_term $ obs_term)
+      $ online_flag $ epochs_flag $ drift_term $ faults_term $ obs_term
+      $ engine_term)
 
 let profile_cmd =
-  let profile w output faults () =
+  let profile w output faults () () =
     let options = { Profiler.default_options with Profiler.faults } in
     let prof = Pipeline.profile ~options w in
     Printf.printf
@@ -653,7 +683,7 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Collect and analyse an LBR/PEBS profile for a workload")
-    Term.(const profile $ workload_arg $ output_flag $ faults_term $ obs_term)
+    Term.(const profile $ workload_arg $ output_flag $ faults_term $ obs_term $ engine_term)
 
 let show_ir_cmd =
   let show w inject =
@@ -706,7 +736,7 @@ let list_cmd =
     Term.(const list $ const ())
 
 let experiments_cmd =
-  let run ids quick () () =
+  let run ids quick () () () =
     let lab = Lab.create ~quick () in
     let exps =
       match ids with
@@ -729,11 +759,12 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ ids $ quick $ jobs_term $ obs_term)
+    Term.(const run $ ids $ quick $ jobs_term $ obs_term $ engine_term)
 
 let campaign_cmd =
   let run workloads store trials retries threshold cooldown backoff_base
-      max_cycles max_steps crash_after_write crash_torn crash_at_cycle () () =
+      max_cycles max_steps crash_after_write crash_torn crash_at_cycle ()
+      () () =
     int_min "trials" 1 trials;
     int_min "retries" 0 retries;
     int_min "breaker-threshold" 1 threshold;
@@ -934,7 +965,7 @@ let campaign_cmd =
       const run $ workloads_arg $ store_flag $ trials_flag $ retries_flag
       $ threshold_flag $ cooldown_flag $ backoff_flag $ max_cycles_flag
       $ max_steps_flag $ crash_write_flag $ crash_torn_flag
-      $ crash_cycle_flag $ jobs_term $ obs_term)
+      $ crash_cycle_flag $ jobs_term $ obs_term $ engine_term)
 
 let read_file_or_stdin path =
   if path = "-" then In_channel.input_all stdin
@@ -1009,7 +1040,7 @@ let serve_cmd =
   let serve spool capacity deadline threshold cooldown no_cache submits
       shutdown watch health once response_id show poll max_drains
       crash_after_write crash_torn listen connect max_conns read_deadline
-      max_batches net_faults () () =
+      max_batches net_faults () () () =
     int_min "capacity" 1 capacity;
     int_min "breaker-threshold" 1 threshold;
     int_min "breaker-cooldown" 0 cooldown;
@@ -1465,7 +1496,7 @@ let serve_cmd =
       $ show_responses_flag $ poll_flag $ max_drains_flag $ crash_write_flag
       $ crash_torn_flag $ listen_flag $ connect_flag $ max_conns_flag
       $ read_deadline_flag $ max_batches_flag $ net_faults_term $ jobs_term
-      $ obs_term)
+      $ obs_term $ engine_term)
 
 let loadgen_cmd =
   let loadgen connect spool rate duration requests tenants workloads attempts

@@ -31,15 +31,22 @@ let sets t = t.n_sets
 let assoc t = t.assoc
 let set_of t line = line land t.set_mask
 
+(* The way scans below run several times per simulated load (L1/L2/LLC
+   probes, installs, invalidations), so they use unsafe accesses behind
+   indices that are in bounds by construction: [set_of] masks the line
+   into [0, n_sets) and ways stay below [assoc], so [base + w] is
+   always within the [n_sets * assoc] backing arrays. *)
 let find_way t line =
-  let s = set_of t line in
-  let base = s * t.assoc in
-  let rec go w =
-    if w = t.assoc then -1
-    else if t.tags.(base + w) = line then base + w
-    else go (w + 1)
-  in
-  go 0
+  let base = set_of t line * t.assoc in
+  let tags = t.tags in
+  let n = t.assoc in
+  let found = ref (-1) in
+  let w = ref 0 in
+  while !found < 0 && !w < n do
+    if Array.unsafe_get tags (base + !w) = line then found := base + !w;
+    incr w
+  done;
+  !found
 
 let probe t line = find_way t line >= 0
 
@@ -47,7 +54,7 @@ let touch t line =
   let i = find_way t line in
   if i >= 0 then begin
     t.clock <- t.clock + 1;
-    t.lru.(i) <- t.clock;
+    Array.unsafe_set t.lru i t.clock;
     true
   end
   else false
@@ -56,36 +63,45 @@ let insert t line =
   let i = find_way t line in
   t.clock <- t.clock + 1;
   if i >= 0 then begin
-    t.lru.(i) <- t.clock;
+    Array.unsafe_set t.lru i t.clock;
     None
   end
   else begin
-    let s = set_of t line in
-    let base = s * t.assoc in
-    (* Pick an invalid way, else the least recently used one. *)
-    let victim = ref base in
-    let victim_stamp = ref max_int in
-    let found_invalid = ref false in
-    for w = 0 to t.assoc - 1 do
-      let idx = base + w in
-      if (not !found_invalid) && t.tags.(idx) = -1 then begin
-        victim := idx;
-        found_invalid := true
-      end
-      else if (not !found_invalid) && t.lru.(idx) < !victim_stamp then begin
-        victim := idx;
-        victim_stamp := t.lru.(idx)
-      end
+    let base = set_of t line * t.assoc in
+    let tags = t.tags and lru = t.lru in
+    let n = t.assoc in
+    (* Pick the first invalid way, else the least recently used one
+       (ties go to the lowest way, as before). *)
+    let invalid = ref (-1) in
+    let w = ref 0 in
+    while !invalid < 0 && !w < n do
+      if Array.unsafe_get tags (base + !w) = -1 then invalid := base + !w;
+      incr w
     done;
+    let victim =
+      if !invalid >= 0 then !invalid
+      else begin
+        let v = ref base in
+        let stamp = ref (Array.unsafe_get lru base) in
+        for j = 1 to n - 1 do
+          let s = Array.unsafe_get lru (base + j) in
+          if s < !stamp then begin
+            v := base + j;
+            stamp := s
+          end
+        done;
+        !v
+      end
+    in
     let evicted =
-      if t.tags.(!victim) = -1 then begin
+      if Array.unsafe_get tags victim = -1 then begin
         t.valid <- t.valid + 1;
         None
       end
-      else Some t.tags.(!victim)
+      else Some (Array.unsafe_get tags victim)
     in
-    t.tags.(!victim) <- line;
-    t.lru.(!victim) <- t.clock;
+    Array.unsafe_set tags victim line;
+    Array.unsafe_set lru victim t.clock;
     evicted
   end
 

@@ -147,7 +147,17 @@ type t = {
   pending_sw : (int, unit) Hashtbl.t;
       (* lines installed by a SW-prefetch fill and not yet demand-used:
          an LLC eviction of one is a too-early prefetch *)
+  line_shift : int;
+      (* log2 of words per line when that is a power of two, else -1;
+         lets [line_of] shift instead of running an integer division on
+         every access *)
 }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go k n = if n <= 1 then k else go (k + 1) (n lsr 1) in
+  go 0 n
 
 let create cfg =
   {
@@ -161,6 +171,10 @@ let create cfg =
     c = zero_counters ();
     next_dram_slot = 0;
     pending_sw = Hashtbl.create 64;
+    line_shift =
+      (if cfg.line_bytes mod 8 = 0 && is_pow2 (cfg.line_bytes / 8) then
+         log2 (cfg.line_bytes / 8)
+       else -1);
   }
 
 let config t = t.cfg
@@ -181,13 +195,25 @@ let install_all t line =
   ignore (Cache.insert t.l1 line)
 
 let drain_fills t ~cycle =
-  List.iter
-    (fun (e : Mshr.entry) ->
-      if e.origin = Mshr.Sw_prefetch then Hashtbl.replace t.pending_sw e.line ();
-      install_all t e.line)
-    (Mshr.pop_ready t.mshr ~now:cycle)
+  (* Pop first: the MSHR is empty on most accesses and the match keeps
+     the iteration closure from being allocated on that path. *)
+  match Mshr.pop_ready t.mshr ~now:cycle with
+  | [] -> ()
+  | ready ->
+    List.iter
+      (fun (e : Mshr.entry) ->
+        if e.origin = Mshr.Sw_prefetch then
+          Hashtbl.replace t.pending_sw e.line ();
+        install_all t e.line)
+      ready
 
-let line_of t addr = addr * 8 / t.cfg.line_bytes
+(* [addr * 8 / line_bytes], as a shift on the all-but-universal
+   power-of-two configs. Negative addresses (possible transiently: the
+   hierarchy is consulted before the memory bounds check raises) keep
+   the truncating-division rounding of the original expression. *)
+let line_of t addr =
+  if addr >= 0 && t.line_shift >= 0 then addr lsr t.line_shift
+  else addr * 8 / t.cfg.line_bytes
 
 (* Claim a DRAM channel slot: with a bandwidth bound, back-to-back
    fills are spaced [dram_min_gap] cycles apart and queueing delay adds
@@ -217,12 +243,14 @@ let start_fill t ~line ~cycle ~origin =
   end
 
 let hw_prefetch_lines t ~pc ~addr ~miss ~cycle =
-  let lines = Hwpf.on_demand_access t.hwpf ~pc ~addr ~miss in
-  List.iter
-    (fun line ->
-      if start_fill t ~line ~cycle ~origin:Mshr.Hw_prefetch then
-        t.c.hw_prefetch_issued <- t.c.hw_prefetch_issued + 1)
-    lines
+  match Hwpf.on_demand_access t.hwpf ~pc ~addr ~miss with
+  | [] -> ()
+  | lines ->
+    List.iter
+      (fun line ->
+        if start_fill t ~line ~cycle ~origin:Mshr.Hw_prefetch then
+          t.c.hw_prefetch_issued <- t.c.hw_prefetch_issued + 1)
+      lines
 
 let demand_load t ~pc ~addr ~cycle =
   drain_fills t ~cycle;

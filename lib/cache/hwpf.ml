@@ -53,5 +53,10 @@ let on_demand_access t ~pc ~addr ~miss =
     end;
     (* Next-line prefetch on demand misses. *)
     if miss then targets := (line_of addr + 1) :: !targets;
-    List.sort_uniq compare !targets
+    (* Same ascending dedupe as [List.sort_uniq compare], minus the
+       polymorphic compare: this runs on every demand access. *)
+    match !targets with
+    | [] -> []
+    | [ _ ] as l -> l
+    | l -> List.sort_uniq Int.compare l
   end

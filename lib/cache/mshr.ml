@@ -1,29 +1,65 @@
 type origin = Demand | Sw_prefetch | Hw_prefetch
 type entry = { line : int; ready_at : int; origin : origin }
-type t = { capacity : int; mutable entries : entry list (* unsorted *) }
+
+(* [n] mirrors [List.length entries] so capacity checks don't rescan,
+   and [min_ready] is a lower bound on every entry's [ready_at] so
+   [pop_ready] can skip the partition while no fill can be due yet
+   (the common case: a fill is in flight for tens of accesses before
+   its completion cycle). [remove] may leave [min_ready] stale-low;
+   that only costs a wasted scan, never a wrong answer. *)
+type t = {
+  capacity : int;
+  mutable entries : entry list; (* unsorted *)
+  mutable n : int;
+  mutable min_ready : int;
+}
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Mshr.create: capacity <= 0";
-  { capacity; entries = [] }
+  { capacity; entries = []; n = 0; min_ready = max_int }
 
 let capacity t = t.capacity
-let in_flight t = List.length t.entries
-let find t line = List.find_opt (fun e -> e.line = line) t.entries
+let in_flight t = t.n
+
+(* Hand-rolled scan: [List.find_opt] allocates its predicate closure on
+   every call, and [find] runs once per simulated load/prefetch. *)
+let find t line =
+  let rec go = function
+    | [] -> None
+    | e :: tl -> if e.line = line then Some e else go tl
+  in
+  go t.entries
 
 let allocate t ~line ~ready_at ~origin =
-  if List.length t.entries >= t.capacity then false
+  if t.n >= t.capacity then false
   else if find t line <> None then false
   else begin
     t.entries <- { line; ready_at; origin } :: t.entries;
+    t.n <- t.n + 1;
+    if ready_at < t.min_ready then t.min_ready <- ready_at;
     true
   end
 
 let remove t line =
-  t.entries <- List.filter (fun e -> e.line <> line) t.entries
+  t.entries <- List.filter (fun e -> e.line <> line) t.entries;
+  t.n <- List.length t.entries
 
 let pop_ready t ~now =
-  let ready, pending = List.partition (fun e -> e.ready_at <= now) t.entries in
-  t.entries <- pending;
-  List.sort (fun a b -> compare a.ready_at b.ready_at) ready
+  (* Fast path: nothing in flight, or every in-flight fill is still
+     short of its completion cycle. *)
+  if now < t.min_ready then []
+  else begin
+    let ready, pending =
+      List.partition (fun e -> e.ready_at <= now) t.entries
+    in
+    t.entries <- pending;
+    t.n <- List.length pending;
+    t.min_ready <-
+      List.fold_left (fun m e -> min m e.ready_at) max_int pending;
+    List.sort (fun a b -> Int.compare a.ready_at b.ready_at) ready
+  end
 
-let clear t = t.entries <- []
+let clear t =
+  t.entries <- [];
+  t.n <- 0;
+  t.min_ready <- max_int

@@ -1,0 +1,76 @@
+(** Execution-plan builder: the one-time pass both simulator engines
+    share before running a function.
+
+    A {!t} pre-resolves everything about a function that does not
+    depend on runtime state: per-block phi moves are flattened into one
+    operand row per predecessor (phi semantics are parallel, so rows
+    are read in full before any register is written), and instruction
+    arrays and terminators are laid out for straight dispatch. The
+    compiled engine additionally lowers each block of a plan into an
+    array of OCaml closures; the interpreter walks the same plan
+    structurally.
+
+    The superblock tier stitches {e traces} — straight-line block
+    sequences along hot control-flow edges — from branch samples
+    recorded in the LBR ring (the same ring the profiler reads:
+    the simulator dogfoods its own profile). A trace never changes
+    semantics; it only lets an engine pre-select each block's phi row
+    for the predecessor it expects, falling back to ordinary dispatch
+    through a side exit when a guard fails. *)
+
+type phi_moves = {
+  pm_dsts : int array;  (** one destination register per phi *)
+  pm_preds : int array;  (** predecessors every phi has an edge from *)
+  pm_rows : Ir.operand array array;  (** row per pred, column per phi *)
+}
+
+type block_plan = {
+  bp_phis : phi_moves;
+  bp_instrs : Ir.instr array;
+  bp_term : Ir.terminator;
+}
+
+type t = {
+  cp_entry : int;
+  cp_blocks : block_plan array;
+  cp_max_phis : int;  (** widest phi row, for scratch sizing *)
+}
+
+val no_phis : phi_moves
+(** The empty plan shared by phi-free blocks. *)
+
+val plan : Ir.func -> t
+(** Build the execution plan. O(function size); no runtime state. *)
+
+val phi_row : phi_moves -> int -> int
+(** [phi_row pm prev] is the row index holding [prev]'s operands, or
+    -1 when some phi has no edge from [prev]. *)
+
+val missing_phi_edge : Ir.func -> cur:int -> prev:int -> 'a
+(** Cold path: raise [Invalid_argument] naming the first phi (in
+    program order) of block [cur] with no edge from [prev]. *)
+
+type trace = { tr_blocks : int array }
+(** A superblock: [tr_blocks.(0)] is the head; each later element is
+    the expected successor of the one before it. Always >= 2 blocks. *)
+
+val edge_counts_of_branches :
+  nblocks:int -> (int * int) list -> ((int * int) * int) list
+(** Map [(branch_pc, target_pc)] samples — e.g. the entries of an LBR
+    ring snapshot — to block-edge occurrence counts via {!Layout}.
+    Samples whose PCs do not decode to a terminator-to-block-entry
+    edge inside [nblocks] blocks are dropped. Sorted by descending
+    count, then ascending edge, so the result is deterministic. *)
+
+val superblocks :
+  ?max_len:int ->
+  ?min_count:int ->
+  nblocks:int ->
+  ((int * int) * int) list ->
+  trace list
+(** Greedy trace stitching: from every block whose hottest outgoing
+    edge reaches [min_count] (default 4) samples, follow hottest
+    successors until the heat runs out, a block repeats, or [max_len]
+    (default 16) blocks are strung. Ties break toward the smaller
+    block label; only traces of >= 2 blocks are returned, at most one
+    per head block, heads ascending. *)

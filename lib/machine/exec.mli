@@ -1,0 +1,56 @@
+(** Shared substrate of the simulator engines.
+
+    Everything both the interpreter ({!Machine}) and the
+    closure-compiled engine ({!Compiled}) must agree on byte-for-byte
+    lives here: configuration and fuses, the mutable run state, value
+    semantics for ALU/compare ops, parameter binding and the execution
+    windowing machinery. {!Machine} re-exports the public pieces. *)
+
+type core_model = Blocking | Stall_on_use of { window : int }
+
+type config = {
+  hierarchy : Aptget_cache.Hierarchy.config;
+  max_instructions : int;
+  max_cycles : int;
+  core : core_model;
+}
+
+val default_config : config
+val stall_on_use_config : ?window:int -> unit -> config
+
+exception Fuse_blown of int
+exception Deadline_blown of { cycles : int; limit : int }
+
+val check_deadline : config -> int -> unit
+(** Raise {!Deadline_blown} when [max_cycles] is positive and exceeded. *)
+
+val eval_binop : Ir.binop -> int -> int -> int
+val eval_cmp : Ir.cmp_op -> int -> int -> int
+
+type state = {
+  mutable cycle : int;
+  mutable instrs : int;
+  mutable loads : int;
+  mutable prefetches : int;
+}
+
+type window_report = {
+  w_index : int;
+  w_start_cycle : int;
+  w_end_cycle : int;
+  w_instructions : int;
+  w_counters : Aptget_cache.Hierarchy.counters;
+}
+
+val make_windowing :
+  hier:Aptget_cache.Hierarchy.t ->
+  window_cycles:int ->
+  on_window:(window_report -> unit) ->
+  (state -> unit) * (state -> unit)
+(** [(tick, finish)]: [tick st] fires [on_window] whenever the cycle
+    clock crosses the next window boundary; [finish st] flushes the
+    trailing partial window. *)
+
+val bind_params : Ir.func -> int array -> int list -> unit
+(** Bind positional args to parameter registers; extras ignored,
+    missing ones left at the register default. *)

@@ -1,26 +1,20 @@
 module Memory = Aptget_mem.Memory
 module Hierarchy = Aptget_cache.Hierarchy
 module Sampler = Aptget_pmu.Sampler
+module Metrics = Aptget_obs.Metrics
+module Clock = Aptget_util.Clock
 
-type core_model = Blocking | Stall_on_use of { window : int }
+type core_model = Exec.core_model = Blocking | Stall_on_use of { window : int }
 
-type config = {
+type config = Exec.config = {
   hierarchy : Hierarchy.config;
   max_instructions : int;
   max_cycles : int;
   core : core_model;
 }
 
-let default_config =
-  {
-    hierarchy = Hierarchy.default_config;
-    max_instructions = 2_000_000_000;
-    max_cycles = 0;
-    core = Blocking;
-  }
-
-let stall_on_use_config ?(window = 64) () =
-  { default_config with core = Stall_on_use { window } }
+let default_config = Exec.default_config
+let stall_on_use_config = Exec.stall_on_use_config
 
 type outcome = {
   cycles : int;
@@ -71,54 +65,23 @@ let useless_prefetch_ratio (c : Hierarchy.counters) =
   if attempts = 0 then 0.
   else float_of_int c.Hierarchy.sw_prefetch_useless /. float_of_int attempts
 
-exception Fuse_blown of int
-exception Deadline_blown of { cycles : int; limit : int }
+exception Fuse_blown = Exec.Fuse_blown
+exception Deadline_blown = Exec.Deadline_blown
 
-let check_deadline config cycle =
-  if config.max_cycles > 0 && cycle > config.max_cycles then
-    raise (Deadline_blown { cycles = cycle; limit = config.max_cycles })
+let eval_binop = Exec.eval_binop
+let eval_cmp = Exec.eval_cmp
+let check_deadline = Exec.check_deadline
 
-(* Shared value semantics. *)
-let eval_binop op a b =
-  match op with
-  | Ir.Add -> a + b
-  | Ir.Sub -> a - b
-  | Ir.Mul -> a * b
-  | Ir.Div -> if b = 0 then 0 else a / b
-  | Ir.Rem -> if b = 0 then 0 else a mod b
-  | Ir.And -> a land b
-  | Ir.Or -> a lor b
-  | Ir.Xor -> a lxor b
-  | Ir.Shl -> a lsl (b land 62)
-  | Ir.Shr -> a asr (b land 62)
+open struct
+  type state = Exec.state = {
+    mutable cycle : int;
+    mutable instrs : int;
+    mutable loads : int;
+    mutable prefetches : int;
+  }
+end
 
-let eval_cmp op a b =
-  let v =
-    match op with
-    | Ir.Eq -> a = b
-    | Ir.Ne -> a <> b
-    | Ir.Lt -> a < b
-    | Ir.Le -> a <= b
-    | Ir.Gt -> a > b
-    | Ir.Ge -> a >= b
-  in
-  if v then 1 else 0
-
-type state = {
-  mutable cycle : int;
-  mutable instrs : int;
-  mutable loads : int;
-  mutable prefetches : int;
-}
-
-(* ------------------------------------------------------------------ *)
-(* Execution windows: periodic counter-delta snapshots for online      *)
-(* drift detection. The hook fires from the charge/issue path, so the  *)
-(* window-less variants below stay byte-identical to the pre-window    *)
-(* interpreter.                                                        *)
-(* ------------------------------------------------------------------ *)
-
-type window_report = {
+type window_report = Exec.window_report = {
   w_index : int;
   w_start_cycle : int;
   w_end_cycle : int;
@@ -126,139 +89,70 @@ type window_report = {
   w_counters : Hierarchy.counters;
 }
 
-(* Returns [(tick, finish)]: [tick st] fires [on_window] whenever the
-   cycle clock crosses the next window boundary; [finish st] flushes
-   the trailing partial window (if any activity happened since the last
-   boundary). *)
-let make_windowing ~hier ~window_cycles ~on_window =
-  let next = ref window_cycles in
-  let idx = ref 0 in
-  let prev_counters = ref (Hierarchy.counters hier) in
-  let prev_cycle = ref 0 in
-  let prev_instrs = ref 0 in
-  let emit (st : state) =
-    let c = Hierarchy.counters hier in
-    on_window
-      {
-        w_index = !idx;
-        w_start_cycle = !prev_cycle;
-        w_end_cycle = st.cycle;
-        w_instructions = st.instrs - !prev_instrs;
-        w_counters = Hierarchy.sub_counters c !prev_counters;
-      };
-    incr idx;
-    prev_counters := c;
-    prev_cycle := st.cycle;
-    prev_instrs := st.instrs
-  in
-  let tick (st : state) =
-    if st.cycle >= !next then begin
-      emit st;
-      next := st.cycle + window_cycles
-    end
-  in
-  let finish (st : state) = if st.cycle > !prev_cycle then emit st in
-  (tick, finish)
-
-let bind_params (f : Ir.func) regs args =
-  (* Walk params and args in lockstep; extra args are ignored, missing
-     ones leave the register at its default, as before. *)
-  let rec go ps vs =
-    match (ps, vs) with
-    | p :: ps', v :: vs' ->
-      regs.(p) <- v;
-      go ps' vs'
-    | _, _ -> ()
-  in
-  go f.Ir.params args
-
 (* ------------------------------------------------------------------ *)
-(* Pre-resolved phis. Block entry is the interpreter's second-hottest  *)
-(* point after [charge]; resolving each phi with [List.assoc_opt] and  *)
-(* allocating an intermediate list per entry dominated tight loops.    *)
-(* Instead, [execute] pre-compiles every block's phis into one row of  *)
-(* operands per predecessor; entering a block is then a short scan for *)
-(* the predecessor row plus two array loops through a reusable scratch *)
-(* buffer (values are still read in full before any register is        *)
-(* written — phi semantics are parallel). A predecessor with no row    *)
-(* (an edge missing from some phi) raises the same error the list     *)
-(* walk used to, on arrival from that edge.                            *)
-
-type phi_plan = {
-  pp_dsts : int array;  (* one per phi *)
-  pp_preds : int array;  (* predecessors every phi has an edge from *)
-  pp_ops : Ir.operand array array;  (* row per pred, column per phi *)
-}
-
-let empty_plan = { pp_dsts = [||]; pp_preds = [||]; pp_ops = [||] }
-
-let build_phi_plans (f : Ir.func) =
-  Array.map
-    (fun (blk : Ir.block) ->
-      match blk.Ir.phis with
-      | [] -> empty_plan
-      | phis ->
-        let preds =
-          List.concat_map
-            (fun (p : Ir.phi) -> List.map fst p.Ir.incoming)
-            phis
-          |> List.sort_uniq compare
-        in
-        let rows =
-          List.filter_map
-            (fun pred ->
-              match
-                List.map
-                  (fun (p : Ir.phi) -> List.assoc pred p.Ir.incoming)
-                  phis
-              with
-              | ops -> Some (pred, Array.of_list ops)
-              | exception Not_found -> None)
-            preds
-        in
-        {
-          pp_dsts = Array.of_list (List.map (fun p -> p.Ir.phi_dst) phis);
-          pp_preds = Array.of_list (List.map fst rows);
-          pp_ops = Array.of_list (List.map snd rows);
-        })
-    f.Ir.blocks
-
-let max_phis plans =
-  Array.fold_left (fun m p -> max m (Array.length p.pp_dsts)) 0 plans
-
-(* Cold path: report the first phi (in program order) with no edge from
-   [prev] — byte-identical to the message the per-entry walk raised. *)
-let missing_phi_edge (f : Ir.func) ~cur ~prev =
-  let p =
-    List.find
-      (fun (p : Ir.phi) -> not (List.mem_assoc prev p.Ir.incoming))
-      f.Ir.blocks.(cur).Ir.phis
-  in
-  invalid_arg
-    (Printf.sprintf "Machine: phi %%%d in b%d has no edge from b%d"
-       p.Ir.phi_dst cur prev)
-
-let[@inline] phi_row plan prev =
-  let preds = plan.pp_preds in
-  let n = Array.length preds in
-  let row = ref (-1) in
-  let i = ref 0 in
-  while !row < 0 && !i < n do
-    if Array.unsafe_get preds !i = prev then row := !i;
-    incr i
-  done;
-  !row
-
-(* ------------------------------------------------------------------ *)
-(* Blocking core: a demand load stalls until its data is available.    *)
+(* Engine selection                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let execute_blocking ~config ~hier ~sampler ~wtick ~mem ~regs ~plans
-    (f : Ir.func) =
+type engine = Interp | Compiled of { superblocks : bool }
+
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "interp" | "interpreter" -> Some Interp
+  | "compiled" -> Some (Compiled { superblocks = true })
+  | "compiled-nosb" | "compiled-flat" -> Some (Compiled { superblocks = false })
+  | _ -> None
+
+let engine_to_string = function
+  | Interp -> "interp"
+  | Compiled { superblocks = true } -> "compiled"
+  | Compiled { superblocks = false } -> "compiled-nosb"
+
+let initial_engine =
+  match Option.bind (Sys.getenv_opt "APTGET_ENGINE") engine_of_string with
+  | Some e -> e
+  | None -> Compiled { superblocks = true }
+
+(* Atomic so a CLI override made before worker domains spawn is seen by
+   all of them. *)
+let default_engine_a = Atomic.make initial_engine
+let set_default_engine e = Atomic.set default_engine_a e
+let default_engine () = Atomic.get default_engine_a
+
+(* ------------------------------------------------------------------ *)
+(* Simulation throughput                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Process-wide accumulators, shared across worker domains. Wall time
+   sums the per-execute elapsed time, so under [--jobs N] overlapping
+   executes count their full durations (aggregate simulation
+   throughput, not wall-clock cycles/sec of the whole process). *)
+let total_cycles_a = Atomic.make 0
+let total_exec_ns_a = Atomic.make 0
+
+let total_simulated_cycles () = Atomic.get total_cycles_a
+let total_execute_seconds () = float_of_int (Atomic.get total_exec_ns_a) *. 1e-9
+
+let note_run ~cycles ~wall_s =
+  ignore (Atomic.fetch_and_add total_cycles_a cycles);
+  ignore (Atomic.fetch_and_add total_exec_ns_a (int_of_float (wall_s *. 1e9)));
+  if Metrics.enabled () then begin
+    let ns = Atomic.get total_exec_ns_a in
+    if ns > 0 then
+      Metrics.set_gauge "sim.cycles_per_sec"
+        (float_of_int (Atomic.get total_cycles_a) /. (float_of_int ns *. 1e-9))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Blocking core, interpreted: a demand load stalls until its data is  *)
+(* available. Kept as the differential oracle for the compiled engine. *)
+(* ------------------------------------------------------------------ *)
+
+let execute_blocking ~config ~hier ~sampler ~wtick ~mem ~regs
+    ~(plan : Compile.t) (f : Ir.func) =
   let eval = function Ir.Reg r -> regs.(r) | Ir.Imm i -> i in
   let st = { cycle = 0; instrs = 0; loads = 0; prefetches = 0 } in
   let l1_lat = (Hierarchy.config hier).Hierarchy.l1_latency in
-  let scratch = Array.make (max 1 (max_phis plans)) 0 in
+  let scratch = Array.make (max 1 plan.Compile.cp_max_phis) 0 in
   (* The sampler test is hoisted out of [charge]: measurement runs
      (sampler = None) pay nothing per instruction, and profiled runs
      tick once per charge — a charge of n cycles is one batched tick at
@@ -290,19 +184,29 @@ let execute_blocking ~config ~hier ~sampler ~wtick ~mem ~regs ~plans
         | None -> ());
         tick st
   in
+  (* Hoisted out of [run_block]: allocating this closure per block
+     visit showed up in dispatch-heavy kernels. *)
+  let record_branch cur target =
+    (match sampler with
+    | Some s ->
+      Sampler.on_branch s ~branch_pc:(Layout.pc_of_term cur)
+        ~target_pc:(Layout.pc_of_instr target 0) ~cycle:st.cycle
+    | None -> ());
+    charge 1 1
+  in
   let run_block cur prev =
     let blk = f.Ir.blocks.(cur) in
-    let plan = plans.(cur) in
-    let nphi = Array.length plan.pp_dsts in
+    let pm = plan.Compile.cp_blocks.(cur).Compile.bp_phis in
+    let nphi = Array.length pm.Compile.pm_dsts in
     if nphi > 0 then begin
-      let row = phi_row plan prev in
-      if row < 0 then missing_phi_edge f ~cur ~prev;
-      let ops = plan.pp_ops.(row) in
+      let row = Compile.phi_row pm prev in
+      if row < 0 then Compile.missing_phi_edge f ~cur ~prev;
+      let ops = pm.Compile.pm_rows.(row) in
       for k = 0 to nphi - 1 do
         scratch.(k) <- eval ops.(k)
       done;
       for k = 0 to nphi - 1 do
-        regs.(plan.pp_dsts.(k)) <- scratch.(k)
+        regs.(pm.Compile.pm_dsts.(k)) <- scratch.(k)
       done
     end;
     let n = Array.length blk.Ir.instrs in
@@ -343,21 +247,13 @@ let execute_blocking ~config ~hier ~sampler ~wtick ~mem ~regs ~plans
         let n = max 0 (eval n) in
         charge n n
     done;
-    let record_branch target =
-      (match sampler with
-      | Some s ->
-        Sampler.on_branch s ~branch_pc:(Layout.pc_of_term cur)
-          ~target_pc:(Layout.pc_of_instr target 0) ~cycle:st.cycle
-      | None -> ());
-      charge 1 1
-    in
     match blk.Ir.term with
     | Ir.Jmp l ->
-      record_branch l;
+      record_branch cur l;
       `Goto l
     | Ir.Br (c, t, e) ->
       let target = if eval c <> 0 then t else e in
-      record_branch target;
+      record_branch cur target;
       `Goto target
     | Ir.Ret v ->
       charge 1 1;
@@ -372,18 +268,18 @@ let execute_blocking ~config ~hier ~sampler ~wtick ~mem ~regs ~plans
   (st, ret)
 
 (* ------------------------------------------------------------------ *)
-(* Stall-on-use core: loads complete in the background; the core       *)
-(* stalls only when a not-yet-ready register is consumed, bounded by a *)
-(* reorder window.                                                     *)
+(* Stall-on-use core, interpreted: loads complete in the background;   *)
+(* the core stalls only when a not-yet-ready register is consumed,     *)
+(* bounded by a reorder window.                                        *)
 (* ------------------------------------------------------------------ *)
 
 let execute_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
-    ~plans (f : Ir.func) =
+    ~(plan : Compile.t) (f : Ir.func) =
   let eval = function Ir.Reg r -> regs.(r) | Ir.Imm i -> i in
   let ready = Array.make (Array.length regs) 0 in
   let st = { cycle = 0; instrs = 0; loads = 0; prefetches = 0 } in
   let l1_lat = (Hierarchy.config hier).Hierarchy.l1_latency in
-  let nscratch = max 1 (max_phis plans) in
+  let nscratch = max 1 plan.Compile.cp_max_phis in
   let scratch = Array.make nscratch 0 in
   let scratch_ready = Array.make nscratch 0 in
   (* Ring of completion times of the last [window] instructions. *)
@@ -427,24 +323,37 @@ let execute_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
   let op_ready = function Ir.Reg r -> ready.(r) | Ir.Imm _ -> 0 in
   let ops_ready ops = List.fold_left (fun m o -> max m (op_ready o)) 0 ops in
   let wait_for ops = st.cycle <- max st.cycle (ops_ready ops) in
+  (* Hoisted out of [run_block] — same allocation fix as the blocking
+     core's [record_branch]. *)
+  let record_branch cur ~cond target =
+    issue ();
+    (* No speculation: the branch resolves before the next block. *)
+    wait_for cond;
+    retire (st.cycle + 1);
+    match sampler with
+    | Some s ->
+      Sampler.on_branch s ~branch_pc:(Layout.pc_of_term cur)
+        ~target_pc:(Layout.pc_of_instr target 0) ~cycle:st.cycle
+    | None -> ()
+  in
   let run_block cur prev =
     let blk = f.Ir.blocks.(cur) in
     (* Phi values inherit the readiness of the taken edge's source, so
        a loop-carried dependence (e.g. a pointer chase) serialises
        correctly. Parallel evaluation as in the blocking core. *)
-    let plan = plans.(cur) in
-    let nphi = Array.length plan.pp_dsts in
+    let pm = plan.Compile.cp_blocks.(cur).Compile.bp_phis in
+    let nphi = Array.length pm.Compile.pm_dsts in
     if nphi > 0 then begin
-      let row = phi_row plan prev in
-      if row < 0 then missing_phi_edge f ~cur ~prev;
-      let ops = plan.pp_ops.(row) in
+      let row = Compile.phi_row pm prev in
+      if row < 0 then Compile.missing_phi_edge f ~cur ~prev;
+      let ops = pm.Compile.pm_rows.(row) in
       for k = 0 to nphi - 1 do
         let op = ops.(k) in
         scratch.(k) <- eval op;
         scratch_ready.(k) <- op_ready op
       done;
       for k = 0 to nphi - 1 do
-        let r = plan.pp_dsts.(k) in
+        let r = pm.Compile.pm_dsts.(k) in
         regs.(r) <- scratch.(k);
         ready.(r) <- scratch_ready.(k)
       done
@@ -504,24 +413,13 @@ let execute_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
         if n > 0 then issue ~n ();
         retire st.cycle
     done;
-    let record_branch ~cond target =
-      issue ();
-      (* No speculation: the branch resolves before the next block. *)
-      wait_for cond;
-      retire (st.cycle + 1);
-      (match sampler with
-      | Some s ->
-        Sampler.on_branch s ~branch_pc:(Layout.pc_of_term cur)
-          ~target_pc:(Layout.pc_of_instr target 0) ~cycle:st.cycle
-      | None -> ())
-    in
     match blk.Ir.term with
     | Ir.Jmp l ->
-      record_branch ~cond:[] l;
+      record_branch cur ~cond:[] l;
       `Goto l
     | Ir.Br (c, t, e) ->
       let target = if eval c <> 0 then t else e in
-      record_branch ~cond:[ c ] target;
+      record_branch cur ~cond:[ c ] target;
       `Goto target
     | Ir.Ret v ->
       issue ();
@@ -536,35 +434,47 @@ let execute_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
   let ret = loop f.Ir.entry (-1) in
   (st, ret)
 
-let execute ?(config = default_config) ?hierarchy ?sampler ?window_cycles
-    ?on_window ?(args = []) ~mem (f : Ir.func) =
+let execute ?(config = default_config) ?engine ?hierarchy ?sampler
+    ?window_cycles ?on_window ?(args = []) ~mem (f : Ir.func) =
+  let engine =
+    match engine with Some e -> e | None -> Atomic.get default_engine_a
+  in
   let hier =
     match hierarchy with Some h -> h | None -> Hierarchy.create config.hierarchy
   in
   let windowing =
     match (window_cycles, on_window) with
     | Some w, Some fn when w > 0 ->
-      Some (make_windowing ~hier ~window_cycles:w ~on_window:fn)
+      Some (Exec.make_windowing ~hier ~window_cycles:w ~on_window:fn)
     | _ -> None
   in
   let wtick = Option.map fst windowing in
   let regs = Array.make (max 1 f.Ir.next_reg) 0 in
-  bind_params f regs args;
-  let plans = build_phi_plans f in
+  Exec.bind_params f regs args;
+  let plan = Compile.plan f in
+  let t0 = Clock.now () in
   let st, ret =
-    match config.core with
-    | Blocking ->
-      execute_blocking ~config ~hier ~sampler ~wtick ~mem ~regs ~plans f
-    | Stall_on_use { window } ->
+    match (engine, config.core) with
+    | Interp, Blocking ->
+      execute_blocking ~config ~hier ~sampler ~wtick ~mem ~regs ~plan f
+    | Interp, Stall_on_use { window } ->
       execute_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
-        ~plans f
+        ~plan f
+    | Compiled { superblocks }, Blocking ->
+      Compiled.execute_blocking ~config ~hier ~sampler ~wtick ~superblocks
+        ~mem ~regs ~plan f
+    | Compiled _, Stall_on_use { window } ->
+      Compiled.execute_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs
+        ~window ~plan f
   in
+  let wall = Clock.now () -. t0 in
   (match windowing with Some (_, finish) -> finish st | None -> ());
+  note_run ~cycles:st.Exec.cycle ~wall_s:wall;
   {
-    cycles = st.cycle;
-    instructions = st.instrs;
-    dyn_loads = st.loads;
-    dyn_prefetches = st.prefetches;
+    cycles = st.Exec.cycle;
+    instructions = st.Exec.instrs;
+    dyn_loads = st.Exec.loads;
+    dyn_prefetches = st.Exec.prefetches;
     ret;
     counters = Hierarchy.counters hier;
   }

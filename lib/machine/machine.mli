@@ -1,4 +1,23 @@
-(** Timing interpreter for IR functions (in-order issue; blocking or stall-on-use completion).
+(** Timing simulator for IR functions (in-order issue; blocking or stall-on-use completion).
+
+    Two engines execute the same cost model over the same
+    {!Compile.t} execution plan and are byte-identical in every
+    observable (cycles, counters, sampler events, exception payloads
+    and raise points):
+
+    - {!Compiled} (the default): a one-time pass lowers each basic
+      block into an array of OCaml closures with operand shapes, layout
+      PCs and sampler hooks pre-resolved; unsampled runs additionally
+      batch pure ALU runs and stitch hot edges into superblock traces
+      discovered from the engine's own LBR ring. 3-10x faster than the
+      interpreter on the quick bench.
+    - {!Interp}: the original match-dispatch interpreter, kept as the
+      differential oracle ([--engine interp] in the CLI and bench; the
+      [test_engine] suite cross-checks the two on random programs).
+
+    The engine is picked per call ([?engine]), falling back to the
+    process default ({!set_default_engine}, or the [APTGET_ENGINE]
+    environment variable: [compiled] | [interp] | [compiled-nosb]).
 
     Executes a kernel over a {!Aptget_mem.Memory}, charging cycles
     against a {!Aptget_cache.Hierarchy} and feeding the simulated PMU
@@ -95,6 +114,34 @@ val useless_prefetch_ratio : Aptget_cache.Hierarchy.counters -> float
     overhead. 0 when no prefetches were attempted (so an unhinted
     program never scores). *)
 
+type engine =
+  | Interp  (** match-dispatch interpreter (differential oracle) *)
+  | Compiled of { superblocks : bool }
+      (** closure-compiled plans; [superblocks] additionally stitches
+          hot-edge traces after a warmup (on by default). Semantics are
+          identical either way. *)
+
+val engine_of_string : string -> engine option
+(** ["interp"], ["compiled"], ["compiled-nosb"] (case-insensitive). *)
+
+val engine_to_string : engine -> string
+
+val set_default_engine : engine -> unit
+(** Process default used when {!execute} gets no [?engine]. Initialised
+    from [APTGET_ENGINE] when set, else [Compiled {superblocks=true}]. *)
+
+val default_engine : unit -> engine
+
+val total_simulated_cycles : unit -> int
+(** Simulated cycles accumulated by every {!execute} in this process
+    (all domains), for throughput reporting. *)
+
+val total_execute_seconds : unit -> float
+(** Wall seconds summed over every {!execute} (per-call durations, so
+    overlapping parallel executes each count in full). While the
+    metrics registry is enabled, each execute also refreshes the
+    [sim.cycles_per_sec] gauge with the cumulative ratio. *)
+
 exception Fuse_blown of int
 (** Raised when [max_instructions] is exceeded. *)
 
@@ -116,6 +163,7 @@ type window_report = {
 
 val execute :
   ?config:config ->
+  ?engine:engine ->
   ?hierarchy:Aptget_cache.Hierarchy.t ->
   ?sampler:Aptget_pmu.Sampler.t ->
   ?window_cycles:int ->
