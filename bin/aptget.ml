@@ -15,6 +15,7 @@
 *)
 
 module Machine = Aptget_machine.Machine
+module Corun = Aptget_machine.Corun
 module Hierarchy = Aptget_cache.Hierarchy
 module Pipeline = Aptget_core.Pipeline
 module Workload = Aptget_workloads.Workload
@@ -336,6 +337,80 @@ let run_cmd =
     print_quarantine quarantine;
     g
   in
+  (* --corun: interleave the workload with a co-runner on the shared
+     LLC/DRAM hierarchy and report how the solo-tuned hints fare under
+     contention. Four runs: solo baseline, solo APT-GET, co-run
+     baseline, co-run with the (now stale) solo hints. *)
+  let run_corun w (co : Workload.t) ~policy ~faults =
+    let policy =
+      match Corun.policy_of_string policy with
+      | Some p -> p
+      | None ->
+        die "bad --corun-policy value: %s (rr | ratio:W0,W1,...)" policy
+    in
+    let meas label (inst : Workload.instance) (o : Machine.outcome) =
+      {
+        Pipeline.workload = label;
+        outcome = o;
+        verified = inst.Workload.verify inst.Workload.mem o.Machine.ret;
+        injected = [];
+        skipped = [];
+        wall_seconds = 0.0;
+      }
+    in
+    (* Tenant stream first, co-runner second; both semantically
+       verified — cache sharing must never change results. *)
+    let corun (ti : Workload.instance) =
+      let ci = co.Workload.build () in
+      let outs =
+        Corun.run ~policy
+          [
+            Corun.stream ~args:ti.Workload.args ~name:w.Workload.name
+              ~mem:ti.Workload.mem ti.Workload.func;
+            Corun.stream ~args:ci.Workload.args ~name:co.Workload.name
+              ~mem:ci.Workload.mem ci.Workload.func;
+          ]
+      in
+      match outs with
+      | [ t; c ] ->
+        ( meas w.Workload.name ti t.Corun.so_outcome,
+          meas co.Workload.name ci c.Corun.so_outcome )
+      | _ -> assert false
+    in
+    Printf.printf "co-runner %s (%s on %s), policy %s\n\n" co.Workload.name
+      co.Workload.app co.Workload.input
+      (Corun.policy_to_string policy);
+    let solo_base = Pipeline.baseline w in
+    print_outcome "solo base" solo_base;
+    let options = { Profiler.default_options with Profiler.faults } in
+    let prof = Pipeline.profile ~options w in
+    print_fault_stats prof.Profiler.fault_stats;
+    let solo_apt = Pipeline.with_hints ~hints:prof.Profiler.hints w in
+    print_outcome "solo APT" solo_apt;
+    let cr_base, cr_corunner = corun (w.Workload.build ()) in
+    print_outcome "corun base" cr_base;
+    let hinted =
+      let inst = w.Workload.build () in
+      ignore (Aptget_pass.run inst.Workload.func ~hints:prof.Profiler.hints);
+      Aptget_ir.Verify.check_exn inst.Workload.func;
+      inst
+    in
+    let cr_apt, cr_apt_corunner = corun hinted in
+    print_outcome "corun APT" cr_apt;
+    print_outcome "co-runner" cr_corunner;
+    Printf.printf
+      "\nspeedup: solo %s, co-run (stale solo hints) %s (%d hint(s))\n"
+      (Table.fmt_speedup (Pipeline.speedup ~baseline:solo_base solo_apt))
+      (Table.fmt_speedup (Pipeline.speedup ~baseline:cr_base cr_apt))
+      (List.length prof.Profiler.hints);
+    let degraded =
+      List.exists
+        (fun (m : Pipeline.measurement) ->
+          Result.is_error m.Pipeline.verified)
+        [ solo_base; solo_apt; cr_base; cr_corunner; cr_apt; cr_apt_corunner ]
+    in
+    if degraded then exit 1
+  in
   (* --online: the self-healing loop. One epoch per segment — natural
      phases for the phased workload, [--epochs] replicas otherwise —
      with the drift detector, dwell guard, retune breaker and the
@@ -370,15 +445,25 @@ let run_cmd =
       exit 1
   in
   let run w hints_path lenient robust remap guard guard_floor quarantine_path
-      online epochs drift faults () () =
+      online epochs drift corun corun_policy faults () () =
     float_range "guard-floor" ~gt:0. ~le:1.5 guard_floor;
     int_min "epochs" 1 epochs;
     if robust && (remap || guard) then
       die "--robust cannot be combined with --remap/--guard";
     if online && (robust || remap || guard || hints_path <> None) then
       die "--online cannot be combined with --hints/--robust/--remap/--guard";
+    if
+      corun <> None
+      && (online || robust || remap || guard || hints_path <> None)
+    then
+      die
+        "--corun cannot be combined with \
+         --hints/--robust/--remap/--guard/--online";
     Printf.printf "workload %s (%s on %s)\n\n" w.Workload.name w.Workload.app
       w.Workload.input;
+    match corun with
+    | Some co -> run_corun w co ~policy:corun_policy ~faults
+    | None ->
     if online then
       run_online w ~faults ~guard_floor ~quarantine_path ~epochs ~drift
     else
@@ -617,12 +702,32 @@ let run_cmd =
       const build $ late $ early $ useless $ mpki $ iter $ hysteresis $ dwell
       $ window)
   in
+  let corun_flag =
+    Arg.(
+      value
+      & opt (some workload_conv) None
+      & info [ "corun" ] ~docv:"WORKLOAD"
+          ~doc:
+            "Co-run $(docv) alongside the main workload on the shared \
+             LLC/DRAM hierarchy: solo baseline and APT-GET first, then the \
+             co-run baseline and the solo-tuned hints under contention, \
+             with per-tenant cycle/counter attribution")
+  in
+  let corun_policy_flag =
+    Arg.(
+      value & opt string "rr"
+      & info [ "corun-policy" ] ~docv:"POLICY"
+          ~doc:
+            "Scheduler for $(b,--corun): $(b,rr) (round-robin block \
+             dispatch) or $(b,ratio:W0,W1,...) (advance the live stream \
+             with the smallest weighted cycle count)")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under baseline, A&J and APT-GET")
     Term.(
       const run $ workload_arg $ hints_flag $ lenient_flag $ robust_flag
       $ remap_flag $ guard_flag $ guard_floor_flag $ quarantine_flag
-      $ online_flag $ epochs_flag $ drift_term $ faults_term $ obs_term
-      $ engine_term)
+      $ online_flag $ epochs_flag $ drift_term $ corun_flag
+      $ corun_policy_flag $ faults_term $ obs_term $ engine_term)
 
 let profile_cmd =
   let profile w output faults () () =

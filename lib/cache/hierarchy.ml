@@ -134,23 +134,50 @@ let add_counters (a : counters) (b : counters) =
     sw_prefetch_early_evict = a.sw_prefetch_early_evict + b.sw_prefetch_early_evict;
   }
 
+(* The LLC and the DRAM channel are *shared* resources: several
+   streams (co-running tenants) can attach to one [shared], each with
+   private L1/L2/MSHR/prefetcher/counters. The solo case is a shared
+   level with a single attached stream, and takes exactly the code
+   paths it always did.
+
+   Per-stream line ids are kept disjoint by offsetting every line with
+   a per-stream base ([stream lsl 44]): workload memories all start at
+   word address 0, and without the offset two tenants' address spaces
+   would alias in the shared LLC. The base is a multiple of every
+   power-of-two set count, so set indexing (and hence conflict
+   behaviour) is unchanged — tenants genuinely contend for the same
+   sets, as they would behind a physical indexer. *)
 type t = {
   cfg : config;
+  shared : shared;
   l1 : Cache.t;
   l2 : Cache.t;
-  llc : Cache.t;
   mshr : Mshr.t;
   hwpf : Hwpf.t;
   mutable c : counters;
-  mutable next_dram_slot : int;
-      (* earliest cycle the DRAM channel can start another fill *)
-  pending_sw : (int, unit) Hashtbl.t;
-      (* lines installed by a SW-prefetch fill and not yet demand-used:
-         an LLC eviction of one is a too-early prefetch *)
+  line_base : int;
+      (* per-stream offset added to every line id (0 for stream 0 /
+         the solo path) *)
   line_shift : int;
       (* log2 of words per line when that is a power of two, else -1;
          lets [line_of] shift instead of running an integer division on
          every access *)
+}
+
+and shared = {
+  s_cfg : config;
+  llc : Cache.t;
+  mutable next_dram_slot : int;
+      (* earliest cycle the DRAM channel can start another fill *)
+  pending_sw : (int, t) Hashtbl.t;
+      (* lines installed by a SW-prefetch fill and not yet demand-used,
+         mapped to the issuing stream: an LLC eviction of one is a
+         too-early prefetch charged to that stream. The value is the
+         stream itself (not its counters record) so attribution
+         survives [reset_counters], which swaps the record out. *)
+  mutable attached : t list;
+      (* in attach order; inclusion victims invalidate every stream's
+         private levels *)
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -159,37 +186,71 @@ let log2 n =
   let rec go k n = if n <= 1 then k else go (k + 1) (n lsr 1) in
   go 0 n
 
-let create cfg =
+let create_shared cfg =
   {
-    cfg;
-    l1 = Cache.create ~size_bytes:cfg.l1_size ~assoc:cfg.l1_assoc ~line_bytes:cfg.line_bytes;
-    l2 = Cache.create ~size_bytes:cfg.l2_size ~assoc:cfg.l2_assoc ~line_bytes:cfg.line_bytes;
+    s_cfg = cfg;
     llc =
       Cache.create ~size_bytes:cfg.llc_size ~assoc:cfg.llc_assoc ~line_bytes:cfg.line_bytes;
-    mshr = Mshr.create ~capacity:cfg.mshr_capacity;
-    hwpf = (if cfg.hw_prefetch then Hwpf.create () else Hwpf.disabled ());
-    c = zero_counters ();
     next_dram_slot = 0;
     pending_sw = Hashtbl.create 64;
-    line_shift =
-      (if cfg.line_bytes mod 8 = 0 && is_pow2 (cfg.line_bytes / 8) then
-         log2 (cfg.line_bytes / 8)
-       else -1);
+    attached = [];
   }
+
+let attach shared ~stream =
+  if stream < 0 || stream > 255 then
+    invalid_arg "Hierarchy.attach: stream id out of range";
+  let cfg = shared.s_cfg in
+  let t =
+    {
+      cfg;
+      shared;
+      l1 = Cache.create ~size_bytes:cfg.l1_size ~assoc:cfg.l1_assoc ~line_bytes:cfg.line_bytes;
+      l2 = Cache.create ~size_bytes:cfg.l2_size ~assoc:cfg.l2_assoc ~line_bytes:cfg.line_bytes;
+      mshr = Mshr.create ~capacity:cfg.mshr_capacity;
+      hwpf = (if cfg.hw_prefetch then Hwpf.create () else Hwpf.disabled ());
+      c = zero_counters ();
+      line_base = stream lsl 44;
+      line_shift =
+        (if cfg.line_bytes mod 8 = 0 && is_pow2 (cfg.line_bytes / 8) then
+           log2 (cfg.line_bytes / 8)
+         else -1);
+    }
+  in
+  shared.attached <- shared.attached @ [ t ];
+  t
+
+let create cfg = attach (create_shared cfg) ~stream:0
 
 let config t = t.cfg
 
+let set_prefetch_limit t ~words =
+  let wpl = Aptget_mem.Memory.words_per_line in
+  let lines = if words <= 0 then 0 else (words + wpl - 1) / wpl in
+  Hwpf.set_line_limit t.hwpf ~lines
+
 (* Install a line everywhere (inclusive hierarchy). An LLC eviction
-   invalidates the inner levels to preserve inclusion. *)
+   invalidates the inner levels — of every attached stream — to
+   preserve inclusion; line ids are per-stream disjoint, so at most one
+   stream's private levels actually hold the victim. *)
 let install_all t line =
-  (match Cache.insert t.llc line with
+  (match Cache.insert t.shared.llc line with
   | Some victim ->
-    Cache.invalidate t.l2 victim;
-    Cache.invalidate t.l1 victim;
-    if Hashtbl.mem t.pending_sw victim then begin
-      Hashtbl.remove t.pending_sw victim;
-      t.c.sw_prefetch_early_evict <- t.c.sw_prefetch_early_evict + 1
-    end
+    (match t.shared.attached with
+    | [ only ] ->
+      (* Solo fast path: no list traversal on the per-fill hot path. *)
+      Cache.invalidate only.l2 victim;
+      Cache.invalidate only.l1 victim
+    | streams ->
+      List.iter
+        (fun s ->
+          Cache.invalidate s.l2 victim;
+          Cache.invalidate s.l1 victim)
+        streams);
+    (match Hashtbl.find_opt t.shared.pending_sw victim with
+    | Some owner ->
+      Hashtbl.remove t.shared.pending_sw victim;
+      owner.c.sw_prefetch_early_evict <- owner.c.sw_prefetch_early_evict + 1
+    | None -> ())
   | None -> ());
   ignore (Cache.insert t.l2 line);
   ignore (Cache.insert t.l1 line)
@@ -203,26 +264,30 @@ let drain_fills t ~cycle =
     List.iter
       (fun (e : Mshr.entry) ->
         if e.origin = Mshr.Sw_prefetch then
-          Hashtbl.replace t.pending_sw e.line ();
+          Hashtbl.replace t.shared.pending_sw e.line t;
         install_all t e.line)
       ready
 
 (* [addr * 8 / line_bytes], as a shift on the all-but-universal
-   power-of-two configs. Negative addresses (possible transiently: the
-   hierarchy is consulted before the memory bounds check raises) keep
-   the truncating-division rounding of the original expression. *)
+   power-of-two configs, plus the stream's line base. Negative
+   addresses (possible transiently: the hierarchy is consulted before
+   the memory bounds check raises) keep the truncating-division
+   rounding of the original expression. *)
 let line_of t addr =
+  t.line_base
+  +
   if addr >= 0 && t.line_shift >= 0 then addr lsr t.line_shift
   else addr * 8 / t.cfg.line_bytes
 
 (* Claim a DRAM channel slot: with a bandwidth bound, back-to-back
    fills are spaced [dram_min_gap] cycles apart and queueing delay adds
-   to the fill's completion time. *)
+   to the fill's completion time. The channel is shared, so co-running
+   streams queue behind each other. *)
 let dram_start t ~cycle =
   if t.cfg.dram_min_gap <= 0 then cycle
   else begin
-    let start = max cycle t.next_dram_slot in
-    t.next_dram_slot <- start + t.cfg.dram_min_gap;
+    let start = max cycle t.shared.next_dram_slot in
+    t.shared.next_dram_slot <- start + t.cfg.dram_min_gap;
     start
   end
 
@@ -231,7 +296,7 @@ let dram_start t ~cycle =
 let start_fill t ~line ~cycle ~origin =
   if Cache.probe t.l1 line || Cache.probe t.l2 line then false
   else begin
-    let from_dram = not (Cache.probe t.llc line) in
+    let from_dram = not (Cache.probe t.shared.llc line) in
     let ready_at =
       if from_dram then dram_start t ~cycle + t.cfg.dram_latency
       else cycle + t.cfg.llc_latency
@@ -242,20 +307,24 @@ let start_fill t ~line ~cycle ~origin =
     ok
   end
 
+(* The prefetcher trains on raw (un-offset) addresses and emits raw
+   line indices, so its extent clamp composes with the stream offset;
+   the base is added when the fill enters the hierarchy. *)
 let hw_prefetch_lines t ~pc ~addr ~miss ~cycle =
   match Hwpf.on_demand_access t.hwpf ~pc ~addr ~miss with
   | [] -> ()
   | lines ->
     List.iter
       (fun line ->
-        if start_fill t ~line ~cycle ~origin:Mshr.Hw_prefetch then
-          t.c.hw_prefetch_issued <- t.c.hw_prefetch_issued + 1)
+        if start_fill t ~line:(t.line_base + line) ~cycle ~origin:Mshr.Hw_prefetch
+        then t.c.hw_prefetch_issued <- t.c.hw_prefetch_issued + 1)
       lines
 
 let demand_load t ~pc ~addr ~cycle =
   drain_fills t ~cycle;
   let line = line_of t addr in
-  if Hashtbl.length t.pending_sw <> 0 then Hashtbl.remove t.pending_sw line;
+  if Hashtbl.length t.shared.pending_sw <> 0 then
+    Hashtbl.remove t.shared.pending_sw line;
   t.c.demand_loads <- t.c.demand_loads + 1;
   match Mshr.find t.mshr line with
   | Some entry ->
@@ -300,7 +369,7 @@ let demand_load t ~pc ~addr ~cycle =
         late_sw_prefetch = false;
       }
     end
-    else if Cache.touch t.llc line then begin
+    else if Cache.touch t.shared.llc line then begin
       ignore (Cache.insert t.l2 line);
       ignore (Cache.insert t.l1 line);
       t.c.hits_llc <- t.c.hits_llc + 1;
@@ -348,11 +417,13 @@ let sw_prefetch t ~addr ~cycle =
 let counters t = { t.c with demand_loads = t.c.demand_loads }
 let reset_counters t = t.c <- zero_counters ()
 
+(* Flushing a stream also empties the shared levels (the solo
+   behaviour); co-run drivers flush before any stream starts. *)
 let flush t =
   Cache.clear t.l1;
   Cache.clear t.l2;
-  Cache.clear t.llc;
+  Cache.clear t.shared.llc;
   Mshr.clear t.mshr;
-  t.next_dram_slot <- 0;
-  Hashtbl.reset t.pending_sw;
+  t.shared.next_dram_slot <- 0;
+  Hashtbl.reset t.shared.pending_sw;
   reset_counters t

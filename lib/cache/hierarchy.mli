@@ -87,9 +87,36 @@ val add_counters : counters -> counters -> counters
     per-segment measurements summed into one record). *)
 
 type t
+(** One stream's view of the memory system: private L1/L2, fill
+    buffers and hardware prefetcher over a {!shared} LLC/DRAM. *)
+
+type shared
+(** The levels co-running streams contend on: the LLC and the DRAM
+    channel. Create one, then {!attach} a hierarchy per stream. *)
+
+val create_shared : config -> shared
+
+val attach : shared -> stream:int -> t
+(** Attach a stream (private L1/L2/MSHR/prefetcher/counters) to a
+    shared LLC/DRAM. [stream] must be unique per attachment and in
+    [0, 255]; it offsets the stream's line ids so tenants whose
+    memories all start at word 0 do not alias in the shared LLC, while
+    preserving set indexing (streams contend for the same sets). An
+    LLC eviction invalidates the victim in every attached stream's
+    private levels (inclusion).
+
+    Raises [Invalid_argument] on an out-of-range stream id. *)
 
 val create : config -> t
+(** [attach (create_shared cfg) ~stream:0] — the solo machine. *)
+
 val config : t -> config
+
+val set_prefetch_limit : t -> words:int -> unit
+(** Clamp the hardware prefetcher to the stream's backing region:
+    no emitted target may reach at or past the line containing word
+    [words - 1]'s successor (i.e. targets stay within the allocated
+    extent). Non-positive [words] removes the bound. *)
 
 val demand_load : t -> pc:int -> addr:int -> cycle:int -> access
 (** Perform a demand load of word address [addr] at time [cycle],
@@ -107,4 +134,5 @@ val reset_counters : t -> unit
     workload setup from measurement). *)
 
 val flush : t -> unit
-(** Empty caches, fill buffers, and counters. *)
+(** Empty caches (including the shared LLC), fill buffers, and this
+    stream's counters. *)

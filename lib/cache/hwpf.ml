@@ -9,6 +9,11 @@ type t = {
   enabled : bool;
   degree : int;
   table : slot array;
+  mutable line_limit : int;
+      (* exclusive upper bound on emitted line indices: prefetching
+         past the backing region models nothing and, under shared
+         streams with small per-tenant footprints, lands in another
+         tenant's address range *)
 }
 
 let create ?(stride_table_size = 256) ?(degree = 2) () =
@@ -18,9 +23,13 @@ let create ?(stride_table_size = 256) ?(degree = 2) () =
     table =
       Array.init stride_table_size (fun _ ->
           { tag = -1; last_addr = 0; stride = 0; confidence = 0 });
+    line_limit = max_int;
   }
 
 let disabled () = { (create ()) with enabled = false }
+
+let set_line_limit t ~lines =
+  t.line_limit <- (if lines <= 0 then max_int else lines)
 
 let line_of addr = addr / Aptget_mem.Memory.words_per_line
 
@@ -41,8 +50,11 @@ let on_demand_access t ~pc ~addr ~miss =
       if slot.confidence >= 2 then
         for d = 1 to t.degree do
           let target = addr + (slot.stride * d) in
-          if target >= 0 && line_of target <> line_of addr then
-            targets := line_of target :: !targets
+          if
+            target >= 0
+            && line_of target < t.line_limit
+            && line_of target <> line_of addr
+          then targets := line_of target :: !targets
         done
     end
     else begin
@@ -51,8 +63,12 @@ let on_demand_access t ~pc ~addr ~miss =
       slot.stride <- 0;
       slot.confidence <- 0
     end;
-    (* Next-line prefetch on demand misses. *)
-    if miss then targets := (line_of addr + 1) :: !targets;
+    (* Next-line prefetch on demand misses, clamped to the region: the
+       last line of the footprint has no next line to fetch. *)
+    if miss then begin
+      let next = line_of addr + 1 in
+      if next < t.line_limit then targets := next :: !targets
+    end;
     (* Same ascending dedupe as [List.sort_uniq compare], minus the
        polymorphic compare: this runs on every demand access. *)
     match !targets with

@@ -16,6 +16,13 @@ val disabled : unit -> t
 (** A prefetcher that never issues anything (for ablations and for the
     microbenchmark study, which disables HW prefetching interference). *)
 
+val set_line_limit : t -> lines:int -> unit
+(** Clamp emitted targets to lines strictly below [lines] (the backing
+    region's extent in cache lines). Non-positive [lines] removes the
+    bound. Without a limit the stride path only rejects negative
+    targets and the next-line path fires unconditionally, so prefetches
+    can land past the end of the region. *)
+
 val on_demand_access :
   t -> pc:int -> addr:int -> miss:bool -> int list
 (** [on_demand_access t ~pc ~addr ~miss] trains the prefetcher with a

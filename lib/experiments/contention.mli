@@ -1,0 +1,13 @@
+(** Shared-LLC contention: solo-tuned prefetch hints under a
+    cache-thrashing co-runner, with drift detection and online retune.
+
+    Per tenant (RandomAccess and the pointer-chasing B-tree), measures
+    solo baseline/APT-GET, co-run baseline, co-run with stale solo
+    hints, and a co-run online arm (drift verdict from counter
+    windows, Eq. 1 re-fit from a sampler that rode the unhinted
+    co-run, regression-guarded adoption). Also emits a forced-distance
+    solo-vs-co-run sweep and a scheduler-policy comparison. All
+    simulations are serial and deterministic: BENCH rows are
+    byte-identical across [--jobs] and engines. *)
+
+val all : Lab.t -> Aptget_util.Table.t list

@@ -31,6 +31,7 @@ let all =
     { id = "extensions"; title = "Extension studies (cost model, conditional injection, HW/SW interplay)"; run = Extensions.all };
     { id = "campaign"; title = "Crash-safe campaigns: checkpoint/resume, watchdog and circuit breakers"; run = Campaign_exp.all };
     { id = "adaptive"; title = "Online drift detection and mid-run re-optimization"; run = Adaptive.all };
+    { id = "contention"; title = "Shared-LLC co-running tenants: stale hints, drift and recovery"; run = Contention.all };
   ]
 
 let find id =

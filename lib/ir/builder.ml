@@ -35,6 +35,18 @@ let create ~name ~nparams =
 
 let params t = List.map (fun r -> Ir.Reg r) t.params
 
+(* Total positional accessor over a value list: a builder spec that
+   indexes past the end fails with the function name, the label and
+   the index — not a bare [Failure "nth"] with no trail back to the
+   malformed spec. *)
+let nth_value t ~what values k =
+  match if k < 0 then None else List.nth_opt values k with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Builder.%s: %s index %d out of range (have %d)" t.name
+         what k (List.length values))
+
 let new_block t =
   if t.nblocks = Array.length t.blocks then begin
     let bigger = Array.init (2 * t.nblocks) (fun _ -> fresh_block ()) in
@@ -138,7 +150,9 @@ let for_loop_acc t ~from ~bound ?(step = 1) ~init body =
   let iv = phi t [ (pred, from) ] in
   let accs = List.map (fun i -> phi t [ (pred, i) ]) init in
   let bound_op =
-    match bound with `Op o -> o | `Acc k -> List.nth accs k
+    match bound with
+    | `Op o -> o
+    | `Acc k -> nth_value t ~what:"for_loop_acc accumulator" accs k
   in
   let cond = cmp t Ir.Lt iv bound_op in
   br t cond body_block exit;

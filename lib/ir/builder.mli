@@ -19,6 +19,12 @@ val switch_to : t -> Ir.label -> unit
 
 val current : t -> Ir.label
 
+val nth_value : t -> what:string -> Ir.operand list -> int -> Ir.operand
+(** Total positional accessor for accumulator/result lists returned by
+    the structured helpers below. Out-of-range (or negative) indices
+    raise [Invalid_argument] carrying the builder's function name,
+    [what] and the index — never a bare [Failure "nth"]. *)
+
 (** {2 Instructions} — each appends to the current block. *)
 
 val binop : t -> Ir.binop -> Ir.operand -> Ir.operand -> Ir.operand

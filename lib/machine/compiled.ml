@@ -69,7 +69,7 @@ let warmup_ring_size = 256
 (* Blocking core                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let execute_blocking ~config ~hier ~sampler ~wtick ~superblocks ~mem ~regs
+let stepper_blocking ~config ~hier ~sampler ~wtick ~superblocks ~mem ~regs
     ~(plan : Compile.t) (f : Ir.func) =
   let st = { cycle = 0; instrs = 0; loads = 0; prefetches = 0 } in
   let l1_lat = (Hierarchy.config hier).Hierarchy.l1_latency in
@@ -531,66 +531,74 @@ let execute_blocking ~config ~hier ~sampler ~wtick ~superblocks ~mem ~regs
   let cur = ref plan.Compile.cp_entry in
   let prev = ref (-1) in
   let running = ref true in
-  while !running do
-    match traces.(!cur) with
-    | Some tr ->
-      (* Trace head enters generically (any predecessor can arrive),
-         then interior hops use their pre-selected phi rows as long as
-         the guard holds. *)
-      let head = Array.unsafe_get tr 0 in
-      blocks.(head.ts_block).cb_enter !prev;
-      run_steps head.ts_steps;
-      let next = ref (head.ts_term ()) in
-      prev := head.ts_block;
-      if !next < 0 then running := false
-      else begin
-        let len = Array.length tr in
-        let i = ref 1 in
-        let go = ref true in
-        while !go && !i < len do
-          let ts = Array.unsafe_get tr !i in
-          if !next = ts.ts_block then begin
-            ts.ts_enter ();
-            run_steps ts.ts_steps;
-            let n2 = ts.ts_term () in
-            prev := ts.ts_block;
-            if n2 < 0 then begin
-              running := false;
-              go := false
-            end
-            else next := n2;
-            incr i
-          end
-          else go := false (* side exit *)
-        done;
-        if !running then cur := !next
-      end
-    | None ->
-      let cb = Array.unsafe_get blocks !cur in
-      cb.cb_enter !prev;
-      run_steps cb.cb_steps;
-      let next = cb.cb_term () in
-      if next < 0 then running := false
-      else begin
-        if not !tiered then begin
-          Lbr.record ring
-            ~branch_pc:(Layout.pc_of_term !cur)
-            ~target_pc:(Layout.pc_of_instr next 0)
-            ~cycle:st.cycle;
-          incr dispatches;
-          if !dispatches >= warmup_dispatches then tier_up ()
-        end;
-        prev := !cur;
-        cur := next
-      end
-  done;
-  (st, !ret)
+  (* One step = one dispatch: a single block, or — once tiered up — a
+     whole trace run. With [superblocks:false] every step is exactly
+     one block, matching the interpreter's dispatch granularity (the
+     co-run scheduler relies on this for engine parity). *)
+  let step () =
+    !running
+    && begin
+         (match traces.(!cur) with
+         | Some tr ->
+           (* Trace head enters generically (any predecessor can
+              arrive), then interior hops use their pre-selected phi
+              rows as long as the guard holds. *)
+           let head = Array.unsafe_get tr 0 in
+           blocks.(head.ts_block).cb_enter !prev;
+           run_steps head.ts_steps;
+           let next = ref (head.ts_term ()) in
+           prev := head.ts_block;
+           if !next < 0 then running := false
+           else begin
+             let len = Array.length tr in
+             let i = ref 1 in
+             let go = ref true in
+             while !go && !i < len do
+               let ts = Array.unsafe_get tr !i in
+               if !next = ts.ts_block then begin
+                 ts.ts_enter ();
+                 run_steps ts.ts_steps;
+                 let n2 = ts.ts_term () in
+                 prev := ts.ts_block;
+                 if n2 < 0 then begin
+                   running := false;
+                   go := false
+                 end
+                 else next := n2;
+                 incr i
+               end
+               else go := false (* side exit *)
+             done;
+             if !running then cur := !next
+           end
+         | None ->
+           let cb = Array.unsafe_get blocks !cur in
+           cb.cb_enter !prev;
+           run_steps cb.cb_steps;
+           let next = cb.cb_term () in
+           if next < 0 then running := false
+           else begin
+             if not !tiered then begin
+               Lbr.record ring
+                 ~branch_pc:(Layout.pc_of_term !cur)
+                 ~target_pc:(Layout.pc_of_instr next 0)
+                 ~cycle:st.cycle;
+               incr dispatches;
+               if !dispatches >= warmup_dispatches then tier_up ()
+             end;
+             prev := !cur;
+             cur := next
+           end);
+         !running
+       end
+  in
+  (st, ret, step)
 
 (* ------------------------------------------------------------------ *)
 (* Stall-on-use core                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let execute_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
+let stepper_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
     ~(plan : Compile.t) (f : Ir.func) =
   let st = { cycle = 0; instrs = 0; loads = 0; prefetches = 0 } in
   let l1_lat = (Hierarchy.config hier).Hierarchy.l1_latency in
@@ -829,18 +837,22 @@ let execute_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
   let cur = ref plan.Compile.cp_entry in
   let prev = ref (-1) in
   let running = ref true in
-  while !running do
-    let cb = Array.unsafe_get blocks !cur in
-    cb.cb_enter !prev;
-    let steps = cb.cb_steps in
-    for j = 0 to Array.length steps - 1 do
-      (Array.unsafe_get steps j) ()
-    done;
-    let next = cb.cb_term () in
-    if next < 0 then running := false
-    else begin
-      prev := !cur;
-      cur := next
-    end
-  done;
-  (st, !ret)
+  let step () =
+    !running
+    && begin
+         let cb = Array.unsafe_get blocks !cur in
+         cb.cb_enter !prev;
+         let steps = cb.cb_steps in
+         for j = 0 to Array.length steps - 1 do
+           (Array.unsafe_get steps j) ()
+         done;
+         let next = cb.cb_term () in
+         if next < 0 then running := false
+         else begin
+           prev := !cur;
+           cur := next
+         end;
+         !running
+       end
+  in
+  (st, ret, step)

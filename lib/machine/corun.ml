@@ -1,0 +1,127 @@
+module Memory = Aptget_mem.Memory
+module Hierarchy = Aptget_cache.Hierarchy
+module Sampler = Aptget_pmu.Sampler
+
+type policy = Round_robin | Cycle_ratio of int list
+
+let policy_to_string = function
+  | Round_robin -> "round-robin"
+  | Cycle_ratio ws ->
+    "cycle-ratio:" ^ String.concat "," (List.map string_of_int ws)
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "rr" | "round-robin" | "roundrobin" -> Some Round_robin
+  | s when String.length s > 6 && String.sub s 0 6 = "ratio:" -> (
+    let body = String.sub s 6 (String.length s - 6) in
+    match
+      List.map
+        (fun w -> int_of_string (String.trim w))
+        (String.split_on_char ',' body)
+    with
+    | ws when List.for_all (fun w -> w > 0) ws && ws <> [] ->
+      Some (Cycle_ratio ws)
+    | _ -> None
+    | exception _ -> None)
+  | _ -> None
+
+type stream = {
+  cs_name : string;
+  cs_func : Ir.func;
+  cs_mem : Memory.t;
+  cs_args : int list;
+  cs_sampler : Sampler.t option;
+  cs_window_cycles : int option;
+  cs_on_window : (Machine.window_report -> unit) option;
+}
+
+let stream ?(args = []) ?sampler ?window_cycles ?on_window ~name ~mem func =
+  {
+    cs_name = name;
+    cs_func = func;
+    cs_mem = mem;
+    cs_args = args;
+    cs_sampler = sampler;
+    cs_window_cycles = window_cycles;
+    cs_on_window = on_window;
+  }
+
+type stream_outcome = { so_name : string; so_outcome : Machine.outcome }
+
+(* Engine normalization: with 2+ streams every engine must dispatch
+   exactly one block per step, or the interleaving — and through it
+   every shared-LLC eviction — would depend on the engine's trace
+   tier. Solo schedules keep the caller's engine untouched. *)
+let normalize_engine ~n_streams = function
+  | Machine.Compiled _ when n_streams > 1 ->
+    Machine.Compiled { superblocks = false }
+  | e -> e
+
+let run ?(config = Machine.default_config) ?engine ?(policy = Round_robin)
+    streams =
+  if streams = [] then invalid_arg "Corun.run: no streams";
+  let engine =
+    match engine with Some e -> e | None -> Machine.default_engine ()
+  in
+  let engine = normalize_engine ~n_streams:(List.length streams) engine in
+  let shared = Hierarchy.create_shared config.Machine.hierarchy in
+  let sps =
+    Array.of_list
+      (List.mapi
+         (fun i s ->
+           let hier = Hierarchy.attach shared ~stream:i in
+           ( s,
+             Machine.make_stepper ~config ~engine ~hierarchy:hier
+               ?sampler:s.cs_sampler ?window_cycles:s.cs_window_cycles
+               ?on_window:s.cs_on_window ~args:s.cs_args ~mem:s.cs_mem
+               s.cs_func ))
+         streams)
+  in
+  let n = Array.length sps in
+  let remaining = ref n in
+  (match policy with
+  | Round_robin ->
+    (* One block per turn, rotating over the live streams in attach
+       order; finished streams drop out of the rotation. *)
+    let idx = ref 0 in
+    while !remaining > 0 do
+      let _, sp = sps.(!idx) in
+      if not (sp.Machine.sp_finished ()) && not (sp.Machine.sp_step ()) then
+        decr remaining;
+      idx := (!idx + 1) mod n
+    done
+  | Cycle_ratio weights ->
+    List.iter
+      (fun w ->
+        if w <= 0 then
+          invalid_arg "Corun.run: cycle-ratio weights must be positive")
+      weights;
+    let w =
+      Array.init n (fun i ->
+          match List.nth_opt weights i with Some x -> x | None -> 1)
+    in
+    (* Advance the live stream with the smallest weighted cycle count
+       (cycle / weight, compared cross-multiplied so everything stays
+       in integers); ties go to the lowest stream index. Streams make
+       progress proportional to their weights in simulated cycles. *)
+    while !remaining > 0 do
+      let best = ref (-1) in
+      for i = n - 1 downto 0 do
+        let _, sp = sps.(i) in
+        if not (sp.Machine.sp_finished ()) then
+          if !best < 0 then best := i
+          else
+            let _, bsp = sps.(!best) in
+            if
+              sp.Machine.sp_cycle () * w.(!best)
+              <= bsp.Machine.sp_cycle () * w.(i)
+            then best := i
+      done;
+      let _, sp = sps.(!best) in
+      if not (sp.Machine.sp_step ()) then decr remaining
+    done);
+  Array.to_list
+    (Array.map
+       (fun (s, sp) ->
+         { so_name = s.cs_name; so_outcome = sp.Machine.sp_finish () })
+       sps)

@@ -147,7 +147,14 @@ let note_run ~cycles ~wall_s =
 (* available. Kept as the differential oracle for the compiled engine. *)
 (* ------------------------------------------------------------------ *)
 
-let execute_blocking ~config ~hier ~sampler ~wtick ~mem ~regs
+(* Each executor is built as a *stepper*: all setup runs eagerly, then
+   [step ()] performs exactly one block dispatch (phi moves, the
+   block's instructions, the terminator) and returns false once [Ret]
+   has executed. Solo execution drives the stepper to completion in a
+   tight loop; the co-run scheduler ({!Corun}) interleaves steppers
+   from several streams over one shared LLC. *)
+
+let stepper_blocking ~config ~hier ~sampler ~wtick ~mem ~regs
     ~(plan : Compile.t) (f : Ir.func) =
   let eval = function Ir.Reg r -> regs.(r) | Ir.Imm i -> i in
   let st = { cycle = 0; instrs = 0; loads = 0; prefetches = 0 } in
@@ -259,13 +266,24 @@ let execute_blocking ~config ~hier ~sampler ~wtick ~mem ~regs
       charge 1 1;
       `Done (Option.map eval v)
   in
-  let rec loop cur prev =
-    match run_block cur prev with
-    | `Goto next -> loop next cur
-    | `Done v -> v
+  let cur = ref f.Ir.entry in
+  let prev = ref (-1) in
+  let running = ref true in
+  let ret = ref None in
+  let step () =
+    !running
+    && begin
+         (match run_block !cur !prev with
+         | `Goto next ->
+           prev := !cur;
+           cur := next
+         | `Done v ->
+           ret := v;
+           running := false);
+         !running
+       end
   in
-  let ret = loop f.Ir.entry (-1) in
-  (st, ret)
+  (st, ret, step)
 
 (* ------------------------------------------------------------------ *)
 (* Stall-on-use core, interpreted: loads complete in the background;   *)
@@ -273,7 +291,7 @@ let execute_blocking ~config ~hier ~sampler ~wtick ~mem ~regs
 (* bounded by a reorder window.                                        *)
 (* ------------------------------------------------------------------ *)
 
-let execute_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
+let stepper_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
     ~(plan : Compile.t) (f : Ir.func) =
   let eval = function Ir.Reg r -> regs.(r) | Ir.Imm i -> i in
   let ready = Array.make (Array.length regs) 0 in
@@ -426,15 +444,37 @@ let execute_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
       (match v with Some o -> wait_for [ o ] | None -> ());
       `Done (Option.map eval v)
   in
-  let rec loop cur prev =
-    match run_block cur prev with
-    | `Goto next -> loop next cur
-    | `Done v -> v
+  let cur = ref f.Ir.entry in
+  let prev = ref (-1) in
+  let running = ref true in
+  let ret = ref None in
+  let step () =
+    !running
+    && begin
+         (match run_block !cur !prev with
+         | `Goto next ->
+           prev := !cur;
+           cur := next
+         | `Done v ->
+           ret := v;
+           running := false);
+         !running
+       end
   in
-  let ret = loop f.Ir.entry (-1) in
-  (st, ret)
+  (st, ret, step)
 
-let execute ?(config = default_config) ?engine ?hierarchy ?sampler
+(* ------------------------------------------------------------------ *)
+(* Steppers and the driver loop                                        *)
+(* ------------------------------------------------------------------ *)
+
+type stepper = {
+  sp_step : unit -> bool;
+  sp_cycle : unit -> int;
+  sp_finished : unit -> bool;
+  sp_finish : unit -> outcome;
+}
+
+let make_stepper ?(config = default_config) ?engine ?hierarchy ?sampler
     ?window_cycles ?on_window ?(args = []) ~mem (f : Ir.func) =
   let engine =
     match engine with Some e -> e | None -> Atomic.get default_engine_a
@@ -442,6 +482,10 @@ let execute ?(config = default_config) ?engine ?hierarchy ?sampler
   let hier =
     match hierarchy with Some h -> h | None -> Hierarchy.create config.hierarchy
   in
+  (* Bound the hardware prefetcher to this run's backing region: the
+     next-line and stride paths must not emit targets past the end of
+     the allocation (the prefetch-bounds bug). *)
+  Hierarchy.set_prefetch_limit hier ~words:(Memory.size_words mem);
   let windowing =
     match (window_cycles, on_window) with
     | Some w, Some fn when w > 0 ->
@@ -452,29 +496,63 @@ let execute ?(config = default_config) ?engine ?hierarchy ?sampler
   let regs = Array.make (max 1 f.Ir.next_reg) 0 in
   Exec.bind_params f regs args;
   let plan = Compile.plan f in
-  let t0 = Clock.now () in
-  let st, ret =
+  let st, ret, step =
     match (engine, config.core) with
     | Interp, Blocking ->
-      execute_blocking ~config ~hier ~sampler ~wtick ~mem ~regs ~plan f
+      stepper_blocking ~config ~hier ~sampler ~wtick ~mem ~regs ~plan f
     | Interp, Stall_on_use { window } ->
-      execute_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
+      stepper_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs ~window
         ~plan f
     | Compiled { superblocks }, Blocking ->
-      Compiled.execute_blocking ~config ~hier ~sampler ~wtick ~superblocks
+      Compiled.stepper_blocking ~config ~hier ~sampler ~wtick ~superblocks
         ~mem ~regs ~plan f
     | Compiled _, Stall_on_use { window } ->
-      Compiled.execute_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs
+      Compiled.stepper_stall_on_use ~config ~hier ~sampler ~wtick ~mem ~regs
         ~window ~plan f
   in
-  let wall = Clock.now () -. t0 in
-  (match windowing with Some (_, finish) -> finish st | None -> ());
-  note_run ~cycles:st.Exec.cycle ~wall_s:wall;
+  let finished = ref false in
+  let outcome = ref None in
+  let sp_step () =
+    let more = step () in
+    if not more then finished := true;
+    more
+  in
+  let sp_finish () =
+    match !outcome with
+    | Some o -> o
+    | None ->
+      (match windowing with Some (_, finish) -> finish st | None -> ());
+      let o =
+        {
+          cycles = st.Exec.cycle;
+          instructions = st.Exec.instrs;
+          dyn_loads = st.Exec.loads;
+          dyn_prefetches = st.Exec.prefetches;
+          ret = !ret;
+          counters = Hierarchy.counters hier;
+        }
+      in
+      outcome := Some o;
+      o
+  in
   {
-    cycles = st.Exec.cycle;
-    instructions = st.Exec.instrs;
-    dyn_loads = st.Exec.loads;
-    dyn_prefetches = st.Exec.prefetches;
-    ret;
-    counters = Hierarchy.counters hier;
+    sp_step;
+    sp_cycle = (fun () -> st.Exec.cycle);
+    sp_finished = (fun () -> !finished);
+    sp_finish;
   }
+
+let execute ?config ?engine ?hierarchy ?sampler ?window_cycles ?on_window
+    ?args ~mem (f : Ir.func) =
+  let t0 = Clock.now () in
+  let sp =
+    make_stepper ?config ?engine ?hierarchy ?sampler ?window_cycles ?on_window
+      ?args ~mem f
+  in
+  while sp.sp_step () do
+    ()
+  done;
+  let o = sp.sp_finish () in
+  let wall = Clock.now () -. t0 in
+  note_run ~cycles:o.cycles ~wall_s:wall;
+  o

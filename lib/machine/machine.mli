@@ -184,4 +184,47 @@ val execute :
     byte-identical across runs. Without them the interpreter takes the
     exact pre-window code paths.
 
+    The hardware prefetcher is clamped to [mem]'s allocated extent
+    (see {!Aptget_cache.Hierarchy.set_prefetch_limit}); this holds for
+    a supplied [hierarchy] too.
+
     Raises [Invalid_argument] on malformed IR and memory errors. *)
+
+type stepper = {
+  sp_step : unit -> bool;
+      (** Perform one block dispatch (phi moves + instructions +
+          terminator); false once [Ret] has executed. Raises the same
+          exceptions at the same points as {!execute}. *)
+  sp_cycle : unit -> int;  (** current simulated cycle of this stream *)
+  sp_finished : unit -> bool;
+  sp_finish : unit -> outcome;
+      (** Flush the trailing execution window (if windowed) and
+          snapshot the outcome; call once the stream has finished.
+          Idempotent. Does not feed the process-wide throughput
+          accumulators — drivers that want that use {!execute} or
+          account for the whole schedule themselves. *)
+}
+(** A resumable execution: {!make_stepper} runs all setup eagerly,
+    then each [sp_step] advances the program by exactly one block
+    dispatch. [execute f] is equivalent to stepping a fresh stepper to
+    completion. The co-run scheduler ({!Corun}) interleaves steppers
+    of several streams over one shared LLC.
+
+    With [Compiled {superblocks = true}] a step may execute a whole
+    hot trace after the warmup; pass [superblocks = false] (or
+    [Interp]) when dispatch granularity must match the interpreter's
+    one-block-per-step, as the co-run scheduler does. *)
+
+val make_stepper :
+  ?config:config ->
+  ?engine:engine ->
+  ?hierarchy:Aptget_cache.Hierarchy.t ->
+  ?sampler:Aptget_pmu.Sampler.t ->
+  ?window_cycles:int ->
+  ?on_window:(window_report -> unit) ->
+  ?args:int list ->
+  mem:Aptget_mem.Memory.t ->
+  Ir.func ->
+  stepper
+(** Same contract and defaults as {!execute}, paused before the first
+    block. *)

@@ -11,6 +11,19 @@ type distance_model = {
   distance : int;
 }
 
+(* Extremes of the detected peak list, total and order-independent:
+   the previous multi-peak path read the top peak with
+   [List.nth peaks (len - 1)] (and the bottom as the head), silently
+   assuming the list arrived sorted ascending — one re-ordered
+   producer away from swapping IC and the top of MC. *)
+let top_peak = function
+  | [] -> None
+  | peaks -> Some (List.fold_left Float.max neg_infinity peaks)
+
+let bottom_peak = function
+  | [] -> None
+  | peaks -> Some (List.fold_left Float.min infinity peaks)
+
 let distance_of_times ?(finder = Cwt) ?(bins = 96) ?(max_distance = 128)
     ?(min_samples = 8) times =
   if Array.length times < min_samples then None
@@ -38,18 +51,19 @@ let distance_of_times ?(finder = Cwt) ?(bins = 96) ?(max_distance = 128)
            memory-bound case. *)
         let ic = Stats.percentile times 5. in
         let top =
-          match List.rev peak_values with
-          | top :: _ -> top
-          | [] -> Stats.percentile times 95.
+          match top_peak peak_values with
+          | Some top -> top
+          | None -> Stats.percentile times 95.
         in
         (ic, top -. ic, peak_values)
-      | low :: _ ->
-        let top = List.nth peak_values (List.length peak_values - 1) in
+      | peaks ->
+        let top = Option.get (top_peak peaks) in
+        let low = Option.get (bottom_peak peaks) in
         (* The all-hit peak can sit on the histogram's lower edge where
            the CWT response is attenuated; the fastest observed
            iterations bound IC from below. *)
         let ic = Float.min low (Stats.percentile times 5.) in
-        (ic, top -. ic, peak_values)
+        (ic, top -. ic, peaks)
     in
     if mc <= 0. || ic <= 0. then None
     else begin

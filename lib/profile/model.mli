@@ -21,6 +21,15 @@ type distance_model = {
   distance : int;         (** ceil(MC / IC), clamped to [1, max] *)
 }
 
+val top_peak : float list -> float option
+(** Largest peak latency, in any order; [None] on the empty list. Both
+    branches of {!distance_of_times} read the memory-bound peak
+    through this, so no path silently assumes the peak list arrives
+    sorted. *)
+
+val bottom_peak : float list -> float option
+(** Smallest peak latency, in any order; [None] on the empty list. *)
+
 val distance_of_times :
   ?finder:peak_finder ->
   ?bins:int ->

@@ -1,0 +1,178 @@
+module Memory = Aptget_mem.Memory
+module Rng = Aptget_util.Rng
+
+(* Pointer-chasing B-tree index lookup (ROADMAP item 5's adversarial
+   shape): each query descends a fixed number of levels, and every hop
+   loads a child *pointer* whose value decides the next node's
+   address. The chain is data-dependent — no stride for the hardware
+   prefetcher, no induction-derived address for APT-GET's pass — which
+   is exactly what makes it a good co-runner victim: its working set
+   lives or dies by what survives in the shared LLC. *)
+
+(* 7 separator keys + 1 pad in the first line, 8 child pointers in the
+   second: one node = two cache lines. *)
+let keys_per_node = 7
+let fanout = 8
+let node_words = 16
+let child_off = 8
+
+(* Keys are spaced 2 apart so odd query keys miss and even ones hit. *)
+let key_scale = 2
+
+type params = { levels : int; queries : int; seed : int }
+
+let default_params = { levels = 4; queries = 65_536; seed = 11 }
+
+let pow b e =
+  let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+  go 1 e
+
+let build p =
+  if p.levels < 1 then invalid_arg "Btree.build: levels < 1";
+  let n_leaves = pow fanout p.levels in
+  (* Internal nodes: levels 0 .. levels-1 (8^d nodes at depth d);
+     leaves sit at depth [levels]. *)
+  let n_internal = (n_leaves - 1) / (fanout - 1) in
+  let n_nodes = n_internal + n_leaves in
+  let rng = Rng.create p.seed in
+  (* Physical placement is a random permutation of node slots, so the
+     descent genuinely chases pointers across the region instead of
+     walking level-contiguous storage. *)
+  let slot = Array.init n_nodes (fun i -> i) in
+  for i = n_nodes - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = slot.(i) in
+    slot.(i) <- slot.(j);
+    slot.(j) <- tmp
+  done;
+  let nodes = Array.make (n_nodes * node_words) 0 in
+  let mem =
+    Memory.create
+      ~capacity_words:((n_nodes * node_words) + p.queries + 65_536)
+      ()
+  in
+  let queries_r = Memory.alloc mem ~name:"Q" ~words:p.queries in
+  let nodes_r = Memory.alloc mem ~name:"tree" ~words:(n_nodes * node_words) in
+  Workload.alloc_guard mem;
+  let addr_of_slot s = nodes_r.Memory.base + (slot.(s) * node_words) in
+  (* Logical numbering: internal node at depth d, index j within the
+     level, covers leaves [j * span, (j+1) * span) with
+     span = fanout^(levels - d). Leaf j holds keys
+     (j*K + t) * key_scale. *)
+  let level_base = Array.make (p.levels + 1) 0 in
+  for d = 1 to p.levels do
+    level_base.(d) <- level_base.(d - 1) + pow fanout (d - 1)
+  done;
+  for d = 0 to p.levels - 1 do
+    let span = pow fanout (p.levels - d) in
+    let child_span = span / fanout in
+    for j = 0 to pow fanout d - 1 do
+      let s = level_base.(d) + j in
+      let base = slot.(s) * node_words in
+      let first_leaf = j * span in
+      for i = 1 to keys_per_node do
+        nodes.((base + i) - 1) <-
+          (first_leaf + (i * child_span)) * keys_per_node * key_scale
+      done;
+      for c = 0 to fanout - 1 do
+        let child_logical =
+          if d = p.levels - 1 then level_base.(p.levels) + first_leaf + c
+          else level_base.(d + 1) + (j * fanout) + c
+        in
+        nodes.(base + child_off + c) <- addr_of_slot child_logical
+      done
+    done
+  done;
+  for j = 0 to n_leaves - 1 do
+    let base = slot.(level_base.(p.levels) + j) * node_words in
+    for t = 0 to keys_per_node - 1 do
+      nodes.(base + t) <- ((j * keys_per_node) + t) * key_scale
+    done
+  done;
+  let key_space = n_leaves * keys_per_node * key_scale in
+  let queries = Array.init p.queries (fun _ -> Rng.int rng key_space) in
+  Memory.blit_array mem queries_r queries;
+  Memory.blit_array mem nodes_r nodes;
+  let root_addr = addr_of_slot 0 in
+  let bld = Builder.create ~name:"btree" ~nparams:3 in
+  let q_b, root_op, nq_op =
+    match Builder.params bld with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
+  let final =
+    Builder.for_loop_acc bld ~from:(Ir.Imm 0) ~bound:(`Op nq_op)
+      ~init:[ Ir.Imm 0 ]
+      (fun bld i accs ->
+        let found = Builder.nth_value bld ~what:"btree found" accs 0 in
+        let qaddr = Builder.add bld q_b i in
+        let q = Builder.load bld qaddr in
+        (* Fixed-depth descent, unrolled per level: branchless child
+           selection (count separators <= q), then the pointer chase. *)
+        let node = ref root_op in
+        for _ = 1 to p.levels do
+          let c =
+            Builder.for_loop_acc bld ~from:(Ir.Imm 0)
+              ~bound:(`Op (Ir.Imm keys_per_node))
+              ~init:[ Ir.Imm 0 ]
+              (fun bld t caccs ->
+                let cnt =
+                  Builder.nth_value bld ~what:"btree child index" caccs 0
+                in
+                let kaddr = Builder.add bld !node t in
+                let k = Builder.load bld kaddr in
+                let le = Builder.cmp bld Ir.Le k q in
+                [ Builder.add bld cnt le ])
+          in
+          let cidx = Builder.nth_value bld ~what:"btree child index" c 0 in
+          let coff = Builder.add bld cidx (Ir.Imm child_off) in
+          let caddr = Builder.add bld !node coff in
+          node := Builder.load bld caddr
+        done;
+        let hits =
+          Builder.for_loop_acc bld ~from:(Ir.Imm 0)
+            ~bound:(`Op (Ir.Imm keys_per_node))
+            ~init:[ found ]
+            (fun bld t haccs ->
+              let acc = Builder.nth_value bld ~what:"btree hits" haccs 0 in
+              let kaddr = Builder.add bld !node t in
+              let k = Builder.load bld kaddr in
+              let eq = Builder.cmp bld Ir.Eq k q in
+              [ Builder.add bld acc eq ])
+        in
+        [ Builder.nth_value bld ~what:"btree hits" hits 0 ])
+  in
+  Builder.ret bld (Some (Builder.nth_value bld ~what:"btree found" final 0));
+  let func = Builder.finish bld in
+  Verify.check_exn func;
+  (* Host descent over the same arrays. *)
+  let host_found = ref 0 in
+  Array.iter
+    (fun q ->
+      let node = ref root_addr in
+      for _ = 1 to p.levels do
+        let base = !node - nodes_r.Memory.base in
+        let c = ref 0 in
+        for t = 0 to keys_per_node - 1 do
+          if nodes.(base + t) <= q then incr c
+        done;
+        node := nodes.(base + child_off + !c)
+      done;
+      let base = !node - nodes_r.Memory.base in
+      for t = 0 to keys_per_node - 1 do
+        if nodes.(base + t) = q then incr host_found
+      done)
+    queries;
+  {
+    Workload.mem;
+    func;
+    args = [ queries_r.Memory.base; root_addr; p.queries ];
+    verify = Workload.expect_ret !host_found;
+  }
+
+let workload ?(params = default_params) ~name () =
+  Workload.make ~name ~app:"BTree"
+    ~input:
+      (Printf.sprintf "L%d-%dq" params.levels params.queries)
+    ~description:"Pointer-chasing B-tree index lookups" ~nested:true
+    (fun () -> build params)

@@ -1,0 +1,22 @@
+(** Pointer-chasing B-tree index lookup.
+
+    A fixed-depth 8-ary search tree whose nodes are scattered through
+    the region by a random permutation: every level of the descent
+    loads a child pointer whose value is the next node's address. The
+    chain defeats the stride prefetcher and APT-GET's
+    induction-derived injection alike, so the kernel's throughput is
+    set by how much of the tree survives in the shared LLC — the
+    contention-victim role in the co-run experiments. *)
+
+type params = {
+  levels : int;   (** internal levels above the leaves; >= 1 *)
+  queries : int;
+  seed : int;
+}
+
+val default_params : params
+(** 4 levels (4096 leaves, ~4700 nodes, ~600 KiB of tree — larger than
+    L2, inside the LLC when running solo), 65536 queries. *)
+
+val build : params -> Workload.instance
+val workload : ?params:params -> name:string -> unit -> Workload.t

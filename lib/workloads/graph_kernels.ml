@@ -213,7 +213,8 @@ let dfs ?(source = 0) (g : Csr.t) =
     Builder.for_loop_acc bld ~from:start ~bound:(`Op stop)
       ~init:[ spm1; count ]
       (fun bld e iaccs ->
-        let sp_i, cnt = (List.nth iaccs 0, List.nth iaccs 1) in
+        let sp_i = Builder.nth_value bld ~what:"DFS stack accumulator" iaccs 0
+        and cnt = Builder.nth_value bld ~what:"DFS count accumulator" iaccs 1 in
         let caddr = Builder.add bld cols_base e in
         let c = Builder.load bld caddr in
         let flag_addr = Builder.add bld vis_base c in
@@ -227,8 +228,10 @@ let dfs ?(source = 0) (g : Csr.t) =
   in
   let latch = Builder.current bld in
   Builder.jmp bld header;
-  Builder.add_incoming bld ~block:header ~phi:sp (latch, List.nth final 0);
-  Builder.add_incoming bld ~block:header ~phi:count (latch, List.nth final 1);
+  Builder.add_incoming bld ~block:header ~phi:sp
+    (latch, Builder.nth_value bld ~what:"DFS final stack value" final 0);
+  Builder.add_incoming bld ~block:header ~phi:count
+    (latch, Builder.nth_value bld ~what:"DFS final count value" final 1);
   Builder.switch_to bld exit;
   Builder.ret bld (Some count);
   let func = Builder.finish bld in

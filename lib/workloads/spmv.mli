@@ -1,0 +1,19 @@
+(** CSR sparse matrix-vector product: y[r] = Σ vals[e] * x[cols[e]].
+
+    The x[cols[e]] gather is the indirect delinquent load APT-GET's
+    pass transforms, reached through a nested loop with irregular
+    per-row trip counts, so the Eq. 2 inner/outer site decision is
+    exercised. The dense vector is sized past the LLC. *)
+
+type params = {
+  rows : int;
+  nnz_per_row : int; (** mean; actual row lengths vary in [1, 2*mean) *)
+  x_words : int;     (** dense-vector length; sized past the LLC *)
+  seed : int;
+}
+
+val default_params : params
+(** 16384 rows, mean 8 nnz/row, 1 Mi-word (8 MiB) dense vector. *)
+
+val build : params -> Workload.instance
+val workload : ?params:params -> name:string -> unit -> Workload.t

@@ -98,7 +98,14 @@ let train_test =
 (* Workloads reachable by name but deliberately outside [default], so
    every experiment (and BENCH file) keyed off the main suite stays
    byte-identical. *)
-let extended = default @ [ Phased.workload ~name:"phased" () ]
+let extended =
+  default
+  @ [
+      Phased.workload ~name:"phased" ();
+      Btree.workload ~name:"btree" ();
+      Spmv.workload ~name:"spmv" ();
+      Thrash.workload ~name:"thrash" ();
+    ]
 
 let find name =
   let k = String.lowercase_ascii name in

@@ -1,0 +1,18 @@
+(** Streaming cache-thrasher co-runner.
+
+    Repeated one-load-per-line sweeps over an array larger than the
+    shared LLC: harmless solo (the stride prefetcher covers it), but
+    co-run it evicts other tenants' LLC lines continuously, and
+    inclusion invalidates their private copies — the adversarial
+    cache-pressure source for the contention experiments. *)
+
+type params = {
+  words : int;  (** swept array; should exceed the LLC *)
+  passes : int;
+}
+
+val default_params : params
+(** 4 MiB array (2x the default LLC), 16 passes. *)
+
+val build : params -> Workload.instance
+val workload : ?params:params -> name:string -> unit -> Workload.t

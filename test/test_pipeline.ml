@@ -246,7 +246,7 @@ let test_registry_complete () =
     [ "table1"; "fig1"; "fig2"; "fig3"; "fig4"; "table2"; "table3"; "table4";
       "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
       "datasets"; "ablations"; "robustness"; "staleness"; "extensions";
-      "campaign"; "adaptive" ]
+      "campaign"; "adaptive"; "contention" ]
   in
   List.iter
     (fun id ->
